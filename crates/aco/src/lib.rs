@@ -1,0 +1,138 @@
+//! Ant-colony-optimisation primitives for ISE exploration.
+//!
+//! The exploration algorithm (thesis Ch. 3–4) is an ACO search over the
+//! implementation options of every operation: ants repeatedly *choose* an
+//! implementation option per operation (with probability driven by
+//! pheromone *trail* and heuristic *merit*, Eq. 1), the trail is reinforced
+//! or evaporated depending on whether the resulting schedule got faster
+//! (Fig. 4.3.5), and the search *converges* once for every operation some
+//! option's selected-probability (Eq. 3) exceeds `P_END`.
+//!
+//! This crate holds the algorithm-independent machinery:
+//!
+//! * [`AcoParams`] — every tunable of the paper (α, λ, ρ₁..ρ₅, the four β
+//!   penalties, `P_END`, initial trail/merit values) with the §5.1 defaults;
+//! * [`ImplChoice`] — a software or hardware implementation-option index;
+//! * [`PheromoneStore`] — per-(operation, option) trail and merit values
+//!   with the probability formulas of Eqs. 1–4;
+//! * [`roulette`] — deterministic weighted random selection.
+//!
+//! The ISE-specific parts — the Ready-Matrix walk, the scheduling, the
+//! merit function and the trail-update policy — live in `isex-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use isex_aco::{AcoParams, ImplChoice, PheromoneStore};
+//! use rand::SeedableRng;
+//!
+//! let params = AcoParams::default();
+//! // Two operations: one with 1 SW + 2 HW options, one with 1 SW + 0 HW.
+//! let mut store = PheromoneStore::new(&[(1, 2), (1, 0)], &params);
+//! store.add_trail(0, ImplChoice::Hw(1), 4.0);
+//! let sp = store.selected_probability(0, ImplChoice::Hw(1));
+//! assert!(sp > store.selected_probability(0, ImplChoice::Hw(0)));
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let pick = isex_aco::roulette(&mut rng, &[0.1, 0.7, 0.2]);
+//! assert!(pick < 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod params;
+mod store;
+
+pub use params::AcoParams;
+pub use store::{ImplChoice, PheromoneStore};
+
+use rand::Rng;
+
+/// Weighted roulette selection: returns an index of `weights` with
+/// probability proportional to its (non-negative) weight.
+///
+/// Non-finite or negative weights are treated as zero. If every weight is
+/// zero the selection is uniform.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty.
+pub fn roulette<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "cannot select from no options");
+    let clean = |w: &f64| if w.is_finite() && *w > 0.0 { *w } else { 0.0 };
+    let total: f64 = weights.iter().map(clean).sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        let w = clean(w);
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roulette_prefers_heavy_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[roulette(&mut rng, &[1.0, 8.0, 1.0])] += 1;
+        }
+        assert!(counts[1] > counts[0] * 4);
+        assert!(counts[1] > counts[2] * 4);
+        assert!(
+            counts[0] > 0 && counts[2] > 0,
+            "light options still reachable"
+        );
+    }
+
+    #[test]
+    fn roulette_all_zero_is_uniform() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..4_000 {
+            counts[roulette(&mut rng, &[0.0, 0.0, 0.0, 0.0])] += 1;
+        }
+        for c in counts {
+            assert!(c > 700, "roughly uniform, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn roulette_ignores_nan_and_negative() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let i = roulette(&mut rng, &[f64::NAN, -5.0, 1.0]);
+            assert_eq!(i, 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no options")]
+    fn roulette_empty_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        roulette(&mut rng, &[]);
+    }
+
+    #[test]
+    fn roulette_is_deterministic_for_seed() {
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..32)
+                .map(|_| roulette(&mut rng, &[0.3, 0.3, 0.4]))
+                .collect()
+        };
+        assert_eq!(picks(11), picks(11));
+        assert_ne!(picks(11), picks(12), "different seeds diverge (w.h.p.)");
+    }
+}

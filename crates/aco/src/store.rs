@@ -1,0 +1,313 @@
+//! Per-(operation, option) trail and merit storage with the probability
+//! formulas of Eqs. 1–4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::AcoParams;
+
+/// One implementation option of one operation: the `j`-th software or
+/// hardware entry of its IO table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ImplChoice {
+    /// Software option `j` (execute on the core).
+    Sw(usize),
+    /// Hardware option `j` (execute inside the ASFU).
+    Hw(usize),
+}
+
+impl ImplChoice {
+    /// Returns `true` for a hardware option.
+    pub fn is_hardware(self) -> bool {
+        matches!(self, ImplChoice::Hw(_))
+    }
+}
+
+impl std::fmt::Display for ImplChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImplChoice::Sw(j) => write!(f, "SW-{}", j + 1),
+            ImplChoice::Hw(j) => write!(f, "HW-{}", j + 1),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct NodeOptions {
+    sw_trail: Vec<f64>,
+    hw_trail: Vec<f64>,
+    sw_merit: Vec<f64>,
+    hw_merit: Vec<f64>,
+}
+
+impl NodeOptions {
+    fn trail(&self, c: ImplChoice) -> f64 {
+        match c {
+            ImplChoice::Sw(j) => self.sw_trail[j],
+            ImplChoice::Hw(j) => self.hw_trail[j],
+        }
+    }
+
+    fn merit(&self, c: ImplChoice) -> f64 {
+        match c {
+            ImplChoice::Sw(j) => self.sw_merit[j],
+            ImplChoice::Hw(j) => self.hw_merit[j],
+        }
+    }
+
+    fn choices(&self) -> impl Iterator<Item = ImplChoice> + '_ {
+        (0..self.sw_trail.len())
+            .map(ImplChoice::Sw)
+            .chain((0..self.hw_trail.len()).map(ImplChoice::Hw))
+    }
+}
+
+/// Trail (pheromone) and merit values for every implementation option of
+/// every operation of one DFG.
+///
+/// The *trail* is "the number of valid chosen times of an implementation
+/// option in previous iterations"; the *merit* is "the benefit of one
+/// implementation option being selected" (§4.3). Both feed the
+/// chosen-probability (Eq. 1) and the selected-probability (Eq. 3).
+///
+/// # Example
+///
+/// ```
+/// use isex_aco::{AcoParams, ImplChoice, PheromoneStore};
+///
+/// // one op with 1 software and 1 hardware option
+/// let mut s = PheromoneStore::new(&[(1, 1)], &AcoParams::default());
+/// let before = s.selected_probability(0, ImplChoice::Hw(0));
+/// s.set_merit(0, ImplChoice::Hw(0), 1000.0);
+/// assert!(s.selected_probability(0, ImplChoice::Hw(0)) > before);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PheromoneStore {
+    nodes: Vec<NodeOptions>,
+    alpha: f64,
+}
+
+impl PheromoneStore {
+    /// Creates a store for `shape[i] = (sw_options, hw_options)` of each
+    /// operation `i`, initialised per `params`.
+    pub fn new(shape: &[(usize, usize)], params: &AcoParams) -> Self {
+        let nodes = shape
+            .iter()
+            .map(|&(sw, hw)| {
+                assert!(sw > 0, "every operation needs a software option");
+                NodeOptions {
+                    sw_trail: vec![params.init_trail; sw],
+                    hw_trail: vec![params.init_trail; hw],
+                    sw_merit: vec![params.init_merit_sw; sw],
+                    hw_merit: vec![params.init_merit_hw; hw],
+                }
+            })
+            .collect();
+        PheromoneStore {
+            nodes,
+            alpha: params.alpha,
+        }
+    }
+
+    /// Number of operations tracked.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no operations are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All options of operation `node`.
+    pub fn choices(&self, node: usize) -> Vec<ImplChoice> {
+        self.nodes[node].choices().collect()
+    }
+
+    /// Current trail of an option.
+    pub fn trail(&self, node: usize, c: ImplChoice) -> f64 {
+        self.nodes[node].trail(c)
+    }
+
+    /// Current merit of an option.
+    pub fn merit(&self, node: usize, c: ImplChoice) -> f64 {
+        self.nodes[node].merit(c)
+    }
+
+    /// Adds `delta` (may be negative) to an option's trail, clamping at
+    /// zero so probabilities stay well-formed.
+    pub fn add_trail(&mut self, node: usize, c: ImplChoice, delta: f64) {
+        let n = &mut self.nodes[node];
+        let v = match c {
+            ImplChoice::Sw(j) => &mut n.sw_trail[j],
+            ImplChoice::Hw(j) => &mut n.hw_trail[j],
+        };
+        *v = (*v + delta).max(0.0);
+    }
+
+    /// Overwrites an option's merit (clamped to a tiny positive floor so
+    /// roulette weights never vanish entirely).
+    pub fn set_merit(&mut self, node: usize, c: ImplChoice, merit: f64) {
+        let n = &mut self.nodes[node];
+        let v = match c {
+            ImplChoice::Sw(j) => &mut n.sw_merit[j],
+            ImplChoice::Hw(j) => &mut n.hw_merit[j],
+        };
+        *v = if merit.is_finite() {
+            merit.max(f64::MIN_POSITIVE)
+        } else {
+            f64::MIN_POSITIVE
+        };
+    }
+
+    /// Multiplies an option's merit by `factor` (Fig. 4.3.7 penalties work
+    /// multiplicatively).
+    pub fn scale_merit(&mut self, node: usize, c: ImplChoice, factor: f64) {
+        let m = self.merit(node, c);
+        self.set_merit(node, c, m * factor);
+    }
+
+    /// The un-normalised attraction of an option:
+    /// `α·trail + (1−α)·merit` — the shared numerator core of Eqs. 1 and 3.
+    pub fn attraction(&self, node: usize, c: ImplChoice) -> f64 {
+        let n = &self.nodes[node];
+        self.alpha * n.trail(c) + (1.0 - self.alpha) * n.merit(c)
+    }
+
+    /// Eq. 3: the selected-probability of option `c` *within its own
+    /// operation* (denominator sums over that operation's options only).
+    pub fn selected_probability(&self, node: usize, c: ImplChoice) -> f64 {
+        let n = &self.nodes[node];
+        let total: f64 = n.choices().map(|x| self.attraction(node, x)).sum();
+        if total <= 0.0 {
+            return 1.0 / n.choices().count() as f64;
+        }
+        self.attraction(node, c) / total
+    }
+
+    /// The option of `node` with the highest selected-probability, and that
+    /// probability. Ties resolve to the earliest option (software first).
+    pub fn best_option(&self, node: usize) -> (ImplChoice, f64) {
+        let n = &self.nodes[node];
+        let mut best = None::<(ImplChoice, f64)>;
+        for c in n.choices() {
+            let p = self.selected_probability(node, c);
+            match best {
+                Some((_, bp)) if bp >= p => {}
+                _ => best = Some((c, p)),
+            }
+        }
+        best.expect("every operation has at least one option")
+    }
+
+    /// Returns `true` once every operation has an option whose
+    /// selected-probability reaches `p_end` (the paper's end condition).
+    pub fn converged(&self, p_end: f64) -> bool {
+        (0..self.nodes.len()).all(|n| self.best_option(n).1 >= p_end)
+    }
+
+    /// Normalises the merit values of every operation so they sum to 1
+    /// (§4.3: "the merit values of operation must be normalized after
+    /// performing merit computation", keeping the cross-operation pick in
+    /// the Ready-Matrix fair).
+    ///
+    /// Each option's share is floored at 1% (MAX–MIN-ant-system style lower
+    /// bound) so repeated penalties can never starve an option out of the
+    /// search entirely.
+    pub fn normalize_merits(&mut self) {
+        const FLOOR: f64 = 0.01;
+        for n in &mut self.nodes {
+            let total: f64 = n.sw_merit.iter().chain(n.hw_merit.iter()).sum();
+            if total > 0.0 && total.is_finite() {
+                for v in n.sw_merit.iter_mut().chain(n.hw_merit.iter_mut()) {
+                    *v = (*v / total).max(FLOOR);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> PheromoneStore {
+        PheromoneStore::new(&[(2, 2), (1, 0)], &AcoParams::default())
+    }
+
+    #[test]
+    fn initial_values_follow_params() {
+        let s = store();
+        assert_eq!(s.trail(0, ImplChoice::Sw(0)), 0.0);
+        assert_eq!(s.merit(0, ImplChoice::Sw(1)), 100.0);
+        assert_eq!(s.merit(0, ImplChoice::Hw(0)), 200.0);
+        assert_eq!(s.choices(0).len(), 4);
+        assert_eq!(s.choices(1).len(), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut s = store();
+        s.add_trail(0, ImplChoice::Hw(1), 10.0);
+        s.set_merit(0, ImplChoice::Sw(0), 50.0);
+        let sum: f64 = s
+            .choices(0)
+            .into_iter()
+            .map(|c| s.selected_probability(0, c))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trail_clamped_at_zero() {
+        let mut s = store();
+        s.add_trail(0, ImplChoice::Sw(0), -100.0);
+        assert_eq!(s.trail(0, ImplChoice::Sw(0)), 0.0);
+    }
+
+    #[test]
+    fn single_option_operation_is_always_converged() {
+        let s = store();
+        assert_eq!(s.best_option(1).1, 1.0);
+    }
+
+    #[test]
+    fn convergence_requires_domination() {
+        let mut s = PheromoneStore::new(&[(1, 1)], &AcoParams::default());
+        assert!(!s.converged(0.99));
+        // Pump one option hard.
+        for _ in 0..200 {
+            s.add_trail(0, ImplChoice::Hw(0), 50.0);
+        }
+        s.set_merit(0, ImplChoice::Sw(0), 1e-6);
+        s.set_merit(0, ImplChoice::Hw(0), 1e6);
+        assert!(s.converged(0.99));
+    }
+
+    #[test]
+    fn normalize_keeps_ratios() {
+        let mut s = store();
+        s.set_merit(0, ImplChoice::Sw(0), 300.0);
+        s.set_merit(0, ImplChoice::Sw(1), 100.0);
+        s.set_merit(0, ImplChoice::Hw(0), 400.0);
+        s.set_merit(0, ImplChoice::Hw(1), 200.0);
+        s.normalize_merits();
+        let total: f64 = s.choices(0).into_iter().map(|c| s.merit(0, c)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((s.merit(0, ImplChoice::Hw(0)) / s.merit(0, ImplChoice::Sw(1)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merit_floor_prevents_dead_options() {
+        let mut s = store();
+        s.set_merit(0, ImplChoice::Sw(0), -5.0);
+        assert!(s.merit(0, ImplChoice::Sw(0)) > 0.0);
+        s.set_merit(0, ImplChoice::Sw(0), f64::NAN);
+        assert!(s.merit(0, ImplChoice::Sw(0)) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "software option")]
+    fn zero_software_options_rejected() {
+        PheromoneStore::new(&[(0, 2)], &AcoParams::default());
+    }
+}

@@ -1,0 +1,72 @@
+//! The §2.1 argument, measured: exact subgraph enumeration is exponential
+//! in the block size while the ACO heuristic scales polynomially.
+//!
+//! "When N = 100 (the standard case), then the number of possible ISE
+//! patterns is 2¹⁰⁰. Obviously, this number of patterns cannot be computed
+//! in a reasonable time. To decrease the computing complexity, heuristic
+//! algorithms … have been developed."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isex_aco::AcoParams;
+use isex_core::{Constraints, ExactExplorer, MultiIssueExplorer};
+use isex_isa::MachineConfig;
+use isex_workloads::random::{random_dfg, RandomDfgConfig};
+use rand::SeedableRng;
+
+fn blocks(sizes: &[usize]) -> Vec<(usize, isex_isa::ProgramDfg)> {
+    sizes
+        .iter()
+        .map(|&k| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(k as u64 + 13);
+            (
+                k,
+                random_dfg(
+                    &RandomDfgConfig {
+                        nodes: k,
+                        width: 2,
+                        mem_fraction: 0.0,
+                        live_ins: 4,
+                    },
+                    &mut rng,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn exact_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_enumeration");
+    group.sample_size(10);
+    let machine = MachineConfig::preset_2issue_4r2w();
+    let explorer = ExactExplorer::new(machine, Constraints::from_machine(&machine));
+    for (k, dfg) in blocks(&[10, 14, 18, 22]) {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &dfg, |b, d| {
+            b.iter(|| explorer.best_single_ise(d).expect("within guard"))
+        });
+    }
+    group.finish();
+}
+
+fn aco_scaling_same_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aco_same_blocks");
+    group.sample_size(10);
+    let machine = MachineConfig::preset_2issue_4r2w();
+    let params = AcoParams {
+        max_iterations: 30,
+        ..AcoParams::default()
+    };
+    let explorer =
+        MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
+    for (k, dfg) in blocks(&[10, 14, 18, 22]) {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &dfg, |b, d| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                explorer.explore(d, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, exact_scaling, aco_scaling_same_blocks);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for the exploration algorithm's cost.
+//!
+//! §4.4 argues one ACO iteration costs `O(k²)` in the DFG size `k`; the
+//! `iteration_scaling` group measures a fixed number of iterations over
+//! random DFGs of growing size so the quadratic trend is visible. The
+//! `kernel_exploration` group times full explorations of the benchmark hot
+//! blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isex_aco::AcoParams;
+use isex_core::{Constraints, MultiIssueExplorer};
+use isex_isa::MachineConfig;
+use isex_workloads::random::{random_dfg, RandomDfgConfig};
+use isex_workloads::{Benchmark, OptLevel};
+use rand::SeedableRng;
+
+fn iteration_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iteration_scaling");
+    for &k in &[16usize, 32, 64, 128, 256] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(k as u64);
+        let dfg = random_dfg(
+            &RandomDfgConfig {
+                nodes: k,
+                width: 4,
+                mem_fraction: 0.1,
+                live_ins: 8,
+            },
+            &mut rng,
+        );
+        let machine = MachineConfig::preset_2issue_6r3w();
+        let params = AcoParams {
+            max_iterations: 10,
+            ..AcoParams::default()
+        };
+        let explorer =
+            MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &dfg, |b, dfg| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                explorer.explore(dfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn kernel_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_exploration");
+    group.sample_size(10);
+    for &bench in &[Benchmark::Crc32, Benchmark::Bitcount, Benchmark::Blowfish] {
+        let program = bench.program(OptLevel::O3);
+        let dfg = program.hottest().dfg.clone();
+        let machine = MachineConfig::preset_2issue_4r2w();
+        let params = AcoParams {
+            max_iterations: 60,
+            ..AcoParams::default()
+        };
+        let explorer =
+            MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
+        group.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                explorer.explore(&dfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, iteration_scaling, kernel_exploration);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for the subgraph-isomorphism matcher that drives ISE
+//! replacement: pattern size × target size scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isex_core::{Constraints, MultiIssueExplorer};
+use isex_dfg::Reachability;
+use isex_flow::IsePattern;
+use isex_isa::MachineConfig;
+use isex_workloads::random::{random_dfg, RandomDfgConfig};
+use isex_workloads::{Benchmark, OptLevel};
+use rand::SeedableRng;
+
+fn patterns_from_crc32() -> Vec<IsePattern> {
+    let program = Benchmark::Crc32.program(OptLevel::O3);
+    let dfg = &program.hottest().dfg;
+    let machine = MachineConfig::preset_2issue_4r2w();
+    let params = isex_aco::AcoParams {
+        max_iterations: 60,
+        ..Default::default()
+    };
+    let ex = MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    ex.explore(dfg, &mut rng)
+        .candidates
+        .iter()
+        .map(|c| IsePattern::from_candidate(c, dfg))
+        .collect()
+}
+
+fn matcher_scaling(c: &mut Criterion) {
+    let patterns = patterns_from_crc32();
+    assert!(!patterns.is_empty());
+    let pattern = patterns
+        .iter()
+        .max_by_key(|p| p.size())
+        .expect("non-empty")
+        .clone();
+    let mut group = c.benchmark_group("find_matches");
+    for &k in &[32usize, 128, 512] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(k as u64);
+        let target = random_dfg(
+            &RandomDfgConfig {
+                nodes: k,
+                width: 4,
+                mem_fraction: 0.15,
+                live_ins: 8,
+            },
+            &mut rng,
+        );
+        let reach = Reachability::compute(&target);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &target, |b, t| {
+            b.iter(|| pattern.find_matches(t, &reach))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matcher_scaling);
+criterion_main!(benches);

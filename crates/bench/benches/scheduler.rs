@@ -1,0 +1,74 @@
+//! Criterion benches for the substrate: list scheduling, reachability and
+//! convexity checking — the inner loops whose cost dominates one ACO
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isex_dfg::{convex, NodeSet, Reachability};
+use isex_isa::MachineConfig;
+use isex_sched::{list_schedule, unit, Priority};
+use isex_workloads::random::{random_dfg, RandomDfgConfig};
+use rand::SeedableRng;
+
+fn graphs(sizes: &[usize]) -> Vec<(usize, isex_isa::ProgramDfg)> {
+    sizes
+        .iter()
+        .map(|&k| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(k as u64 * 3 + 1);
+            (
+                k,
+                random_dfg(
+                    &RandomDfgConfig {
+                        nodes: k,
+                        width: 4,
+                        mem_fraction: 0.1,
+                        live_ins: 8,
+                    },
+                    &mut rng,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn list_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_schedule");
+    for (k, dfg) in graphs(&[32, 128, 512]) {
+        let sched = unit::lower(&dfg);
+        let machine = MachineConfig::preset_4issue_10r5w();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &sched, |b, s| {
+            b.iter(|| list_schedule(s, &machine, Priority::Height))
+        });
+    }
+    group.finish();
+}
+
+fn reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    for (k, dfg) in graphs(&[32, 128, 512]) {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &dfg, |b, d| {
+            b.iter(|| Reachability::compute(d))
+        });
+    }
+    group.finish();
+}
+
+fn convexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convexity_check");
+    for (k, dfg) in graphs(&[32, 128, 512]) {
+        let reach = Reachability::compute(&dfg);
+        // An adversarial set: every other node.
+        let mut set = NodeSet::new(dfg.len());
+        for (i, id) in dfg.node_ids().enumerate() {
+            if i % 2 == 0 {
+                set.insert(id);
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(k), &set, |b, s| {
+            b.iter(|| convex::is_convex(s, &reach))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, list_scheduling, reachability, convexity);
+criterion_main!(benches);

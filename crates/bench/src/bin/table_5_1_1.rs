@@ -1,0 +1,34 @@
+//! Regenerates **Table 5.1.1**: hardware implementation option settings
+//! (delay in ns, area in µm² per PISA opcode family).
+//!
+//! Run with: `cargo run -p isex-bench --bin table_5_1_1`
+
+use isex_bench::TextTable;
+use isex_isa::hw_table;
+
+fn main() {
+    println!("Table 5.1.1: Hardware implementation option settings\n");
+    let mut t = TextTable::new(&["operation family", "option", "delay (ns)", "area (um^2)"]);
+    for row in hw_table::rows() {
+        let family = row
+            .opcodes
+            .iter()
+            .map(|o| o.mnemonic())
+            .collect::<Vec<_>>()
+            .join(" ");
+        for (i, opt) in row.options.iter().enumerate() {
+            t.row(vec![
+                if i == 0 {
+                    family.clone()
+                } else {
+                    String::new()
+                },
+                format!("{}", i + 1),
+                format!("{:.2}", opt.delay_ns),
+                format!("{:.2}", opt.area_um2),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("\n(values verbatim from the thesis; 0.13 µm CMOS, 100 MHz core)");
+}

@@ -1,0 +1,134 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Every binary regenerates one artefact of the paper's evaluation
+//! (Table 5.1.1, Figs. 5.2.1–5.2.3, the headline numbers) and prints the
+//! same rows/series the paper reports. Absolute values depend on the
+//! synthetic workload substrate; the *shape* (who wins, by roughly what
+//! factor, where the curves saturate) is the reproduction target — see
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use isex_flow::experiment::SweepEffort;
+
+/// Command-line effort selection shared by the figure binaries:
+/// `--quick` (1 repeat, 40 iterations — smoke test),
+/// `--paper` (5 repeats, 200 iterations — default), or
+/// `--repeats N --iters M`.
+pub fn effort_from_args() -> SweepEffort {
+    let args: Vec<String> = std::env::args().collect();
+    let mut effort = SweepEffort::paper();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => effort = SweepEffort::quick(),
+            "--paper" => effort = SweepEffort::paper(),
+            "--repeats" => {
+                i += 1;
+                effort.repeats = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--repeats needs a number");
+            }
+            "--iters" => {
+                i += 1;
+                effort.max_iterations = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--iters needs a number");
+            }
+            other => panic!("unknown argument {other}; use --quick/--paper/--repeats N/--iters M"),
+        }
+        i += 1;
+    }
+    effort
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// A minimal fixed-width text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = line(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+        let lens: Vec<usize> = s.lines().map(str::len).collect();
+        assert_eq!(lens[0], lens[2], "rows align with header");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1479), "14.79%");
+    }
+}

@@ -1,0 +1,458 @@
+//! Iteration analysis and the merit function (Figs. 4.3.6 / 4.3.7 / 4.3.8).
+//!
+//! After every walk the algorithm evaluates each implementation option of
+//! each operation "according to which implementation option is chosen in
+//! its neighboring ones at previous iteration" (Ch. 3). Concretely:
+//!
+//! * **Hardware-Grouping** builds, per operation `x`, the virtual subgraph
+//!   `vS_x`: `x` together with its reachable neighbours that chose a
+//!   hardware option in this iteration, and evaluates each hardware option
+//!   `j` of `x` into `ET(vS_x,HW-j)` (critical-path delay) and
+//!   `Area_x,HW-j`;
+//! * the **merit function** then applies the four cases: critical-path
+//!   boost, size-1 penalty, constraint-violation penalties, and the
+//!   performance/area scoring with the `Max_AEC` slack window.
+
+use isex_aco::{ImplChoice, PheromoneStore};
+use isex_dfg::{analysis, convex, ports, NodeId, NodeSet, Reachability};
+use isex_isa::MachineConfig;
+use isex_sched::collapse::{collapse_groups, CollapsedGraph};
+use isex_sched::{timing, SchedDfg, SchedOp, UnitClass};
+
+use crate::ant::Walk;
+use crate::candidate::Constraints;
+use crate::exgraph::ExGraph;
+
+/// Scheduling-level view of one iteration: the walk's groups collapsed into
+/// single instructions, plus critical-path membership.
+pub(crate) struct IterationAnalysis {
+    /// The collapsed schedulable graph.
+    pub collapsed: SchedDfg,
+    /// Original-node → quotient-node mapping.
+    pub node_map: Vec<NodeId>,
+    /// Critical-path membership per *original* node.
+    pub critical: NodeSet,
+    /// Deadline used for slack computations (≥ dependence length).
+    pub deadline: u32,
+}
+
+/// Collapses the walk's ISE groups and identifies the critical path
+/// ("identify the critical path using instruction scheduling", §4.0).
+pub(crate) fn analyze(g: &ExGraph, walk: &Walk, _machine: &MachineConfig) -> IterationAnalysis {
+    let base: SchedDfg = g.map(|id, op| match walk.choice[id.index()] {
+        ImplChoice::Sw(j) => op.sched_op(j),
+        // Placeholder footprint; the node is inside a collapsed group.
+        ImplChoice::Hw(_) => op.sched_op(0),
+    });
+    let groups: Vec<(NodeSet, SchedOp)> = walk
+        .groups
+        .iter()
+        .map(|gr| {
+            (
+                gr.members.clone(),
+                SchedOp::new(gr.latency, gr.reads, gr.writes, UnitClass::Asfu),
+            )
+        })
+        .collect();
+    let CollapsedGraph { dfg, node_map, .. } = collapse_groups(&base, &groups);
+    let crit_q = timing::critical_nodes(&dfg);
+    let mut critical = NodeSet::new(g.len());
+    for n in g.node_ids() {
+        if crit_q.contains(node_map[n.index()]) {
+            critical.insert(n);
+        }
+    }
+    let deadline = walk.tet.max(timing::dep_length(&dfg));
+    IterationAnalysis {
+        collapsed: dfg,
+        node_map,
+        critical,
+        deadline,
+    }
+}
+
+/// Hardware-Grouping (Fig. 4.3.6): the virtual subgraph of `x` — `x` plus
+/// every node reachable from it through neighbours that chose a hardware
+/// option in this iteration.
+pub(crate) fn virtual_subgraph(g: &ExGraph, walk: &Walk, x: NodeId) -> NodeSet {
+    let mut vs = NodeSet::new(g.len());
+    vs.insert(x);
+    let mut stack = vec![x];
+    while let Some(u) = stack.pop() {
+        for v in g.preds(u).chain(g.succs(u)) {
+            if !vs.contains(v) && walk.choice[v.index()].is_hardware() {
+                vs.insert(v);
+                stack.push(v);
+            }
+        }
+    }
+    vs
+}
+
+/// Evaluation of one hardware option of one operation inside its virtual
+/// subgraph.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct VsEval {
+    /// `ET(vS_x,HW-j)` in cycles.
+    pub et_cycles: u32,
+    /// Total silicon area of the virtual subgraph, µm².
+    pub area: f64,
+}
+
+/// Evaluates option `j` of `x` within `vs` (members use their own chosen
+/// hardware option, `x` uses option `j`).
+pub(crate) fn evaluate_option(
+    g: &ExGraph,
+    walk: &Walk,
+    vs: &NodeSet,
+    x: NodeId,
+    j: usize,
+    machine: &MachineConfig,
+) -> VsEval {
+    let delay = analysis::weighted_longest_path_within(g, vs, |y, op| {
+        if y == x {
+            op.hw[j].delay_ns
+        } else {
+            match walk.choice[y.index()] {
+                ImplChoice::Hw(h) => op.hw[h].delay_ns,
+                // x's own software choice never lands here (y != x), and
+                // vs members besides x always chose hardware.
+                ImplChoice::Sw(_) => op.hw[0].delay_ns,
+            }
+        }
+    });
+    let area: f64 = vs
+        .iter()
+        .map(|y| {
+            let op = g.node(y).payload();
+            if y == x {
+                op.hw[j].area_um2
+            } else {
+                match walk.choice[y.index()] {
+                    ImplChoice::Hw(h) => op.hw[h].area_um2,
+                    ImplChoice::Sw(_) => op.hw[0].area_um2,
+                }
+            }
+        })
+        .sum();
+    VsEval {
+        et_cycles: machine.cycles_for_delay_ns(delay),
+        area,
+    }
+}
+
+/// Software execution cycles of `vs` on the core: its latency-weighted
+/// dependence chain (the multi-issue lower bound the ISE must beat).
+pub(crate) fn software_cycles(g: &ExGraph, vs: &NodeSet) -> u32 {
+    analysis::weighted_longest_path_within(g, vs, |_, op| op.sw_delays[0] as f64).round() as u32
+}
+
+/// Applies the full merit computation of one iteration (step 8 of
+/// Fig. 4.3.1) and normalises merits.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn update_merits(
+    store: &mut PheromoneStore,
+    g: &ExGraph,
+    walk: &Walk,
+    analysis_: &IterationAnalysis,
+    constraints: &Constraints,
+    machine: &MachineConfig,
+    params: &isex_aco::AcoParams,
+    reach: &Reachability,
+) {
+    for x in g.node_ids() {
+        let op = g.node(x).payload();
+        // Software merit: merit ×= ET(x, SW-i) (Eq. 3 of §4.3's merit part).
+        for (i, d) in op.sw_delays.iter().enumerate() {
+            store.scale_merit(x.index(), ImplChoice::Sw(i), *d as f64);
+        }
+        if op.hw.is_empty() {
+            continue;
+        }
+
+        // Case 1: critical-path boost.
+        if analysis_.critical.contains(x) {
+            for j in 0..op.hw.len() {
+                store.scale_merit(x.index(), ImplChoice::Hw(j), 1.0 / params.beta_cp);
+            }
+        }
+
+        let vs = virtual_subgraph(g, walk, x);
+
+        // Case 2: nothing to fuse with.
+        if vs.len() == 1 {
+            for j in 0..op.hw.len() {
+                store.scale_merit(x.index(), ImplChoice::Hw(j), params.beta_size);
+            }
+            continue;
+        }
+
+        // Case 3: constraint violations. The β penalties discourage
+        // growing the blob further, but the operation may still anchor a
+        // smaller legal ISE, so case 4 is evaluated on the maximal legal
+        // sub-blob around `x` — otherwise on dense blocks every hardware
+        // merit collapses and the search starves (the paper's penalties
+        // assume the violating state is transient).
+        let demand = ports::demand(g, &vs);
+        let io_ok = demand.fits(constraints.n_in, constraints.n_out);
+        let convex_ok = convex::is_convex(&vs, reach);
+        let vs = if !io_ok || !convex_ok {
+            for j in 0..op.hw.len() {
+                if !io_ok {
+                    store.scale_merit(x.index(), ImplChoice::Hw(j), params.beta_io);
+                }
+                if !convex_ok {
+                    store.scale_merit(x.index(), ImplChoice::Hw(j), params.beta_convex);
+                }
+            }
+            let legal = crate::explore::grow_legal_from(g, x, &vs, constraints, reach);
+            if legal.len() < 2 {
+                continue;
+            }
+            legal
+        } else {
+            vs
+        };
+
+        // Case 4: performance and area scoring.
+        let evals: Vec<VsEval> = (0..op.hw.len())
+            .map(|j| evaluate_option(g, walk, &vs, x, j, machine))
+            .collect();
+        let et_max_reduction = evals.iter().map(|e| e.et_cycles).min().unwrap_or(1);
+        let area_max = evals.iter().map(|e| e.area).fold(0.0f64, f64::max).max(1.0);
+        let sw_cycles = software_cycles(g, &vs);
+        let vs_critical = vs.iter().any(|y| analysis_.critical.contains(y));
+        let max_aec = {
+            let mut q = NodeSet::new(analysis_.collapsed.len());
+            for y in &vs {
+                q.insert(analysis_.node_map[y.index()]);
+            }
+            timing::max_aec(&analysis_.collapsed, &q, analysis_.deadline)
+        };
+        for (j, ev) in evals.iter().enumerate() {
+            let saving = sw_cycles as i64 - ev.et_cycles as i64;
+            // Criterion (1): positive savings scale merit up proportionally;
+            // a useless option decays instead.
+            let perf = if saving > 0 { saving as f64 } else { 0.5 };
+            store.scale_merit(x.index(), ImplChoice::Hw(j), perf);
+            // Criteria (2)–(4): area-aware adjustment.
+            let factor = if vs_critical {
+                if ev.et_cycles == et_max_reduction {
+                    area_max / ev.area.max(1.0)
+                } else {
+                    1.0 / (1.0 + (ev.et_cycles - et_max_reduction) as f64)
+                }
+            } else if ev.et_cycles <= max_aec {
+                area_max / ev.area.max(1.0)
+            } else {
+                1.0 / (1.0 + (ev.et_cycles - max_aec) as f64)
+            };
+            store.scale_merit(x.index(), ImplChoice::Hw(j), factor);
+        }
+    }
+    store.normalize_merits();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ant::Ant;
+    use crate::exgraph;
+    use isex_aco::AcoParams;
+    use isex_dfg::Operand;
+    use isex_isa::{Opcode, Operation, ProgramDfg};
+    use rand::SeedableRng;
+
+    /// add -> sll -> xor chain plus one independent slack op.
+    fn graph() -> ExGraph {
+        let mut dfg = ProgramDfg::new();
+        let x = dfg.live_in();
+        let a = dfg.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(x), Operand::Const(1)],
+        );
+        let b = dfg.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(a), Operand::Const(2)],
+        );
+        let c = dfg.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(b), Operand::LiveIn(x)],
+        );
+        let d = dfg.add_node(
+            Operation::new(Opcode::And),
+            vec![Operand::LiveIn(x), Operand::Const(3)],
+        );
+        dfg.set_live_out(c, true);
+        dfg.set_live_out(d, true);
+        exgraph::build(&dfg)
+    }
+
+    fn software_walk(g: &ExGraph) -> Walk {
+        let m = MachineConfig::preset_2issue_4r2w();
+        let cons = Constraints::from_machine(&m);
+        let ant = Ant::new(g, &m, &cons, 0.5);
+        let shape: Vec<(usize, usize)> = g
+            .iter()
+            .map(|(_, n)| (n.payload().sw_delays.len(), n.payload().hw.len()))
+            .collect();
+        let mut store = PheromoneStore::new(&shape, &AcoParams::default());
+        for n in 0..g.len() {
+            store.set_merit(n, ImplChoice::Sw(0), 1e9);
+            for j in 0..g.node(NodeId::new(n as u32)).payload().hw.len() {
+                store.set_merit(n, ImplChoice::Hw(j), 1e-9);
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        ant.run(&store, &mut rng)
+    }
+
+    #[test]
+    fn analyze_marks_the_chain_critical() {
+        let g = graph();
+        let m = MachineConfig::preset_2issue_4r2w();
+        let w = software_walk(&g);
+        let a = analyze(&g, &w, &m);
+        // Chain a(0), b(1), c(2) critical; d(3) has slack.
+        assert!(a.critical.contains(NodeId::new(0)));
+        assert!(a.critical.contains(NodeId::new(1)));
+        assert!(a.critical.contains(NodeId::new(2)));
+        assert!(!a.critical.contains(NodeId::new(3)));
+        assert_eq!(a.deadline, 3);
+    }
+
+    #[test]
+    fn virtual_subgraph_follows_hardware_choices() {
+        let g = graph();
+        let mut w = software_walk(&g);
+        // Pretend b and c chose hardware.
+        w.choice[1] = ImplChoice::Hw(0);
+        w.choice[2] = ImplChoice::Hw(0);
+        let vs = virtual_subgraph(&g, &w, NodeId::new(0));
+        assert_eq!(vs.len(), 3, "a + hardware-chosen b, c");
+        let vs_d = virtual_subgraph(&g, &w, NodeId::new(3));
+        assert_eq!(vs_d.len(), 1, "d has no hardware neighbours");
+    }
+
+    #[test]
+    fn evaluate_option_sums_area_and_chains_delay() {
+        let g = graph();
+        let mut w = software_walk(&g);
+        w.choice[0] = ImplChoice::Hw(0); // add slow option: 4.04 ns, 926.33
+        w.choice[1] = ImplChoice::Hw(0); // sll: 3.0 ns, 400
+        let vs = virtual_subgraph(&g, &w, NodeId::new(0));
+        let m = MachineConfig::preset_2issue_4r2w();
+        let ev = evaluate_option(&g, &w, &vs, NodeId::new(0), 0, &m);
+        assert_eq!(ev.et_cycles, 1, "7.04 ns fits one 10 ns cycle");
+        assert!((ev.area - (926.33 + 400.0)).abs() < 1e-9);
+        // Fast add option: 2.12 ns / 2075.35 µm².
+        let ev1 = evaluate_option(&g, &w, &vs, NodeId::new(0), 1, &m);
+        assert!(ev1.area > ev.area);
+        assert_eq!(ev1.et_cycles, 1);
+    }
+
+    #[test]
+    fn software_cycles_is_chain_length() {
+        let g = graph();
+        let mut vs = NodeSet::new(g.len());
+        vs.insert(NodeId::new(0));
+        vs.insert(NodeId::new(1));
+        vs.insert(NodeId::new(2));
+        assert_eq!(software_cycles(&g, &vs), 3);
+        vs.remove(NodeId::new(1));
+        assert_eq!(
+            software_cycles(&g, &vs),
+            1,
+            "a and c disconnected inside the set"
+        );
+    }
+
+    #[test]
+    fn merit_update_prefers_hardware_on_critical_chain() {
+        let g = graph();
+        let m = MachineConfig::preset_2issue_4r2w();
+        let cons = Constraints::from_machine(&m);
+        let params = AcoParams::default();
+        let reach = Reachability::compute(&g);
+        let shape: Vec<(usize, usize)> = g
+            .iter()
+            .map(|(_, n)| (n.payload().sw_delays.len(), n.payload().hw.len()))
+            .collect();
+        let mut store = PheromoneStore::new(&shape, &params);
+        // Iteration in which the chain chose hardware.
+        let mut w = software_walk(&g);
+        w.choice[0] = ImplChoice::Hw(0);
+        w.choice[1] = ImplChoice::Hw(0);
+        w.choice[2] = ImplChoice::Hw(0);
+        let a = analyze(&g, &w, &m);
+        update_merits(&mut store, &g, &w, &a, &cons, &m, &params, &reach);
+        // After the update the chain's hardware options outweigh software.
+        for n in [0usize, 1, 2] {
+            let hw = store.merit(n, ImplChoice::Hw(0));
+            let sw = store.merit(n, ImplChoice::Sw(0));
+            assert!(hw > sw, "node {n}: hw merit {hw} should beat sw {sw}");
+        }
+        // The slack op d got its hardware merit *reduced* (size-1 penalty).
+        let hw_d = store.merit(3, ImplChoice::Hw(0));
+        let sw_d = store.merit(3, ImplChoice::Sw(0));
+        assert!(hw_d < sw_d * 2.0 + 1.0, "d is not pushed towards hardware");
+    }
+
+    #[test]
+    fn merit_update_penalises_port_violation() {
+        // A 3-input cone with n_in = 2 must be discouraged.
+        let mut dfg = ProgramDfg::new();
+        let li: Vec<_> = (0..3).map(|_| dfg.live_in()).collect();
+        let a = dfg.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(li[0]), Operand::LiveIn(li[1])],
+        );
+        let b = dfg.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(a), Operand::LiveIn(li[2])],
+        );
+        dfg.set_live_out(b, true);
+        let g = exgraph::build(&dfg);
+        let m = MachineConfig::preset_2issue_4r2w();
+        let cons = Constraints::new(2, 2);
+        let params = AcoParams::default();
+        let reach = Reachability::compute(&g);
+        let shape: Vec<(usize, usize)> = g
+            .iter()
+            .map(|(_, n)| (n.payload().sw_delays.len(), n.payload().hw.len()))
+            .collect();
+        let mut store = PheromoneStore::new(&shape, &params);
+        let mut w = software_walk_for(&g, &m, &cons);
+        w.choice[0] = ImplChoice::Hw(0);
+        w.choice[1] = ImplChoice::Hw(0);
+        let a = analyze(&g, &w, &m);
+        // The β_IO penalty compounds across iterations; after a handful of
+        // violating iterations the hardware option must fall below software.
+        for _ in 0..10 {
+            update_merits(&mut store, &g, &w, &a, &cons, &m, &params, &reach);
+        }
+        let hw = store.merit(0, ImplChoice::Hw(0));
+        let sw = store.merit(0, ImplChoice::Sw(0));
+        assert!(
+            hw < sw,
+            "violating subgraph must not attract hardware choices"
+        );
+    }
+
+    fn software_walk_for(g: &ExGraph, m: &MachineConfig, cons: &Constraints) -> Walk {
+        let ant = Ant::new(g, m, cons, 0.5);
+        let shape: Vec<(usize, usize)> = g
+            .iter()
+            .map(|(_, n)| (n.payload().sw_delays.len(), n.payload().hw.len()))
+            .collect();
+        let mut store = PheromoneStore::new(&shape, &AcoParams::default());
+        for n in 0..g.len() {
+            store.set_merit(n, ImplChoice::Sw(0), 1e9);
+            for j in 0..g.node(NodeId::new(n as u32)).payload().hw.len() {
+                store.set_merit(n, ImplChoice::Hw(j), 1e-9);
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        ant.run(&store, &mut rng)
+    }
+}

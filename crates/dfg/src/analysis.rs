@@ -1,0 +1,366 @@
+//! Reachability and connectivity analyses over a [`Dfg`].
+//!
+//! The exploration algorithm needs three structural queries again and again:
+//!
+//! * *descendants / ancestors* of a node — Hardware-Grouping walks the
+//!   "reachable nodes" of an operation (thesis §4.3), and the convexity test
+//!   of §4.2 is a reachability condition;
+//! * *connected components inside a node set* — an ISE is "a set of
+//!   connected/reachable operations that all use hardware implementation
+//!   option" (§4.0), so after convergence the taken-hardware nodes split
+//!   into weakly-connected components;
+//! * *longest paths* — the unit-latency critical path of a DFG bounds the
+//!   schedule length of any machine.
+//!
+//! All of these are precomputed or answered from dense [`NodeSet`] rows,
+//! which keeps the per-iteration cost of the explorer at the `O(k²)` the
+//! paper reports (§4.4).
+
+use crate::bitset::NodeSet;
+use crate::graph::{Dfg, NodeId};
+
+/// Precomputed transitive reachability of a [`Dfg`].
+///
+/// For every node the full descendant and ancestor sets are stored as
+/// bitsets, so `reaches` and convexity queries are O(k/64) words.
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::{Dfg, Operand, Reachability};
+///
+/// let mut g: Dfg<()> = Dfg::new();
+/// let a = g.add_node((), vec![]);
+/// let b = g.add_node((), vec![Operand::Node(a)]);
+/// let c = g.add_node((), vec![Operand::Node(b)]);
+/// let r = Reachability::compute(&g);
+/// assert!(r.reaches(a, c));
+/// assert!(!r.reaches(c, a));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    descendants: Vec<NodeSet>,
+    ancestors: Vec<NodeSet>,
+    universe: usize,
+}
+
+impl Reachability {
+    /// Computes reachability for `dfg` in `O(k² / 64)` words of work.
+    pub fn compute<N>(dfg: &Dfg<N>) -> Self {
+        let k = dfg.len();
+        let mut descendants = vec![NodeSet::new(k); k];
+        // Insertion order is topological; walk in reverse so successors are
+        // already complete.
+        for u in (0..k).rev() {
+            let uid = NodeId::new(u as u32);
+            let mut row = NodeSet::new(k);
+            for s in dfg.succs(uid) {
+                row.insert(s);
+                row.union_with(&descendants[s.index()]);
+            }
+            descendants[u] = row;
+        }
+        let mut ancestors = vec![NodeSet::new(k); k];
+        for u in 0..k {
+            let uid = NodeId::new(u as u32);
+            let mut row = NodeSet::new(k);
+            for p in dfg.preds(uid) {
+                row.insert(p);
+                row.union_with(&ancestors[p.index()]);
+            }
+            ancestors[u] = row;
+        }
+        Reachability {
+            descendants,
+            ancestors,
+            universe: k,
+        }
+    }
+
+    /// Number of nodes of the graph this analysis was computed for.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// All strict descendants of `id` (nodes reachable from `id`).
+    pub fn descendants(&self, id: NodeId) -> &NodeSet {
+        &self.descendants[id.index()]
+    }
+
+    /// All strict ancestors of `id` (nodes that reach `id`).
+    pub fn ancestors(&self, id: NodeId) -> &NodeSet {
+        &self.ancestors[id.index()]
+    }
+
+    /// Returns `true` if there is a (possibly multi-edge) path `from → to`.
+    /// A node does not reach itself.
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.descendants[from.index()].contains(to)
+    }
+
+    /// Union of the strict descendants of every node in `set`.
+    pub fn descendants_of_set(&self, set: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::new(self.universe);
+        for n in set {
+            out.union_with(&self.descendants[n.index()]);
+        }
+        out
+    }
+
+    /// Union of the strict ancestors of every node in `set`.
+    pub fn ancestors_of_set(&self, set: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::new(self.universe);
+        for n in set {
+            out.union_with(&self.ancestors[n.index()]);
+        }
+        out
+    }
+}
+
+/// Splits `set` into weakly-connected components (edges taken as
+/// undirected, restricted to nodes inside `set`).
+///
+/// This is how raw "taken hardware" node sets become individual ISE
+/// candidates (§4.0: an ISE is a set of *connected* operations using the
+/// hardware implementation option).
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::{analysis, Dfg, NodeSet, Operand};
+///
+/// let mut g: Dfg<()> = Dfg::new();
+/// let a = g.add_node((), vec![]);
+/// let b = g.add_node((), vec![Operand::Node(a)]);
+/// let c = g.add_node((), vec![]); // isolated from a,b
+/// let mut s = NodeSet::new(g.len());
+/// s.insert(a);
+/// s.insert(b);
+/// s.insert(c);
+/// let comps = analysis::components_within(&g, &s);
+/// assert_eq!(comps.len(), 2);
+/// ```
+pub fn components_within<N>(dfg: &Dfg<N>, set: &NodeSet) -> Vec<NodeSet> {
+    let mut seen = NodeSet::new(set.universe());
+    let mut comps = Vec::new();
+    for start in set {
+        if seen.contains(start) {
+            continue;
+        }
+        let mut comp = NodeSet::new(set.universe());
+        let mut stack = vec![start];
+        comp.insert(start);
+        seen.insert(start);
+        while let Some(u) = stack.pop() {
+            for v in dfg.preds(u).chain(dfg.succs(u)) {
+                if set.contains(v) && !seen.contains(v) {
+                    seen.insert(v);
+                    comp.insert(v);
+                    stack.push(v);
+                }
+            }
+        }
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Longest path length (in edges) ending at each node, assuming unit node
+/// latency. `depth[n] + 1` is the earliest cycle (1-based) node `n` can
+/// execute on an infinitely wide machine.
+pub fn depths<N>(dfg: &Dfg<N>) -> Vec<usize> {
+    let mut depth = vec![0usize; dfg.len()];
+    for (id, _) in dfg.iter() {
+        let d = dfg
+            .preds(id)
+            .map(|p| depth[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        depth[id.index()] = d;
+    }
+    depth
+}
+
+/// Longest path length (in edges) from each node to any sink, assuming unit
+/// node latency (the node's *height*).
+pub fn heights<N>(dfg: &Dfg<N>) -> Vec<usize> {
+    let mut height = vec![0usize; dfg.len()];
+    for u in (0..dfg.len()).rev() {
+        let uid = NodeId::new(u as u32);
+        let h = dfg
+            .succs(uid)
+            .map(|s| height[s.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        height[u] = h;
+    }
+    height
+}
+
+/// Longest weighted path confined to `set`, where each node contributes
+/// `weight(n)` and edges are free. Returns `0.0` for an empty set.
+///
+/// This is how the combinational delay of an ISE candidate is computed: the
+/// execution time of a virtual subgraph "is the critical path time in
+/// `vS_x`" (§4.3, Hardware-Grouping), with `weight` returning the chosen
+/// hardware option's delay in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::{analysis, Dfg, NodeSet, Operand};
+///
+/// let mut g: Dfg<f64> = Dfg::new();
+/// let a = g.add_node(2.0, vec![]);
+/// let b = g.add_node(3.0, vec![Operand::Node(a)]);
+/// let c = g.add_node(1.0, vec![Operand::Node(a)]);
+/// let mut s = NodeSet::full(3);
+/// let d = analysis::weighted_longest_path_within(&g, &s, |_, w| *w);
+/// assert_eq!(d, 5.0); // a -> b
+/// s.remove(b);
+/// assert_eq!(analysis::weighted_longest_path_within(&g, &s, |_, w| *w), 3.0); // a -> c
+/// ```
+pub fn weighted_longest_path_within<N>(
+    dfg: &Dfg<N>,
+    set: &NodeSet,
+    mut weight: impl FnMut(NodeId, &N) -> f64,
+) -> f64 {
+    let mut finish = vec![0.0f64; dfg.len()];
+    let mut best = 0.0f64;
+    for (id, node) in dfg.iter() {
+        if !set.contains(id) {
+            continue;
+        }
+        let start = dfg
+            .preds(id)
+            .filter(|p| set.contains(*p))
+            .map(|p| finish[p.index()])
+            .fold(0.0f64, f64::max);
+        let f = start + weight(id, node.payload());
+        finish[id.index()] = f;
+        best = best.max(f);
+    }
+    best
+}
+
+/// The unit-latency critical-path length of the whole DFG in *cycles*
+/// (nodes on the longest dependence chain). This is the execution-time
+/// lower bound for any issue width (§1.3: "even if the issue width and
+/// hardware resources are infinite, this DFG still spends at least four
+/// cycles").
+pub fn critical_path_len<N>(dfg: &Dfg<N>) -> usize {
+    depths(dfg).iter().map(|d| d + 1).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Operand;
+
+    /// The 9-operation example DFG of thesis Fig. 4.0.1.
+    fn fig_4_0_1() -> (Dfg<u32>, Vec<NodeId>) {
+        let mut g: Dfg<u32> = Dfg::new();
+        let li: Vec<_> = (0..4).map(|_| g.live_in()).collect();
+        // Paper numbering 1..=9; ours 0..=8.
+        let n1 = g.add_node(1, vec![Operand::LiveIn(li[0])]);
+        let n2 = g.add_node(2, vec![Operand::LiveIn(li[1])]);
+        let n3 = g.add_node(3, vec![Operand::LiveIn(li[2])]);
+        let n4 = g.add_node(4, vec![Operand::Node(n1)]);
+        let n5 = g.add_node(5, vec![Operand::Node(n2), Operand::Node(n3)]);
+        let n6 = g.add_node(6, vec![Operand::Node(n4)]);
+        let n7 = g.add_node(7, vec![Operand::Node(n4)]);
+        let n8 = g.add_node(8, vec![Operand::Node(n6), Operand::Node(n7)]);
+        let n9 = g.add_node(9, vec![Operand::Node(n5), Operand::LiveIn(li[3])]);
+        g.set_live_out(n8, true);
+        g.set_live_out(n9, true);
+        (g, vec![n1, n2, n3, n4, n5, n6, n7, n8, n9])
+    }
+
+    #[test]
+    fn reachability_on_paper_example() {
+        let (g, n) = fig_4_0_1();
+        let r = Reachability::compute(&g);
+        // 1 -> 4 -> {6,7} -> 8
+        assert!(r.reaches(n[0], n[7]));
+        assert!(r.reaches(n[3], n[5]));
+        assert!(!r.reaches(n[7], n[0]));
+        // 2 and 3 only reach 5 and 9
+        assert_eq!(
+            r.descendants(n[1]).iter().collect::<Vec<_>>(),
+            vec![n[4], n[8]]
+        );
+        // ancestors of 8 are {1,4,6,7}
+        assert_eq!(
+            r.ancestors(n[7]).iter().collect::<Vec<_>>(),
+            vec![n[0], n[3], n[5], n[6]]
+        );
+    }
+
+    #[test]
+    fn reachability_matches_naive_dfs() {
+        let (g, _) = fig_4_0_1();
+        let r = Reachability::compute(&g);
+        for u in g.node_ids() {
+            // naive DFS
+            let mut seen = NodeSet::new(g.len());
+            let mut stack: Vec<NodeId> = g.succs(u).collect();
+            while let Some(x) = stack.pop() {
+                if seen.insert(x) {
+                    stack.extend(g.succs(x));
+                }
+            }
+            assert_eq!(&seen, r.descendants(u), "descendants({u:?})");
+        }
+    }
+
+    #[test]
+    fn set_reachability_unions() {
+        let (g, n) = fig_4_0_1();
+        let r = Reachability::compute(&g);
+        let mut s = NodeSet::new(g.len());
+        s.insert(n[5]);
+        s.insert(n[6]); // nodes 6 and 7
+        let d = r.descendants_of_set(&s);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![n[7]]);
+        let a = r.ancestors_of_set(&s);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![n[0], n[3]]);
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let (g, n) = fig_4_0_1();
+        // Paper ops {2,3,5} form one component (2→5, 3→5); {6,7,8} another.
+        let mut s = NodeSet::new(g.len());
+        for i in [5, 6, 7, 2, 4, 1] {
+            s.insert(n[i]);
+        }
+        let mut comps = components_within(&g, &s);
+        comps.sort_by_key(|c| c.first().map(|x| x.index()).unwrap_or(usize::MAX));
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].iter().collect::<Vec<_>>(), vec![n[1], n[2], n[4]]);
+        assert_eq!(comps[1].iter().collect::<Vec<_>>(), vec![n[5], n[6], n[7]]);
+    }
+
+    #[test]
+    fn depth_height_critical_path() {
+        let (g, n) = fig_4_0_1();
+        let d = depths(&g);
+        let h = heights(&g);
+        assert_eq!(d[n[0].index()], 0);
+        assert_eq!(d[n[7].index()], 3);
+        assert_eq!(h[n[0].index()], 3);
+        assert_eq!(h[n[7].index()], 0);
+        // Paper §1.3: the example DFG needs at least four cycles.
+        assert_eq!(critical_path_len(&g), 4);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g: Dfg<()> = Dfg::new();
+        assert_eq!(critical_path_len(&g), 0);
+        assert!(depths(&g).is_empty());
+        let r = Reachability::compute(&g);
+        assert_eq!(r.universe(), 0);
+        assert!(components_within(&g, &NodeSet::new(0)).is_empty());
+    }
+}

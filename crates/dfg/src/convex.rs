@@ -1,0 +1,210 @@
+//! Convexity checking and repair for ISE candidate subgraphs.
+//!
+//! A candidate `S` must be *convex*: no path may leave `S` and re-enter it
+//! (§4.2: "if no path exists from an operation `u ∈ S` to another operation
+//! `v ∈ S` involving an operation `w ∉ S`, then `S` is convex"). Convexity
+//! is what makes the ISE schedulable as a single atomic instruction.
+//!
+//! [`is_convex`] answers the question with two bitset unions; [`make_convex`]
+//! implements the paper's *Make-Convex* step, which "repeatedly divides the
+//! ISE candidate that does not conform to the convex constraint into smaller
+//! ones until all smaller ISE candidates comply" (§4.3).
+
+use crate::analysis::{components_within, Reachability};
+use crate::bitset::NodeSet;
+use crate::graph::Dfg;
+
+/// Returns `true` if `set` is convex in the graph `reach` was computed for.
+///
+/// `S` is non-convex iff some node `w ∉ S` is simultaneously a descendant of
+/// a node of `S` and an ancestor of a node of `S` — exactly the nodes on a
+/// leave-and-re-enter path.
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::{convex, Dfg, NodeSet, Operand, Reachability};
+///
+/// // chain a -> b -> c: {a, c} is not convex, {a, b} is.
+/// let mut g: Dfg<()> = Dfg::new();
+/// let a = g.add_node((), vec![]);
+/// let b = g.add_node((), vec![Operand::Node(a)]);
+/// let c = g.add_node((), vec![Operand::Node(b)]);
+/// let r = Reachability::compute(&g);
+/// let mut s = NodeSet::new(3);
+/// s.insert(a);
+/// s.insert(c);
+/// assert!(!convex::is_convex(&s, &r));
+/// s.remove(c);
+/// s.insert(b);
+/// assert!(convex::is_convex(&s, &r));
+/// ```
+pub fn is_convex(set: &NodeSet, reach: &Reachability) -> bool {
+    violating_nodes(set, reach).is_empty()
+}
+
+/// The set of nodes `w ∉ S` that witness non-convexity (descendant of some
+/// node of `S` and ancestor of some node of `S`). Empty iff `S` is convex.
+pub fn violating_nodes(set: &NodeSet, reach: &Reachability) -> NodeSet {
+    let mut mid = reach.descendants_of_set(set);
+    mid.intersect_with(&reach.ancestors_of_set(set));
+    mid.difference_with(set);
+    mid
+}
+
+/// Splits `set` into convex, weakly-connected pieces (the paper's
+/// *Make-Convex*).
+///
+/// If `set` is already convex it is returned (split only into its connected
+/// components). Otherwise the set is cut around a violating external node
+/// `w`: the members that are ancestors of `w` are separated from the rest,
+/// and both halves are processed recursively. The result is a partition of
+/// `set` into convex connected subgraphs; no node is dropped.
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::{convex, Dfg, NodeSet, Operand, Reachability};
+///
+/// let mut g: Dfg<()> = Dfg::new();
+/// let a = g.add_node((), vec![]);
+/// let b = g.add_node((), vec![Operand::Node(a)]);
+/// let c = g.add_node((), vec![Operand::Node(b)]);
+/// let r = Reachability::compute(&g);
+/// let mut s = NodeSet::new(3);
+/// s.insert(a);
+/// s.insert(c); // non-convex: path a -> b -> c with b outside
+/// let parts = convex::make_convex(&g, &s, &r);
+/// assert_eq!(parts.len(), 2);
+/// assert!(parts.iter().all(|p| convex::is_convex(p, &r)));
+/// ```
+pub fn make_convex<N>(dfg: &Dfg<N>, set: &NodeSet, reach: &Reachability) -> Vec<NodeSet> {
+    let mut out = Vec::new();
+    let mut work = vec![set.clone()];
+    while let Some(s) = work.pop() {
+        if s.is_empty() {
+            continue;
+        }
+        let viol = violating_nodes(&s, reach);
+        match viol.first() {
+            None => {
+                // Convex; still split into connected components so each
+                // piece is a well-formed single ISE candidate.
+                out.extend(components_within(dfg, &s));
+            }
+            Some(w) => {
+                // Cut the set at w: members above w go one way, the rest the
+                // other. Both halves are strictly smaller than s, so this
+                // terminates.
+                let above = s.intersection(reach.ancestors(w));
+                let below = s.difference(&above);
+                debug_assert!(!above.is_empty() && !below.is_empty());
+                work.push(above);
+                work.push(below);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{NodeId, Operand};
+
+    fn chain(n: usize) -> Dfg<usize> {
+        let mut g = Dfg::new();
+        let mut prev = None;
+        for i in 0..n {
+            let ops = prev.map(|p| vec![Operand::Node(p)]).unwrap_or_default();
+            prev = Some(g.add_node(i, ops));
+        }
+        g
+    }
+
+    #[test]
+    fn full_set_is_convex() {
+        let g = chain(6);
+        let r = Reachability::compute(&g);
+        assert!(is_convex(&NodeSet::full(6), &r));
+    }
+
+    #[test]
+    fn gap_in_chain_is_nonconvex() {
+        let g = chain(5);
+        let r = Reachability::compute(&g);
+        let mut s = NodeSet::new(5);
+        s.insert(NodeId::new(0));
+        s.insert(NodeId::new(2));
+        s.insert(NodeId::new(4));
+        let viol = violating_nodes(&s, &r);
+        assert_eq!(viol.len(), 2, "nodes 1 and 3 witness the violation");
+        assert!(!is_convex(&s, &r));
+    }
+
+    #[test]
+    fn make_convex_partitions_without_loss() {
+        let g = chain(7);
+        let r = Reachability::compute(&g);
+        let mut s = NodeSet::new(7);
+        for i in [0u32, 2, 3, 6] {
+            s.insert(NodeId::new(i));
+        }
+        let parts = make_convex(&g, &s, &r);
+        // Every part convex, connected, non-empty.
+        let mut total = NodeSet::new(7);
+        for p in &parts {
+            assert!(is_convex(p, &r));
+            assert!(!p.is_empty());
+            assert!(!total.intersects(p), "parts are disjoint");
+            total.union_with(p);
+        }
+        assert_eq!(total, s, "no node dropped or invented");
+        assert_eq!(parts.len(), 3); // {0}, {2,3}, {6}
+    }
+
+    #[test]
+    fn diamond_with_one_arm_missing() {
+        // a -> b, a -> c, b -> d, c -> d; S = {a, b, d} is non-convex via c.
+        let mut g: Dfg<()> = Dfg::new();
+        let a = g.add_node((), vec![]);
+        let b = g.add_node((), vec![Operand::Node(a)]);
+        let c = g.add_node((), vec![Operand::Node(a)]);
+        let d = g.add_node((), vec![Operand::Node(b), Operand::Node(c)]);
+        let r = Reachability::compute(&g);
+        let mut s = NodeSet::new(4);
+        s.insert(a);
+        s.insert(b);
+        s.insert(d);
+        assert!(!is_convex(&s, &r));
+        assert_eq!(violating_nodes(&s, &r).iter().collect::<Vec<_>>(), vec![c]);
+        let parts = make_convex(&g, &s, &r);
+        assert!(parts.iter().all(|p| is_convex(p, &r)));
+        let total: usize = parts.iter().map(NodeSet::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn already_convex_set_splits_into_components_only() {
+        let mut g: Dfg<()> = Dfg::new();
+        let a = g.add_node((), vec![]);
+        let _b = g.add_node((), vec![Operand::Node(a)]);
+        let c = g.add_node((), vec![]);
+        let r = Reachability::compute(&g);
+        let mut s = NodeSet::new(3);
+        s.insert(a);
+        s.insert(c);
+        // {a, c} convex (no path between them) but disconnected.
+        assert!(is_convex(&s, &r));
+        let parts = make_convex(&g, &s, &r);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn empty_set_is_convex() {
+        let g = chain(3);
+        let r = Reachability::compute(&g);
+        assert!(is_convex(&NodeSet::new(3), &r));
+        assert!(make_convex(&g, &NodeSet::new(3), &r).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Graphviz export for DFGs and candidate subgraphs.
+//!
+//! Handy for debugging explorations: nodes inside a highlighted set are
+//! drawn filled, live-outs get a double border, and live-in / constant
+//! operands appear as small satellite nodes.
+
+use std::fmt::Write as _;
+
+use crate::bitset::NodeSet;
+use crate::graph::{Dfg, Operand};
+
+/// Renders `dfg` as a Graphviz `digraph`, labelling each node with
+/// `label(id, payload)`. Nodes contained in `highlight` (if given) are
+/// filled grey — use this to visualise an ISE candidate.
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::{dot, Dfg, Operand};
+///
+/// let mut g: Dfg<&str> = Dfg::new();
+/// let a = g.add_node("add", vec![]);
+/// let _b = g.add_node("sll", vec![Operand::Node(a)]);
+/// let text = dot::to_dot(&g, None, |_, p| p.to_string());
+/// assert!(text.contains("digraph"));
+/// assert!(text.contains("add"));
+/// ```
+pub fn to_dot<N>(
+    dfg: &Dfg<N>,
+    highlight: Option<&NodeSet>,
+    mut label: impl FnMut(crate::NodeId, &N) -> String,
+) -> String {
+    let mut out =
+        String::from("digraph dfg {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, node) in dfg.iter() {
+        let mut attrs = format!("label=\"{}: {}\"", id, escape(&label(id, node.payload())));
+        if highlight.is_some_and(|h| h.contains(id)) {
+            attrs.push_str(", style=filled, fillcolor=lightgrey");
+        }
+        if node.is_live_out() {
+            attrs.push_str(", peripheries=2");
+        }
+        let _ = writeln!(out, "  n{} [{}];", id, attrs);
+    }
+    let mut ext = 0usize;
+    for (id, node) in dfg.iter() {
+        for op in node.operands() {
+            match *op {
+                Operand::Node(p) => {
+                    let _ = writeln!(out, "  n{} -> n{};", p, id);
+                }
+                Operand::LiveIn(v) => {
+                    let _ = writeln!(
+                        out,
+                        "  ext{ext} [label=\"v{}\", shape=ellipse, fontsize=9];\n  ext{ext} -> n{};",
+                        v.index(),
+                        id
+                    );
+                    ext += 1;
+                }
+                Operand::Const(c) => {
+                    let _ = writeln!(
+                        out,
+                        "  ext{ext} [label=\"#{c}\", shape=plaintext, fontsize=9];\n  ext{ext} -> n{};",
+                        id
+                    );
+                    ext += 1;
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn renders_all_nodes_edges_and_externals() {
+        let mut g: Dfg<&str> = Dfg::new();
+        let x = g.live_in();
+        let a = g.add_node("add", vec![Operand::LiveIn(x), Operand::Const(7)]);
+        let b = g.add_node("xor", vec![Operand::Node(a)]);
+        g.set_live_out(b, true);
+        let mut hl = NodeSet::new(2);
+        hl.insert(b);
+        let text = to_dot(&g, Some(&hl), |_, p| p.to_string());
+        assert!(text.contains("n0 -> n1"));
+        assert!(text.contains("v0"));
+        assert!(text.contains("#7"));
+        assert!(text.contains("fillcolor=lightgrey"));
+        assert!(text.contains("peripheries=2"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g: Dfg<&str> = Dfg::new();
+        g.add_node("say \"hi\"", vec![]);
+        let text = to_dot(&g, None, |_, p| p.to_string());
+        assert!(text.contains("say \\\"hi\\\""));
+        let _ = NodeId::new(0);
+    }
+}

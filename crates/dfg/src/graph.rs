@@ -1,0 +1,385 @@
+//! The DFG container: nodes, operands and adjacency.
+//!
+//! A [`Dfg`] models the data-flow graph of one basic block. Nodes are added
+//! in a topological order by construction — an operand may only reference a
+//! node that already exists — so the graph is acyclic by construction and
+//! `0..len` is always a valid topological order.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an operation (node) inside one [`Dfg`].
+///
+/// Node ids are dense (`0..dfg.len()`) and assigned in insertion order,
+/// which is also a topological order of the graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a live-in value (a register or memory value produced
+/// outside the basic block).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// Creates a value id from a raw index.
+    pub fn new(index: u32) -> Self {
+        ValueId(index)
+    }
+
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for ValueId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One input of an operation.
+///
+/// Register read ports are consumed by [`Operand::Node`] values produced
+/// outside a candidate subgraph and by [`Operand::LiveIn`] values;
+/// [`Operand::Const`] models an immediate, which is encoded in the
+/// instruction word (or hard-wired inside the ASFU) and costs no port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Operand {
+    /// The value produced by another node of the same DFG.
+    Node(NodeId),
+    /// A value live on entry to the basic block.
+    LiveIn(ValueId),
+    /// An immediate constant.
+    Const(i64),
+}
+
+/// A node of a [`Dfg`]: one assembly operation plus its payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DfgNode<N> {
+    payload: N,
+    operands: Vec<Operand>,
+    live_out: bool,
+}
+
+impl<N> DfgNode<N> {
+    /// The user payload (e.g. the opcode and implementation-option table).
+    pub fn payload(&self) -> &N {
+        &self.payload
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut N {
+        &mut self.payload
+    }
+
+    /// The operands (inputs) of the operation, in argument order.
+    pub fn operands(&self) -> &[Operand] {
+        &self.operands
+    }
+
+    /// Whether the value produced by this node is live on exit from the
+    /// basic block.
+    pub fn is_live_out(&self) -> bool {
+        self.live_out
+    }
+}
+
+/// The data-flow graph of one basic block.
+///
+/// `Dfg` is generic over its node payload `N`; the ISA crate instantiates it
+/// with an operation descriptor carrying the opcode and implementation
+/// option table. Structure-only analyses (reachability, convexity, ports)
+/// work for any payload.
+///
+/// The graph is acyclic by construction: [`Dfg::add_node`] only accepts
+/// operands that refer to already-inserted nodes, so node insertion order is
+/// a topological order.
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::{Dfg, Operand};
+///
+/// let mut dfg: Dfg<u32> = Dfg::new();
+/// let a = dfg.add_node(0, vec![]);
+/// let b = dfg.add_node(1, vec![Operand::Node(a)]);
+/// assert_eq!(dfg.succs(a).collect::<Vec<_>>(), vec![b]);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dfg<N> {
+    nodes: Vec<DfgNode<N>>,
+    /// Successor adjacency: `succs[u]` lists each `v` with an edge `u -> v`,
+    /// once per consuming operand.
+    succs: Vec<Vec<NodeId>>,
+    live_ins: u32,
+}
+
+impl<N> Default for Dfg<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N> Dfg<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Dfg {
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            live_ins: 0,
+        }
+    }
+
+    /// Declares a fresh live-in value and returns its id.
+    pub fn live_in(&mut self) -> ValueId {
+        let id = ValueId::new(self.live_ins);
+        self.live_ins += 1;
+        id
+    }
+
+    /// Number of declared live-in values.
+    pub fn live_in_count(&self) -> usize {
+        self.live_ins as usize
+    }
+
+    /// Adds an operation with the given payload and operands and returns its
+    /// id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand references a node id that does not exist yet
+    /// (this is what keeps the graph acyclic) or a live-in value that was
+    /// never declared with [`Dfg::live_in`].
+    pub fn add_node(&mut self, payload: N, operands: Vec<Operand>) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        for op in &operands {
+            match *op {
+                Operand::Node(p) => {
+                    assert!(
+                        p.index() < self.nodes.len(),
+                        "operand {p:?} must reference an existing node"
+                    );
+                    self.succs[p.index()].push(id);
+                }
+                Operand::LiveIn(v) => {
+                    assert!(
+                        v.index() < self.live_ins as usize,
+                        "live-in {v:?} was never declared"
+                    );
+                }
+                Operand::Const(_) => {}
+            }
+        }
+        self.nodes.push(DfgNode {
+            payload,
+            operands,
+            live_out: false,
+        });
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Marks (or unmarks) the value of `id` as live on exit from the block.
+    pub fn set_live_out(&mut self, id: NodeId, live: bool) {
+        self.nodes[id.index()].live_out = live;
+    }
+
+    /// Number of operations in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the graph has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn node(&self, id: NodeId) -> &DfgNode<N> {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut DfgNode<N> {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over `(id, node)` pairs in topological (insertion) order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &DfgNode<N>)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i as u32), n))
+    }
+
+    /// Iterates over all node ids in topological (insertion) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + use<N> {
+        (0..self.nodes.len() as u32).map(NodeId::new)
+    }
+
+    /// Iterates over the distinct predecessor nodes of `id`.
+    ///
+    /// A node consuming the same producer twice (e.g. `add a, x, x`) reports
+    /// it once.
+    pub fn preds(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut seen: Vec<NodeId> = Vec::new();
+        self.nodes[id.index()]
+            .operands
+            .iter()
+            .filter_map(move |op| {
+                if let Operand::Node(p) = *op {
+                    if !seen.contains(&p) {
+                        seen.push(p);
+                        return Some(p);
+                    }
+                }
+                None
+            })
+    }
+
+    /// Iterates over the distinct successor nodes of `id`.
+    pub fn succs(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut seen: Vec<NodeId> = Vec::new();
+        self.succs[id.index()].iter().filter_map(move |&s| {
+            if seen.contains(&s) {
+                None
+            } else {
+                seen.push(s);
+                Some(s)
+            }
+        })
+    }
+
+    /// Number of distinct successor nodes of `id` (the paper's default
+    /// scheduling-priority metric, §4.3: "the number of child operations").
+    pub fn child_count(&self, id: NodeId) -> usize {
+        self.succs(id).count()
+    }
+
+    /// Returns `true` if `id` has no predecessors inside the graph.
+    pub fn is_source(&self, id: NodeId) -> bool {
+        self.preds(id).next().is_none()
+    }
+
+    /// Returns `true` if `id` has no successors inside the graph.
+    pub fn is_sink(&self, id: NodeId) -> bool {
+        self.succs[id.index()].is_empty()
+    }
+
+    /// Maps every payload, preserving structure.
+    pub fn map<M>(&self, mut f: impl FnMut(NodeId, &N) -> M) -> Dfg<M> {
+        Dfg {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| DfgNode {
+                    payload: f(NodeId::new(i as u32), &n.payload),
+                    operands: n.operands.clone(),
+                    live_out: n.live_out,
+                })
+                .collect(),
+            succs: self.succs.clone(),
+            live_ins: self.live_ins,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dfg<&'static str>, [NodeId; 4]) {
+        // a -> b, a -> c, {b,c} -> d
+        let mut g: Dfg<&'static str> = Dfg::new();
+        let x = g.live_in();
+        let a = g.add_node("a", vec![Operand::LiveIn(x)]);
+        let b = g.add_node("b", vec![Operand::Node(a)]);
+        let c = g.add_node("c", vec![Operand::Node(a), Operand::Const(1)]);
+        let d = g.add_node("d", vec![Operand::Node(b), Operand::Node(c)]);
+        g.set_live_out(d, true);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn adjacency_matches_operands() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.succs(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.preds(d).collect::<Vec<_>>(), vec![b, c]);
+        assert!(g.is_source(a));
+        assert!(g.is_sink(d));
+        assert_eq!(g.child_count(a), 2);
+        assert_eq!(g.child_count(d), 0);
+    }
+
+    #[test]
+    fn duplicate_operand_counted_once_in_preds() {
+        let mut g: Dfg<()> = Dfg::new();
+        let a = g.add_node((), vec![]);
+        let b = g.add_node((), vec![Operand::Node(a), Operand::Node(a)]);
+        assert_eq!(g.preds(b).count(), 1);
+        assert_eq!(g.succs(a).count(), 1);
+    }
+
+    #[test]
+    fn live_out_flag_roundtrips() {
+        let (g, [_, _, _, d]) = diamond();
+        assert!(g.node(d).is_live_out());
+        assert!(!g.node(NodeId::new(0)).is_live_out());
+    }
+
+    #[test]
+    #[should_panic(expected = "existing node")]
+    fn forward_reference_panics() {
+        let mut g: Dfg<()> = Dfg::new();
+        g.add_node((), vec![Operand::Node(NodeId::new(5))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never declared")]
+    fn undeclared_live_in_panics() {
+        let mut g: Dfg<()> = Dfg::new();
+        g.add_node((), vec![Operand::LiveIn(ValueId::new(0))]);
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let (g, [a, _, _, d]) = diamond();
+        let m = g.map(|_, s| s.len());
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.succs(a).count(), 2);
+        assert!(m.node(d).is_live_out());
+    }
+}

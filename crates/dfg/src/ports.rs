@@ -1,0 +1,217 @@
+//! Register-port accounting for candidate subgraphs.
+//!
+//! `IN(S)` is "the number of input values used by a subgraph `S`" and
+//! `OUT(S)` "the number of output values generated" (§4.2). They are checked
+//! against the register-file read/write port limits `N_in` / `N_out`:
+//! collapsing `S` into one instruction means all of its external operands
+//! must be read, and all of its externally-visible results written, through
+//! the register file in the ISE's issue slot.
+//!
+//! Counting rules:
+//!
+//! * an `Operand::Node` whose producer is *outside*
+//!   `S` costs one input, counted once per distinct producer;
+//! * an `Operand::LiveIn` costs one input, counted
+//!   once per distinct live-in value;
+//! * an `Operand::Const` is an immediate and costs
+//!   nothing (it is encoded in the instruction or hard-wired in the ASFU);
+//! * a node of `S` is an output iff its value is consumed by a node outside
+//!   `S` or is live out of the basic block.
+
+use crate::bitset::NodeSet;
+use crate::graph::{Dfg, Operand};
+
+/// The input/output port demand of a subgraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PortDemand {
+    /// Distinct external input values (`IN(S)`).
+    pub inputs: usize,
+    /// Distinct externally-consumed output values (`OUT(S)`).
+    pub outputs: usize,
+}
+
+impl PortDemand {
+    /// Returns `true` if the demand fits within `n_in` read and `n_out`
+    /// write ports.
+    pub fn fits(&self, n_in: usize, n_out: usize) -> bool {
+        self.inputs <= n_in && self.outputs <= n_out
+    }
+}
+
+/// Computes `IN(S)` and `OUT(S)` for `set`.
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::{ports, Dfg, NodeSet, Operand};
+///
+/// let mut g: Dfg<()> = Dfg::new();
+/// let x = g.live_in();
+/// let y = g.live_in();
+/// let a = g.add_node((), vec![Operand::LiveIn(x), Operand::LiveIn(y)]);
+/// let b = g.add_node((), vec![Operand::Node(a), Operand::Const(3)]);
+/// g.set_live_out(b, true);
+/// let mut s = NodeSet::new(2);
+/// s.insert(a);
+/// s.insert(b);
+/// let d = ports::demand(&g, &s);
+/// assert_eq!(d.inputs, 2);  // the two live-ins; the constant is free
+/// assert_eq!(d.outputs, 1); // only b leaves the subgraph
+/// ```
+pub fn demand<N>(dfg: &Dfg<N>, set: &NodeSet) -> PortDemand {
+    let mut ext_producers = NodeSet::new(dfg.len());
+    let mut live_ins: Vec<u32> = Vec::new();
+    for n in set {
+        for op in dfg.node(n).operands() {
+            match *op {
+                Operand::Node(p) => {
+                    if !set.contains(p) {
+                        ext_producers.insert(p);
+                    }
+                }
+                Operand::LiveIn(v) => {
+                    let raw = v.index() as u32;
+                    if !live_ins.contains(&raw) {
+                        live_ins.push(raw);
+                    }
+                }
+                Operand::Const(_) => {}
+            }
+        }
+    }
+    let mut outputs = 0usize;
+    for n in set {
+        let node = dfg.node(n);
+        let escapes = node.is_live_out() || dfg.succs(n).any(|s| !set.contains(s));
+        if escapes {
+            outputs += 1;
+        }
+    }
+    PortDemand {
+        inputs: ext_producers.len() + live_ins.len(),
+        outputs,
+    }
+}
+
+/// `IN(S)` alone. See [`demand`].
+pub fn input_count<N>(dfg: &Dfg<N>, set: &NodeSet) -> usize {
+    demand(dfg, set).inputs
+}
+
+/// `OUT(S)` alone. See [`demand`].
+pub fn output_count<N>(dfg: &Dfg<N>, set: &NodeSet) -> usize {
+    demand(dfg, set).outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_values_cost_nothing() {
+        // chain a -> b -> c fully inside S: one live-in input, one output.
+        let mut g: Dfg<()> = Dfg::new();
+        let x = g.live_in();
+        let a = g.add_node((), vec![Operand::LiveIn(x)]);
+        let b = g.add_node((), vec![Operand::Node(a)]);
+        let c = g.add_node((), vec![Operand::Node(b)]);
+        g.set_live_out(c, true);
+        let s = NodeSet::full(3);
+        assert_eq!(
+            demand(&g, &s),
+            PortDemand {
+                inputs: 1,
+                outputs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn shared_external_producer_counted_once() {
+        let mut g: Dfg<()> = Dfg::new();
+        let a = g.add_node((), vec![]);
+        let b = g.add_node((), vec![Operand::Node(a)]);
+        let c = g.add_node((), vec![Operand::Node(a)]);
+        let d = g.add_node((), vec![Operand::Node(b), Operand::Node(c)]);
+        let mut s = NodeSet::new(4);
+        s.insert(b);
+        s.insert(c);
+        s.insert(d);
+        // a feeds both b and c but is one distinct input value; d's result
+        // is never consumed and is not live-out, so there is no output.
+        assert_eq!(
+            demand(&g, &s),
+            PortDemand {
+                inputs: 1,
+                outputs: 0
+            }
+        );
+    }
+
+    #[test]
+    fn shared_live_in_counted_once() {
+        let mut g: Dfg<()> = Dfg::new();
+        let x = g.live_in();
+        let a = g.add_node((), vec![Operand::LiveIn(x)]);
+        let _b = g.add_node((), vec![Operand::LiveIn(x), Operand::Node(a)]);
+        let s = NodeSet::full(2);
+        assert_eq!(input_count(&g, &s), 1);
+    }
+
+    #[test]
+    fn constants_are_free() {
+        let mut g: Dfg<()> = Dfg::new();
+        let _a = g.add_node((), vec![Operand::Const(1), Operand::Const(2)]);
+        let s = NodeSet::full(1);
+        assert_eq!(input_count(&g, &s), 0);
+    }
+
+    #[test]
+    fn internal_node_also_consumed_outside_is_an_output() {
+        // a -> b (in S), a -> c (outside S): a's value escapes.
+        let mut g: Dfg<()> = Dfg::new();
+        let a = g.add_node((), vec![]);
+        let b = g.add_node((), vec![Operand::Node(a)]);
+        let _c = g.add_node((), vec![Operand::Node(a)]);
+        let mut s = NodeSet::new(3);
+        s.insert(a);
+        s.insert(b);
+        let d = demand(&g, &s);
+        // a escapes to c; b has no consumer and is not live-out.
+        assert_eq!(d.outputs, 1);
+    }
+
+    #[test]
+    fn dead_sink_without_live_out_is_not_an_output() {
+        let mut g: Dfg<()> = Dfg::new();
+        let _a = g.add_node((), vec![]);
+        let s = NodeSet::full(1);
+        // a has no consumers and is not live-out: produces no architectural
+        // output (e.g. a store-like op modelled elsewhere).
+        assert_eq!(output_count(&g, &s), 0);
+    }
+
+    #[test]
+    fn fits_respects_both_limits() {
+        let d = PortDemand {
+            inputs: 4,
+            outputs: 2,
+        };
+        assert!(d.fits(4, 2));
+        assert!(!d.fits(3, 2));
+        assert!(!d.fits(4, 1));
+    }
+
+    #[test]
+    fn empty_set_has_zero_demand() {
+        let mut g: Dfg<()> = Dfg::new();
+        let _ = g.add_node((), vec![]);
+        assert_eq!(
+            demand(&g, &NodeSet::new(1)),
+            PortDemand {
+                inputs: 0,
+                outputs: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! The flow driver: profiling-driven block selection, repeated
+//! exploration, selection, replacement and whole-program accounting.
+
+use isex_aco::AcoParams;
+use isex_core::{Constraints, MultiIssueExplorer, SingleIssueExplorer};
+use isex_isa::MachineConfig;
+use isex_workloads::Program;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::merge::WeightedPattern;
+use crate::pattern::IsePattern;
+use crate::replace;
+use crate::select::{self, Budgets, SelectedIse, SharingModel};
+
+/// Which explorer drives the flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The paper's multi-issue-aware explorer ("MI").
+    MultiIssue,
+    /// The legality-only baseline ("SI", Wu et al. \[8\]).
+    SingleIssue,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Algorithm::MultiIssue => "MI",
+            Algorithm::SingleIssue => "SI",
+        })
+    }
+}
+
+/// Configuration of one flow run.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// The modelled machine.
+    pub machine: MachineConfig,
+    /// §4.2 port constraints.
+    pub constraints: Constraints,
+    /// ACO tunables.
+    pub params: AcoParams,
+    /// Explorer choice.
+    pub algorithm: Algorithm,
+    /// Explorations per block, best kept (§5.1 uses 5).
+    pub repeats: usize,
+    /// Selection budgets.
+    pub budgets: Budgets,
+    /// Hardware-sharing cost model used at selection.
+    pub sharing: SharingModel,
+    /// Fraction of profiled work the explored hot blocks must cover.
+    pub hot_block_coverage: f64,
+}
+
+impl FlowConfig {
+    /// The paper's §5.1 defaults on the 2-issue 4/2 machine.
+    pub fn paper_default(algorithm: Algorithm) -> Self {
+        let machine = MachineConfig::preset_2issue_4r2w();
+        FlowConfig {
+            machine,
+            constraints: Constraints::from_machine(&machine),
+            params: AcoParams::default(),
+            algorithm,
+            repeats: 5,
+            budgets: Budgets::default(),
+            sharing: SharingModel::default(),
+            hot_block_coverage: 0.95,
+        }
+    }
+
+    /// Same defaults on a specific machine.
+    pub fn for_machine(algorithm: Algorithm, machine: MachineConfig) -> Self {
+        FlowConfig {
+            machine,
+            constraints: Constraints::from_machine(&machine),
+            ..Self::paper_default(algorithm)
+        }
+    }
+}
+
+/// Replacement outcome for one block.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BlockOutcome {
+    /// Block label.
+    pub name: String,
+    /// Profiled executions.
+    pub exec_count: u64,
+    /// Cycles per execution before ISEs.
+    pub cycles_before: u32,
+    /// Cycles per execution after replacement.
+    pub cycles_after: u32,
+    /// Number of ISE instances placed in the block.
+    pub matches: usize,
+}
+
+/// The whole-program result of one flow run.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Program name.
+    pub program: String,
+    /// The selected ISEs, rank order.
+    pub selected: Vec<SelectedIse>,
+    /// Total incremental silicon area, µm².
+    pub total_area: f64,
+    /// Profiled program cycles without ISEs.
+    pub cycles_before: u64,
+    /// Profiled program cycles with ISEs.
+    pub cycles_after: u64,
+    /// Per-block outcomes.
+    pub per_block: Vec<BlockOutcome>,
+    /// Blocks that were explored (hot set).
+    pub explored_blocks: usize,
+    /// Total ant iterations spent.
+    pub iterations: usize,
+}
+
+impl FlowReport {
+    /// Fractional execution-time reduction (`1 − after/before`).
+    pub fn reduction(&self) -> f64 {
+        if self.cycles_before == 0 {
+            return 0.0;
+        }
+        1.0 - self.cycles_after as f64 / self.cycles_before as f64
+    }
+}
+
+/// The exploration half of the flow: profile, pick hot blocks, explore each
+/// `repeats` times keeping the best result, and return the gain-weighted
+/// patterns. Exposed separately so budget sweeps can explore once and
+/// re-select many times.
+pub fn explore_program(
+    cfg: &FlowConfig,
+    program: &Program,
+    seed: u64,
+) -> (Vec<WeightedPattern>, usize, usize) {
+    let by_heat = program.by_heat();
+    let total_work: f64 = by_heat
+        .iter()
+        .map(|b| b.exec_count as f64 * b.dfg.len() as f64)
+        .sum();
+    let mut covered = 0.0;
+    let mut hot = Vec::new();
+    for b in by_heat {
+        if covered >= cfg.hot_block_coverage * total_work && !hot.is_empty() {
+            break;
+        }
+        covered += b.exec_count as f64 * b.dfg.len() as f64;
+        hot.push(b);
+    }
+
+    let mut patterns = Vec::new();
+    let mut iterations = 0usize;
+    for (bi, block) in hot.iter().enumerate() {
+        let mut best: Option<isex_core::Exploration> = None;
+        for rep in 0..cfg.repeats.max(1) {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (bi as u64) << 32 ^ (rep as u64) << 16 ^ 0x15e);
+            let result = match cfg.algorithm {
+                Algorithm::MultiIssue => {
+                    MultiIssueExplorer::with_params(cfg.machine, cfg.constraints, cfg.params)
+                        .explore(&block.dfg, &mut rng)
+                }
+                Algorithm::SingleIssue => {
+                    SingleIssueExplorer::with_params(cfg.machine, cfg.constraints, cfg.params)
+                        .explore(&block.dfg, &mut rng)
+                }
+            };
+            iterations += result.iterations;
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    result.cycles_with_ises < b.cycles_with_ises
+                        || (result.cycles_with_ises == b.cycles_with_ises
+                            && result.total_area() < b.total_area())
+                }
+            };
+            if better {
+                best = Some(result);
+            }
+        }
+        if let Some(exploration) = best {
+            for cand in &exploration.candidates {
+                patterns.push(WeightedPattern {
+                    pattern: IsePattern::from_candidate(cand, &block.dfg),
+                    gain: cand.saved_cycles as u64 * block.exec_count,
+                });
+            }
+        }
+    }
+    (patterns, hot.len(), iterations)
+}
+
+/// The selection/replacement half of the flow, given explored patterns.
+pub fn finish_flow(
+    cfg: &FlowConfig,
+    program: &Program,
+    patterns: Vec<WeightedPattern>,
+    explored_blocks: usize,
+    iterations: usize,
+) -> FlowReport {
+    let selected = select::select_with(patterns, &cfg.budgets, cfg.sharing);
+    let mut per_block = Vec::new();
+    let mut before = 0u64;
+    let mut after = 0u64;
+    for block in &program.blocks {
+        let r = replace::replace_in_block(&block.dfg, &selected, &cfg.machine);
+        before += r.cycles_before as u64 * block.exec_count;
+        after += r.cycles_after as u64 * block.exec_count;
+        per_block.push(BlockOutcome {
+            name: block.name.clone(),
+            exec_count: block.exec_count,
+            cycles_before: r.cycles_before,
+            cycles_after: r.cycles_after,
+            matches: r.matches.len(),
+        });
+    }
+    let total_area = select::total_area(&selected);
+    FlowReport {
+        program: program.name.clone(),
+        selected,
+        total_area,
+        cycles_before: before,
+        cycles_after: after,
+        per_block,
+        explored_blocks,
+        iterations,
+    }
+}
+
+/// The full design flow of Fig. 3.1.1 on one program.
+pub fn run_flow(cfg: &FlowConfig, program: &Program, seed: u64) -> FlowReport {
+    let (patterns, explored, iterations) = explore_program(cfg, program, seed);
+    finish_flow(cfg, program, patterns, explored, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isex_workloads::{Benchmark, OptLevel};
+
+    fn quick_cfg(algorithm: Algorithm) -> FlowConfig {
+        let mut cfg = FlowConfig::paper_default(algorithm);
+        cfg.repeats = 1;
+        cfg.params.max_iterations = 40;
+        cfg
+    }
+
+    #[test]
+    fn mi_flow_improves_bitcount() {
+        let program = Benchmark::Bitcount.program(OptLevel::O3);
+        let report = run_flow(&quick_cfg(Algorithm::MultiIssue), &program, 11);
+        assert!(report.cycles_before > 0);
+        assert!(
+            report.cycles_after < report.cycles_before,
+            "bitcount's SWAR chain is the canonical ISE win: {} -> {}",
+            report.cycles_before,
+            report.cycles_after
+        );
+        assert!(!report.selected.is_empty());
+        assert!(report.total_area > 0.0);
+        assert!(report.reduction() > 0.0);
+    }
+
+    #[test]
+    fn replacement_never_hurts() {
+        for b in [Benchmark::Crc32, Benchmark::Adpcm] {
+            let program = b.program(OptLevel::O0);
+            let report = run_flow(&quick_cfg(Algorithm::MultiIssue), &program, 3);
+            assert!(
+                report.cycles_after <= report.cycles_before,
+                "{b}: {} -> {}",
+                report.cycles_before,
+                report.cycles_after
+            );
+        }
+    }
+
+    #[test]
+    fn area_budget_limits_selection() {
+        let program = Benchmark::Bitcount.program(OptLevel::O3);
+        let mut cfg = quick_cfg(Algorithm::MultiIssue);
+        cfg.budgets.area_um2 = Some(0.0);
+        let report = run_flow(&cfg, &program, 11);
+        assert!(report.selected.is_empty(), "zero budget selects nothing");
+        assert_eq!(report.cycles_before, report.cycles_after);
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let program = Benchmark::Dijkstra.program(OptLevel::O3);
+        let cfg = quick_cfg(Algorithm::MultiIssue);
+        let a = run_flow(&cfg, &program, 5);
+        let b = run_flow(&cfg, &program, 5);
+        assert_eq!(a.cycles_after, b.cycles_after);
+        assert_eq!(a.selected.len(), b.selected.len());
+    }
+
+    #[test]
+    fn operator_pool_sharing_never_costs_more() {
+        let program = Benchmark::Adpcm.program(OptLevel::O3);
+        let mut cfg = quick_cfg(Algorithm::MultiIssue);
+        let base = run_flow(&cfg, &program, 21);
+        cfg.sharing = crate::select::SharingModel::OperatorPool;
+        let pooled = run_flow(&cfg, &program, 21);
+        assert!(
+            pooled.total_area <= base.total_area + 1e-9,
+            "pool {} vs containment {}",
+            pooled.total_area,
+            base.total_area
+        );
+        assert_eq!(
+            pooled.selected.len() >= base.selected.len(),
+            true,
+            "cheaper costing can only admit more candidates under a budget"
+        );
+    }
+
+    #[test]
+    fn si_flow_runs_and_reports() {
+        let program = Benchmark::Blowfish.program(OptLevel::O3);
+        let report = run_flow(&quick_cfg(Algorithm::SingleIssue), &program, 2);
+        assert!(report.cycles_after <= report.cycles_before);
+    }
+}

@@ -1,0 +1,487 @@
+//! ISE candidates as matchable instruction patterns.
+//!
+//! ISE replacement (§3.1) must "discover all instruction patterns (i.e.
+//! subgraphs) in the DFG that match selected ISEs". A pattern is the
+//! candidate's subgraph with opcodes as labels, operand positions
+//! preserved, external inputs grouped into *port classes* (two positions
+//! of the same class read the same value — the ASFU wiring demands it),
+//! and output members marked. [`IsePattern::find_matches`] is a
+//! backtracking subgraph-isomorphism matcher specialised for DAGs in
+//! topological order.
+
+use isex_core::IseCandidate;
+use isex_dfg::{convex, NodeId, NodeSet, Operand, Reachability, ValueId};
+use isex_isa::{Opcode, Operation, ProgramDfg};
+use serde::{Deserialize, Serialize};
+
+/// One operand position of a pattern operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternInput {
+    /// The output of pattern member `idx`.
+    Internal(usize),
+    /// An external value; positions sharing a class must read the same
+    /// value in a match.
+    External(usize),
+    /// An immediate with this exact value (hard-wired into the ASFU).
+    Immediate(i64),
+}
+
+/// One member operation of a pattern.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PatternOp {
+    /// The opcode label.
+    pub opcode: Opcode,
+    /// Chosen hardware option index (into the opcode's Table 5.1.1 entry).
+    pub hw_choice: usize,
+    /// Operand positions, in instruction order.
+    pub inputs: Vec<PatternInput>,
+    /// Whether this member's value leaves the ISE (an ASFU output port).
+    pub is_output: bool,
+}
+
+/// A matchable, selectable ISE pattern with its hardware metrics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IsePattern {
+    /// Members in topological order.
+    pub ops: Vec<PatternOp>,
+    /// Combinational delay, ns.
+    pub delay_ns: f64,
+    /// Instruction latency, cycles.
+    pub latency: u32,
+    /// ASFU silicon area, µm².
+    pub area_um2: f64,
+    /// Distinct external input values (= read ports of the ASFU).
+    pub inputs: usize,
+    /// Output values (= write ports of the ASFU).
+    pub outputs: usize,
+}
+
+impl IsePattern {
+    /// Number of member operations.
+    pub fn size(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Extracts the pattern of `candidate` from the block it was explored
+    /// in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate's nodes are not part of `dfg`.
+    pub fn from_candidate(candidate: &IseCandidate, dfg: &ProgramDfg) -> Self {
+        let members: Vec<NodeId> = candidate.nodes.iter().collect();
+        let index_of = |n: NodeId| members.iter().position(|&m| m == n);
+        let mut ext_classes: Vec<Operand> = Vec::new();
+        let mut ops = Vec::with_capacity(members.len());
+        for &m in &members {
+            let node = dfg.node(m);
+            let inputs = node
+                .operands()
+                .iter()
+                .map(|op| match *op {
+                    Operand::Node(p) => match index_of(p) {
+                        Some(i) => PatternInput::Internal(i),
+                        None => PatternInput::External(class_of(&mut ext_classes, *op)),
+                    },
+                    Operand::LiveIn(_) => PatternInput::External(class_of(&mut ext_classes, *op)),
+                    Operand::Const(c) => PatternInput::Immediate(c),
+                })
+                .collect();
+            let escapes = node.is_live_out() || dfg.succs(m).any(|s| !candidate.nodes.contains(s));
+            ops.push(PatternOp {
+                opcode: node.payload().opcode(),
+                hw_choice: candidate.choice_of(m).unwrap_or(0),
+                inputs,
+                is_output: escapes,
+            });
+        }
+        let outputs = ops_outputs(&ops);
+        IsePattern {
+            ops,
+            delay_ns: candidate.delay_ns,
+            latency: candidate.latency,
+            area_um2: candidate.area_um2,
+            inputs: ext_classes.len(),
+            outputs,
+        }
+    }
+
+    /// Reconstructs the pattern as a standalone [`ProgramDfg`] — external
+    /// classes become live-ins, outputs become live-outs. Used for
+    /// pattern-vs-pattern containment checks in the merging stage.
+    pub fn to_dfg(&self) -> ProgramDfg {
+        let mut dfg = ProgramDfg::new();
+        let live_ins: Vec<ValueId> = (0..self.inputs).map(|_| dfg.live_in()).collect();
+        let mut ids = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let operands = op
+                .inputs
+                .iter()
+                .map(|i| match *i {
+                    PatternInput::Internal(k) => Operand::Node(ids[k]),
+                    PatternInput::External(c) => Operand::LiveIn(live_ins[c]),
+                    PatternInput::Immediate(v) => Operand::Const(v),
+                })
+                .collect();
+            let id = dfg.add_node(Operation::new(op.opcode), operands);
+            dfg.set_live_out(id, op.is_output);
+            ids.push(id);
+        }
+        dfg
+    }
+
+    /// Finds every legal, pairwise-compatible match of the pattern in
+    /// `dfg`: an injective node mapping preserving opcodes, operand
+    /// positions, external-class equalities and output escapement, whose
+    /// image is convex.
+    ///
+    /// Matches are returned in discovery order; overlap resolution is the
+    /// caller's job (replacement claims greedily).
+    pub fn find_matches(&self, dfg: &ProgramDfg, reach: &Reachability) -> Vec<NodeSet> {
+        let mut out = Vec::new();
+        let mut mapping: Vec<Option<NodeId>> = vec![None; self.ops.len()];
+        let mut used = NodeSet::new(dfg.len());
+        self.search(dfg, reach, 0, &mut mapping, &mut used, &mut out);
+        out
+    }
+
+    fn search(
+        &self,
+        dfg: &ProgramDfg,
+        reach: &Reachability,
+        depth: usize,
+        mapping: &mut Vec<Option<NodeId>>,
+        used: &mut NodeSet,
+        out: &mut Vec<NodeSet>,
+    ) {
+        if depth == self.ops.len() {
+            if self.check_classes(dfg, mapping) {
+                let image: NodeSet = {
+                    let mut s = NodeSet::new(dfg.len());
+                    for m in mapping.iter().flatten() {
+                        s.insert(*m);
+                    }
+                    s
+                };
+                if convex::is_convex(&image, reach) {
+                    out.push(image);
+                }
+            }
+            return;
+        }
+        let pat = &self.ops[depth];
+        for (t, node) in dfg.iter() {
+            if used.contains(t) || node.payload().opcode() != pat.opcode {
+                continue;
+            }
+            if node.operands().len() != pat.inputs.len() {
+                continue;
+            }
+            // Position-wise operand compatibility.
+            let mut ok = true;
+            for (pi, op) in pat.inputs.iter().zip(node.operands()) {
+                let fit = match (*pi, *op) {
+                    (PatternInput::Internal(k), Operand::Node(p)) => mapping[k] == Some(p),
+                    (PatternInput::Internal(_), _) => false,
+                    (PatternInput::External(_), Operand::Node(p)) => {
+                        // External producer must be outside the image.
+                        mapping.iter().flatten().all(|&m| m != p)
+                    }
+                    (PatternInput::External(_), Operand::LiveIn(_)) => true,
+                    (PatternInput::External(_), Operand::Const(_)) => true,
+                    (PatternInput::Immediate(v), Operand::Const(c)) => v == c,
+                    (PatternInput::Immediate(_), _) => false,
+                };
+                if !fit {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Non-output members must not escape in the image; outputs may.
+            if !pat.is_output {
+                let escapes_now = node.is_live_out();
+                if escapes_now {
+                    continue;
+                }
+                // Consumers outside the (eventual) image: defer the exact
+                // check to completion; here reject only definite escapes to
+                // already-rejected territory. Cheap approximation: consumers
+                // must all be potential later pattern members, verified at
+                // the end.
+            }
+            mapping[depth] = Some(t);
+            used.insert(t);
+            if depth + 1 == self.ops.len() {
+                // Before accepting, verify escapement of all non-outputs.
+                if self.check_escapes(dfg, mapping) {
+                    self.search(dfg, reach, depth + 1, mapping, used, out);
+                }
+            } else {
+                self.search(dfg, reach, depth + 1, mapping, used, out);
+            }
+            used.remove(t);
+            mapping[depth] = None;
+        }
+    }
+
+    fn check_escapes(&self, dfg: &ProgramDfg, mapping: &[Option<NodeId>]) -> bool {
+        let in_image = |n: NodeId| mapping.iter().flatten().any(|&m| m == n);
+        for (pat, m) in self.ops.iter().zip(mapping) {
+            let Some(t) = m else { return false };
+            if !pat.is_output {
+                if dfg.node(*t).is_live_out() {
+                    return false;
+                }
+                if dfg.succs(*t).any(|s| !in_image(s)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn check_classes(&self, dfg: &ProgramDfg, mapping: &[Option<NodeId>]) -> bool {
+        // Positions with the same external class must read the same value.
+        let mut class_value: Vec<Option<Operand>> = vec![None; self.inputs];
+        for (pat, m) in self.ops.iter().zip(mapping) {
+            let Some(t) = m else { return false };
+            for (pi, op) in pat.inputs.iter().zip(dfg.node(*t).operands()) {
+                if let PatternInput::External(c) = *pi {
+                    match class_value[c] {
+                        None => class_value[c] = Some(*op),
+                        Some(v) if v == *op => {}
+                        Some(_) => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for IsePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.ops.iter().map(|o| o.opcode.mnemonic()).collect();
+        write!(
+            f,
+            "{{{}}} {:.2}ns/{}cyc/{:.0}µm² {}in/{}out",
+            names.join(","),
+            self.delay_ns,
+            self.latency,
+            self.area_um2,
+            self.inputs,
+            self.outputs
+        )
+    }
+}
+
+fn class_of(classes: &mut Vec<Operand>, op: Operand) -> usize {
+    match classes.iter().position(|&c| c == op) {
+        Some(i) => i,
+        None => {
+            classes.push(op);
+            classes.len() - 1
+        }
+    }
+}
+
+fn ops_outputs(ops: &[PatternOp]) -> usize {
+    ops.iter().filter(|o| o.is_output).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isex_dfg::Operand;
+
+    /// Builds `((x + y) << 2) ^ y` and a candidate over all three ops.
+    fn block_and_candidate() -> (ProgramDfg, IseCandidate) {
+        let mut dfg = ProgramDfg::new();
+        let x = dfg.live_in();
+        let y = dfg.live_in();
+        let a = dfg.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(x), Operand::LiveIn(y)],
+        );
+        let s = dfg.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(a), Operand::Const(2)],
+        );
+        let c = dfg.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(s), Operand::LiveIn(y)],
+        );
+        dfg.set_live_out(c, true);
+        let mut nodes = NodeSet::new(3);
+        for i in 0..3 {
+            nodes.insert(NodeId::new(i));
+        }
+        let cand = IseCandidate {
+            nodes,
+            choices: vec![
+                (NodeId::new(0), 0),
+                (NodeId::new(1), 0),
+                (NodeId::new(2), 0),
+            ],
+            delay_ns: 11.21,
+            latency: 2,
+            area_um2: 1701.43,
+            inputs: 2,
+            outputs: 1,
+            saved_cycles: 1,
+        };
+        (dfg, cand)
+    }
+
+    #[test]
+    fn extraction_records_shape() {
+        let (dfg, cand) = block_and_candidate();
+        let p = IsePattern::from_candidate(&cand, &dfg);
+        assert_eq!(p.size(), 3);
+        assert_eq!(p.inputs, 2, "x and y are two classes; y is shared");
+        assert_eq!(p.outputs, 1);
+        assert_eq!(p.ops[0].inputs.len(), 2);
+        assert_eq!(p.ops[1].inputs[1], PatternInput::Immediate(2));
+        assert!(p.ops[2].is_output);
+        assert!(!p.ops[0].is_output);
+        // y appears in op0 position 1 and op2 position 1 with the same class.
+        assert_eq!(p.ops[0].inputs[1], p.ops[2].inputs[1]);
+    }
+
+    #[test]
+    fn roundtrip_through_dfg_matches_itself() {
+        let (dfg, cand) = block_and_candidate();
+        let p = IsePattern::from_candidate(&cand, &dfg);
+        let pdfg = p.to_dfg();
+        let reach = Reachability::compute(&pdfg);
+        let matches = p.find_matches(&pdfg, &reach);
+        assert_eq!(matches.len(), 1, "a pattern matches its own graph once");
+        assert_eq!(matches[0].len(), 3);
+    }
+
+    #[test]
+    fn match_found_in_other_block() {
+        let (dfg, cand) = block_and_candidate();
+        let p = IsePattern::from_candidate(&cand, &dfg);
+        // Same computation embedded in a bigger block, plus decoys.
+        let mut big = ProgramDfg::new();
+        let u = big.live_in();
+        let v = big.live_in();
+        let d1 = big.add_node(
+            Operation::new(Opcode::Sub),
+            vec![Operand::LiveIn(u), Operand::LiveIn(v)],
+        );
+        let a = big.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(u), Operand::LiveIn(v)],
+        );
+        let s = big.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(a), Operand::Const(2)],
+        );
+        let c = big.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(s), Operand::LiveIn(v)],
+        );
+        big.set_live_out(c, true);
+        big.set_live_out(d1, true);
+        let reach = Reachability::compute(&big);
+        let matches = p.find_matches(&big, &reach);
+        assert_eq!(matches.len(), 1);
+        assert!(matches[0].contains(a) && matches[0].contains(s) && matches[0].contains(c));
+    }
+
+    #[test]
+    fn shared_class_blocks_mismatched_values() {
+        let (dfg, cand) = block_and_candidate();
+        let p = IsePattern::from_candidate(&cand, &dfg);
+        // Same shape but the xor reads a *different* live-in than the add:
+        // violates the shared-y class.
+        let mut other = ProgramDfg::new();
+        let u = other.live_in();
+        let v = other.live_in();
+        let w = other.live_in();
+        let a = other.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(u), Operand::LiveIn(v)],
+        );
+        let s = other.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(a), Operand::Const(2)],
+        );
+        let c = other.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(s), Operand::LiveIn(w)],
+        );
+        other.set_live_out(c, true);
+        let reach = Reachability::compute(&other);
+        assert!(p.find_matches(&other, &reach).is_empty());
+    }
+
+    #[test]
+    fn escaping_internal_value_blocks_match() {
+        let (dfg, cand) = block_and_candidate();
+        let p = IsePattern::from_candidate(&cand, &dfg);
+        // The shift result is also consumed outside the would-be ISE.
+        let mut other = ProgramDfg::new();
+        let u = other.live_in();
+        let v = other.live_in();
+        let a = other.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(u), Operand::LiveIn(v)],
+        );
+        let s = other.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(a), Operand::Const(2)],
+        );
+        let c = other.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(s), Operand::LiveIn(v)],
+        );
+        let leak = other.add_node(
+            Operation::new(Opcode::Nor),
+            vec![Operand::Node(s), Operand::Node(s)],
+        );
+        other.set_live_out(c, true);
+        other.set_live_out(leak, true);
+        let reach = Reachability::compute(&other);
+        assert!(p.find_matches(&other, &reach).is_empty());
+    }
+
+    #[test]
+    fn immediate_must_match_exactly() {
+        let (dfg, cand) = block_and_candidate();
+        let p = IsePattern::from_candidate(&cand, &dfg);
+        let mut other = ProgramDfg::new();
+        let u = other.live_in();
+        let v = other.live_in();
+        let a = other.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(u), Operand::LiveIn(v)],
+        );
+        // shift by 3, not 2 — the ASFU hard-wires 2.
+        let s = other.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(a), Operand::Const(3)],
+        );
+        let c = other.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(s), Operand::LiveIn(v)],
+        );
+        other.set_live_out(c, true);
+        let reach = Reachability::compute(&other);
+        assert!(p.find_matches(&other, &reach).is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let (dfg, cand) = block_and_candidate();
+        let p = IsePattern::from_candidate(&cand, &dfg);
+        let s = p.to_string();
+        assert!(s.contains("add,sll,xor"));
+        assert!(s.contains("2in/1out"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Human-readable rendering of flow reports.
+//!
+//! The CLI and the examples all need the same summary: what was selected,
+//! what it cost, what it bought. [`render_text`] produces a terminal
+//! summary; [`render_markdown`] produces a table for docs/issues.
+
+use std::fmt::Write as _;
+
+use crate::flow::FlowReport;
+
+/// Renders a compact terminal summary of a flow run.
+pub fn render_text(report: &FlowReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} -> {} program cycles ({:.2}% reduction)",
+        report.program,
+        report.cycles_before,
+        report.cycles_after,
+        report.reduction() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "selected {} ISE(s), {:.0} µm² incremental ASFU area",
+        report.selected.len(),
+        report.total_area
+    );
+    for (i, sel) in report.selected.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  ISE {}: {}  gain {} cycles, +{:.0} µm²",
+            i + 1,
+            sel.pattern,
+            sel.gain,
+            sel.incremental_area
+        );
+    }
+    for blk in &report.per_block {
+        if blk.matches > 0 {
+            let _ = writeln!(
+                out,
+                "  block {}: {} -> {} cycles/exec ({} ISE instance(s), ×{} executions)",
+                blk.name, blk.cycles_before, blk.cycles_after, blk.matches, blk.exec_count
+            );
+        }
+    }
+    out
+}
+
+/// Renders the report as a GitHub-flavoured markdown table.
+pub fn render_markdown(report: &FlowReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {}\n", report.program);
+    let _ = writeln!(
+        out,
+        "| metric | value |\n|---|---|\n| cycles before | {} |\n| cycles after | {} |\n| reduction | {:.2}% |\n| ISEs | {} |\n| ASFU area | {:.0} µm² |\n",
+        report.cycles_before,
+        report.cycles_after,
+        report.reduction() * 100.0,
+        report.selected.len(),
+        report.total_area
+    );
+    if !report.selected.is_empty() {
+        let _ = writeln!(
+            out,
+            "| # | pattern | gain (cycles) | area (µm²) |\n|---|---|---|---|"
+        );
+        for (i, sel) in report.selected.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "| {} | `{}` | {} | {:.0} |",
+                i + 1,
+                sel.pattern,
+                sel.gain,
+                sel.incremental_area
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{run_flow, Algorithm, FlowConfig};
+    use isex_workloads::{Benchmark, OptLevel};
+
+    fn sample_report() -> FlowReport {
+        let program = Benchmark::Bitcount.program(OptLevel::O3);
+        let mut cfg = FlowConfig::paper_default(Algorithm::MultiIssue);
+        cfg.repeats = 1;
+        cfg.params.max_iterations = 40;
+        run_flow(&cfg, &program, 7)
+    }
+
+    #[test]
+    fn text_rendering_mentions_everything_important() {
+        let r = sample_report();
+        let text = render_text(&r);
+        assert!(text.contains("bitcount-O3"));
+        assert!(text.contains("reduction"));
+        assert!(text.contains("ISE 1"));
+        assert!(text.contains("block"));
+    }
+
+    #[test]
+    fn markdown_rendering_is_a_table() {
+        let r = sample_report();
+        let md = render_markdown(&r);
+        assert!(md.starts_with("### bitcount-O3"));
+        assert!(md.contains("| cycles before |"));
+        assert!(md.contains("| 1 | `"));
+        let pipes = md.lines().filter(|l| l.starts_with('|')).count();
+        assert!(pipes >= 8);
+    }
+}

@@ -1,0 +1,350 @@
+//! ISE selection under global budgets (§3.1, §5.1).
+//!
+//! "ISE selection chooses as many ISEs as possible to attain the highest
+//! performance improvement under predefined constraints, such as silicon
+//! area and ISA format. … we adopt a greedy method: the ISE selection
+//! algorithm ranks ISE candidates according to their performance
+//! improvement \[and\] chooses as many ISEs as possible" (§5.1). Hardware
+//! sharing is applied during costing: a candidate that merges into an
+//! already-selected pattern adds no silicon.
+
+use serde::{Deserialize, Serialize};
+
+use crate::merge::{self, WeightedPattern};
+use crate::pattern::IsePattern;
+
+/// Global selection budgets (both optional — the paper's figures sweep one
+/// at a time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Budgets {
+    /// Total extra silicon area allowed, µm².
+    pub area_um2: Option<f64>,
+    /// Maximum number of ISEs (unused-opcode budget of the ISA format).
+    pub max_ises: Option<usize>,
+}
+
+/// One selected ISE with its accounting.
+#[derive(Clone, Debug)]
+pub struct SelectedIse {
+    /// The pattern.
+    pub pattern: IsePattern,
+    /// Profiled whole-program gain, cycles.
+    pub gain: u64,
+    /// Incremental silicon area this selection actually added (0 when the
+    /// hardware is shared with an earlier selection).
+    pub incremental_area: f64,
+}
+
+/// How hardware sharing is costed during selection (§3.1: "hardware
+/// sharing is the assignment of a hardware resource to more than one
+/// operation within different ASFUs").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharingModel {
+    /// A candidate is free only when its whole pattern merges into an
+    /// already-selected one (conservative; the default).
+    #[default]
+    Containment,
+    /// Operator-pool sharing: individual functional operators (an adder, a
+    /// shifter, …) built for earlier selections are reused by later ones.
+    /// Two operators of one pattern still need two instances (they compute
+    /// simultaneously inside the datapath), but across ISEs — which never
+    /// issue in the same cycle — instances are shared, and only the
+    /// *shortfall* is paid.
+    OperatorPool,
+}
+
+/// Greedily selects patterns by gain under the budgets.
+///
+/// Candidates are merged first; the survivors are scanned gain-descending
+/// and accepted while they fit, with hardware sharing costed per
+/// [`SharingModel::Containment`].
+pub fn select(candidates: Vec<WeightedPattern>, budgets: &Budgets) -> Vec<SelectedIse> {
+    select_with(candidates, budgets, SharingModel::Containment)
+}
+
+/// [`select`] with an explicit hardware-sharing model.
+pub fn select_with(
+    candidates: Vec<WeightedPattern>,
+    budgets: &Budgets,
+    sharing: SharingModel,
+) -> Vec<SelectedIse> {
+    let merged = merge::merge_patterns(candidates);
+    let mut out: Vec<SelectedIse> = Vec::new();
+    let mut area_used = 0.0f64;
+    // Operator pool: built instances per operator kind.
+    let mut pool: std::collections::BTreeMap<OperatorKey, usize> =
+        std::collections::BTreeMap::new();
+    for item in merged {
+        if let Some(max) = budgets.max_ises {
+            if out.len() >= max {
+                break;
+            }
+        }
+        let cost = match sharing {
+            SharingModel::Containment => {
+                let shared = out
+                    .iter()
+                    .any(|s| merge::merges_into(&item.pattern, &s.pattern));
+                if shared {
+                    0.0
+                } else {
+                    item.pattern.area_um2
+                }
+            }
+            SharingModel::OperatorPool => operator_shortfall_cost(&item.pattern, &pool),
+        };
+        if let Some(budget) = budgets.area_um2 {
+            if area_used + cost > budget {
+                continue; // a cheaper candidate may still fit
+            }
+        }
+        if sharing == SharingModel::OperatorPool {
+            for (key, demand) in operator_demand(&item.pattern) {
+                let have = pool.entry(key).or_insert(0);
+                *have = (*have).max(demand);
+            }
+        }
+        area_used += cost;
+        out.push(SelectedIse {
+            pattern: item.pattern,
+            gain: item.gain,
+            incremental_area: cost,
+        });
+    }
+    out
+}
+
+/// Identity of a shareable operator instance: its Table 5.1.1 functional
+/// family plus the option index. An adder and a subtractor have identical
+/// delay/area but are *not* interchangeable hardware, so the family — not
+/// the signature — is the key; the area rides along for costing.
+type OperatorKey = (usize, usize, u64);
+
+fn operator_key(opcode: isex_isa::Opcode, choice: usize) -> Option<(OperatorKey, f64)> {
+    let family = isex_isa::hw_table::family_index(opcode)?;
+    let opt = isex_isa::hw_table::hardware_options(opcode).get(choice)?;
+    Some(((family, choice, opt.area_um2.to_bits()), opt.area_um2))
+}
+
+/// Multiset of operator instances a pattern's datapath needs.
+fn operator_demand(pattern: &IsePattern) -> std::collections::BTreeMap<OperatorKey, usize> {
+    let mut demand = std::collections::BTreeMap::new();
+    for op in &pattern.ops {
+        if let Some((key, _)) = operator_key(op.opcode, op.hw_choice) {
+            *demand.entry(key).or_insert(0) += 1;
+        }
+    }
+    demand
+}
+
+/// Area of the operator instances `pattern` needs beyond what the pool
+/// already provides.
+fn operator_shortfall_cost(
+    pattern: &IsePattern,
+    pool: &std::collections::BTreeMap<OperatorKey, usize>,
+) -> f64 {
+    let mut cost = 0.0;
+    for (key, demand) in operator_demand(pattern) {
+        let have = pool.get(&key).copied().unwrap_or(0);
+        if demand > have {
+            let area = f64::from_bits(key.2);
+            cost += (demand - have) as f64 * area;
+        }
+    }
+    cost
+}
+
+/// Total incremental area of a selection, µm².
+pub fn total_area(selection: &[SelectedIse]) -> f64 {
+    selection.iter().map(|s| s.incremental_area).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isex_core::IseCandidate;
+    use isex_dfg::{NodeId, NodeSet, Operand};
+    use isex_isa::{Opcode, Operation, ProgramDfg};
+
+    fn pattern(opcodes: &[Opcode], area: f64) -> IsePattern {
+        let mut dfg = ProgramDfg::new();
+        let x = dfg.live_in();
+        let mut prev = None;
+        for &op in opcodes {
+            let operands = match prev {
+                None => vec![Operand::LiveIn(x), Operand::Const(7)],
+                Some(p) => vec![Operand::Node(p), Operand::Const(7)],
+            };
+            prev = Some(dfg.add_node(Operation::new(op), operands));
+        }
+        dfg.set_live_out(prev.unwrap(), true);
+        let mut nodes = NodeSet::new(opcodes.len());
+        for i in 0..opcodes.len() {
+            nodes.insert(NodeId::new(i as u32));
+        }
+        let mut p = IsePattern::from_candidate(
+            &IseCandidate {
+                nodes,
+                choices: (0..opcodes.len())
+                    .map(|i| (NodeId::new(i as u32), 0))
+                    .collect(),
+                // Consistent with the Table 5.1.1 delays of the members, so
+                // identical shapes recognise each other as shareable.
+                delay_ns: opcodes
+                    .iter()
+                    .map(|o| isex_isa::hw_table::hardware_options(*o)[0].delay_ns)
+                    .sum(),
+                latency: 1,
+                area_um2: area,
+                inputs: 1,
+                outputs: 1,
+                saved_cycles: 1,
+            },
+            &dfg,
+        );
+        p.area_um2 = area;
+        p
+    }
+
+    fn wp(opcodes: &[Opcode], area: f64, gain: u64) -> WeightedPattern {
+        WeightedPattern {
+            pattern: pattern(opcodes, area),
+            gain,
+        }
+    }
+
+    #[test]
+    fn ranks_by_gain() {
+        let sel = select(
+            vec![
+                wp(&[Opcode::Add, Opcode::Sll], 100.0, 10),
+                wp(&[Opcode::Xor, Opcode::Srl], 100.0, 99),
+            ],
+            &Budgets::default(),
+        );
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[0].gain, 99);
+    }
+
+    #[test]
+    fn area_budget_enforced_with_skip() {
+        let sel = select(
+            vec![
+                wp(&[Opcode::Xor, Opcode::Srl], 900.0, 99),
+                wp(&[Opcode::Add, Opcode::Sll], 500.0, 50),
+                wp(&[Opcode::Nor, Opcode::Sra], 100.0, 10),
+            ],
+            &Budgets {
+                area_um2: Some(1000.0),
+                max_ises: None,
+            },
+        );
+        // 900 fits; 500 does not (1400 > 1000); 100 still fits (1000).
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[0].gain, 99);
+        assert_eq!(sel[1].gain, 10);
+        assert!((total_area(&sel) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ise_count_budget_enforced() {
+        let sel = select(
+            vec![
+                wp(&[Opcode::Xor, Opcode::Srl], 1.0, 9),
+                wp(&[Opcode::Add, Opcode::Sll], 1.0, 8),
+                wp(&[Opcode::Nor, Opcode::Sra], 1.0, 7),
+            ],
+            &Budgets {
+                area_um2: None,
+                max_ises: Some(2),
+            },
+        );
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn operator_pool_shares_individual_operators() {
+        // Pattern A: add -> sll.  Pattern B: sub -> sll.  Under the pool
+        // model B pays only for its subtractor — the shifter is reused.
+        let a = wp(&[Opcode::Add, Opcode::Sll], 0.0, 90);
+        let b = wp(&[Opcode::Sub, Opcode::Sll], 0.0, 80);
+        let add_area = isex_isa::hw_table::hardware_options(Opcode::Add)[0].area_um2;
+        let sub_area = isex_isa::hw_table::hardware_options(Opcode::Sub)[0].area_um2;
+        let sll_area = isex_isa::hw_table::hardware_options(Opcode::Sll)[0].area_um2;
+        let sel = select_with(vec![a, b], &Budgets::default(), SharingModel::OperatorPool);
+        assert_eq!(sel.len(), 2);
+        assert!((sel[0].incremental_area - (add_area + sll_area)).abs() < 1e-9);
+        assert!(
+            (sel[1].incremental_area - sub_area).abs() < 1e-9,
+            "shifter shared: only the subtractor is new, got {}",
+            sel[1].incremental_area
+        );
+    }
+
+    #[test]
+    fn operator_pool_counts_instances_within_a_pattern() {
+        // {sll -> add} does not embed in {add -> add -> sll}, so both
+        // survive merging; the pool then covers the smaller one entirely.
+        let small = wp(&[Opcode::Sll, Opcode::Add], 0.0, 90);
+        let big = wp(&[Opcode::Add, Opcode::Add, Opcode::Sll], 0.0, 80);
+        let add_area = isex_isa::hw_table::hardware_options(Opcode::Add)[0].area_um2;
+        let sll_area = isex_isa::hw_table::hardware_options(Opcode::Sll)[0].area_um2;
+        let sel = select_with(
+            vec![small, big],
+            &Budgets::default(),
+            SharingModel::OperatorPool,
+        );
+        assert_eq!(sel.len(), 2);
+        // Selection is gain-descending: `small` (gain 90) goes first and
+        // pays one shifter + one adder.
+        assert!((sel[0].incremental_area - (add_area + sll_area)).abs() < 1e-9);
+        // `big` needs 2 adders + 1 shifter; the pool covers one of each, so
+        // only the second adder is new silicon.
+        assert!((sel[1].incremental_area - add_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operator_pool_never_costs_more_than_containment() {
+        let cands = || {
+            vec![
+                wp(&[Opcode::Add, Opcode::Sll, Opcode::Xor], 0.0, 90),
+                wp(&[Opcode::Xor, Opcode::Sll], 0.0, 70),
+                wp(&[Opcode::Add, Opcode::Sll], 0.0, 50),
+            ]
+        };
+        // Note: the `pattern` helper overrides area_um2 = 0, so compare via
+        // per-operator accounting by rebuilding with table-true areas.
+        let with = |m: SharingModel| -> f64 {
+            let mut items = cands();
+            for it in &mut items {
+                it.pattern.area_um2 = it
+                    .pattern
+                    .ops
+                    .iter()
+                    .map(|o| isex_isa::hw_table::hardware_options(o.opcode)[o.hw_choice].area_um2)
+                    .sum();
+            }
+            total_area(&select_with(items, &Budgets::default(), m))
+        };
+        assert!(with(SharingModel::OperatorPool) <= with(SharingModel::Containment) + 1e-9);
+    }
+
+    #[test]
+    fn identical_patterns_share_hardware() {
+        // Two identical shapes from different blocks: merged before
+        // selection, so one survivor carries the summed gain.
+        let sel = select(
+            vec![
+                wp(&[Opcode::Add, Opcode::Sll], 700.0, 60),
+                wp(&[Opcode::Add, Opcode::Sll], 700.0, 40),
+            ],
+            &Budgets {
+                area_um2: Some(700.0),
+                max_ises: None,
+            },
+        );
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].gain, 100);
+        assert_eq!(sel[0].incremental_area, 700.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The paper's Table 5.1.1: hardware implementation-option settings.
+//!
+//! Delay is in nanoseconds, area in µm², for a 0.13 µm CMOS process
+//! (§5.1). Several opcode families have *two* hardware options — a small,
+//! slow implementation and a large, fast one — which is what gives the merit
+//! function its area/delay trade-off (criteria (2)–(4) of §4.3's case 4).
+//! The values below are copied verbatim from the thesis.
+
+use crate::op::HwOption;
+use crate::opcode::Opcode;
+
+/// One printable row of Table 5.1.1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRow {
+    /// The opcode family the row covers (e.g. `add addi addu addiu`).
+    pub opcodes: &'static [Opcode],
+    /// The hardware options of the family (1 or 2 entries).
+    pub options: &'static [HwOption],
+}
+
+const ADD_FAMILY: [HwOption; 2] = [
+    HwOption::new_const(4.04, 926.33),
+    HwOption::new_const(2.12, 2075.35),
+];
+const SUB_FAMILY: [HwOption; 2] = [
+    HwOption::new_const(4.04, 926.33),
+    HwOption::new_const(2.14, 2049.41),
+];
+const MULT: [HwOption; 1] = [HwOption::new_const(5.77, 84428.0)];
+const MULTU: [HwOption; 1] = [HwOption::new_const(5.65, 79778.1)];
+const SLT_FAMILY: [HwOption; 2] = [
+    HwOption::new_const(2.64, 1144.0),
+    HwOption::new_const(1.01, 2636.0),
+];
+const AND_FAMILY: [HwOption; 1] = [HwOption::new_const(1.58, 214.31)];
+const OR_FAMILY: [HwOption; 1] = [HwOption::new_const(1.85, 214.21)];
+const XOR: [HwOption; 1] = [HwOption::new_const(4.17, 375.1)];
+const XORI: [HwOption; 1] = [HwOption::new_const(2.01, 565.14)];
+const NOR: [HwOption; 1] = [HwOption::new_const(2.0, 250.0)];
+const SHIFT_FAMILY: [HwOption; 1] = [HwOption::new_const(3.0, 400.0)];
+
+/// The rows of Table 5.1.1 in the paper's order.
+pub fn rows() -> Vec<TableRow> {
+    use Opcode::*;
+    vec![
+        TableRow {
+            opcodes: &[Add, Addi, Addu, Addiu],
+            options: &ADD_FAMILY,
+        },
+        TableRow {
+            opcodes: &[And, Andi],
+            options: &AND_FAMILY,
+        },
+        TableRow {
+            opcodes: &[Sub, Subu],
+            options: &SUB_FAMILY,
+        },
+        TableRow {
+            opcodes: &[Or, Ori],
+            options: &OR_FAMILY,
+        },
+        TableRow {
+            opcodes: &[Mult],
+            options: &MULT,
+        },
+        TableRow {
+            opcodes: &[Xor],
+            options: &XOR,
+        },
+        TableRow {
+            opcodes: &[Multu],
+            options: &MULTU,
+        },
+        TableRow {
+            opcodes: &[Xori],
+            options: &XORI,
+        },
+        TableRow {
+            opcodes: &[Slt, Slti, Sltu, Sltiu],
+            options: &SLT_FAMILY,
+        },
+        TableRow {
+            opcodes: &[Nor],
+            options: &NOR,
+        },
+        TableRow {
+            opcodes: &[Sll, Sllv, Srl, Srlv, Sra, Srav],
+            options: &SHIFT_FAMILY,
+        },
+    ]
+}
+
+/// The functional family of `opcode` within Table 5.1.1 (the row index),
+/// or `None` for opcodes without hardware options.
+///
+/// Operators are interchangeable hardware only within a family — an adder
+/// and a subtractor have the same delay/area but compute different
+/// functions, so hardware sharing must distinguish them.
+pub fn family_index(opcode: Opcode) -> Option<usize> {
+    use Opcode::*;
+    match opcode {
+        Add | Addi | Addu | Addiu => Some(0),
+        And | Andi => Some(1),
+        Sub | Subu => Some(2),
+        Or | Ori => Some(3),
+        Mult => Some(4),
+        Xor => Some(5),
+        Multu => Some(6),
+        Xori => Some(7),
+        Slt | Slti | Sltu | Sltiu => Some(8),
+        Nor => Some(9),
+        Sll | Sllv | Srl | Srlv | Sra | Srav => Some(10),
+        _ => None,
+    }
+}
+
+/// Returns the hardware implementation options of `opcode` per Table 5.1.1.
+///
+/// Opcodes without a table entry (loads, stores, branches, `lui`) return an
+/// empty slice: they cannot be realised inside an ASFU.
+///
+/// # Example
+///
+/// ```
+/// use isex_isa::{hw_table, Opcode};
+///
+/// let opts = hw_table::hardware_options(Opcode::Add);
+/// assert_eq!(opts.len(), 2);
+/// assert_eq!(opts[0].delay_ns, 4.04);
+/// assert!(hw_table::hardware_options(Opcode::Lw).is_empty());
+/// ```
+pub fn hardware_options(opcode: Opcode) -> &'static [HwOption] {
+    use Opcode::*;
+    match opcode {
+        Add | Addi | Addu | Addiu => &ADD_FAMILY,
+        Sub | Subu => &SUB_FAMILY,
+        Mult => &MULT,
+        Multu => &MULTU,
+        Slt | Slti | Sltu | Sltiu => &SLT_FAMILY,
+        And | Andi => &AND_FAMILY,
+        Or | Ori => &OR_FAMILY,
+        Xor => &XOR,
+        Xori => &XORI,
+        Nor => &NOR,
+        Sll | Sllv | Srl | Srlv | Sra | Srav => &SHIFT_FAMILY,
+        _ => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_eligibility() {
+        for &op in Opcode::ALL {
+            assert_eq!(
+                !hardware_options(op).is_empty(),
+                op.is_ise_eligible(),
+                "{op}: eligibility must coincide with having a table entry"
+            );
+        }
+    }
+
+    #[test]
+    fn families_share_options() {
+        assert_eq!(
+            hardware_options(Opcode::Add),
+            hardware_options(Opcode::Addiu)
+        );
+        assert_eq!(
+            hardware_options(Opcode::Sll),
+            hardware_options(Opcode::Srav)
+        );
+        assert_ne!(
+            hardware_options(Opcode::Mult),
+            hardware_options(Opcode::Multu)
+        );
+    }
+
+    #[test]
+    fn verbatim_values() {
+        let m = hardware_options(Opcode::Mult);
+        assert_eq!(m[0].delay_ns, 5.77);
+        assert_eq!(m[0].area_um2, 84428.0);
+        let s = hardware_options(Opcode::Slt);
+        assert_eq!(s[1].delay_ns, 1.01);
+        assert_eq!(s[1].area_um2, 2636.0);
+    }
+
+    #[test]
+    fn second_option_trades_area_for_speed() {
+        for row in rows() {
+            if row.options.len() == 2 {
+                assert!(row.options[1].delay_ns < row.options[0].delay_ns);
+                assert!(row.options[1].area_um2 > row.options[0].area_um2);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_cover_all_eligible_opcodes_once() {
+        let mut seen = Vec::new();
+        for row in rows() {
+            for &op in row.opcodes {
+                assert!(!seen.contains(&op), "{op} appears twice");
+                seen.push(op);
+            }
+        }
+        for &op in Opcode::ALL {
+            assert_eq!(seen.contains(&op), op.is_ise_eligible());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! PISA-like instruction-set model for ISE exploration.
+//!
+//! The paper evaluates on the Portable Instruction Set Architecture (PISA),
+//! SimpleScalar's MIPS-like ISA (§5.1). This crate models exactly what the
+//! exploration algorithm needs from the ISA:
+//!
+//! * the opcodes and their functional classes ([`Opcode`], [`OpClass`]);
+//! * the **implementation-option (IO) table** attached to every operation
+//!   (§4.1): one or more software options (execute on a core function unit,
+//!   one cycle each under the paper's §5.1 assumption) and zero or more
+//!   hardware options (execute inside an ASFU, with a delay in nanoseconds
+//!   and an extra silicon area in µm²);
+//! * the paper's **Table 5.1.1** hardware delay/area settings, verbatim
+//!   ([`hw_table`]);
+//! * the modelled machine: issue width, register-file read/write ports and
+//!   the 100 MHz ⇒ 10 ns cycle ([`MachineConfig`]).
+//!
+//! The DFG payload used throughout the workspace is [`Operation`], so the
+//! program representation is `Dfg<Operation>` (aliased as [`ProgramDfg`]).
+//!
+//! # Example
+//!
+//! ```
+//! use isex_isa::{MachineConfig, Opcode, Operation, ProgramDfg};
+//! use isex_dfg::Operand;
+//!
+//! let mut dfg = ProgramDfg::new();
+//! let x = dfg.live_in();
+//! let a = dfg.add_node(Operation::new(Opcode::Add), vec![Operand::LiveIn(x), Operand::Const(4)]);
+//! let b = dfg.add_node(Operation::new(Opcode::Sll), vec![Operand::Node(a), Operand::Const(2)]);
+//! dfg.set_live_out(b, true);
+//!
+//! let m = MachineConfig::preset_2issue_4r2w();
+//! assert_eq!(m.issue_width, 2);
+//! assert!(!dfg.node(a).payload().io_table().hardware().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hw_table;
+mod machine;
+mod op;
+mod opcode;
+pub mod parse;
+pub mod semantics;
+
+pub use machine::MachineConfig;
+pub use op::{HwOption, IoTable, Operation, SwOption};
+pub use opcode::{OpClass, Opcode};
+
+/// A program basic block represented as a DFG whose payload is an
+/// [`Operation`].
+pub type ProgramDfg = isex_dfg::Dfg<Operation>;

@@ -1,0 +1,169 @@
+//! The modelled multiple-issue machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the modelled in-order multiple-issue core (§5.1).
+///
+/// The paper's simulation assumes a 100 MHz core in 0.13 µm CMOS (10 ns
+/// cycle), issue widths 2–4, and register files with 4/2, 6/3, 8/4 or 10/5
+/// read/write ports; every PISA instruction executes in one cycle. The six
+/// evaluated configurations are provided as presets.
+///
+/// # Example
+///
+/// ```
+/// use isex_isa::MachineConfig;
+///
+/// let m = MachineConfig::preset_3issue_8r4w();
+/// assert_eq!((m.issue_width, m.read_ports, m.write_ports), (3, 8, 4));
+/// assert_eq!(m.cycles_for_delay_ns(10.0), 1);
+/// assert_eq!(m.cycles_for_delay_ns(10.1), 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Instructions issued per cycle.
+    pub issue_width: usize,
+    /// Register-file read ports available per cycle.
+    pub read_ports: usize,
+    /// Register-file write ports available per cycle.
+    pub write_ports: usize,
+    /// Clock period in nanoseconds (paper: 10 ns at 100 MHz).
+    pub cycle_time_ns: f64,
+    /// Integer multipliers available per cycle (the paper does not stress
+    /// multiplier contention; default equals the issue width).
+    pub mult_units: usize,
+    /// Memory ports (loads/stores issued per cycle).
+    pub mem_ports: usize,
+    /// Whether the ASFU is pipelined: a pipelined ASFU accepts a new ISE
+    /// every cycle; a non-pipelined one stays busy for the whole latency
+    /// of the executing ISE.
+    pub asfu_pipelined: bool,
+}
+
+impl MachineConfig {
+    /// A custom machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any resource count is zero or `cycle_time_ns` is not
+    /// positive and finite.
+    pub fn new(issue_width: usize, read_ports: usize, write_ports: usize) -> Self {
+        assert!(issue_width > 0 && read_ports > 0 && write_ports > 0);
+        MachineConfig {
+            issue_width,
+            read_ports,
+            write_ports,
+            cycle_time_ns: 10.0,
+            mult_units: issue_width,
+            mem_ports: issue_width.div_ceil(2),
+            asfu_pipelined: true,
+        }
+    }
+
+    /// 2-issue, 4 read / 2 write ports.
+    pub fn preset_2issue_4r2w() -> Self {
+        MachineConfig::new(2, 4, 2)
+    }
+
+    /// 2-issue, 6 read / 3 write ports.
+    pub fn preset_2issue_6r3w() -> Self {
+        MachineConfig::new(2, 6, 3)
+    }
+
+    /// 3-issue, 6 read / 3 write ports.
+    pub fn preset_3issue_6r3w() -> Self {
+        MachineConfig::new(3, 6, 3)
+    }
+
+    /// 3-issue, 8 read / 4 write ports.
+    pub fn preset_3issue_8r4w() -> Self {
+        MachineConfig::new(3, 8, 4)
+    }
+
+    /// 4-issue, 8 read / 4 write ports.
+    pub fn preset_4issue_8r4w() -> Self {
+        MachineConfig::new(4, 8, 4)
+    }
+
+    /// 4-issue, 10 read / 5 write ports.
+    pub fn preset_4issue_10r5w() -> Self {
+        MachineConfig::new(4, 10, 5)
+    }
+
+    /// The six configurations evaluated in §5.1, in the paper's order,
+    /// with their display labels (`"4/2, 2IS"` etc.).
+    pub fn evaluation_presets() -> Vec<(&'static str, MachineConfig)> {
+        vec![
+            ("4/2, 2IS", Self::preset_2issue_4r2w()),
+            ("6/3, 2IS", Self::preset_2issue_6r3w()),
+            ("6/3, 3IS", Self::preset_3issue_6r3w()),
+            ("8/4, 3IS", Self::preset_3issue_8r4w()),
+            ("8/4, 4IS", Self::preset_4issue_8r4w()),
+            ("10/5, 4IS", Self::preset_4issue_10r5w()),
+        ]
+    }
+
+    /// Converts a combinational hardware delay into whole pipeline cycles
+    /// (at least one).
+    pub fn cycles_for_delay_ns(&self, delay_ns: f64) -> u32 {
+        if delay_ns <= 0.0 {
+            return 1;
+        }
+        (delay_ns / self.cycle_time_ns).ceil().max(1.0) as u32
+    }
+}
+
+impl Default for MachineConfig {
+    /// The paper's baseline configuration: 2-issue, 4/2 ports.
+    fn default() -> Self {
+        Self::preset_2issue_4r2w()
+    }
+}
+
+impl std::fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}-issue, {}R/{}W, {} ns cycle",
+            self.issue_width, self.read_ports, self.write_ports, self.cycle_time_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_cases() {
+        let ps = MachineConfig::evaluation_presets();
+        assert_eq!(ps.len(), 6);
+        assert_eq!(ps[0].1.issue_width, 2);
+        assert_eq!(ps[5].1, MachineConfig::new(4, 10, 5));
+        for (_, p) in &ps {
+            assert_eq!(p.cycle_time_ns, 10.0);
+        }
+    }
+
+    #[test]
+    fn delay_to_cycles_rounds_up() {
+        let m = MachineConfig::default();
+        assert_eq!(m.cycles_for_delay_ns(0.0), 1);
+        assert_eq!(m.cycles_for_delay_ns(4.04), 1);
+        assert_eq!(m.cycles_for_delay_ns(10.0), 1);
+        assert_eq!(m.cycles_for_delay_ns(12.5), 2);
+        assert_eq!(m.cycles_for_delay_ns(20.01), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_issue_width_rejected() {
+        MachineConfig::new(0, 4, 2);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let s = MachineConfig::preset_4issue_10r5w().to_string();
+        assert!(s.contains("4-issue") && s.contains("10R/5W"));
+    }
+}

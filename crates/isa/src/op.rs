@@ -1,0 +1,230 @@
+//! Operations and implementation-option (IO) tables.
+//!
+//! §4.1: "The implementation option represents the way to execute an
+//! operation … a table, called implementation option (IO) table, is added to
+//! every operation. Each entry comprises three fields: implementation
+//! option, delay and area." Adding the IO table to the plain DFG `G` yields
+//! the extended graph `G+` that exploration runs on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hw_table;
+use crate::opcode::Opcode;
+
+/// A software implementation option: execute on a core function unit.
+///
+/// Under the paper's §5.1 assumption every PISA instruction executes in one
+/// cycle, so the default software option has `delay_cycles == 1`; the type
+/// still carries the field so alternative core pipelines can be modelled
+/// (thesis Fig. 4.1.1 shows a two-option software table).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwOption {
+    /// Latency on the core pipeline, in cycles.
+    pub delay_cycles: u32,
+}
+
+impl SwOption {
+    /// Creates a software option with the given core latency.
+    pub fn new(delay_cycles: u32) -> Self {
+        SwOption { delay_cycles }
+    }
+}
+
+impl Default for SwOption {
+    /// The paper's single-cycle software option.
+    fn default() -> Self {
+        SwOption { delay_cycles: 1 }
+    }
+}
+
+/// A hardware implementation option: execute inside an ASFU.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HwOption {
+    /// Combinational delay of the hardware block, in nanoseconds.
+    pub delay_ns: f64,
+    /// Extra silicon area of the hardware block, in µm².
+    pub area_um2: f64,
+}
+
+impl HwOption {
+    /// Creates a hardware option.
+    pub fn new(delay_ns: f64, area_um2: f64) -> Self {
+        HwOption { delay_ns, area_um2 }
+    }
+
+    /// `const` constructor used by the static Table 5.1.1 data.
+    pub const fn new_const(delay_ns: f64, area_um2: f64) -> Self {
+        HwOption { delay_ns, area_um2 }
+    }
+}
+
+/// The implementation-option table of one operation (§4.1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IoTable {
+    software: Vec<SwOption>,
+    hardware: Vec<HwOption>,
+}
+
+impl IoTable {
+    /// Builds a table with the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no software option: every operation must at least
+    /// be executable on the core.
+    pub fn new(software: Vec<SwOption>, hardware: Vec<HwOption>) -> Self {
+        assert!(
+            !software.is_empty(),
+            "every operation needs at least one software implementation option"
+        );
+        IoTable { software, hardware }
+    }
+
+    /// The table implied by the ISA: one single-cycle software option plus
+    /// the Table 5.1.1 hardware options of `opcode` (none if the opcode is
+    /// not ISE-eligible).
+    pub fn for_opcode(opcode: Opcode) -> Self {
+        IoTable {
+            software: vec![SwOption::default()],
+            hardware: hw_table::hardware_options(opcode).to_vec(),
+        }
+    }
+
+    /// The software options.
+    pub fn software(&self) -> &[SwOption] {
+        &self.software
+    }
+
+    /// The hardware options.
+    pub fn hardware(&self) -> &[HwOption] {
+        &self.hardware
+    }
+
+    /// Total number of options.
+    pub fn len(&self) -> usize {
+        self.software.len() + self.hardware.len()
+    }
+
+    /// Always `false`: a table has at least one software option.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The fastest hardware option, if the operation has any.
+    pub fn fastest_hardware(&self) -> Option<&HwOption> {
+        self.hardware
+            .iter()
+            .min_by(|a, b| a.delay_ns.total_cmp(&b.delay_ns))
+    }
+
+    /// The smallest-area hardware option, if the operation has any.
+    pub fn smallest_hardware(&self) -> Option<&HwOption> {
+        self.hardware
+            .iter()
+            .min_by(|a, b| a.area_um2.total_cmp(&b.area_um2))
+    }
+}
+
+/// One assembly operation: an opcode plus its IO table.
+///
+/// `Operation` is the node payload of [`ProgramDfg`](crate::ProgramDfg).
+///
+/// # Example
+///
+/// ```
+/// use isex_isa::{Opcode, Operation};
+///
+/// let op = Operation::new(Opcode::Slt);
+/// assert_eq!(op.opcode(), Opcode::Slt);
+/// assert_eq!(op.io_table().hardware().len(), 2);
+/// assert!(op.is_ise_eligible());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    opcode: Opcode,
+    io_table: IoTable,
+}
+
+impl Operation {
+    /// Creates an operation with the ISA-implied IO table
+    /// ([`IoTable::for_opcode`]).
+    pub fn new(opcode: Opcode) -> Self {
+        Operation {
+            opcode,
+            io_table: IoTable::for_opcode(opcode),
+        }
+    }
+
+    /// Creates an operation with a custom IO table (used by tests and by
+    /// workloads that model non-standard blocks, cf. thesis Fig. 4.1.1).
+    pub fn with_table(opcode: Opcode, io_table: IoTable) -> Self {
+        Operation { opcode, io_table }
+    }
+
+    /// The opcode.
+    pub fn opcode(&self) -> Opcode {
+        self.opcode
+    }
+
+    /// The implementation-option table.
+    pub fn io_table(&self) -> &IoTable {
+        &self.io_table
+    }
+
+    /// Whether the operation may be packed into an ISE: the opcode must be
+    /// eligible *and* the table must actually offer hardware options.
+    pub fn is_ise_eligible(&self) -> bool {
+        self.opcode.is_ise_eligible() && !self.io_table.hardware.is_empty()
+    }
+}
+
+impl std::fmt::Display for Operation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.opcode.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso_table_from_opcode() {
+        let t = IoTable::for_opcode(Opcode::Add);
+        assert_eq!(t.software().len(), 1);
+        assert_eq!(t.software()[0].delay_cycles, 1);
+        assert_eq!(t.hardware().len(), 2);
+        let t = IoTable::for_opcode(Opcode::Lw);
+        assert!(t.hardware().is_empty());
+    }
+
+    #[test]
+    fn fastest_and_smallest() {
+        let t = IoTable::for_opcode(Opcode::Add);
+        assert_eq!(t.fastest_hardware().unwrap().delay_ns, 2.12);
+        assert_eq!(t.smallest_hardware().unwrap().area_um2, 926.33);
+    }
+
+    #[test]
+    fn eligibility_requires_hardware_options() {
+        let custom =
+            Operation::with_table(Opcode::Add, IoTable::new(vec![SwOption::default()], vec![]));
+        assert!(
+            !custom.is_ise_eligible(),
+            "no hardware option, not eligible"
+        );
+        assert!(Operation::new(Opcode::Add).is_ise_eligible());
+        assert!(!Operation::new(Opcode::Sw).is_ise_eligible());
+    }
+
+    #[test]
+    #[should_panic(expected = "software implementation option")]
+    fn table_without_software_panics() {
+        IoTable::new(vec![], vec![HwOption::new(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn display_shows_mnemonic() {
+        assert_eq!(Operation::new(Opcode::Nor).to_string(), "nor");
+    }
+}

@@ -1,0 +1,192 @@
+//! PISA opcodes and functional classes.
+
+use serde::{Deserialize, Serialize};
+
+/// The functional class of an operation: which core function unit executes
+/// its software implementation option, and whether it may enter an ISE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation (add/sub/logic/compare/shift/lui).
+    IntAlu,
+    /// Integer multiply (separate multiplier unit).
+    IntMult,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Control transfer; terminates the basic block.
+    Branch,
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMult => "int-mult",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+macro_rules! opcodes {
+    ($( $variant:ident = ($mnemonic:literal, $class:ident) ),+ $(,)?) => {
+        /// A PISA (MIPS-like) opcode.
+        ///
+        /// The set covers every instruction of the paper's Table 5.1.1 plus
+        /// the memory, immediate-materialisation and control instructions
+        /// needed to express the benchmark kernels. Only the Table 5.1.1
+        /// opcodes are ISE-eligible (§5.1: "only instructions that can be
+        /// grouped into ISEs are listed in table 1").
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum Opcode {
+            $( $variant ),+
+        }
+
+        impl Opcode {
+            /// Every opcode, in declaration order.
+            pub const ALL: &'static [Opcode] = &[ $( Opcode::$variant ),+ ];
+
+            /// The assembly mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Opcode::$variant => $mnemonic ),+
+                }
+            }
+
+            /// The functional class of the opcode.
+            pub fn class(self) -> OpClass {
+                match self {
+                    $( Opcode::$variant => OpClass::$class ),+
+                }
+            }
+
+            /// Parses a mnemonic back into an opcode.
+            pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+                match s {
+                    $( $mnemonic => Some(Opcode::$variant), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // Table 5.1.1 row 1: add-family
+    Add = ("add", IntAlu),
+    Addi = ("addi", IntAlu),
+    Addu = ("addu", IntAlu),
+    Addiu = ("addiu", IntAlu),
+    // sub-family
+    Sub = ("sub", IntAlu),
+    Subu = ("subu", IntAlu),
+    // multiplies
+    Mult = ("mult", IntMult),
+    Multu = ("multu", IntMult),
+    // set-less-than family
+    Slt = ("slt", IntAlu),
+    Slti = ("slti", IntAlu),
+    Sltu = ("sltu", IntAlu),
+    Sltiu = ("sltiu", IntAlu),
+    // logic
+    And = ("and", IntAlu),
+    Andi = ("andi", IntAlu),
+    Or = ("or", IntAlu),
+    Ori = ("ori", IntAlu),
+    Xor = ("xor", IntAlu),
+    Xori = ("xori", IntAlu),
+    Nor = ("nor", IntAlu),
+    // shifts
+    Sll = ("sll", IntAlu),
+    Sllv = ("sllv", IntAlu),
+    Srl = ("srl", IntAlu),
+    Srlv = ("srlv", IntAlu),
+    Sra = ("sra", IntAlu),
+    Srav = ("srav", IntAlu),
+    // Not ISE-eligible below this line -------------------------------
+    Lui = ("lui", IntAlu),
+    Lb = ("lb", Load),
+    Lh = ("lh", Load),
+    Lw = ("lw", Load),
+    Lbu = ("lbu", Load),
+    Lhu = ("lhu", Load),
+    Sb = ("sb", Store),
+    Sh = ("sh", Store),
+    Sw = ("sw", Store),
+    Beq = ("beq", Branch),
+    Bne = ("bne", Branch),
+    Blez = ("blez", Branch),
+    Bgtz = ("bgtz", Branch),
+    Jump = ("j", Branch),
+}
+
+impl Opcode {
+    /// Returns `true` if the opcode may be packed into an ISE.
+    ///
+    /// Load and store operations are forbidden by the load-store-architecture
+    /// constraint of §4.2, branches terminate the block, and `lui` has no
+    /// Table 5.1.1 hardware implementation; everything listed in Table 5.1.1
+    /// is eligible.
+    pub fn is_ise_eligible(self) -> bool {
+        !matches!(
+            self.class(),
+            OpClass::Load | OpClass::Store | OpClass::Branch
+        ) && self != Opcode::Lui
+    }
+
+    /// Returns `true` if the opcode is a memory access.
+    pub fn is_memory(self) -> bool {
+        matches!(self.class(), OpClass::Load | OpClass::Store)
+    }
+}
+
+impl std::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+    }
+
+    #[test]
+    fn eligibility_rules() {
+        assert!(Opcode::Add.is_ise_eligible());
+        assert!(Opcode::Srav.is_ise_eligible());
+        assert!(Opcode::Mult.is_ise_eligible());
+        assert!(!Opcode::Lw.is_ise_eligible());
+        assert!(!Opcode::Sw.is_ise_eligible());
+        assert!(!Opcode::Beq.is_ise_eligible());
+        assert!(!Opcode::Lui.is_ise_eligible());
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Opcode::Mult.class(), OpClass::IntMult);
+        assert_eq!(Opcode::Lw.class(), OpClass::Load);
+        assert_eq!(Opcode::Sb.class(), OpClass::Store);
+        assert_eq!(Opcode::Jump.class(), OpClass::Branch);
+        assert_eq!(Opcode::Xor.class(), OpClass::IntAlu);
+        assert!(Opcode::Lw.is_memory());
+        assert!(!Opcode::Add.is_memory());
+    }
+
+    #[test]
+    fn display_is_mnemonic() {
+        assert_eq!(Opcode::Addiu.to_string(), "addiu");
+        assert_eq!(OpClass::IntMult.to_string(), "int-mult");
+    }
+}

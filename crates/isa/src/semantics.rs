@@ -1,0 +1,240 @@
+//! Functional semantics of the PISA-like opcodes, and a reference
+//! interpreter for basic-block DFGs.
+//!
+//! The exploration tool-chain rewrites programs (ISE replacement collapses
+//! subgraphs into single instructions), so it needs a ground truth to test
+//! against: [`evaluate_block`] executes a [`ProgramDfg`] on concrete
+//! values, and the ASFU realisation of a pattern must compute exactly what
+//! the original operations computed. The integration suite uses this to
+//! prove match/replace soundness end-to-end.
+
+use std::collections::BTreeMap;
+
+use isex_dfg::{NodeId, Operand};
+
+use crate::opcode::{OpClass, Opcode};
+use crate::ProgramDfg;
+
+/// Applies an ALU/multiplier opcode to two 32-bit operands with MIPS-like
+/// wrapping semantics. Shift amounts use the low five bits; compares yield
+/// 0 or 1; `mult` returns the low 32 result bits.
+///
+/// # Panics
+///
+/// Panics if called with a memory or branch opcode — those need machine
+/// state, not a pure function ([`evaluate_block`] handles them).
+pub fn alu(opcode: Opcode, a: u32, b: u32) -> u32 {
+    use Opcode::*;
+    match opcode {
+        Add | Addi | Addu | Addiu => a.wrapping_add(b),
+        Sub | Subu => a.wrapping_sub(b),
+        Mult | Multu => a.wrapping_mul(b),
+        Slt | Slti => ((a as i32) < (b as i32)) as u32,
+        Sltu | Sltiu => (a < b) as u32,
+        And | Andi => a & b,
+        Or | Ori => a | b,
+        Xor | Xori => a ^ b,
+        Nor => !(a | b),
+        Sll | Sllv => a.wrapping_shl(b & 31),
+        Srl | Srlv => a.wrapping_shr(b & 31),
+        Sra | Srav => ((a as i32).wrapping_shr(b & 31)) as u32,
+        Lui => a.wrapping_shl(16),
+        other => panic!("{other} has no pure ALU semantics"),
+    }
+}
+
+/// A flat 32-bit word memory for the interpreter.
+pub type Memory = BTreeMap<u32, u32>;
+
+/// Executes every operation of `dfg` in topological order.
+///
+/// * `live_ins[i]` is the value of live-in `i` (missing entries read 0);
+/// * loads read `memory` (missing addresses read a deterministic
+///   address-derived pattern, so uninitialised reads are still repeatable);
+/// * stores write `memory`; a load/store address is the wrapping sum of all
+///   its operand values;
+/// * branches evaluate to whether they would be taken (`beq`/`bne`/…),
+///   which lets tests observe their data inputs.
+///
+/// Returns the value produced by each node.
+pub fn evaluate_block(dfg: &ProgramDfg, live_ins: &[u32], memory: &mut Memory) -> Vec<u32> {
+    let mut values = vec![0u32; dfg.len()];
+    for (id, node) in dfg.iter() {
+        let operand_value = |op: &Operand, values: &[u32]| -> u32 {
+            match *op {
+                Operand::Node(p) => values[p.index()],
+                Operand::LiveIn(v) => live_ins.get(v.index()).copied().unwrap_or(0),
+                Operand::Const(c) => c as u32,
+            }
+        };
+        let ops: Vec<u32> = node
+            .operands()
+            .iter()
+            .map(|op| operand_value(op, &values))
+            .collect();
+        let opcode = node.payload().opcode();
+        values[id.index()] = match opcode.class() {
+            OpClass::Load => {
+                let addr = ops.iter().fold(0u32, |acc, &v| acc.wrapping_add(v));
+                *memory
+                    .entry(addr)
+                    .or_insert_with(|| addr.wrapping_mul(0x9e37_79b9) ^ 0x5a5a_5a5a)
+            }
+            OpClass::Store => {
+                // Convention: operand 0 is the value, the rest address it.
+                let value = ops.first().copied().unwrap_or(0);
+                let addr = ops.iter().skip(1).fold(0u32, |acc, &v| acc.wrapping_add(v));
+                memory.insert(addr, value);
+                value
+            }
+            OpClass::Branch => match opcode {
+                Opcode::Beq => (ops.first() == ops.get(1)) as u32,
+                Opcode::Bne => (ops.first() != ops.get(1)) as u32,
+                Opcode::Blez => ((ops.first().copied().unwrap_or(0) as i32) <= 0) as u32,
+                Opcode::Bgtz => ((ops.first().copied().unwrap_or(0) as i32) > 0) as u32,
+                _ => 1,
+            },
+            OpClass::IntAlu | OpClass::IntMult => {
+                let a = ops.first().copied().unwrap_or(0);
+                let b = ops.get(1).copied().unwrap_or(0);
+                alu(opcode, a, b)
+            }
+        };
+        let _ = id;
+    }
+    values
+}
+
+/// The values of every live-out node, in node order — the block's
+/// architecturally visible results.
+pub fn live_out_values(dfg: &ProgramDfg, values: &[u32]) -> Vec<(NodeId, u32)> {
+    dfg.iter()
+        .filter(|(_, n)| n.is_live_out())
+        .map(|(id, _)| (id, values[id.index()]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Operation;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu(Opcode::Add, 3, 4), 7);
+        assert_eq!(alu(Opcode::Sub, 3, 4), u32::MAX);
+        assert_eq!(alu(Opcode::Slt, u32::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(alu(Opcode::Sltu, u32::MAX, 0), 0, "max !< 0 unsigned");
+        assert_eq!(alu(Opcode::Sll, 1, 33), 2, "shift mod 32");
+        assert_eq!(alu(Opcode::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu(Opcode::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(alu(Opcode::Nor, 0, 0), u32::MAX);
+        assert_eq!(alu(Opcode::Lui, 0x1234, 0), 0x1234_0000);
+        assert_eq!(
+            alu(Opcode::Mult, 0x1_0001, 0x1_0001),
+            0x2_0001,
+            "low 32 bits"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no pure ALU semantics")]
+    fn memory_opcode_rejected_by_alu() {
+        alu(Opcode::Lw, 0, 0);
+    }
+
+    #[test]
+    fn block_evaluation_crc_step() {
+        // crc' = (crc >> 8) ^ table[(crc ^ byte) & 0xff] with a concrete
+        // table entry planted in memory.
+        let mut dfg = ProgramDfg::new();
+        let crc = dfg.live_in();
+        let byte = dfg.live_in();
+        let table = dfg.live_in();
+        let x = dfg.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::LiveIn(crc), Operand::LiveIn(byte)],
+        );
+        let idx = dfg.add_node(
+            Operation::new(Opcode::Andi),
+            vec![Operand::Node(x), Operand::Const(0xff)],
+        );
+        let off = dfg.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(idx), Operand::Const(2)],
+        );
+        let addr = dfg.add_node(
+            Operation::new(Opcode::Addu),
+            vec![Operand::LiveIn(table), Operand::Node(off)],
+        );
+        let entry = dfg.add_node(Operation::new(Opcode::Lw), vec![Operand::Node(addr)]);
+        let sh = dfg.add_node(
+            Operation::new(Opcode::Srl),
+            vec![Operand::LiveIn(crc), Operand::Const(8)],
+        );
+        let out = dfg.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(sh), Operand::Node(entry)],
+        );
+        dfg.set_live_out(out, true);
+
+        let crc_v = 0xdead_beef;
+        let byte_v = 0x42;
+        let table_v = 0x1000;
+        let index = (crc_v ^ byte_v) & 0xff;
+        let mut mem = Memory::new();
+        mem.insert(table_v + 4 * index, 0x1234_5678);
+        let values = evaluate_block(&dfg, &[crc_v, byte_v, table_v], &mut mem);
+        assert_eq!(values[out.index()], (crc_v >> 8) ^ 0x1234_5678);
+        let outs = live_out_values(&dfg, &values);
+        assert_eq!(outs, vec![(out, (crc_v >> 8) ^ 0x1234_5678)]);
+    }
+
+    #[test]
+    fn stores_update_memory() {
+        let mut dfg = ProgramDfg::new();
+        let v = dfg.live_in();
+        let p = dfg.live_in();
+        let doubled = dfg.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::LiveIn(v), Operand::Const(1)],
+        );
+        dfg.add_node(
+            Operation::new(Opcode::Sw),
+            vec![
+                Operand::Node(doubled),
+                Operand::LiveIn(p),
+                Operand::Const(8),
+            ],
+        );
+        let mut mem = Memory::new();
+        evaluate_block(&dfg, &[21, 0x100], &mut mem);
+        assert_eq!(mem.get(&0x108), Some(&42));
+    }
+
+    #[test]
+    fn uninitialised_loads_are_deterministic() {
+        let mut dfg = ProgramDfg::new();
+        let p = dfg.live_in();
+        let l = dfg.add_node(Operation::new(Opcode::Lw), vec![Operand::LiveIn(p)]);
+        dfg.set_live_out(l, true);
+        let mut m1 = Memory::new();
+        let mut m2 = Memory::new();
+        let a = evaluate_block(&dfg, &[0x40], &mut m1);
+        let b = evaluate_block(&dfg, &[0x40], &mut m2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branch_taken_flags() {
+        let mut dfg = ProgramDfg::new();
+        let x = dfg.live_in();
+        let b = dfg.add_node(
+            Operation::new(Opcode::Bne),
+            vec![Operand::LiveIn(x), Operand::Const(5)],
+        );
+        let mut mem = Memory::new();
+        assert_eq!(evaluate_block(&dfg, &[5], &mut mem)[b.index()], 0);
+        assert_eq!(evaluate_block(&dfg, &[6], &mut mem)[b.index()], 1);
+    }
+}

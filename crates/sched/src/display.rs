@@ -1,0 +1,100 @@
+//! Text rendering of schedules: a cycle-by-slot timeline like the ones in
+//! the thesis figures (Fig. 1.3.1, Fig. 4.0.2).
+
+use crate::list::Schedule;
+use crate::unit::SchedDfg;
+
+/// Renders `schedule` as a per-cycle table. `label` names each node (e.g.
+/// its mnemonic); multi-cycle instructions are shown at their issue cycle
+/// with a `(xN)` latency suffix.
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::Operand;
+/// use isex_isa::MachineConfig;
+/// use isex_sched::{display, list_schedule, Priority, SchedDfg, SchedOp, UnitClass};
+///
+/// let mut g = SchedDfg::new();
+/// let op = SchedOp::new(1, 1, 1, UnitClass::Alu);
+/// let a = g.add_node(op, vec![]);
+/// let _b = g.add_node(op, vec![Operand::Node(a)]);
+/// let s = list_schedule(&g, &MachineConfig::preset_2issue_4r2w(), Priority::Height);
+/// let text = display::render(&g, &s, |id, _| format!("op{}", id.index()));
+/// assert!(text.contains("C1"));
+/// assert!(text.contains("op0"));
+/// ```
+pub fn render(
+    dfg: &SchedDfg,
+    schedule: &Schedule,
+    mut label: impl FnMut(isex_dfg::NodeId, &crate::unit::SchedOp) -> String,
+) -> String {
+    let mut rows: Vec<Vec<String>> = vec![Vec::new(); schedule.length.max(1) as usize];
+    for (id, node) in dfg.iter() {
+        let cycle = schedule.start_of(id) as usize;
+        let op = node.payload();
+        let mut cell = label(id, op);
+        if op.latency > 1 {
+            cell.push_str(&format!(" (x{})", op.latency));
+        }
+        if cycle < rows.len() {
+            rows[cycle].push(cell);
+        }
+    }
+    let mut out = String::new();
+    for (c, row) in rows.iter().enumerate() {
+        out.push_str(&format!("C{:<3} | {}\n", c + 1, row.join("  ")));
+    }
+    out.push_str(&format!("= {} cycles\n", schedule.length));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{list_schedule, Priority};
+    use crate::unit::{SchedOp, UnitClass};
+    use isex_dfg::Operand;
+    use isex_isa::MachineConfig;
+
+    #[test]
+    fn renders_cycles_and_latency_suffix() {
+        let mut g = SchedDfg::new();
+        let a = g.add_node(SchedOp::new(1, 1, 1, UnitClass::Alu), vec![]);
+        let b = g.add_node(
+            SchedOp::new(3, 1, 1, UnitClass::Asfu),
+            vec![Operand::Node(a)],
+        );
+        let _c = g.add_node(
+            SchedOp::new(1, 1, 1, UnitClass::Alu),
+            vec![Operand::Node(b)],
+        );
+        let m = MachineConfig::preset_2issue_4r2w();
+        let s = list_schedule(&g, &m, Priority::Height);
+        let text = render(&g, &s, |id, _| format!("n{}", id.index()));
+        assert!(text.contains("n1 (x3)"));
+        assert!(text.contains("= 5 cycles"));
+        assert_eq!(text.lines().count(), 6, "5 cycle rows + total");
+    }
+
+    #[test]
+    fn co_issued_ops_share_a_row() {
+        let mut g = SchedDfg::new();
+        g.add_node(SchedOp::new(1, 1, 1, UnitClass::Alu), vec![]);
+        g.add_node(SchedOp::new(1, 1, 1, UnitClass::Alu), vec![]);
+        let m = MachineConfig::preset_2issue_4r2w();
+        let s = list_schedule(&g, &m, Priority::Height);
+        let text = render(&g, &s, |id, _| format!("n{}", id.index()));
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("n0") && first.contains("n1"));
+    }
+
+    #[test]
+    fn empty_schedule_renders_total_only() {
+        let g = SchedDfg::new();
+        let m = MachineConfig::default();
+        let s = list_schedule(&g, &m, Priority::Height);
+        let text = render(&g, &s, |_, _| String::new());
+        assert!(text.contains("= 0 cycles"));
+    }
+}

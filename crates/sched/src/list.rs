@@ -1,0 +1,306 @@
+//! The in-order multi-issue list scheduler.
+//!
+//! §4.3 derives the exploration's scheduling steps "from the idea of list
+//! scheduling"; the same scheduler is used stand-alone to evaluate final
+//! code (ISE replacement is followed by "schedule the code again to obtain
+//! execution time", §5.1).
+
+use isex_dfg::NodeId;
+use isex_isa::MachineConfig;
+
+use crate::resources::ResourceTable;
+use crate::timing;
+use crate::unit::SchedDfg;
+
+/// The scheduling-priority (SP) function used to rank ready operations.
+///
+/// The paper uses "the number of child operations" as its default SP and
+/// names mobility-based priorities as an alternative (§4.3, Ch. 6 future
+/// work); all three are provided so the ablation bench can compare them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Rank by number of child operations (the paper's default).
+    #[default]
+    ChildCount,
+    /// Rank by latency-weighted height (critical-path scheduling).
+    Height,
+    /// Rank by negated mobility (least-slack-first).
+    Mobility,
+}
+
+impl Priority {
+    /// Computes the static priority value of every node (larger = sooner).
+    pub fn values(self, dfg: &SchedDfg) -> Vec<i64> {
+        match self {
+            Priority::ChildCount => dfg.node_ids().map(|n| dfg.child_count(n) as i64).collect(),
+            Priority::Height => {
+                // latency-weighted height: cycles from issue to end of chain
+                let mut h = vec![0i64; dfg.len()];
+                for u in (0..dfg.len()).rev() {
+                    let uid = NodeId::new(u as u32);
+                    let lat = dfg.node(uid).payload().latency as i64;
+                    h[u] = lat + dfg.succs(uid).map(|s| h[s.index()]).max().unwrap_or(0);
+                }
+                h
+            }
+            Priority::Mobility => timing::mobility(dfg)
+                .into_iter()
+                .map(|m| -(m as i64))
+                .collect(),
+        }
+    }
+}
+
+/// The result of scheduling: an issue cycle per node and the makespan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Issue cycle of every node, indexed by node id.
+    pub start: Vec<u32>,
+    /// Total schedule length in cycles.
+    pub length: u32,
+}
+
+impl Schedule {
+    /// Issue cycle of `id`.
+    pub fn start_of(&self, id: NodeId) -> u32 {
+        self.start[id.index()]
+    }
+}
+
+/// Schedules `dfg` on `machine` with the given priority.
+///
+/// The scheduler is cycle-driven: each cycle it considers the data-ready
+/// operations in priority order and issues as many as the machine's issue
+/// width, register ports and function units admit.
+///
+/// # Panics
+///
+/// Panics if some operation can never be issued (its port demand exceeds
+/// the machine even in an empty cycle) — callers must check ISE port
+/// demand against `N_in`/`N_out` beforehand, as the exploration constraints
+/// of §4.2 do.
+///
+/// # Example
+///
+/// ```
+/// use isex_dfg::Operand;
+/// use isex_isa::MachineConfig;
+/// use isex_sched::{list_schedule, Priority, SchedDfg, SchedOp, UnitClass};
+///
+/// let mut g = SchedDfg::new();
+/// let op = SchedOp::new(1, 1, 1, UnitClass::Alu);
+/// let a = g.add_node(op, vec![]);
+/// let b = g.add_node(op, vec![]);
+/// let c = g.add_node(op, vec![Operand::Node(a), Operand::Node(b)]);
+/// let m = MachineConfig::preset_2issue_4r2w();
+/// let s = list_schedule(&g, &m, Priority::ChildCount);
+/// assert_eq!(s.length, 2); // a and b co-issue, then c
+/// ```
+pub fn list_schedule(dfg: &SchedDfg, machine: &MachineConfig, priority: Priority) -> Schedule {
+    let k = dfg.len();
+    let mut start = vec![0u32; k];
+    let mut scheduled = vec![false; k];
+    let prio = priority.values(dfg);
+    let mut resources = ResourceTable::new(*machine);
+    let mut remaining = k;
+    let mut cycle: u32 = 0;
+
+    // Pre-check impossibility so the loop below cannot spin forever.
+    for (id, node) in dfg.iter() {
+        let op = node.payload();
+        assert!(
+            op.reads <= machine.read_ports && op.writes <= machine.write_ports,
+            "operation {id:?} demands {}R/{}W, machine has {}R/{}W",
+            op.reads,
+            op.writes,
+            machine.read_ports,
+            machine.write_ports
+        );
+    }
+
+    while remaining > 0 {
+        // Data-ready: all predecessors issued and completed by `cycle`.
+        let mut ready: Vec<NodeId> = dfg
+            .node_ids()
+            .filter(|&n| {
+                !scheduled[n.index()]
+                    && dfg.preds(n).all(|p| {
+                        scheduled[p.index()]
+                            && start[p.index()] + dfg.node(p).payload().latency <= cycle
+                    })
+            })
+            .collect();
+        // Priority order; node id breaks ties deterministically.
+        ready.sort_by_key(|&n| (-prio[n.index()], n.index()));
+        for n in ready {
+            let op = dfg.node(n).payload();
+            if resources.can_issue(cycle, op) {
+                resources.commit(cycle, op);
+                start[n.index()] = cycle;
+                scheduled[n.index()] = true;
+                remaining -= 1;
+            }
+        }
+        cycle += 1;
+    }
+
+    let length = dfg
+        .iter()
+        .map(|(id, n)| start[id.index()] + n.payload().latency)
+        .max()
+        .unwrap_or(0);
+    Schedule { start, length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{SchedOp, UnitClass};
+    use isex_dfg::Operand;
+
+    fn alu(reads: usize) -> SchedOp {
+        SchedOp::new(1, reads, 1, UnitClass::Alu)
+    }
+
+    #[test]
+    fn respects_dependences() {
+        let mut g = SchedDfg::new();
+        let a = g.add_node(alu(0), vec![]);
+        let b = g.add_node(
+            SchedOp::new(3, 1, 1, UnitClass::Alu),
+            vec![Operand::Node(a)],
+        );
+        let c = g.add_node(alu(1), vec![Operand::Node(b)]);
+        let m = MachineConfig::preset_4issue_10r5w();
+        let s = list_schedule(&g, &m, Priority::Height);
+        assert_eq!(s.start_of(a), 0);
+        assert_eq!(s.start_of(b), 1);
+        assert_eq!(s.start_of(c), 4, "b has latency 3");
+        assert_eq!(s.length, 5);
+    }
+
+    #[test]
+    fn respects_issue_width() {
+        // 4 independent ops on a 2-issue machine: 2 cycles.
+        let mut g = SchedDfg::new();
+        for _ in 0..4 {
+            g.add_node(alu(1), vec![]);
+        }
+        let m = MachineConfig::preset_2issue_6r3w();
+        let s = list_schedule(&g, &m, Priority::ChildCount);
+        assert_eq!(s.length, 2);
+    }
+
+    #[test]
+    fn respects_read_ports() {
+        // 2 ops needing 2 reads each on a 4-issue machine with 3 read
+        // ports: cannot co-issue.
+        let mut g = SchedDfg::new();
+        g.add_node(alu(2), vec![]);
+        g.add_node(alu(2), vec![]);
+        let m = MachineConfig::new(4, 3, 4);
+        let s = list_schedule(&g, &m, Priority::ChildCount);
+        assert_eq!(s.length, 2);
+    }
+
+    #[test]
+    fn paper_fig_1_3_1_shape() {
+        // The intro's point: a 4-deep dependence chain stays 4 cycles even
+        // with infinite width, while independent ops fold into fewer cycles.
+        let mut g = SchedDfg::new();
+        let mut prev = g.add_node(alu(0), vec![]);
+        for _ in 0..3 {
+            prev = g.add_node(alu(1), vec![Operand::Node(prev)]);
+        }
+        for _ in 0..4 {
+            g.add_node(alu(0), vec![]);
+        }
+        let wide = MachineConfig::new(8, 32, 16);
+        let s = list_schedule(&g, &wide, Priority::Height);
+        assert_eq!(s.length, 4, "dependence chain bounds the schedule");
+        let narrow = MachineConfig::new(1, 4, 2);
+        let s1 = list_schedule(&g, &narrow, Priority::Height);
+        assert_eq!(s1.length, 8, "single-issue executes all 8 ops serially");
+    }
+
+    #[test]
+    fn asfu_and_alu_coissue() {
+        let mut g = SchedDfg::new();
+        g.add_node(SchedOp::new(1, 4, 2, UnitClass::Asfu), vec![]);
+        g.add_node(alu(1), vec![]);
+        let m = MachineConfig::preset_2issue_6r3w();
+        let s = list_schedule(&g, &m, Priority::ChildCount);
+        assert_eq!(s.length, 1, "ISE and a normal op issue together");
+    }
+
+    #[test]
+    fn schedule_never_beats_dep_length() {
+        let mut g = SchedDfg::new();
+        let a = g.add_node(alu(0), vec![]);
+        let b = g.add_node(alu(1), vec![Operand::Node(a)]);
+        let _ = g.add_node(alu(1), vec![Operand::Node(b)]);
+        let m = MachineConfig::preset_4issue_10r5w();
+        let s = list_schedule(&g, &m, Priority::Mobility);
+        assert!(s.length >= timing::dep_length(&g));
+        assert_eq!(s.length, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "demands")]
+    fn impossible_demand_panics() {
+        let mut g = SchedDfg::new();
+        g.add_node(SchedOp::new(1, 9, 1, UnitClass::Asfu), vec![]);
+        let m = MachineConfig::preset_2issue_4r2w();
+        list_schedule(&g, &m, Priority::ChildCount);
+    }
+
+    #[test]
+    fn blocking_asfu_serialises_independent_ises() {
+        // Two independent 3-cycle ISEs: pipelined ASFU issues them in
+        // consecutive cycles; a blocking ASFU forces a 3-cycle gap.
+        let ise = SchedOp::new(3, 2, 1, UnitClass::Asfu);
+        let mut g = SchedDfg::new();
+        g.add_node(ise, vec![]);
+        g.add_node(ise, vec![]);
+        let pipelined = MachineConfig::preset_4issue_10r5w();
+        let s = list_schedule(&g, &pipelined, Priority::Height);
+        assert_eq!(s.length, 4, "issue at cycles 0 and 1");
+        let mut blocking = pipelined;
+        blocking.asfu_pipelined = false;
+        let s = list_schedule(&g, &blocking, Priority::Height);
+        assert_eq!(s.length, 6, "issue at cycles 0 and 3");
+    }
+
+    #[test]
+    fn empty_graph_schedules_to_zero() {
+        let g = SchedDfg::new();
+        let m = MachineConfig::default();
+        let s = list_schedule(&g, &m, Priority::ChildCount);
+        assert_eq!(s.length, 0);
+    }
+
+    #[test]
+    fn priorities_yield_valid_schedules() {
+        // Same graph under all three priorities: all valid, maybe
+        // different, none shorter than the dependence bound.
+        let mut g = SchedDfg::new();
+        let a = g.add_node(alu(0), vec![]);
+        let b = g.add_node(alu(1), vec![Operand::Node(a)]);
+        let c = g.add_node(alu(1), vec![Operand::Node(a)]);
+        let _d = g.add_node(alu(2), vec![Operand::Node(b), Operand::Node(c)]);
+        for p in [Priority::ChildCount, Priority::Height, Priority::Mobility] {
+            let m = MachineConfig::preset_2issue_4r2w();
+            let s = list_schedule(&g, &m, p);
+            assert!(s.length >= timing::dep_length(&g));
+            // dependences hold
+            for (id, _) in g.iter() {
+                for pr in g.preds(id) {
+                    assert!(
+                        s.start_of(pr) + g.node(pr).payload().latency <= s.start_of(id),
+                        "{p:?}: dep violated"
+                    );
+                }
+            }
+        }
+    }
+}

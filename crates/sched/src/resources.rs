@@ -1,0 +1,343 @@
+//! Per-cycle resource accounting.
+//!
+//! The scheduler tracks, for every cycle, how much of each machine resource
+//! is already committed: issue slots, register-file read and write ports,
+//! multiplier units and memory ports (the constraints enumerated in §4.3's
+//! Operation-Scheduling: "issue width, number of function units and number
+//! of register read/write ports").
+
+use isex_isa::MachineConfig;
+
+use crate::unit::{SchedOp, UnitClass};
+
+/// Resource usage of one cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleUsage {
+    /// Instructions issued this cycle.
+    pub issued: usize,
+    /// Register read ports in use.
+    pub reads: usize,
+    /// Register write ports in use.
+    pub writes: usize,
+    /// Multiplier units in use.
+    pub mults: usize,
+    /// Memory ports in use.
+    pub mems: usize,
+    /// Whether the single ASFU issue slot of this cycle is taken.
+    pub asfu: bool,
+}
+
+/// A growable table of per-cycle usage with admission checks against a
+/// [`MachineConfig`].
+///
+/// # Example
+///
+/// ```
+/// use isex_isa::MachineConfig;
+/// use isex_sched::resources::ResourceTable;
+/// use isex_sched::{SchedOp, UnitClass};
+///
+/// let m = MachineConfig::preset_2issue_4r2w();
+/// let mut rt = ResourceTable::new(m);
+/// let op = SchedOp::new(1, 2, 1, UnitClass::Alu);
+/// assert!(rt.can_issue(0, &op));
+/// rt.commit(0, &op);
+/// rt.commit(0, &op);
+/// assert!(!rt.can_issue(0, &op), "issue width exhausted");
+/// assert!(rt.can_issue(1, &op));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ResourceTable {
+    machine: MachineConfig,
+    cycles: Vec<CycleUsage>,
+}
+
+impl ResourceTable {
+    /// Creates an empty table for the given machine.
+    pub fn new(machine: MachineConfig) -> Self {
+        ResourceTable {
+            machine,
+            cycles: Vec::new(),
+        }
+    }
+
+    /// The machine this table admits against.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Usage of `cycle` (all-zero if nothing was committed there yet).
+    pub fn usage(&self, cycle: u32) -> CycleUsage {
+        self.cycles.get(cycle as usize).copied().unwrap_or_default()
+    }
+
+    /// Returns `true` if `op` can be issued in `cycle` without violating
+    /// any machine limit. On a non-pipelined ASFU
+    /// ([`MachineConfig::asfu_pipelined`] = `false`) an ISE also requires
+    /// the unit to be free for its whole latency.
+    pub fn can_issue(&self, cycle: u32, op: &SchedOp) -> bool {
+        let u = self.usage(cycle);
+        let m = &self.machine;
+        if u.issued + 1 > m.issue_width
+            || u.reads + op.reads > m.read_ports
+            || u.writes + op.writes > m.write_ports
+        {
+            return false;
+        }
+        match op.class {
+            UnitClass::Mult => u.mults < m.mult_units,
+            UnitClass::Mem => u.mems < m.mem_ports,
+            UnitClass::Asfu => {
+                let span = if m.asfu_pipelined { 1 } else { op.latency };
+                (0..span).all(|off| !self.usage(cycle + off).asfu)
+            }
+            UnitClass::Alu | UnitClass::Branch => true,
+        }
+    }
+
+    /// Commits `op` to `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the issue violates a limit; call
+    /// [`ResourceTable::can_issue`] first.
+    pub fn commit(&mut self, cycle: u32, op: &SchedOp) {
+        debug_assert!(
+            self.can_issue(cycle, op),
+            "resource over-commit at cycle {cycle}"
+        );
+        if self.cycles.len() <= cycle as usize {
+            self.cycles
+                .resize(cycle as usize + 1, CycleUsage::default());
+        }
+        let u = &mut self.cycles[cycle as usize];
+        u.issued += 1;
+        u.reads += op.reads;
+        u.writes += op.writes;
+        match op.class {
+            UnitClass::Mult => u.mults += 1,
+            UnitClass::Mem => u.mems += 1,
+            UnitClass::Asfu => self.set_asfu_busy(cycle, op.latency, true),
+            UnitClass::Alu | UnitClass::Branch => {}
+        }
+    }
+
+    /// Marks the ASFU slot(s) of an ISE issued at `cycle`.
+    fn set_asfu_busy(&mut self, cycle: u32, latency: u32, busy: bool) {
+        let span = if self.machine.asfu_pipelined {
+            1
+        } else {
+            latency
+        };
+        let end = (cycle + span) as usize;
+        if self.cycles.len() < end {
+            self.cycles.resize(end, CycleUsage::default());
+        }
+        for off in 0..span {
+            self.cycles[(cycle + off) as usize].asfu = busy;
+        }
+    }
+
+    /// Releases a previously committed instruction from `cycle` (the exact
+    /// inverse of [`ResourceTable::commit`]). Used when an open ISE group
+    /// slides to a later issue slot so a new member can pack with it
+    /// (Fig. 4.3.4's `CTS++` loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if nothing matching was committed there.
+    pub fn uncommit(&mut self, cycle: u32, op: &SchedOp) {
+        let u = &mut self.cycles[cycle as usize];
+        debug_assert!(
+            u.issued >= 1 && u.reads >= op.reads && u.writes >= op.writes,
+            "uncommit without matching commit at cycle {cycle}"
+        );
+        u.issued -= 1;
+        u.reads -= op.reads;
+        u.writes -= op.writes;
+        match op.class {
+            UnitClass::Mult => u.mults -= 1,
+            UnitClass::Mem => u.mems -= 1,
+            UnitClass::Asfu => self.set_asfu_busy(cycle, op.latency, false),
+            UnitClass::Alu | UnitClass::Branch => {}
+        }
+    }
+
+    /// Adjusts the read/write-port usage of `cycle` by signed deltas,
+    /// without consuming an issue slot. Used when an already-issued ISE
+    /// group grows: its `IN(S)`/`OUT(S)` demand changes in place.
+    ///
+    /// Negative deltas always succeed; positive deltas succeed only if the
+    /// cycle still has the ports, in which case they are committed.
+    /// Returns `true` on success; on failure nothing changes.
+    pub fn try_adjust_ports(&mut self, cycle: u32, d_reads: i64, d_writes: i64) -> bool {
+        if self.cycles.len() <= cycle as usize {
+            self.cycles
+                .resize(cycle as usize + 1, CycleUsage::default());
+        }
+        let m = (self.machine.read_ports, self.machine.write_ports);
+        let u = &mut self.cycles[cycle as usize];
+        let nr = u.reads as i64 + d_reads;
+        let nw = u.writes as i64 + d_writes;
+        if nr < 0 || nw < 0 {
+            // Callers never release more than they committed; clamp defensively.
+            u.reads = nr.max(0) as usize;
+            u.writes = nw.max(0) as usize;
+            return true;
+        }
+        if nr as usize > m.0 || nw as usize > m.1 {
+            return false;
+        }
+        u.reads = nr as usize;
+        u.writes = nw as usize;
+        true
+    }
+
+    /// First cycle `>= from` in which `op` fits.
+    ///
+    /// Always terminates: an untouched future cycle admits any single
+    /// instruction whose port demand fits an empty cycle; if `op`'s demand
+    /// exceeds even an empty cycle (e.g. an ISE with more inputs than the
+    /// register file has read ports), `None` is returned.
+    pub fn earliest_fit(&self, from: u32, op: &SchedOp) -> Option<u32> {
+        // An op that does not fit an empty cycle never fits.
+        let m = &self.machine;
+        if op.reads > m.read_ports || op.writes > m.write_ports {
+            return None;
+        }
+        let mut c = from;
+        loop {
+            if self.can_issue(c, op) {
+                return Some(c);
+            }
+            c += 1;
+            if c as usize > self.cycles.len() + 1 {
+                // Past the occupied horizon every cycle is empty; fits.
+                return Some(c);
+            }
+        }
+    }
+
+    /// Number of cycles with at least one committed instruction slot
+    /// (the occupied horizon).
+    pub fn horizon(&self) -> u32 {
+        self.cycles.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alu(reads: usize, writes: usize) -> SchedOp {
+        SchedOp::new(1, reads, writes, UnitClass::Alu)
+    }
+
+    #[test]
+    fn read_port_limit_enforced() {
+        let m = MachineConfig::preset_2issue_4r2w();
+        let mut rt = ResourceTable::new(m);
+        rt.commit(0, &alu(2, 1));
+        assert!(rt.can_issue(0, &alu(2, 1)));
+        rt.commit(0, &alu(2, 1));
+        // Issue width now full (2/2).
+        assert!(!rt.can_issue(0, &alu(0, 0)));
+    }
+
+    #[test]
+    fn write_port_limit_enforced() {
+        let m = MachineConfig::new(4, 8, 1);
+        let mut rt = ResourceTable::new(m);
+        rt.commit(0, &alu(1, 1));
+        assert!(!rt.can_issue(0, &alu(1, 1)), "single write port consumed");
+        assert!(rt.can_issue(0, &alu(1, 0)), "write-free op still fits");
+    }
+
+    #[test]
+    fn asfu_slot_is_exclusive() {
+        let m = MachineConfig::preset_4issue_10r5w();
+        let mut rt = ResourceTable::new(m);
+        let ise = SchedOp::new(2, 4, 2, UnitClass::Asfu);
+        rt.commit(0, &ise);
+        assert!(!rt.can_issue(0, &ise), "one ISE per cycle");
+        assert!(rt.can_issue(0, &alu(1, 1)), "normal ops may co-issue");
+        assert!(rt.can_issue(1, &ise));
+    }
+
+    #[test]
+    fn mult_and_mem_units() {
+        let mut m = MachineConfig::preset_2issue_6r3w();
+        m.mult_units = 1;
+        m.mem_ports = 1;
+        let mut rt = ResourceTable::new(m);
+        let mul = SchedOp::new(1, 2, 1, UnitClass::Mult);
+        let ld = SchedOp::new(1, 1, 1, UnitClass::Mem);
+        rt.commit(0, &mul);
+        assert!(!rt.can_issue(0, &mul));
+        rt.commit(0, &ld);
+        assert!(
+            !rt.can_issue(1, &SchedOp::new(1, 7, 1, UnitClass::Alu)),
+            "reads beyond ports never fit"
+        );
+    }
+
+    #[test]
+    fn earliest_fit_skips_full_cycles() {
+        let m = MachineConfig::new(1, 4, 2);
+        let mut rt = ResourceTable::new(m);
+        rt.commit(0, &alu(1, 1));
+        rt.commit(1, &alu(1, 1));
+        assert_eq!(rt.earliest_fit(0, &alu(1, 1)), Some(2));
+        assert_eq!(rt.earliest_fit(5, &alu(1, 1)), Some(5));
+    }
+
+    #[test]
+    fn non_pipelined_asfu_blocks_overlapping_ises() {
+        let mut m = MachineConfig::preset_4issue_10r5w();
+        m.asfu_pipelined = false;
+        let mut rt = ResourceTable::new(m);
+        let long_ise = SchedOp::new(3, 2, 1, UnitClass::Asfu);
+        rt.commit(0, &long_ise);
+        // Busy for cycles 0..3: nothing ASFU fits there.
+        let short_ise = SchedOp::new(1, 2, 1, UnitClass::Asfu);
+        assert!(!rt.can_issue(1, &short_ise));
+        assert!(!rt.can_issue(2, &short_ise));
+        assert_eq!(rt.earliest_fit(0, &short_ise), Some(3));
+        // Normal ops still co-issue during the occupancy window.
+        assert!(rt.can_issue(1, &alu(1, 1)));
+        // Uncommit releases the whole window.
+        rt.uncommit(0, &long_ise);
+        assert!(rt.can_issue(1, &short_ise));
+    }
+
+    #[test]
+    fn pipelined_asfu_accepts_back_to_back_ises() {
+        let m = MachineConfig::preset_4issue_10r5w();
+        assert!(m.asfu_pipelined);
+        let mut rt = ResourceTable::new(m);
+        let ise = SchedOp::new(3, 2, 1, UnitClass::Asfu);
+        rt.commit(0, &ise);
+        assert!(rt.can_issue(1, &ise), "pipelined: new ISE every cycle");
+    }
+
+    #[test]
+    fn adjust_ports_grows_and_shrinks() {
+        let m = MachineConfig::preset_2issue_4r2w();
+        let mut rt = ResourceTable::new(m);
+        rt.commit(0, &alu(2, 1));
+        assert!(rt.try_adjust_ports(0, 2, 1), "grow to 4R/2W fits exactly");
+        assert!(!rt.try_adjust_ports(0, 1, 0), "5th read port refused");
+        assert_eq!(rt.usage(0).reads, 4, "failed adjust left state intact");
+        assert!(rt.try_adjust_ports(0, -3, -1));
+        assert_eq!(rt.usage(0).reads, 1);
+        assert_eq!(rt.usage(0).writes, 1);
+    }
+
+    #[test]
+    fn earliest_fit_rejects_impossible_demand() {
+        let m = MachineConfig::preset_2issue_4r2w();
+        let rt = ResourceTable::new(m);
+        let monster = SchedOp::new(1, 5, 1, UnitClass::Asfu);
+        assert_eq!(rt.earliest_fit(0, &monster), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! Schedulable units and the lowering from ISA operations.
+//!
+//! The scheduler does not care what an instruction computes, only what it
+//! costs: its latency in cycles, its register-port demand in the issue
+//! cycle, and which function-unit class it occupies. [`SchedOp`] carries
+//! exactly that, so normal PISA instructions and collapsed ISEs are
+//! scheduled uniformly.
+
+use isex_dfg::{Dfg, Operand};
+use isex_isa::{OpClass, ProgramDfg};
+use serde::{Deserialize, Serialize};
+
+/// Function-unit class a schedulable unit occupies during issue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum UnitClass {
+    /// A core integer ALU.
+    Alu,
+    /// The integer multiplier.
+    Mult,
+    /// A memory port (load or store).
+    Mem,
+    /// Branch unit.
+    Branch,
+    /// The application-specific functional unit executing an ISE.
+    Asfu,
+}
+
+impl From<OpClass> for UnitClass {
+    fn from(c: OpClass) -> Self {
+        match c {
+            OpClass::IntAlu => UnitClass::Alu,
+            OpClass::IntMult => UnitClass::Mult,
+            OpClass::Load | OpClass::Store => UnitClass::Mem,
+            OpClass::Branch => UnitClass::Branch,
+        }
+    }
+}
+
+/// The scheduling-relevant footprint of one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedOp {
+    /// Latency in cycles (successors become ready `latency` cycles after
+    /// issue). At least 1.
+    pub latency: u32,
+    /// Register-file read ports consumed in the issue cycle.
+    pub reads: usize,
+    /// Register-file write ports consumed (modelled in the issue cycle).
+    pub writes: usize,
+    /// Which function unit the instruction occupies.
+    pub class: UnitClass,
+}
+
+impl SchedOp {
+    /// Creates a unit; clamps latency to at least one cycle.
+    pub fn new(latency: u32, reads: usize, writes: usize, class: UnitClass) -> Self {
+        SchedOp {
+            latency: latency.max(1),
+            reads,
+            writes,
+            class,
+        }
+    }
+}
+
+/// A DFG in schedulable form.
+pub type SchedDfg = Dfg<SchedOp>;
+
+/// Lowers an ISA-level DFG to schedulable form with every operation on its
+/// (single-cycle) software implementation option.
+///
+/// Port demand is derived from the operands: each distinct register-borne
+/// operand ([`Operand::Node`] or [`Operand::LiveIn`]) costs one read port;
+/// immediates are free. Every value-producing operation costs one write
+/// port; stores and branches write nothing.
+///
+/// # Example
+///
+/// ```
+/// use isex_isa::{Opcode, Operation, ProgramDfg};
+/// use isex_dfg::Operand;
+/// use isex_sched::unit::{lower, UnitClass};
+///
+/// let mut dfg = ProgramDfg::new();
+/// let x = dfg.live_in();
+/// let a = dfg.add_node(Operation::new(Opcode::Mult), vec![Operand::LiveIn(x), Operand::LiveIn(x)]);
+/// let s = lower(&dfg);
+/// let op = s.node(a).payload();
+/// assert_eq!((op.reads, op.writes), (1, 1)); // x read once
+/// assert_eq!(op.class, UnitClass::Mult);
+/// ```
+pub fn lower(dfg: &ProgramDfg) -> SchedDfg {
+    dfg.map(|id, op| {
+        let node = dfg.node(id);
+        SchedOp::new(
+            op.io_table().software()[0].delay_cycles,
+            register_reads(node.operands()),
+            register_writes(op.opcode().class()),
+            op.opcode().class().into(),
+        )
+    })
+}
+
+/// Number of register read ports an operand list demands (distinct
+/// register-borne values).
+pub fn register_reads(operands: &[Operand]) -> usize {
+    let mut seen: Vec<Operand> = Vec::new();
+    for op in operands {
+        match op {
+            Operand::Node(_) | Operand::LiveIn(_) => {
+                if !seen.contains(op) {
+                    seen.push(*op);
+                }
+            }
+            Operand::Const(_) => {}
+        }
+    }
+    seen.len()
+}
+
+/// Number of register write ports an operation class demands.
+pub fn register_writes(class: OpClass) -> usize {
+    match class {
+        OpClass::Store | OpClass::Branch => 0,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isex_isa::{Opcode, Operation};
+
+    #[test]
+    fn lower_counts_ports() {
+        let mut dfg = ProgramDfg::new();
+        let x = dfg.live_in();
+        let y = dfg.live_in();
+        let a = dfg.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(x), Operand::LiveIn(y)],
+        );
+        let b = dfg.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(a), Operand::Const(3)],
+        );
+        let st = dfg.add_node(
+            Operation::new(Opcode::Sw),
+            vec![Operand::Node(b), Operand::LiveIn(x)],
+        );
+        let s = lower(&dfg);
+        assert_eq!(s.node(a).payload(), &SchedOp::new(1, 2, 1, UnitClass::Alu));
+        assert_eq!(s.node(b).payload(), &SchedOp::new(1, 1, 1, UnitClass::Alu));
+        assert_eq!(s.node(st).payload(), &SchedOp::new(1, 2, 0, UnitClass::Mem));
+    }
+
+    #[test]
+    fn duplicate_register_operand_costs_one_port() {
+        assert_eq!(
+            register_reads(&[
+                Operand::LiveIn(isex_dfg::ValueId::new(0)),
+                Operand::LiveIn(isex_dfg::ValueId::new(0))
+            ]),
+            1
+        );
+        assert_eq!(register_reads(&[Operand::Const(1), Operand::Const(2)]), 0);
+    }
+
+    #[test]
+    fn latency_clamped_to_one() {
+        assert_eq!(SchedOp::new(0, 1, 1, UnitClass::Alu).latency, 1);
+    }
+
+    #[test]
+    fn writes_by_class() {
+        assert_eq!(register_writes(OpClass::IntAlu), 1);
+        assert_eq!(register_writes(OpClass::Load), 1);
+        assert_eq!(register_writes(OpClass::Store), 0);
+        assert_eq!(register_writes(OpClass::Branch), 0);
+    }
+}

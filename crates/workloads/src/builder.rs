@@ -1,0 +1,150 @@
+//! A terse builder for writing kernels as straight-line code.
+
+use isex_dfg::Operand;
+use isex_isa::{Opcode, Operation, ProgramDfg};
+
+/// Builds one basic block's DFG in an assignment style: every helper
+/// returns the [`Operand`] carrying the result, so kernels read like
+/// three-address code.
+///
+/// # Example
+///
+/// ```
+/// use isex_workloads::BlockBuilder;
+/// use isex_isa::Opcode;
+///
+/// let mut b = BlockBuilder::new();
+/// let x = b.live();
+/// let y = b.live();
+/// let s = b.op(Opcode::Add, x, y);
+/// let t = b.op(Opcode::Sll, s, b.imm(2));
+/// b.out(t);
+/// let dfg = b.finish();
+/// assert_eq!(dfg.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    dfg: ProgramDfg,
+}
+
+impl BlockBuilder {
+    /// Creates an empty block.
+    pub fn new() -> Self {
+        BlockBuilder {
+            dfg: ProgramDfg::new(),
+        }
+    }
+
+    /// Declares a live-in value (a register defined outside the block).
+    pub fn live(&mut self) -> Operand {
+        Operand::LiveIn(self.dfg.live_in())
+    }
+
+    /// An immediate constant operand.
+    pub fn imm(&self, value: i64) -> Operand {
+        Operand::Const(value)
+    }
+
+    /// Emits a two-operand operation and returns its result.
+    pub fn op(&mut self, opcode: Opcode, a: Operand, b: Operand) -> Operand {
+        Operand::Node(self.dfg.add_node(Operation::new(opcode), vec![a, b]))
+    }
+
+    /// Emits a one-operand operation and returns its result.
+    pub fn op1(&mut self, opcode: Opcode, a: Operand) -> Operand {
+        Operand::Node(self.dfg.add_node(Operation::new(opcode), vec![a]))
+    }
+
+    /// Emits a load from `addr` and returns the loaded value.
+    pub fn load(&mut self, addr: Operand) -> Operand {
+        Operand::Node(self.dfg.add_node(Operation::new(Opcode::Lw), vec![addr]))
+    }
+
+    /// Emits a store of `value` to `addr`.
+    pub fn store(&mut self, value: Operand, addr: Operand) {
+        self.dfg
+            .add_node(Operation::new(Opcode::Sw), vec![value, addr]);
+    }
+
+    /// Spills `value` to the stack and reloads it — the `-O0` pattern that
+    /// breaks large expressions into memory round-trips.
+    pub fn spill_reload(&mut self, value: Operand, frame: Operand, slot: i64) -> Operand {
+        let addr = self.op(Opcode::Addiu, frame, Operand::Const(slot));
+        self.store(value, addr);
+        let addr2 = self.op(Opcode::Addiu, frame, Operand::Const(slot));
+        self.load(addr2)
+    }
+
+    /// Marks `value` as live out of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not the result of an operation of this block.
+    pub fn out(&mut self, value: Operand) {
+        match value {
+            Operand::Node(n) => self.dfg.set_live_out(n, true),
+            other => panic!("only operation results can be live-out, got {other:?}"),
+        }
+    }
+
+    /// Number of operations emitted so far.
+    pub fn len(&self) -> usize {
+        self.dfg.len()
+    }
+
+    /// Returns `true` if nothing was emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.dfg.is_empty()
+    }
+
+    /// Finishes the block and returns its DFG.
+    pub fn finish(self) -> ProgramDfg {
+        self.dfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isex_dfg::NodeId;
+
+    #[test]
+    fn builder_wires_dependences() {
+        let mut b = BlockBuilder::new();
+        let x = b.live();
+        let s = b.op(Opcode::Add, x, b.imm(1));
+        let t = b.op1(Opcode::Nor, s);
+        b.out(t);
+        let dfg = b.finish();
+        assert_eq!(dfg.len(), 2);
+        assert_eq!(dfg.preds(NodeId::new(1)).count(), 1);
+        assert!(dfg.node(NodeId::new(1)).is_live_out());
+    }
+
+    #[test]
+    fn spill_reload_emits_memory_traffic() {
+        let mut b = BlockBuilder::new();
+        let frame = b.live();
+        let x = b.live();
+        let v = b.op(Opcode::Add, x, b.imm(1));
+        let r = b.spill_reload(v, frame, 16);
+        let w = b.op(Opcode::Xor, r, x);
+        b.out(w);
+        let dfg = b.finish();
+        // add, addiu, sw, addiu, lw, xor
+        assert_eq!(dfg.len(), 6);
+        let mems = dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode().is_memory())
+            .count();
+        assert_eq!(mems, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "live-out")]
+    fn live_out_of_constant_panics() {
+        let mut b = BlockBuilder::new();
+        let c = b.imm(3);
+        b.out(c);
+    }
+}

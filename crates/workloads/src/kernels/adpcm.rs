@@ -1,0 +1,140 @@
+//! ADPCM: the encoder's delta-quantisation step.
+//!
+//! `diff = sample − valpred`; absolute value, then the 3-bit delta via
+//! threshold compares against `step`, and the predictor update
+//! `vpdiff = step>>3 (+ step>>2 + step>>1 + step …)` folded branch-free.
+
+use isex_dfg::Operand;
+use isex_isa::Opcode::*;
+
+use crate::{BasicBlock, BlockBuilder, OptLevel, Program};
+
+/// Branch-free |x| : `m = x >> 31; (x ^ m) − m`.
+fn abs(b: &mut BlockBuilder, x: Operand) -> Operand {
+    let m = b.op(Sra, x, b.imm(31));
+    let t = b.op(Xor, x, m);
+    b.op(Subu, t, m)
+}
+
+/// The quantisation core: returns `(delta, vpdiff)`.
+fn quantise(b: &mut BlockBuilder, adiff: Operand, step: Operand) -> (Operand, Operand) {
+    // delta bit 2: adiff >= step
+    let lt2 = b.op(Slt, adiff, step);
+    let b2 = b.op(Xori, lt2, b.imm(1));
+    // conditional subtract: adiff2 = adiff - (step & -b2)
+    let m2 = b.op(Sub, b.imm(0), b2);
+    let s2 = b.op(And, step, m2);
+    let adiff2 = b.op(Subu, adiff, s2);
+    // delta bit 1: adiff2 >= step>>1
+    let h = b.op(Srl, step, b.imm(1));
+    let lt1 = b.op(Slt, adiff2, h);
+    let b1 = b.op(Xori, lt1, b.imm(1));
+    let m1 = b.op(Sub, b.imm(0), b1);
+    let s1 = b.op(And, h, m1);
+    let adiff1 = b.op(Subu, adiff2, s1);
+    // delta bit 0: adiff1 >= step>>2
+    let q = b.op(Srl, step, b.imm(2));
+    let lt0 = b.op(Slt, adiff1, q);
+    let b0 = b.op(Xori, lt0, b.imm(1));
+    // delta = (b2<<2)|(b1<<1)|b0
+    let d2 = b.op(Sll, b2, b.imm(2));
+    let d1 = b.op(Sll, b1, b.imm(1));
+    let d21 = b.op(Or, d2, d1);
+    let delta = b.op(Or, d21, b0);
+    // vpdiff = (step>>3) + selected shares
+    let e = b.op(Srl, step, b.imm(3));
+    let v0 = b.op(And, step, m2);
+    let v1 = b.op(And, h, m1);
+    let m0 = b.op(Sub, b.imm(0), b0);
+    let v2 = b.op(And, q, m0);
+    let t1 = b.op(Addu, e, v0);
+    let t2 = b.op(Addu, t1, v1);
+    let vpdiff = b.op(Addu, t2, v2);
+    (delta, vpdiff)
+}
+
+fn hot_o0() -> BasicBlock {
+    let mut b = BlockBuilder::new();
+    let frame = b.live();
+    let psample = b.live();
+    let sample = b.load(psample);
+    let valpred = {
+        let a = b.op(Addiu, frame, b.imm(4));
+        b.load(a)
+    };
+    let step = {
+        let a = b.op(Addiu, frame, b.imm(8));
+        b.load(a)
+    };
+    let diff = b.op(Sub, sample, valpred);
+    let diff2 = b.spill_reload(diff, frame, 12);
+    let adiff = abs(&mut b, diff2);
+    let adiff2 = b.spill_reload(adiff, frame, 16);
+    let (delta, vpdiff) = quantise(&mut b, adiff2, step);
+    let vp2 = b.op(Addu, valpred, vpdiff);
+    b.out(delta);
+    b.out(vp2);
+    BasicBlock::new("adpcm_step_o0", b.finish(), 300_000)
+}
+
+fn hot_o3() -> BasicBlock {
+    // Two samples per iteration, everything in registers.
+    let mut b = BlockBuilder::new();
+    let psample = b.live();
+    let mut valpred = b.live();
+    let step = b.live();
+    for i in 0..2 {
+        let sample = if i == 0 {
+            b.load(psample)
+        } else {
+            let a = b.op(Addiu, psample, b.imm(2 * i));
+            b.load(a)
+        };
+        let diff = b.op(Sub, sample, valpred);
+        let adiff = abs(&mut b, diff);
+        let (delta, vpdiff) = quantise(&mut b, adiff, step);
+        valpred = b.op(Addu, valpred, vpdiff);
+        b.out(delta);
+    }
+    b.out(valpred);
+    BasicBlock::new("adpcm_step_o3", b.finish(), 150_000)
+}
+
+/// Builds the ADPCM program model.
+pub fn program(opt: OptLevel) -> Program {
+    let (hot, ctrl) = match opt {
+        OptLevel::O0 => (hot_o0(), 300_000),
+        OptLevel::O3 => (hot_o3(), 150_000),
+    };
+    Program::new(
+        format!("adpcm-{opt}"),
+        vec![
+            hot,
+            super::loop_ctrl("adpcm_loop_ctrl", ctrl),
+            super::init_block("adpcm_init"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiser_is_compare_heavy() {
+        let p = program(OptLevel::O3);
+        let slts = p
+            .hottest()
+            .dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode() == isex_isa::Opcode::Slt)
+            .count();
+        assert!(slts >= 6, "two unrolled quantisers have ≥6 compares");
+    }
+
+    #[test]
+    fn both_levels_build() {
+        assert!(program(OptLevel::O0).hottest().dfg.len() > 20);
+        assert!(program(OptLevel::O3).hottest().dfg.len() > 40);
+    }
+}

@@ -1,0 +1,118 @@
+//! bitcount: the SWAR population count.
+//!
+//! The classic `x −= (x>>1)&0x5555…; x = (x&0x3333…) + ((x>>2)&0x3333…); …`
+//! reduction tree — a long dependence chain of shifts/ands/adds, the
+//! textbook ISE target.
+
+use isex_dfg::Operand;
+use isex_isa::Opcode::*;
+
+use crate::{BasicBlock, BlockBuilder, OptLevel, Program};
+
+/// The SWAR popcount chain on one 32-bit word.
+fn popcount(b: &mut BlockBuilder, x: Operand) -> Operand {
+    let t1 = b.op(Srl, x, b.imm(1));
+    let t2 = b.op(Andi, t1, b.imm(0x5555));
+    let x1 = b.op(Subu, x, t2);
+    let t3 = b.op(Andi, x1, b.imm(0x3333));
+    let t4 = b.op(Srl, x1, b.imm(2));
+    let t5 = b.op(Andi, t4, b.imm(0x3333));
+    let x2 = b.op(Addu, t3, t5);
+    let t6 = b.op(Srl, x2, b.imm(4));
+    let t7 = b.op(Addu, x2, t6);
+    let x3 = b.op(Andi, t7, b.imm(0x0f0f));
+    let t8 = b.op(Srl, x3, b.imm(8));
+    let t9 = b.op(Addu, x3, t8);
+    let t10 = b.op(Srl, t9, b.imm(16));
+    let t11 = b.op(Addu, t9, t10);
+    b.op(Andi, t11, b.imm(0x3f))
+}
+
+fn hot_o0() -> BasicBlock {
+    // One word per iteration, the intermediate x respilled twice.
+    let mut b = BlockBuilder::new();
+    let frame = b.live();
+    let p = b.live();
+    let acc0 = {
+        let a = b.op(Addiu, frame, b.imm(4));
+        b.load(a)
+    };
+    let x = b.load(p);
+    let t1 = b.op(Srl, x, b.imm(1));
+    let t2 = b.op(Andi, t1, b.imm(0x5555));
+    let x1 = b.op(Subu, x, t2);
+    let x1s = b.spill_reload(x1, frame, 8);
+    let t3 = b.op(Andi, x1s, b.imm(0x3333));
+    let t4 = b.op(Srl, x1s, b.imm(2));
+    let t5 = b.op(Andi, t4, b.imm(0x3333));
+    let x2 = b.op(Addu, t3, t5);
+    let x2s = b.spill_reload(x2, frame, 12);
+    let t6 = b.op(Srl, x2s, b.imm(4));
+    let t7 = b.op(Addu, x2s, t6);
+    let x3 = b.op(Andi, t7, b.imm(0x0f0f));
+    let t8 = b.op(Srl, x3, b.imm(8));
+    let t9 = b.op(Addu, x3, t8);
+    let t10 = b.op(Srl, t9, b.imm(16));
+    let t11 = b.op(Addu, t9, t10);
+    let cnt = b.op(Andi, t11, b.imm(0x3f));
+    let acc = b.op(Addu, acc0, cnt);
+    let accaddr = b.op(Addiu, frame, b.imm(4));
+    b.store(acc, accaddr);
+    let p2 = b.op(Addiu, p, b.imm(4));
+    b.out(p2);
+    BasicBlock::new("bitcount_word_o0", b.finish(), 500_000)
+}
+
+fn hot_o3() -> BasicBlock {
+    // Two words per iteration, counts kept in registers.
+    let mut b = BlockBuilder::new();
+    let p = b.live();
+    let acc0 = b.live();
+    let x0 = b.load(p);
+    let a1 = b.op(Addiu, p, b.imm(4));
+    let x1 = b.load(a1);
+    let c0 = popcount(&mut b, x0);
+    let c1 = popcount(&mut b, x1);
+    let s = b.op(Addu, c0, c1);
+    let acc = b.op(Addu, acc0, s);
+    let p2 = b.op(Addiu, p, b.imm(8));
+    b.out(acc);
+    b.out(p2);
+    BasicBlock::new("bitcount_words_o3", b.finish(), 250_000)
+}
+
+/// Builds the bitcount program model.
+pub fn program(opt: OptLevel) -> Program {
+    let (hot, ctrl) = match opt {
+        OptLevel::O0 => (hot_o0(), 500_000),
+        OptLevel::O3 => (hot_o3(), 250_000),
+    };
+    Program::new(
+        format!("bitcount-{opt}"),
+        vec![
+            hot,
+            super::loop_ctrl("bitcount_loop_ctrl", ctrl),
+            super::init_block("bitcount_init"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_deep() {
+        let p = program(OptLevel::O3);
+        let depth = isex_dfg::analysis::critical_path_len(&p.hottest().dfg);
+        assert!(depth >= 15, "SWAR chain is long, got {depth}");
+    }
+
+    #[test]
+    fn o3_all_ops_alu_or_memory() {
+        let p = program(OptLevel::O3);
+        for (_, n) in p.hottest().dfg.iter() {
+            assert_ne!(n.payload().opcode().class(), isex_isa::OpClass::Branch);
+        }
+    }
+}

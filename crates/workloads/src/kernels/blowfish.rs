@@ -1,0 +1,129 @@
+//! Blowfish: one Feistel round with the four S-box F-function.
+//!
+//! `F(x) = ((S0[a] + S1[b]) ^ S2[c]) + S3[d]`, byte indices extracted with
+//! shifts and masks; `xr ^= F(xl) ^ P[i]`.
+
+use isex_dfg::Operand;
+use isex_isa::Opcode::*;
+
+use crate::{BasicBlock, BlockBuilder, OptLevel, Program};
+
+/// Extracts byte `shift` of `x`, scales it and looks it up in `sbox`.
+fn sbox_lookup(b: &mut BlockBuilder, x: Operand, shift: i64, sbox: Operand) -> Operand {
+    let sh = if shift > 0 {
+        b.op(Srl, x, b.imm(shift))
+    } else {
+        x
+    };
+    let byte = b.op(Andi, sh, b.imm(0xff));
+    let off = b.op(Sll, byte, b.imm(2));
+    let addr = b.op(Addu, sbox, off);
+    b.load(addr)
+}
+
+/// The F function plus the round xor; returns the new `xr`.
+fn round(
+    b: &mut BlockBuilder,
+    xl: Operand,
+    xr: Operand,
+    sboxes: &[Operand; 4],
+    pkey: Operand,
+) -> Operand {
+    let sa = sbox_lookup(b, xl, 24, sboxes[0]);
+    let sb = sbox_lookup(b, xl, 16, sboxes[1]);
+    let sc = sbox_lookup(b, xl, 8, sboxes[2]);
+    let sd = sbox_lookup(b, xl, 0, sboxes[3]);
+    let t1 = b.op(Addu, sa, sb);
+    let t2 = b.op(Xor, t1, sc);
+    let f = b.op(Addu, t2, sd);
+    let fp = b.op(Xor, f, pkey);
+    b.op(Xor, xr, fp)
+}
+
+fn hot_o0() -> BasicBlock {
+    let mut b = BlockBuilder::new();
+    let frame = b.live();
+    let sboxes = [b.live(), b.live(), b.live(), b.live()];
+    let xl = {
+        let a = b.op(Addiu, frame, b.imm(0));
+        b.load(a)
+    };
+    let xr = {
+        let a = b.op(Addiu, frame, b.imm(4));
+        b.load(a)
+    };
+    let pkey = {
+        let a = b.op(Addiu, frame, b.imm(8));
+        b.load(a)
+    };
+    let new_xr = round(&mut b, xl, xr, &sboxes, pkey);
+    // Swap halves through the stack like -O0 does.
+    let a0 = b.op(Addiu, frame, b.imm(0));
+    b.store(new_xr, a0);
+    let a4 = b.op(Addiu, frame, b.imm(4));
+    b.store(xl, a4);
+    b.out(new_xr);
+    BasicBlock::new("blowfish_round_o0", b.finish(), 400_000)
+}
+
+fn hot_o3() -> BasicBlock {
+    // Two rounds fused, halves in registers.
+    let mut b = BlockBuilder::new();
+    let sboxes = [b.live(), b.live(), b.live(), b.live()];
+    let parr = b.live();
+    let xl = b.live();
+    let xr = b.live();
+    let p0 = b.load(parr);
+    let r1 = round(&mut b, xl, xr, &sboxes, p0);
+    let a1 = b.op(Addiu, parr, b.imm(4));
+    let p1 = b.load(a1);
+    let r2 = round(&mut b, r1, xl, &sboxes, p1);
+    b.out(r1);
+    b.out(r2);
+    BasicBlock::new("blowfish_rounds_o3", b.finish(), 200_000)
+}
+
+/// Builds the Blowfish program model.
+pub fn program(opt: OptLevel) -> Program {
+    let (hot, ctrl) = match opt {
+        OptLevel::O0 => (hot_o0(), 400_000),
+        OptLevel::O3 => (hot_o3(), 200_000),
+    };
+    Program::new(
+        format!("blowfish-{opt}"),
+        vec![
+            hot,
+            super::loop_ctrl("blowfish_round_ctrl", ctrl),
+            super::init_block("blowfish_init"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_sbox_lookups_per_round() {
+        let p = program(OptLevel::O0);
+        let loads = p
+            .hottest()
+            .dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode() == isex_isa::Opcode::Lw)
+            .count();
+        assert_eq!(loads, 4 + 3, "4 S-box + xl/xr/pkey reloads");
+    }
+
+    #[test]
+    fn o3_has_two_rounds() {
+        let p = program(OptLevel::O3);
+        let loads = p
+            .hottest()
+            .dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode() == isex_isa::Opcode::Lw)
+            .count();
+        assert_eq!(loads, 8 + 2, "8 S-box + two P-array fetches");
+    }
+}

@@ -1,0 +1,105 @@
+//! CRC32: the table-driven per-byte update loop.
+//!
+//! Hot statement: `crc = (crc >> 8) ^ table[(crc ^ *p++) & 0xff]`.
+
+use isex_dfg::Operand;
+use isex_isa::Opcode::*;
+
+use crate::{BasicBlock, BlockBuilder, OptLevel, Program};
+
+/// One table-lookup CRC step; returns the updated crc value.
+fn step(b: &mut BlockBuilder, crc: Operand, byte: Operand, table: Operand) -> Operand {
+    let x = b.op(Xor, crc, byte);
+    let idx = b.op(Andi, x, b.imm(0xff));
+    let off = b.op(Sll, idx, b.imm(2));
+    let addr = b.op(Addu, table, off);
+    let entry = b.load(addr);
+    let shifted = b.op(Srl, crc, b.imm(8));
+    b.op(Xor, shifted, entry)
+}
+
+fn hot_o0() -> BasicBlock {
+    // One byte per iteration; crc spilled to the stack frame like
+    // unoptimised gcc output.
+    let mut b = BlockBuilder::new();
+    let frame = b.live();
+    let table = b.live();
+    let p = b.live();
+    let crc0 = {
+        let addr = b.op(Addiu, frame, b.imm(8));
+        b.load(addr)
+    };
+    let byte = b.load(p);
+    let crc1 = step(&mut b, crc0, byte, table);
+    let crc1s = b.spill_reload(crc1, frame, 8);
+    let p2 = b.op(Addiu, p, b.imm(1));
+    b.out(crc1s);
+    b.out(p2);
+    BasicBlock::new("crc32_byte_o0", b.finish(), 1 << 20)
+}
+
+fn hot_o3() -> BasicBlock {
+    // gcc -O3 keeps crc in a register and unrolls 4 bytes of one word.
+    let mut b = BlockBuilder::new();
+    let table = b.live();
+    let p = b.live();
+    let mut crc = b.live();
+    let word = b.load(p);
+    for i in 0..4 {
+        let byte = if i == 0 {
+            word
+        } else {
+            b.op(Srl, word, b.imm(8 * i))
+        };
+        crc = step(&mut b, crc, byte, table);
+    }
+    let p2 = b.op(Addiu, p, b.imm(4));
+    b.out(crc);
+    b.out(p2);
+    BasicBlock::new("crc32_word_o3", b.finish(), 1 << 18)
+}
+
+/// Builds the CRC32 program model.
+pub fn program(opt: OptLevel) -> Program {
+    let (hot, ctrl_count) = match opt {
+        OptLevel::O0 => (hot_o0(), 1u64 << 20),
+        OptLevel::O3 => (hot_o3(), 1u64 << 18),
+    };
+    Program::new(
+        format!("crc32-{opt}"),
+        vec![
+            hot,
+            super::loop_ctrl("crc32_loop_ctrl", ctrl_count),
+            super::init_block("crc32_init"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o3_unrolls_four_steps() {
+        let p = program(OptLevel::O3);
+        let hot = p.hottest();
+        let loads = hot
+            .dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode() == isex_isa::Opcode::Lw)
+            .count();
+        assert_eq!(loads, 5, "1 word fetch + 4 table lookups");
+    }
+
+    #[test]
+    fn o0_spills_crc() {
+        let p = program(OptLevel::O0);
+        let stores = p
+            .hottest()
+            .dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode() == isex_isa::Opcode::Sw)
+            .count();
+        assert!(stores >= 1);
+    }
+}

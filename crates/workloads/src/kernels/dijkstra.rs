@@ -1,0 +1,117 @@
+//! Dijkstra: the branch-free edge-relaxation step.
+//!
+//! `alt = dist[u] + w(u,v); if (alt < dist[v]) dist[v] = alt;` with the
+//! conditional update folded into a mask blend.
+
+use isex_dfg::Operand;
+use isex_isa::Opcode::*;
+
+use crate::{BasicBlock, BlockBuilder, OptLevel, Program};
+
+/// Branch-free `min`-style blend: returns `alt < dv ? alt : dv`.
+fn blend_min(b: &mut BlockBuilder, alt: Operand, dv: Operand) -> Operand {
+    let c = b.op(Sltu, alt, dv);
+    let mask = b.op(Sub, b.imm(0), c); // 0 or 0xffffffff
+    let take_alt = b.op(And, alt, mask);
+    let inv = b.op(Nor, mask, mask);
+    let keep_dv = b.op(And, dv, inv);
+    b.op(Or, take_alt, keep_dv)
+}
+
+/// One relaxation of edge `(u, v)`; returns the new `dist[v]`.
+fn relax(b: &mut BlockBuilder, dist: Operand, du: Operand, edge: Operand) -> Operand {
+    let w = b.load(edge);
+    let voff = {
+        let a = b.op(Addiu, edge, b.imm(4));
+        b.load(a)
+    };
+    let alt = b.op(Addu, du, w);
+    let vaddr = {
+        let scaled = b.op(Sll, voff, b.imm(2));
+        b.op(Addu, dist, scaled)
+    };
+    let dv = b.load(vaddr);
+    let newdv = blend_min(b, alt, dv);
+    b.store(newdv, vaddr);
+    newdv
+}
+
+fn hot_o0() -> BasicBlock {
+    let mut b = BlockBuilder::new();
+    let frame = b.live();
+    let dist = b.live();
+    let edge = b.live();
+    let du = {
+        let a = b.op(Addiu, frame, b.imm(0));
+        b.load(a)
+    };
+    let dus = b.spill_reload(du, frame, 4);
+    let nd = relax(&mut b, dist, dus, edge);
+    b.out(nd);
+    let e2 = b.op(Addiu, edge, b.imm(8));
+    b.out(e2);
+    BasicBlock::new("dijkstra_relax_o0", b.finish(), 600_000)
+}
+
+fn hot_o3() -> BasicBlock {
+    // Two edges of u's adjacency list per iteration, du in a register.
+    let mut b = BlockBuilder::new();
+    let dist = b.live();
+    let edge = b.live();
+    let du = b.live();
+    let n1 = relax(&mut b, dist, du, edge);
+    let e2 = b.op(Addiu, edge, b.imm(8));
+    let n2 = relax(&mut b, dist, du, e2);
+    b.out(n1);
+    b.out(n2);
+    let e3 = b.op(Addiu, edge, b.imm(16));
+    b.out(e3);
+    BasicBlock::new("dijkstra_relax_o3", b.finish(), 300_000)
+}
+
+/// Builds the Dijkstra program model.
+pub fn program(opt: OptLevel) -> Program {
+    let (hot, ctrl) = match opt {
+        OptLevel::O0 => (hot_o0(), 600_000),
+        OptLevel::O3 => (hot_o3(), 300_000),
+    };
+    Program::new(
+        format!("dijkstra-{opt}"),
+        vec![
+            hot,
+            super::loop_ctrl("dijkstra_edge_ctrl", ctrl),
+            super::init_block("dijkstra_init"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relax_mixes_memory_and_alu() {
+        let p = program(OptLevel::O0);
+        let dfg = &p.hottest().dfg;
+        let mems = dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode().is_memory())
+            .count();
+        let alus = dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode().class() == isex_isa::OpClass::IntAlu)
+            .count();
+        assert!(mems >= 5);
+        assert!(alus >= 8);
+    }
+
+    #[test]
+    fn blend_is_branch_free() {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let p = program(opt);
+            for (_, n) in p.hottest().dfg.iter() {
+                assert_ne!(n.payload().opcode().class(), isex_isa::OpClass::Branch);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! FFT: the fixed-point radix-2 butterfly.
+//!
+//! `tr = (wr·xr − wi·xi) >> 15; ti = (wr·xi + wi·xr) >> 15;`
+//! `y0 = u + t; y1 = u − t` on both components.
+
+use isex_dfg::Operand;
+use isex_isa::Opcode::*;
+
+use crate::{BasicBlock, BlockBuilder, OptLevel, Program};
+
+struct Twiddle {
+    wr: Operand,
+    wi: Operand,
+}
+
+/// One butterfly on `(ur, ui)` and `(xr, xi)`; outputs are marked live-out.
+fn butterfly(
+    b: &mut BlockBuilder,
+    w: &Twiddle,
+    ur: Operand,
+    ui: Operand,
+    xr: Operand,
+    xi: Operand,
+) {
+    let m1 = b.op(Mult, w.wr, xr);
+    let m2 = b.op(Mult, w.wi, xi);
+    let m3 = b.op(Mult, w.wr, xi);
+    let m4 = b.op(Mult, w.wi, xr);
+    let tr_w = b.op(Sub, m1, m2);
+    let ti_w = b.op(Add, m3, m4);
+    let tr = b.op(Sra, tr_w, b.imm(15));
+    let ti = b.op(Sra, ti_w, b.imm(15));
+    let y0r = b.op(Add, ur, tr);
+    let y0i = b.op(Add, ui, ti);
+    let y1r = b.op(Sub, ur, tr);
+    let y1i = b.op(Sub, ui, ti);
+    for v in [y0r, y0i, y1r, y1i] {
+        b.out(v);
+    }
+}
+
+fn hot_o0() -> BasicBlock {
+    // One butterfly; every input reloaded from memory, tr/ti spilled.
+    let mut b = BlockBuilder::new();
+    let frame = b.live();
+    let pu = b.live();
+    let px = b.live();
+    let wr = {
+        let a = b.op(Addiu, frame, b.imm(16));
+        b.load(a)
+    };
+    let wi = {
+        let a = b.op(Addiu, frame, b.imm(20));
+        b.load(a)
+    };
+    let ur = b.load(pu);
+    let ui = {
+        let a = b.op(Addiu, pu, b.imm(4));
+        b.load(a)
+    };
+    let xr = b.load(px);
+    let xi = {
+        let a = b.op(Addiu, px, b.imm(4));
+        b.load(a)
+    };
+    let m1 = b.op(Mult, wr, xr);
+    let m2 = b.op(Mult, wi, xi);
+    let trw = b.op(Sub, m1, m2);
+    let tr = b.op(Sra, trw, b.imm(15));
+    let tr2 = b.spill_reload(tr, frame, 24);
+    let m3 = b.op(Mult, wr, xi);
+    let m4 = b.op(Mult, wi, xr);
+    let tiw = b.op(Add, m3, m4);
+    let ti = b.op(Sra, tiw, b.imm(15));
+    let y0r = b.op(Add, ur, tr2);
+    let y0i = b.op(Add, ui, ti);
+    let y1r = b.op(Sub, ur, tr2);
+    let y1i = b.op(Sub, ui, ti);
+    b.store(y0r, pu);
+    b.store(y0i, px);
+    b.out(y1r);
+    b.out(y1i);
+    BasicBlock::new("fft_butterfly_o0", b.finish(), 160_000)
+}
+
+fn hot_o3() -> BasicBlock {
+    // Two butterflies sharing the twiddle factors, all in registers.
+    let mut b = BlockBuilder::new();
+    let w = Twiddle {
+        wr: b.live(),
+        wi: b.live(),
+    };
+    let pu = b.live();
+    let ur0 = b.load(pu);
+    let ui0 = {
+        let a = b.op(Addiu, pu, b.imm(4));
+        b.load(a)
+    };
+    let xr0 = {
+        let a = b.op(Addiu, pu, b.imm(8));
+        b.load(a)
+    };
+    let xi0 = {
+        let a = b.op(Addiu, pu, b.imm(12));
+        b.load(a)
+    };
+    butterfly(&mut b, &w, ur0, ui0, xr0, xi0);
+    let ur1 = {
+        let a = b.op(Addiu, pu, b.imm(16));
+        b.load(a)
+    };
+    let ui1 = {
+        let a = b.op(Addiu, pu, b.imm(20));
+        b.load(a)
+    };
+    let xr1 = {
+        let a = b.op(Addiu, pu, b.imm(24));
+        b.load(a)
+    };
+    let xi1 = {
+        let a = b.op(Addiu, pu, b.imm(28));
+        b.load(a)
+    };
+    butterfly(&mut b, &w, ur1, ui1, xr1, xi1);
+    BasicBlock::new("fft_butterfly_o3", b.finish(), 80_000)
+}
+
+/// Builds the FFT program model.
+pub fn program(opt: OptLevel) -> Program {
+    let (hot, ctrl) = match opt {
+        OptLevel::O0 => (hot_o0(), 160_000),
+        OptLevel::O3 => (hot_o3(), 80_000),
+    };
+    Program::new(
+        format!("fft-{opt}"),
+        vec![
+            hot,
+            super::loop_ctrl("fft_stage_ctrl", ctrl),
+            super::init_block("fft_init"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterflies_use_multipliers() {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let p = program(opt);
+            let mults = p
+                .hottest()
+                .dfg
+                .iter()
+                .filter(|(_, n)| n.payload().opcode() == isex_isa::Opcode::Mult)
+                .count();
+            assert!(mults >= 4, "{opt}: {mults} mults");
+        }
+    }
+
+    #[test]
+    fn o3_has_two_butterflies() {
+        let p = program(OptLevel::O3);
+        let mults = p
+            .hottest()
+            .dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode() == isex_isa::Opcode::Mult)
+            .count();
+        assert_eq!(mults, 8);
+    }
+}

@@ -1,0 +1,130 @@
+//! JPEG: the forward-DCT row butterfly (even part) with fixed-point
+//! constant multiplies and descaling shifts.
+
+use isex_dfg::Operand;
+use isex_isa::Opcode::*;
+
+use crate::{BasicBlock, BlockBuilder, OptLevel, Program};
+
+/// Loads `row[idx]` given the row base pointer.
+fn elem(b: &mut BlockBuilder, row: Operand, idx: i64) -> Operand {
+    if idx == 0 {
+        b.load(row)
+    } else {
+        let a = b.op(Addiu, row, b.imm(4 * idx));
+        b.load(a)
+    }
+}
+
+/// The even-part butterfly on 8 loaded samples; emits 4 outputs.
+fn even_part(b: &mut BlockBuilder, x: &[Operand; 8]) -> [Operand; 4] {
+    let tmp0 = b.op(Add, x[0], x[7]);
+    let tmp7 = b.op(Sub, x[0], x[7]);
+    let tmp1 = b.op(Add, x[1], x[6]);
+    let tmp6 = b.op(Sub, x[1], x[6]);
+    let tmp2 = b.op(Add, x[2], x[5]);
+    let _tmp5 = b.op(Sub, x[2], x[5]);
+    let tmp3 = b.op(Add, x[3], x[4]);
+    let _tmp4 = b.op(Sub, x[3], x[4]);
+    let tmp10 = b.op(Add, tmp0, tmp3);
+    let tmp13 = b.op(Sub, tmp0, tmp3);
+    let tmp11 = b.op(Add, tmp1, tmp2);
+    let tmp12 = b.op(Sub, tmp1, tmp2);
+    let s04 = b.op(Add, tmp10, tmp11);
+    let d04 = b.op(Sub, tmp10, tmp11);
+    let out0 = b.op(Sll, s04, b.imm(2));
+    let out4 = b.op(Sll, d04, b.imm(2));
+    // z1 = (tmp12 + tmp13) * FIX_0_541196100
+    let zsum = b.op(Add, tmp12, tmp13);
+    let z1 = b.op(Mult, zsum, b.imm(4433));
+    let m13 = b.op(Mult, tmp13, b.imm(6270));
+    let a2 = b.op(Add, z1, m13);
+    let out2 = b.op(Sra, a2, b.imm(11));
+    let m12 = b.op(Mult, tmp12, b.imm(15137));
+    let s6 = b.op(Sub, z1, m12);
+    let out6 = b.op(Sra, s6, b.imm(11));
+    // keep the odd-part seeds alive
+    b.out(tmp6);
+    b.out(tmp7);
+    [out0, out2, out4, out6]
+}
+
+fn hot_o0() -> BasicBlock {
+    // Half a row (4 samples) with spilled temporaries.
+    let mut b = BlockBuilder::new();
+    let frame = b.live();
+    let row = b.live();
+    let x0 = elem(&mut b, row, 0);
+    let x7 = elem(&mut b, row, 7);
+    let x3 = elem(&mut b, row, 3);
+    let x4 = elem(&mut b, row, 4);
+    let tmp0 = b.op(Add, x0, x7);
+    let tmp0s = b.spill_reload(tmp0, frame, 0);
+    let tmp3 = b.op(Add, x3, x4);
+    let tmp3s = b.spill_reload(tmp3, frame, 4);
+    let tmp10 = b.op(Add, tmp0s, tmp3s);
+    let tmp13 = b.op(Sub, tmp0s, tmp3s);
+    let m = b.op(Mult, tmp13, b.imm(6270));
+    let o = b.op(Sra, m, b.imm(11));
+    b.store(tmp10, row);
+    let a = b.op(Addiu, row, b.imm(8));
+    b.store(o, a);
+    b.out(tmp13);
+    BasicBlock::new("jpeg_fdct_half_o0", b.finish(), 120_000)
+}
+
+fn hot_o3() -> BasicBlock {
+    // A full 8-sample row, register-resident.
+    let mut b = BlockBuilder::new();
+    let row = b.live();
+    let xs: Vec<Operand> = (0..8).map(|i| elem(&mut b, row, i)).collect();
+    let x: [Operand; 8] = xs.try_into().expect("eight samples");
+    let outs = even_part(&mut b, &x);
+    for (i, o) in outs.into_iter().enumerate() {
+        let a = b.op(Addiu, row, b.imm(4 * (i as i64 * 2)));
+        b.store(o, a);
+    }
+    BasicBlock::new("jpeg_fdct_row_o3", b.finish(), 60_000)
+}
+
+/// Builds the JPEG program model.
+pub fn program(opt: OptLevel) -> Program {
+    let (hot, ctrl) = match opt {
+        OptLevel::O0 => (hot_o0(), 120_000),
+        OptLevel::O3 => (hot_o3(), 60_000),
+    };
+    Program::new(
+        format!("jpeg-{opt}"),
+        vec![
+            hot,
+            super::loop_ctrl("jpeg_row_ctrl", ctrl),
+            super::init_block("jpeg_init"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o3_row_is_wide() {
+        let p = program(OptLevel::O3);
+        let dfg = &p.hottest().dfg;
+        // Plenty of parallel adds/subs: critical path much shorter than size.
+        let depth = isex_dfg::analysis::critical_path_len(dfg);
+        assert!(dfg.len() as f64 / depth as f64 > 2.0, "wide butterfly");
+    }
+
+    #[test]
+    fn uses_fixed_point_multiplies() {
+        let p = program(OptLevel::O3);
+        let mults = p
+            .hottest()
+            .dfg
+            .iter()
+            .filter(|(_, n)| n.payload().opcode() == isex_isa::Opcode::Mult)
+            .count();
+        assert_eq!(mults, 3);
+    }
+}

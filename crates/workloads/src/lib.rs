@@ -1,0 +1,182 @@
+//! Exploration workloads: synthetic MiBench-like kernels and random DFGs.
+//!
+//! The paper evaluates on seven benchmarks "including CRC32, FFT, adpcm,
+//! bitcount, blowfish, jpeg and dijkstra … compiled by gcc 2.7.2.3 for PISA
+//! with -O0 and -O3" (§5.1). We cannot ship gcc-compiled PISA binaries, so
+//! this crate provides the closest synthetic equivalent: the *hot inner
+//! loop* of each benchmark hand-lowered to the PISA-like IR of
+//! [`isex_isa`], in two fidelities:
+//!
+//! * [`OptLevel::O0`] — naive code: every intermediate value spills to the
+//!   stack (load/store pairs), no unrolling, small basic blocks;
+//! * [`OptLevel::O3`] — register-promoted, unrolled code: larger basic
+//!   blocks with more instruction-level parallelism, mirroring the paper's
+//!   observation that "O3 … increases the size of basic blocks".
+//!
+//! Each [`Program`] carries per-block execution counts with a hot-block
+//! dominated profile, which is what the design flow's profiling stage
+//! consumes. The [`random`] module generates layered random DAGs for
+//! property tests and for the complexity benches of §4.4.
+//!
+//! # Example
+//!
+//! ```
+//! use isex_workloads::{Benchmark, OptLevel};
+//!
+//! let prog = Benchmark::Crc32.program(OptLevel::O3);
+//! assert_eq!(prog.name, "crc32-O3");
+//! assert!(prog.hottest().exec_count > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod kernels;
+mod program;
+
+pub mod extra;
+
+pub mod random;
+
+pub use builder::BlockBuilder;
+pub use program::{BasicBlock, Program};
+
+use serde::{Deserialize, Serialize};
+
+/// Compiler optimisation fidelity of a kernel (§5.1: gcc `-O0` vs `-O3`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// Naive, spill-heavy, non-unrolled code.
+    O0,
+    /// Register-promoted, unrolled code.
+    O3,
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O3 => "O3",
+        })
+    }
+}
+
+/// The seven benchmarks of the paper's evaluation (§5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Crc32,
+    Fft,
+    Adpcm,
+    Bitcount,
+    Blowfish,
+    Jpeg,
+    Dijkstra,
+}
+
+impl Benchmark {
+    /// All seven, in the paper's order.
+    pub const ALL: &'static [Benchmark] = &[
+        Benchmark::Crc32,
+        Benchmark::Fft,
+        Benchmark::Adpcm,
+        Benchmark::Bitcount,
+        Benchmark::Blowfish,
+        Benchmark::Jpeg,
+        Benchmark::Dijkstra,
+    ];
+
+    /// The benchmark's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Crc32 => "crc32",
+            Benchmark::Fft => "fft",
+            Benchmark::Adpcm => "adpcm",
+            Benchmark::Bitcount => "bitcount",
+            Benchmark::Blowfish => "blowfish",
+            Benchmark::Jpeg => "jpeg",
+            Benchmark::Dijkstra => "dijkstra",
+        }
+    }
+
+    /// Builds the benchmark's program model at the given fidelity.
+    pub fn program(self, opt: OptLevel) -> Program {
+        match self {
+            Benchmark::Crc32 => kernels::crc32::program(opt),
+            Benchmark::Fft => kernels::fft::program(opt),
+            Benchmark::Adpcm => kernels::adpcm::program(opt),
+            Benchmark::Bitcount => kernels::bitcount::program(opt),
+            Benchmark::Blowfish => kernels::blowfish::program(opt),
+            Benchmark::Jpeg => kernels::jpeg::program(opt),
+            Benchmark::Dijkstra => kernels::dijkstra::program(opt),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_builds_at_both_levels() {
+        for &b in Benchmark::ALL {
+            for opt in [OptLevel::O0, OptLevel::O3] {
+                let p = b.program(opt);
+                assert!(!p.blocks.is_empty(), "{b} {opt}");
+                assert!(p.total_count() > 0);
+                for blk in &p.blocks {
+                    assert!(!blk.dfg.is_empty(), "{b} {opt} block {}", blk.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn o3_blocks_are_bigger_than_o0() {
+        for &b in Benchmark::ALL {
+            let o0 = b.program(OptLevel::O0).hottest().dfg.len();
+            let o3 = b.program(OptLevel::O3).hottest().dfg.len();
+            assert!(
+                o3 > o0,
+                "{b}: O3 hot block ({o3} ops) should beat O0 ({o0} ops)"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_block_dominates_profile() {
+        // Domination in executed *work* (ops × count), the quantity the
+        // flow's execution-time accounting weights by.
+        for &b in Benchmark::ALL {
+            let p = b.program(OptLevel::O3);
+            let hot = p.hottest();
+            let work = |blk: &crate::BasicBlock| blk.exec_count as f64 * blk.dfg.len() as f64;
+            let total: f64 = p.blocks.iter().map(work).sum();
+            assert!(
+                work(hot) >= 0.6 * total,
+                "{b}: profile must be hot-block dominated"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_contain_ise_eligible_work() {
+        for &b in Benchmark::ALL {
+            let p = b.program(OptLevel::O3);
+            let eligible = p
+                .hottest()
+                .dfg
+                .iter()
+                .filter(|(_, n)| n.payload().is_ise_eligible())
+                .count();
+            assert!(eligible >= 4, "{b}: hot block needs explorable ops");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Program and profile model.
+
+use isex_isa::ProgramDfg;
+use serde::{Deserialize, Serialize};
+
+/// One basic block with its profiled execution count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// A human-readable label (e.g. `"crc32_loop"`).
+    pub name: String,
+    /// The block's data-flow graph.
+    pub dfg: ProgramDfg,
+    /// How many times the block executes in the profiled run.
+    pub exec_count: u64,
+}
+
+impl BasicBlock {
+    /// Creates a block.
+    pub fn new(name: impl Into<String>, dfg: ProgramDfg, exec_count: u64) -> Self {
+        BasicBlock {
+            name: name.into(),
+            dfg,
+            exec_count,
+        }
+    }
+}
+
+/// A profiled program: a bag of basic blocks with execution counts.
+///
+/// Control flow between blocks is irrelevant to ISE exploration (the paper
+/// explores within basic blocks); only the counts matter, for weighting
+/// execution time and for hot-block selection.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name, e.g. `"crc32-O3"`.
+    pub name: String,
+    /// The blocks, in no particular order.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Program {
+    /// Creates a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn new(name: impl Into<String>, blocks: Vec<BasicBlock>) -> Self {
+        assert!(!blocks.is_empty(), "a program needs at least one block");
+        Program {
+            name: name.into(),
+            blocks,
+        }
+    }
+
+    /// Total profiled block executions.
+    pub fn total_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.exec_count).sum()
+    }
+
+    /// The most frequently executed block; insertion order breaks ties
+    /// (kernels list their hot block first).
+    ///
+    /// # Panics
+    ///
+    /// Never — construction guarantees at least one block.
+    pub fn hottest(&self) -> &BasicBlock {
+        self.by_heat()[0]
+    }
+
+    /// Blocks sorted hottest-first (stable: insertion order breaks ties).
+    pub fn by_heat(&self) -> Vec<&BasicBlock> {
+        let mut v: Vec<&BasicBlock> = self.blocks.iter().collect();
+        v.sort_by(|a, b| b.exec_count.cmp(&a.exec_count));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(name: &str, n: usize, count: u64) -> BasicBlock {
+        let mut b = crate::BlockBuilder::new();
+        let x = b.live();
+        let mut v = x;
+        for _ in 0..n {
+            v = b.op(isex_isa::Opcode::Add, v, b.imm(1));
+        }
+        b.out(v);
+        BasicBlock::new(name, b.finish(), count)
+    }
+
+    #[test]
+    fn heat_ordering() {
+        let p = Program::new(
+            "t",
+            vec![
+                block("cold", 2, 10),
+                block("hot", 3, 1000),
+                block("warm", 2, 100),
+            ],
+        );
+        assert_eq!(p.hottest().name, "hot");
+        let names: Vec<&str> = p.by_heat().iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["hot", "warm", "cold"]);
+        assert_eq!(p.total_count(), 1110);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_program_rejected() {
+        Program::new("x", vec![]);
+    }
+}

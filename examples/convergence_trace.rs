@@ -1,0 +1,73 @@
+//! ACO convergence trace: how the sampled schedule length evolves across
+//! iterations and rounds (the dynamics behind thesis Fig. 2.2.1's ant
+//! story, measured on a real kernel).
+//!
+//! Prints a per-round ASCII sparkline of the walk TETs and the best-so-far
+//! trajectory.
+//!
+//! Run with: `cargo run --release --example convergence_trace [bench]`
+
+use isex::core::TraceEntry;
+use isex::prelude::*;
+use rand::SeedableRng;
+
+fn sparkline(values: &[u32]) -> String {
+    const GLYPHS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = values.iter().min().copied().unwrap_or(0);
+    let hi = values.iter().max().copied().unwrap_or(1).max(lo + 1);
+    values
+        .iter()
+        .map(|v| {
+            let idx = ((v - lo) as usize * (GLYPHS.len() - 1)) / (hi - lo) as usize;
+            GLYPHS[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bitcount".into());
+    let bench = Benchmark::ALL
+        .iter()
+        .find(|b| b.name() == name)
+        .copied()
+        .unwrap_or(Benchmark::Bitcount);
+    let program = bench.program(OptLevel::O3);
+    let dfg = &program.hottest().dfg;
+    let machine = MachineConfig::preset_2issue_4r2w();
+    let mut params = AcoParams::default();
+    params.max_iterations = 120;
+    let explorer =
+        MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7ace);
+    let (result, trace) = explorer.explore_traced(dfg, &mut rng);
+
+    println!(
+        "{}: {} ops, {} -> {} cycles over {} rounds / {} iterations\n",
+        program.name,
+        dfg.len(),
+        result.baseline_cycles,
+        result.cycles_with_ises,
+        result.rounds,
+        result.iterations
+    );
+    let rounds: Vec<usize> = {
+        let mut r: Vec<usize> = trace.iter().map(|t| t.round).collect();
+        r.dedup();
+        r
+    };
+    for round in rounds {
+        let entries: Vec<&TraceEntry> = trace.iter().filter(|t| t.round == round).collect();
+        let tets: Vec<u32> = entries.iter().map(|t| t.tet).collect();
+        let best = entries.iter().map(|t| t.tet).min().unwrap_or(0);
+        let first = tets.first().copied().unwrap_or(0);
+        println!(
+            "round {round}: {} iterations, first sampled TET {first}, best {best}",
+            entries.len()
+        );
+        // Chunk the sparkline to 60 columns.
+        for chunk in tets.chunks(60) {
+            println!("  {}", sparkline(chunk));
+        }
+    }
+    println!("\n(lower is better; each round explores the graph left after the previous commit)");
+}

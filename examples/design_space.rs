@@ -1,0 +1,55 @@
+//! Design-space walk: how issue width, register-file ports and the
+//! exploration algorithm interact across all seven benchmarks.
+//!
+//! Prints one row per machine preset with the average execution-time
+//! reduction of MI and SI, mirroring the structure (not the absolute
+//! numbers) of the paper's §5.2 discussion.
+//!
+//! Run with: `cargo run --release --example design_space [--quick]`
+
+use isex::flow::experiment::SweepEffort;
+use isex::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let effort = if quick {
+        SweepEffort::quick()
+    } else {
+        SweepEffort {
+            repeats: 3,
+            max_iterations: 120,
+        }
+    };
+    let benchmarks = Benchmark::ALL;
+    let opt = OptLevel::O3;
+
+    println!(
+        "{:<14}{:>12}{:>12}{:>12}",
+        "machine", "MI avg %", "SI avg %", "MI-SI pts"
+    );
+    for (label, machine) in MachineConfig::evaluation_presets() {
+        let mut avg = [0.0f64; 2];
+        for (ai, algorithm) in [Algorithm::MultiIssue, Algorithm::SingleIssue]
+            .into_iter()
+            .enumerate()
+        {
+            let mut total = 0.0;
+            for &bench in benchmarks {
+                let program = bench.program(opt);
+                let mut cfg = FlowConfig::for_machine(algorithm, machine);
+                cfg.repeats = effort.repeats;
+                cfg.params.max_iterations = effort.max_iterations;
+                let report = run_flow(&cfg, &program, 0xD5);
+                total += report.reduction();
+            }
+            avg[ai] = total / benchmarks.len() as f64 * 100.0;
+        }
+        println!(
+            "{label:<14}{:>11.2}%{:>11.2}%{:>12.2}",
+            avg[0],
+            avg[1],
+            avg[0] - avg[1]
+        );
+    }
+    println!("\n(positive last column = the multi-issue-aware explorer wins)");
+}

@@ -1,0 +1,63 @@
+//! **isex** — instruction-set-extension exploration for multiple-issue
+//! architectures.
+//!
+//! This facade crate re-exports the whole tool-chain, a faithful
+//! reproduction of *Instruction Set Extension Exploration in Multiple-issue
+//! Architectures* (Chen, NCTU / DATE 2008):
+//!
+//! | Layer | Crate | What it provides |
+//! |-------|-------|------------------|
+//! | [`dfg`] | `isex-dfg` | data-flow graphs, bitsets, convexity, `IN`/`OUT` ports |
+//! | [`isa`] | `isex-isa` | PISA-like opcodes, Table 5.1.1, machine presets |
+//! | [`sched`] | `isex-sched` | multi-issue list scheduler, critical path, `Max_AEC` |
+//! | [`aco`] | `isex-aco` | pheromone trails, merit store, roulette selection |
+//! | [`core`] | `isex-core` | the MI explorer (the paper) + the SI baseline |
+//! | [`flow`] | `isex-flow` | profiling → exploration → merging → selection → replacement |
+//! | [`workloads`] | `isex-workloads` | the seven MiBench-like kernels, random DFGs |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use isex::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Build a tiny hot block: y = ((a + b) << 3) ^ b.
+//! let mut dfg = ProgramDfg::new();
+//! let a = dfg.live_in();
+//! let b = dfg.live_in();
+//! let s = dfg.add_node(Operation::new(Opcode::Add), vec![Operand::LiveIn(a), Operand::LiveIn(b)]);
+//! let t = dfg.add_node(Operation::new(Opcode::Sll), vec![Operand::Node(s), Operand::Const(3)]);
+//! let y = dfg.add_node(Operation::new(Opcode::Xor), vec![Operand::Node(t), Operand::LiveIn(b)]);
+//! dfg.set_live_out(y, true);
+//!
+//! // Explore ISEs for a 2-issue machine with a 4R/2W register file.
+//! let machine = MachineConfig::preset_2issue_4r2w();
+//! let explorer = MultiIssueExplorer::new(machine, Constraints::from_machine(&machine));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2008);
+//! let result = explorer.explore(&dfg, &mut rng);
+//! assert!(result.cycles_with_ises <= result.baseline_cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use isex_aco as aco;
+pub use isex_core as core;
+pub use isex_dfg as dfg;
+pub use isex_flow as flow;
+pub use isex_isa as isa;
+pub use isex_sched as sched;
+pub use isex_workloads as workloads;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use isex_aco::AcoParams;
+    pub use isex_core::{
+        Constraints, Exploration, IseCandidate, MultiIssueExplorer, SingleIssueExplorer,
+    };
+    pub use isex_dfg::{Dfg, NodeId, NodeSet, Operand, Reachability};
+    pub use isex_flow::{run_flow, Algorithm, FlowConfig, FlowReport, IsePattern};
+    pub use isex_isa::{MachineConfig, Opcode, Operation, ProgramDfg};
+    pub use isex_sched::{list_schedule, Priority, SchedDfg, SchedOp, UnitClass};
+    pub use isex_workloads::{Benchmark, OptLevel, Program};
+}

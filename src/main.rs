@@ -1,0 +1,252 @@
+//! `isex` — command-line front-end to the ISE exploration tool-chain.
+//!
+//! ```text
+//! isex list                                   # benchmarks and machine presets
+//! isex explore --bench crc32 [options]        # run the design flow on a benchmark
+//! isex asm <file.s> [options]                 # explore a basic block from assembly
+//!
+//! options:
+//!   --opt O0|O3            workload fidelity            (default O3)
+//!   --machine PRESET       see `isex list`              (default 2is-4r2w)
+//!   --algorithm mi|si      explorer                     (default mi)
+//!   --seed N               RNG seed                     (default 2008)
+//!   --repeats N            explorations per block       (default 3)
+//!   --iters N              ACO iteration cap per round  (default 150)
+//!   --area UM2             silicon-area budget
+//!   --max-ises N           ISE-count budget
+//!   --verilog              emit Verilog for the selected ISEs
+//!   --timeline             print the hot block's schedule before/after
+//! ```
+
+use std::process::ExitCode;
+
+use isex::flow::select::Budgets;
+use isex::prelude::*;
+
+fn machine_presets() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("2is-4r2w", MachineConfig::preset_2issue_4r2w()),
+        ("2is-6r3w", MachineConfig::preset_2issue_6r3w()),
+        ("3is-6r3w", MachineConfig::preset_3issue_6r3w()),
+        ("3is-8r4w", MachineConfig::preset_3issue_8r4w()),
+        ("4is-8r4w", MachineConfig::preset_4issue_8r4w()),
+        ("4is-10r5w", MachineConfig::preset_4issue_10r5w()),
+    ]
+}
+
+struct Options {
+    opt: OptLevel,
+    machine: MachineConfig,
+    algorithm: Algorithm,
+    seed: u64,
+    repeats: usize,
+    iters: usize,
+    area: Option<f64>,
+    max_ises: Option<usize>,
+    verilog: bool,
+    timeline: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            opt: OptLevel::O3,
+            machine: MachineConfig::preset_2issue_4r2w(),
+            algorithm: Algorithm::MultiIssue,
+            seed: 2008,
+            repeats: 3,
+            iters: 150,
+            area: None,
+            max_ises: None,
+            verilog: false,
+            timeline: false,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
+    let mut opts = Options::default();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    let need = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--opt" => {
+                opts.opt = match need(args, i, "--opt")?.as_str() {
+                    "O0" | "o0" => OptLevel::O0,
+                    "O3" | "o3" => OptLevel::O3,
+                    other => return Err(format!("unknown opt level `{other}`")),
+                };
+                i += 1;
+            }
+            "--machine" => {
+                let name = need(args, i, "--machine")?;
+                opts.machine = machine_presets()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, m)| m)
+                    .ok_or_else(|| format!("unknown machine `{name}` (try `isex list`)"))?;
+                i += 1;
+            }
+            "--algorithm" => {
+                opts.algorithm = match need(args, i, "--algorithm")?.as_str() {
+                    "mi" | "MI" => Algorithm::MultiIssue,
+                    "si" | "SI" => Algorithm::SingleIssue,
+                    other => return Err(format!("unknown algorithm `{other}`")),
+                };
+                i += 1;
+            }
+            "--seed" => {
+                opts.seed = need(args, i, "--seed")?.parse().map_err(|_| "bad --seed")?;
+                i += 1;
+            }
+            "--repeats" => {
+                opts.repeats = need(args, i, "--repeats")?
+                    .parse()
+                    .map_err(|_| "bad --repeats")?;
+                i += 1;
+            }
+            "--iters" => {
+                opts.iters = need(args, i, "--iters")?
+                    .parse()
+                    .map_err(|_| "bad --iters")?;
+                i += 1;
+            }
+            "--area" => {
+                opts.area = Some(need(args, i, "--area")?.parse().map_err(|_| "bad --area")?);
+                i += 1;
+            }
+            "--max-ises" => {
+                opts.max_ises = Some(
+                    need(args, i, "--max-ises")?
+                        .parse()
+                        .map_err(|_| "bad --max-ises")?,
+                );
+                i += 1;
+            }
+            "--verilog" => opts.verilog = true,
+            "--timeline" => opts.timeline = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            pos => positional.push(pos.to_string()),
+        }
+        i += 1;
+    }
+    Ok((opts, positional))
+}
+
+fn flow_config(opts: &Options) -> FlowConfig {
+    let mut cfg = FlowConfig::for_machine(opts.algorithm, opts.machine);
+    cfg.repeats = opts.repeats;
+    cfg.params.max_iterations = opts.iters;
+    cfg.budgets = Budgets {
+        area_um2: opts.area,
+        max_ises: opts.max_ises,
+    };
+    cfg
+}
+
+fn cmd_list() {
+    println!("benchmarks:");
+    for &b in Benchmark::ALL {
+        println!("  {b}");
+    }
+    println!("\nmachine presets:");
+    for (name, m) in machine_presets() {
+        println!("  {name:<10} {m}");
+    }
+}
+
+fn print_report(report: &FlowReport, opts: &Options) {
+    print!("{}", isex::flow::report::render_text(report));
+    if opts.verilog {
+        for (i, sel) in report.selected.iter().enumerate() {
+            println!(
+                "\n{}",
+                isex::flow::emit::to_verilog(&sel.pattern, &format!("asfu{i}"))
+            );
+        }
+    }
+}
+
+fn cmd_explore(opts: &Options, positional: &[String]) -> Result<(), String> {
+    let name = positional.first().ok_or("explore needs a benchmark name")?;
+    let bench = *Benchmark::ALL
+        .iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `isex list`)"))?;
+    let program = bench.program(opts.opt);
+    let report = run_flow(&flow_config(opts), &program, opts.seed);
+    print_report(&report, opts);
+    if opts.timeline {
+        print_timeline(&program.hottest().dfg, &report, opts);
+    }
+    Ok(())
+}
+
+fn cmd_asm(opts: &Options, positional: &[String]) -> Result<(), String> {
+    let path = positional.first().ok_or("asm needs a file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let dfg = isex::isa::parse::parse_block(&text).map_err(|e| e.to_string())?;
+    let program = Program::new(
+        format!("asm:{path}"),
+        vec![isex::workloads::BasicBlock::new("block", dfg, 1)],
+    );
+    let report = run_flow(&flow_config(opts), &program, opts.seed);
+    print_report(&report, opts);
+    if opts.timeline {
+        print_timeline(&program.hottest().dfg, &report, opts);
+    }
+    Ok(())
+}
+
+fn print_timeline(dfg: &ProgramDfg, report: &FlowReport, opts: &Options) {
+    use isex::sched::{display, unit};
+    let sched_dfg = unit::lower(dfg);
+    let before = list_schedule(&sched_dfg, &opts.machine, Priority::Height);
+    println!("\nhot block, before ISEs:");
+    print!(
+        "{}",
+        display::render(&sched_dfg, &before, |id, _| dfg
+            .node(id)
+            .payload()
+            .opcode()
+            .mnemonic()
+            .to_string())
+    );
+    let r = isex::flow::replace::replace_in_block(dfg, &report.selected, &opts.machine);
+    println!(
+        "after replacement: {} -> {} cycles, {} ISE instance(s)",
+        r.cycles_before,
+        r.cycles_after,
+        r.matches.len()
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: isex <list|explore|asm> [options]  (see src/main.rs header)");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "explore" => parse_options(rest).and_then(|(o, p)| cmd_explore(&o, &p)),
+        "asm" => parse_options(rest).and_then(|(o, p)| cmd_asm(&o, &p)),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

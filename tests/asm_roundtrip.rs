@@ -1,0 +1,88 @@
+//! Round-trip property: `parse_block(emit_block(dfg))` reproduces the
+//! graph structure for every workload kernel and for random DFGs.
+
+use isex::isa::parse::{emit_block, parse_block};
+use isex::prelude::*;
+use isex::workloads::random::{random_dfg, RandomDfgConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Structural equality: same ops, same opcode per node, same predecessor
+/// sets and same immediate operands (live-in identities may be renumbered
+/// by the parser, so they are compared by position pattern).
+fn assert_same_structure(a: &ProgramDfg, b: &ProgramDfg, tag: &str) {
+    assert_eq!(a.len(), b.len(), "{tag}: node count");
+    for (id, node) in a.iter() {
+        let other = b.node(id);
+        assert_eq!(
+            node.payload().opcode(),
+            other.payload().opcode(),
+            "{tag}: opcode at {id:?}"
+        );
+        assert_eq!(
+            a.preds(id).collect::<Vec<_>>(),
+            b.preds(id).collect::<Vec<_>>(),
+            "{tag}: predecessors at {id:?}"
+        );
+        // Immediates must match exactly, position by position.
+        let consts = |n: &isex::dfg::DfgNode<Operation>| {
+            n.operands()
+                .iter()
+                .map(|op| match op {
+                    Operand::Const(c) => Some(*c),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        // Loads re-associate `(base, offset)` and stores
+        // `(value, base, offset)` — offsets may gain an explicit 0.
+        if !node.payload().opcode().is_memory() {
+            assert_eq!(consts(node), consts(other), "{tag}: immediates at {id:?}");
+        }
+    }
+}
+
+#[test]
+fn kernels_roundtrip_through_assembly() {
+    for &bench in Benchmark::ALL {
+        for opt in [OptLevel::O0, OptLevel::O3] {
+            let program = bench.program(opt);
+            for block in &program.blocks {
+                let text = emit_block(&block.dfg);
+                let back = parse_block(&text)
+                    .unwrap_or_else(|e| panic!("{bench} {opt} {}: {e}\n{text}", block.name));
+                assert_same_structure(&block.dfg, &back, &block.name);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_dfgs_roundtrip_through_assembly(seed in any::<u64>(), nodes in 1usize..50) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dfg = random_dfg(
+            &RandomDfgConfig {
+                nodes,
+                width: 3,
+                mem_fraction: 0.2,
+                live_ins: 5,
+            },
+            &mut rng,
+        );
+        let text = emit_block(&dfg);
+        let back = parse_block(&text).map_err(|e| {
+            TestCaseError::fail(format!("{e}\n{text}"))
+        })?;
+        prop_assert_eq!(back.len(), dfg.len());
+        for (id, node) in dfg.iter() {
+            prop_assert_eq!(node.payload().opcode(), back.node(id).payload().opcode());
+            prop_assert_eq!(
+                dfg.preds(id).collect::<Vec<_>>(),
+                back.preds(id).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Failure-injection and degenerate-input tests across the stack.
+
+use isex::flow::select::Budgets;
+use isex::prelude::*;
+use rand::SeedableRng;
+
+fn quick_explorer(machine: MachineConfig) -> MultiIssueExplorer {
+    let mut params = AcoParams::default();
+    params.max_iterations = 30;
+    MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params)
+}
+
+#[test]
+fn single_node_block() {
+    let mut dfg = ProgramDfg::new();
+    let x = dfg.live_in();
+    let a = dfg.add_node(
+        Operation::new(Opcode::Add),
+        vec![Operand::LiveIn(x), Operand::Const(1)],
+    );
+    dfg.set_live_out(a, true);
+    let m = MachineConfig::preset_2issue_4r2w();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let r = quick_explorer(m).explore(&dfg, &mut rng);
+    assert_eq!(r.baseline_cycles, 1);
+    assert!(r.candidates.is_empty(), "one op can never beat one cycle");
+}
+
+#[test]
+fn all_memory_block() {
+    let mut dfg = ProgramDfg::new();
+    let x = dfg.live_in();
+    let mut addr = dfg.add_node(Operation::new(Opcode::Lw), vec![Operand::LiveIn(x)]);
+    for _ in 0..6 {
+        addr = dfg.add_node(Operation::new(Opcode::Lw), vec![Operand::Node(addr)]);
+    }
+    dfg.set_live_out(addr, true);
+    let m = MachineConfig::preset_4issue_10r5w();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let r = quick_explorer(m).explore(&dfg, &mut rng);
+    assert!(r.candidates.is_empty());
+    assert_eq!(r.baseline_cycles, r.cycles_with_ises);
+}
+
+#[test]
+fn disconnected_components_explore_independently() {
+    let mut dfg = ProgramDfg::new();
+    for _ in 0..3 {
+        let x = dfg.live_in();
+        let a = dfg.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(x), Operand::Const(1)],
+        );
+        let b = dfg.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(a), Operand::Const(2)],
+        );
+        let c = dfg.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(b), Operand::Const(3)],
+        );
+        dfg.set_live_out(c, true);
+    }
+    let m = MachineConfig::preset_2issue_4r2w();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let r = quick_explorer(m).explore(&dfg, &mut rng);
+    assert!(r.cycles_with_ises < r.baseline_cycles);
+    // Candidates never span components (they must be connected).
+    for c in &r.candidates {
+        let ids: Vec<usize> = c.nodes.iter().map(|n| n.index()).collect();
+        let component = ids[0] / 3;
+        assert!(ids.iter().all(|i| i / 3 == component), "{ids:?}");
+    }
+}
+
+#[test]
+fn minimal_port_constraints_still_yield_legal_candidates() {
+    // n_in = 1, n_out = 1: only straight single-input chains qualify.
+    let program = Benchmark::Bitcount.program(OptLevel::O3);
+    let dfg = &program.hottest().dfg;
+    let m = MachineConfig::preset_2issue_4r2w();
+    let mut params = AcoParams::default();
+    params.max_iterations = 40;
+    let ex = MultiIssueExplorer::with_params(m, Constraints::new(1, 1), params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let r = ex.explore(dfg, &mut rng);
+    for c in &r.candidates {
+        assert!(c.inputs <= 1 && c.outputs <= 1, "{c}");
+    }
+}
+
+#[test]
+fn contradictory_budgets_select_nothing() {
+    let program = Benchmark::Crc32.program(OptLevel::O3);
+    let mut cfg = FlowConfig::paper_default(Algorithm::MultiIssue);
+    cfg.repeats = 1;
+    cfg.params.max_iterations = 30;
+    cfg.budgets = Budgets {
+        area_um2: Some(0.0),
+        max_ises: Some(0),
+    };
+    let report = run_flow(&cfg, &program, 5);
+    assert!(report.selected.is_empty());
+    assert_eq!(report.total_area, 0.0);
+    assert_eq!(report.cycles_before, report.cycles_after);
+}
+
+#[test]
+fn sp_functions_all_work_end_to_end() {
+    use isex::core::SpFunction;
+    let program = Benchmark::Adpcm.program(OptLevel::O3);
+    let dfg = &program.hottest().dfg;
+    let m = MachineConfig::preset_2issue_4r2w();
+    for sp in [
+        SpFunction::ChildCount,
+        SpFunction::Height,
+        SpFunction::Mobility,
+    ] {
+        let mut ex = quick_explorer(m);
+        ex.sp_function = sp;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let r = ex.explore(dfg, &mut rng);
+        assert!(
+            r.cycles_with_ises <= r.baseline_cycles,
+            "{sp:?}: {} -> {}",
+            r.baseline_cycles,
+            r.cycles_with_ises
+        );
+    }
+}
+
+#[test]
+fn wide_fanout_node_is_handled() {
+    // One producer feeding 12 consumers: OUT(S) pressure everywhere.
+    let mut dfg = ProgramDfg::new();
+    let x = dfg.live_in();
+    let hub = dfg.add_node(
+        Operation::new(Opcode::Add),
+        vec![Operand::LiveIn(x), Operand::Const(1)],
+    );
+    for i in 0..12 {
+        let c = dfg.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(hub), Operand::Const(i)],
+        );
+        dfg.set_live_out(c, true);
+    }
+    let m = MachineConfig::preset_2issue_4r2w();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let r = quick_explorer(m).explore(&dfg, &mut rng);
+    assert!(r.cycles_with_ises <= r.baseline_cycles);
+    for c in &r.candidates {
+        assert!(c.outputs <= 2);
+    }
+}
+
+#[test]
+fn duplicate_operand_edges_survive_the_pipeline() {
+    // a used twice by b (x*x style): preds dedup, ports count one value.
+    let mut dfg = ProgramDfg::new();
+    let x = dfg.live_in();
+    let a = dfg.add_node(
+        Operation::new(Opcode::Add),
+        vec![Operand::LiveIn(x), Operand::Const(1)],
+    );
+    let b = dfg.add_node(
+        Operation::new(Opcode::Mult),
+        vec![Operand::Node(a), Operand::Node(a)],
+    );
+    let c = dfg.add_node(
+        Operation::new(Opcode::Srl),
+        vec![Operand::Node(b), Operand::Const(4)],
+    );
+    dfg.set_live_out(c, true);
+    let m = MachineConfig::preset_2issue_6r3w();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let r = quick_explorer(m).explore(&dfg, &mut rng);
+    assert!(r.cycles_with_ises <= r.baseline_cycles);
+}
+
+#[test]
+fn zero_latency_hw_option_is_clamped() {
+    use isex::isa::{HwOption, IoTable, SwOption};
+    // A pathological IO table with 0 ns delay must not produce 0-cycle
+    // instructions anywhere.
+    let mut dfg = ProgramDfg::new();
+    let x = dfg.live_in();
+    let t = Operation::with_table(
+        Opcode::Add,
+        IoTable::new(vec![SwOption::new(1)], vec![HwOption::new(0.0, 10.0)]),
+    );
+    let a = dfg.add_node(t.clone(), vec![Operand::LiveIn(x), Operand::Const(1)]);
+    let b = dfg.add_node(t, vec![Operand::Node(a), Operand::Const(2)]);
+    dfg.set_live_out(b, true);
+    let m = MachineConfig::preset_2issue_4r2w();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let r = quick_explorer(m).explore(&dfg, &mut rng);
+    for c in &r.candidates {
+        assert!(c.latency >= 1);
+    }
+    assert!(r.cycles_with_ises >= 1);
+}

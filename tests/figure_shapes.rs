@@ -1,0 +1,125 @@
+//! Regression locks on the evaluation's *shapes* (EXPERIMENTS.md): these
+//! run at quick effort so CI catches a regression in any of the paper's
+//! qualitative claims.
+
+use isex::flow::experiment::{self, ConfigPoint, SweepEffort, ISE_COUNTS};
+use isex::prelude::*;
+
+fn point(algorithm: Algorithm, opt: OptLevel) -> ConfigPoint {
+    ConfigPoint {
+        label: format!("{algorithm}(4/2, 2IS, {opt})"),
+        machine: MachineConfig::preset_2issue_4r2w(),
+        opt,
+        algorithm,
+    }
+}
+
+#[test]
+fn mi_is_more_area_efficient_than_si() {
+    // Fig. 5.2.3's core claim, at every ISE-count budget: MI buys at least
+    // as much reduction per µm². Measured area may be zero when nothing is
+    // selected, so compare aggregate (reduction, area) pairs.
+    let effort = SweepEffort {
+        repeats: 2,
+        max_iterations: 80,
+    };
+    let mi = experiment::ise_count_sweep(
+        &point(Algorithm::MultiIssue, OptLevel::O3),
+        Benchmark::ALL,
+        &effort,
+        0xF16,
+    );
+    let si = experiment::ise_count_sweep(
+        &point(Algorithm::SingleIssue, OptLevel::O3),
+        Benchmark::ALL,
+        &effort,
+        0xF16,
+    );
+    let agg = |ms: &[experiment::Measurement], count: usize| -> (f64, f64) {
+        let xs: Vec<&experiment::Measurement> = ms
+            .iter()
+            .filter(|m| m.constraint == count as f64)
+            .collect();
+        let red = xs.iter().map(|m| m.reduction).sum::<f64>() / xs.len() as f64;
+        let area = xs.iter().map(|m| m.area_um2).sum::<f64>() / xs.len() as f64;
+        (red, area)
+    };
+    let mut mi_wins = 0usize;
+    for &c in ISE_COUNTS {
+        let (mr, ma) = agg(&mi, c);
+        let (sr, sa) = agg(&si, c);
+        // Efficiency: reduction per area (guard against zero areas).
+        let me = mr / ma.max(1.0);
+        let se = sr / sa.max(1.0);
+        if me >= se {
+            mi_wins += 1;
+        }
+    }
+    assert!(
+        mi_wins >= ISE_COUNTS.len() - 1,
+        "MI must be the more area-efficient explorer ({mi_wins}/{} budgets)",
+        ISE_COUNTS.len()
+    );
+}
+
+#[test]
+fn first_ise_dominates_the_reduction() {
+    // Fig. 5.2.3 / §5.2: "most of [the] execution time reduction is
+    // dominated by several ISEs, especially [the] first ISE".
+    let effort = SweepEffort {
+        repeats: 2,
+        max_iterations: 80,
+    };
+    let ms = experiment::ise_count_sweep(
+        &point(Algorithm::MultiIssue, OptLevel::O3),
+        Benchmark::ALL,
+        &effort,
+        0xF17,
+    );
+    let avg = |count: usize| -> f64 {
+        let xs: Vec<f64> = ms
+            .iter()
+            .filter(|m| m.constraint == count as f64)
+            .map(|m| m.reduction)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let one = avg(1);
+    let full = avg(32);
+    assert!(one > 0.0);
+    assert!(
+        one >= 0.3 * full,
+        "first ISE should carry a large share: {one:.3} of {full:.3}"
+    );
+    // And saturation: 8 → 32 gains (almost) nothing.
+    assert!(avg(32) - avg(8) < 0.05);
+}
+
+#[test]
+fn o3_beats_o0_at_two_issue() {
+    // §5.2: "O3 exhibits better execution time reduction than O0 in cases
+    // of 2IS" — the bigger blocks give the explorer more room.
+    let effort = SweepEffort {
+        repeats: 2,
+        max_iterations: 80,
+    };
+    let reduction = |opt: OptLevel| -> f64 {
+        let ms = experiment::area_sweep(
+            &point(Algorithm::MultiIssue, opt),
+            Benchmark::ALL,
+            &effort,
+            0xF18,
+        );
+        // loosest budget
+        let xs: Vec<f64> = ms
+            .iter()
+            .filter(|m| m.constraint == 320_000.0)
+            .map(|m| m.reduction)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    assert!(
+        reduction(OptLevel::O3) > reduction(OptLevel::O0),
+        "O3 must beat O0 at 2-issue"
+    );
+}

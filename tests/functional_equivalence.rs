@@ -1,0 +1,152 @@
+//! Functional soundness of pattern matching and ISE replacement: every
+//! match found by [`IsePattern::find_matches`] computes, via the pattern's
+//! ASFU datapath, exactly the values the original operations computed.
+//!
+//! This is the semantic contract of replacement — substituting the match
+//! with one ISE instruction must not change the program's results.
+
+use isex::dfg::Reachability;
+use isex::flow::pattern::PatternInput;
+use isex::isa::semantics::{evaluate_block, Memory};
+use isex::prelude::*;
+use isex::workloads::random::{random_dfg, RandomDfgConfig};
+use rand::Rng as _;
+use rand::SeedableRng;
+
+/// Explores a block, extracts the candidates as patterns, and checks every
+/// match of every pattern against concrete execution.
+fn check_block(dfg: &ProgramDfg, seed: u64) -> usize {
+    let machine = MachineConfig::preset_2issue_6r3w();
+    let mut params = AcoParams::default();
+    params.max_iterations = 40;
+    let ex = MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let result = ex.explore(dfg, &mut rng);
+
+    // Concrete inputs for the block.
+    let live_ins: Vec<u32> = (0..dfg.live_in_count() as u32)
+        .map(|i| 0x1357_9bdf_u32.wrapping_mul(i + 1) ^ seed as u32)
+        .collect();
+    let mut memory = Memory::new();
+    let values = evaluate_block(dfg, &live_ins, &mut memory);
+
+    let reach = Reachability::compute(dfg);
+    let mut checked = 0usize;
+    for cand in &result.candidates {
+        let pattern = IsePattern::from_candidate(cand, dfg);
+        for image in pattern.find_matches(dfg, &reach) {
+            // Gather the external class values observed at this match.
+            let members: Vec<_> = image.iter().collect();
+            let mut class_values = vec![0u32; pattern.inputs];
+            for (pat_op, &member) in pattern.ops.iter().zip(&members) {
+                for (pi, op) in pat_op.inputs.iter().zip(dfg.node(member).operands()) {
+                    if let PatternInput::External(c) = *pi {
+                        class_values[c] = match *op {
+                            Operand::Node(p) => values[p.index()],
+                            Operand::LiveIn(v) => live_ins[v.index()],
+                            Operand::Const(k) => k as u32,
+                        };
+                    }
+                }
+            }
+            // Execute the pattern's own datapath on those inputs.
+            let pdfg = pattern.to_dfg();
+            let mut pmem = Memory::new();
+            let pvalues = evaluate_block(&pdfg, &class_values, &mut pmem);
+            // Every member's value must be reproduced.
+            for (i, &member) in members.iter().enumerate() {
+                assert_eq!(
+                    pvalues[i],
+                    values[member.index()],
+                    "pattern node {i} vs block node {member:?} (seed {seed})"
+                );
+            }
+            checked += 1;
+        }
+    }
+    checked
+}
+
+#[test]
+fn matches_reproduce_values_on_benchmarks() {
+    let mut total = 0;
+    for &bench in Benchmark::ALL {
+        let program = bench.program(OptLevel::O3);
+        total += check_block(&program.hottest().dfg, 0xE0 + bench as u64);
+    }
+    assert!(
+        total >= 5,
+        "expected several matches to verify, got {total}"
+    );
+}
+
+#[test]
+fn matches_reproduce_values_on_random_blocks() {
+    let mut total = 0;
+    for seed in 0..10u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dfg = random_dfg(
+            &RandomDfgConfig {
+                nodes: 30,
+                width: rng.gen_range(1..4),
+                mem_fraction: 0.1,
+                live_ins: 5,
+            },
+            &mut rng,
+        );
+        total += check_block(&dfg, seed);
+    }
+    assert!(total >= 3, "expected matches on random blocks, got {total}");
+}
+
+#[test]
+fn cross_block_matches_are_also_sound() {
+    // A pattern explored on crc32 matched inside a *different* block must
+    // still reproduce values there (this exercises external-class binding
+    // against foreign producers).
+    let machine = MachineConfig::preset_2issue_4r2w();
+    let mut params = AcoParams::default();
+    params.max_iterations = 40;
+    let ex = MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
+    let program = Benchmark::Crc32.program(OptLevel::O3);
+    let src = &program.hottest().dfg;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xCB);
+    let result = ex.explore(src, &mut rng);
+    assert!(!result.candidates.is_empty());
+
+    // Target: the O0 variant of the same kernel (different structure, same
+    // computations inside).
+    let target_prog = Benchmark::Crc32.program(OptLevel::O0);
+    let target = &target_prog.hottest().dfg;
+    let live_ins: Vec<u32> = (0..target.live_in_count() as u32)
+        .map(|i| 0xfeed_f00d_u32.rotate_left(i))
+        .collect();
+    let mut memory = Memory::new();
+    let values = evaluate_block(target, &live_ins, &mut memory);
+    let reach = Reachability::compute(target);
+
+    for cand in &result.candidates {
+        let pattern = IsePattern::from_candidate(cand, src);
+        for image in pattern.find_matches(target, &reach) {
+            let members: Vec<_> = image.iter().collect();
+            let mut class_values = vec![0u32; pattern.inputs];
+            for (pat_op, &member) in pattern.ops.iter().zip(&members) {
+                for (pi, op) in pat_op.inputs.iter().zip(target.node(member).operands()) {
+                    if let PatternInput::External(c) = *pi {
+                        class_values[c] = match *op {
+                            Operand::Node(p) => values[p.index()],
+                            Operand::LiveIn(v) => live_ins[v.index()],
+                            Operand::Const(k) => k as u32,
+                        };
+                    }
+                }
+            }
+            let pdfg = pattern.to_dfg();
+            let mut pmem = Memory::new();
+            let pvalues = evaluate_block(&pdfg, &class_values, &mut pmem);
+            for (i, &member) in members.iter().enumerate() {
+                assert_eq!(pvalues[i], values[member.index()], "cross-block mismatch");
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Optimality oracle tests: on blocks small enough for exhaustive search,
+//! the ACO explorer must land close to the exact optimum.
+
+use isex::core::ExactExplorer;
+use isex::prelude::*;
+use isex::workloads::random::{random_dfg, RandomDfgConfig};
+use rand::SeedableRng;
+
+fn small_block(seed: u64) -> ProgramDfg {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    random_dfg(
+        &RandomDfgConfig {
+            nodes: 14,
+            width: 2,
+            mem_fraction: 0.1,
+            live_ins: 4,
+        },
+        &mut rng,
+    )
+}
+
+#[test]
+fn aco_tracks_the_exact_single_ise_optimum() {
+    let machine = MachineConfig::preset_2issue_4r2w();
+    let cons = Constraints::from_machine(&machine);
+    let exact = ExactExplorer::new(machine, cons);
+    let mut params = AcoParams::default();
+    params.max_iterations = 120;
+    let aco = MultiIssueExplorer::with_params(machine, cons, params);
+
+    let mut optimal_total = 0u32;
+    let mut aco_total = 0u32;
+    let mut instances = 0;
+    for seed in 0..12u64 {
+        let dfg = small_block(seed);
+        let Ok(best) = exact.best_single_ise(&dfg) else {
+            continue;
+        };
+        let Some(best) = best else { continue };
+        instances += 1;
+        optimal_total += best.saved_cycles;
+        // The paper explores each block five times and keeps the best
+        // (§5.1); the oracle comparison uses the same protocol.
+        let first = (0..5u64)
+            .map(|rep| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xACE ^ (rep << 40));
+                let result = aco.explore(&dfg, &mut rng);
+                result
+                    .candidates
+                    .first()
+                    .map(|c| c.saved_cycles)
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0);
+        aco_total += first.min(best.saved_cycles);
+        // Sanity: no heuristic candidate may beat the exhaustive optimum.
+        assert!(
+            first <= best.saved_cycles,
+            "seed {seed}: ACO first ISE saves {first}, oracle says max {}",
+            best.saved_cycles
+        );
+    }
+    assert!(
+        instances >= 6,
+        "need enough solvable instances, got {instances}"
+    );
+    let ratio = aco_total as f64 / optimal_total as f64;
+    assert!(
+        ratio >= 0.7,
+        "ACO reaches only {:.0}% of the single-ISE optimum ({aco_total}/{optimal_total})",
+        ratio * 100.0
+    );
+}
+
+#[test]
+fn multi_round_aco_beats_the_single_ise_optimum_overall() {
+    // With several rounds the heuristic's *total* saving should generally
+    // reach at least the best single ISE's saving.
+    let machine = MachineConfig::preset_2issue_6r3w();
+    let cons = Constraints::from_machine(&machine);
+    let exact = ExactExplorer::new(machine, cons);
+    let mut params = AcoParams::default();
+    params.max_iterations = 120;
+    let aco = MultiIssueExplorer::with_params(machine, cons, params);
+
+    let mut wins = 0usize;
+    let mut cases = 0usize;
+    for seed in 20..32u64 {
+        let dfg = small_block(seed);
+        let Ok(Some(best)) = exact.best_single_ise(&dfg) else {
+            continue;
+        };
+        cases += 1;
+        let total_saved = (0..5u64)
+            .map(|rep| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ (rep << 40));
+                let result = aco.explore(&dfg, &mut rng);
+                result.baseline_cycles - result.cycles_with_ises
+            })
+            .max()
+            .unwrap_or(0);
+        if total_saved >= best.saved_cycles {
+            wins += 1;
+        }
+    }
+    assert!(cases >= 5);
+    // Measured: ~8/12 with best-of-5 — the heuristic is good but not
+    // exhaustive; this floor guards against regressions, not perfection.
+    assert!(
+        wins * 100 >= cases * 60,
+        "multi-round ACO matched the single-ISE optimum in only {wins}/{cases} cases"
+    );
+}

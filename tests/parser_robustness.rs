@@ -1,0 +1,61 @@
+//! Fuzz-style robustness: the assembly parser must never panic, whatever
+//! the input — errors only, with line numbers.
+
+use isex::isa::parse::parse_block;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_block(&text);
+    }
+
+    #[test]
+    fn arbitrary_asm_shaped_lines_never_panic(
+        lines in prop::collection::vec(
+            (
+                prop_oneof![
+                    Just("add"), Just("sub"), Just("lw"), Just("sw"), Just("bne"),
+                    Just("lui"), Just("mult"), Just("sll"), Just("nonsense"),
+                ],
+                "[$a-z0-9,() -]{0,30}",
+            ),
+            0..12,
+        )
+    ) {
+        let text: String = lines
+            .iter()
+            .map(|(m, rest)| format!("{m} {rest}\n"))
+            .collect();
+        match parse_block(&text) {
+            Ok(dfg) => {
+                // Whatever parsed must be a well-formed DAG.
+                prop_assert!(dfg.len() <= 12);
+                for (id, _) in dfg.iter() {
+                    for p in dfg.preds(id) {
+                        prop_assert!(p.index() < id.index());
+                    }
+                }
+            }
+            Err(e) => {
+                prop_assert!(e.line >= 1);
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn error_lines_point_into_the_input(junk in "[a-z]{1,10}", prefix_lines in 0usize..5) {
+        let mut text = String::new();
+        for _ in 0..prefix_lines {
+            text.push_str("add $t0, $t0, 1\n");
+        }
+        text.push_str(&junk);
+        text.push('\n');
+        if let Err(e) = parse_block(&text) {
+            prop_assert_eq!(e.line, prefix_lines + 1);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Serde round-trip tests: the data structures a downstream tool would
+//! persist (DFGs, candidates, patterns, reports) must survive
+//! serialisation loss-free.
+
+use isex::dfg::{NodeId, NodeSet};
+use isex::prelude::*;
+use isex::workloads::random::{random_dfg, RandomDfgConfig};
+use rand::SeedableRng;
+
+#[test]
+fn node_set_roundtrips() {
+    let mut s = NodeSet::new(100);
+    for i in [0u32, 31, 32, 63, 64, 99] {
+        s.insert(NodeId::new(i));
+    }
+    let json = serde_json::to_string(&s).unwrap();
+    let back: NodeSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+    assert_eq!(back.universe(), 100);
+}
+
+#[test]
+fn node_set_rejects_out_of_universe_members() {
+    let err = serde_json::from_str::<NodeSet>("[4, [2, 7]]").unwrap_err();
+    assert!(err.to_string().contains("outside universe"));
+}
+
+#[test]
+fn program_dfg_roundtrips() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let dfg = random_dfg(
+        &RandomDfgConfig {
+            nodes: 25,
+            width: 3,
+            mem_fraction: 0.2,
+            live_ins: 4,
+        },
+        &mut rng,
+    );
+    let json = serde_json::to_string(&dfg).unwrap();
+    let back: ProgramDfg = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), dfg.len());
+    assert_eq!(back.live_in_count(), dfg.live_in_count());
+    for (id, node) in dfg.iter() {
+        assert_eq!(back.node(id).payload(), node.payload());
+        assert_eq!(back.node(id).operands(), node.operands());
+        assert_eq!(back.node(id).is_live_out(), node.is_live_out());
+        assert_eq!(
+            back.succs(id).collect::<Vec<_>>(),
+            dfg.succs(id).collect::<Vec<_>>(),
+            "adjacency rebuilt identically"
+        );
+    }
+}
+
+#[test]
+fn exploration_and_candidates_roundtrip() {
+    let program = Benchmark::Bitcount.program(OptLevel::O3);
+    let dfg = &program.hottest().dfg;
+    let machine = MachineConfig::preset_2issue_4r2w();
+    let mut params = AcoParams::default();
+    params.max_iterations = 40;
+    let ex = MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let result = ex.explore(dfg, &mut rng);
+    assert!(!result.candidates.is_empty());
+    let json = serde_json::to_string(&result).unwrap();
+    let back: Exploration = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.baseline_cycles, result.baseline_cycles);
+    assert_eq!(back.cycles_with_ises, result.cycles_with_ises);
+    assert_eq!(back.candidates.len(), result.candidates.len());
+    for (a, b) in back.candidates.iter().zip(&result.candidates) {
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.choices, b.choices);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.saved_cycles, b.saved_cycles);
+    }
+}
+
+#[test]
+fn pattern_roundtrips_and_still_matches() {
+    let program = Benchmark::Crc32.program(OptLevel::O3);
+    let dfg = &program.hottest().dfg;
+    let machine = MachineConfig::preset_2issue_4r2w();
+    let mut params = AcoParams::default();
+    params.max_iterations = 40;
+    let ex = MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let result = ex.explore(dfg, &mut rng);
+    let Some(cand) = result.candidates.first() else {
+        panic!("crc32 always yields a candidate");
+    };
+    let pattern = IsePattern::from_candidate(cand, dfg);
+    let json = serde_json::to_string(&pattern).unwrap();
+    let back: IsePattern = serde_json::from_str(&json).unwrap();
+    // The deserialised pattern behaves identically: same matches.
+    let reach = isex::dfg::Reachability::compute(dfg);
+    let before: Vec<_> = pattern.find_matches(dfg, &reach);
+    let after: Vec<_> = back.find_matches(dfg, &reach);
+    assert_eq!(before.len(), after.len());
+    for (x, y) in before.iter().zip(&after) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn machine_and_params_roundtrip() {
+    let m = MachineConfig::preset_3issue_8r4w();
+    let back: MachineConfig = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+    assert_eq!(back, m);
+    let p = AcoParams::default();
+    let back: AcoParams = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+    assert_eq!(back, p);
+}
+
+#[test]
+fn measurements_serialise_for_external_plotting() {
+    use isex::flow::experiment::{self, ConfigPoint, SweepEffort};
+    let point = ConfigPoint {
+        label: "MI(4/2, 2IS, O3)".into(),
+        machine: MachineConfig::preset_2issue_4r2w(),
+        opt: OptLevel::O3,
+        algorithm: Algorithm::MultiIssue,
+    };
+    let ms = experiment::area_sweep(&point, &[Benchmark::Bitcount], &SweepEffort::quick(), 3);
+    let json = serde_json::to_string_pretty(&ms).unwrap();
+    let back: Vec<experiment::Measurement> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), ms.len());
+    assert!(json.contains("reduction"));
+}
