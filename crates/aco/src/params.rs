@@ -102,7 +102,7 @@ impl AcoParams {
         if !(self.alpha >= 0.0 && self.alpha <= 1.0) {
             return Err(format!("alpha must be in [0,1], got {}", self.alpha));
         }
-        if !(self.lambda >= 0.0) {
+        if self.lambda < 0.0 || self.lambda.is_nan() {
             return Err(format!("lambda must be non-negative, got {}", self.lambda));
         }
         for (name, v) in [

@@ -1,0 +1,132 @@
+//! Scaling benchmark for the exploration engine's worker pool.
+//!
+//! Two sections:
+//!
+//! * `flow` — the full `run_flow` at 1/2/4/8 workers. CPU-bound, so the
+//!   speedup tracks the host's core count: ≥2× at 4 workers needs ≥4
+//!   cores, and a single-core host shows ≈1× throughout (the recorded
+//!   `host_cpus` says which regime a result file came from).
+//! * `pool_overlap` — the same pool over latency-bound jobs (sleeps), which
+//!   overlap regardless of core count. This isolates the pool's dispatch
+//!   machinery: if these numbers don't scale, the pool itself serialises.
+//!
+//! Results land in `BENCH_engine.json` at the workspace root (committed so
+//! the numbers travel with the code; absolute times are machine-dependent,
+//! the *ratios* are the interesting part).
+//!
+//! Run with: `cargo bench -p isex-bench --bench engine`
+
+use std::time::{Duration, Instant};
+
+use isex_engine::run_jobs;
+use isex_flow::{run_flow, Algorithm, FlowConfig};
+use isex_workloads::{Benchmark, OptLevel};
+
+const WORKERS: &[usize] = &[1, 2, 4, 8];
+const SAMPLES: usize = 5;
+
+fn flow_cfg(jobs: usize) -> FlowConfig {
+    let mut cfg = FlowConfig::paper_default(Algorithm::MultiIssue);
+    // Explore every block (not just the 95% hot set) with the paper's five
+    // repeats so the pool has blocks × 5 jobs to spread across workers.
+    cfg.hot_block_coverage = 1.0;
+    cfg.repeats = 5;
+    cfg.params.max_iterations = 150;
+    cfg.jobs = jobs;
+    cfg
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    samples[samples.len() / 2]
+}
+
+fn rows_json(rows: &[(usize, f64, f64)]) -> String {
+    rows.iter()
+        .map(|(workers, ms, speedup)| {
+            format!(
+                "    {{\"workers\": {workers}, \"median_ms\": {ms:.2}, \"speedup\": {speedup:.3}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn flow_section(program: &isex_workloads::Program) -> Vec<(usize, f64, f64)> {
+    let mut rows = Vec::new();
+    let mut serial_ms = 0.0;
+    for &workers in WORKERS {
+        let cfg = flow_cfg(workers);
+        // Warm-up run; also pins down the report we assert against below.
+        let reference = run_flow(&cfg, program, 0xE46);
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                let report = run_flow(&cfg, program, 0xE46);
+                assert_eq!(
+                    report.cycles_after, reference.cycles_after,
+                    "engine must be deterministic at any worker count"
+                );
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        let ms = median(&mut samples);
+        if workers == 1 {
+            serial_ms = ms;
+        }
+        let speedup = serial_ms / ms;
+        println!("flow         workers {workers}: median {ms:8.1} ms  speedup {speedup:4.2}x");
+        rows.push((workers, ms, speedup));
+    }
+    rows
+}
+
+fn pool_overlap_section() -> Vec<(usize, f64, f64)> {
+    const JOBS: usize = 16;
+    const SLEEP_MS: u64 = 10;
+    let items: Vec<u64> = (0..JOBS as u64).collect();
+    let mut rows = Vec::new();
+    let mut serial_ms = 0.0;
+    for &workers in WORKERS {
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                let out = run_jobs(&items, workers, |_, &x| {
+                    std::thread::sleep(Duration::from_millis(SLEEP_MS));
+                    x
+                });
+                assert_eq!(out, items, "pool must preserve item order");
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        let ms = median(&mut samples);
+        if workers == 1 {
+            serial_ms = ms;
+        }
+        let speedup = serial_ms / ms;
+        println!("pool_overlap workers {workers}: median {ms:8.1} ms  speedup {speedup:4.2}x");
+        rows.push((workers, ms, speedup));
+    }
+    rows
+}
+
+fn main() {
+    let bench = Benchmark::Crc32;
+    let program = bench.program(OptLevel::O3);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let flow_rows = flow_section(&program);
+    let pool_rows = pool_overlap_section();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"samples\": {SAMPLES},\n  \"repeats\": 5,\n  \"max_iterations\": 150,\n  \"flow\": [\n{}\n  ],\n  \"pool_overlap\": [\n{}\n  ]\n}}\n",
+        bench.name(),
+        rows_json(&flow_rows),
+        rows_json(&pool_rows)
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

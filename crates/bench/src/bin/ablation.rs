@@ -16,15 +16,20 @@
 use isex_aco::AcoParams;
 use isex_bench::{effort_from_args, pct, TextTable};
 use isex_core::{Constraints, MultiIssueExplorer, SpFunction};
+use isex_engine::run_jobs;
 use isex_isa::MachineConfig;
 use isex_workloads::{Benchmark, OptLevel};
 use rand::SeedableRng;
 
-fn average_reduction(explorer: &MultiIssueExplorer, repeats: usize) -> f64 {
-    let mut total = 0.0;
-    let mut count = 0usize;
-    for &bench in Benchmark::ALL {
-        let program = bench.program(OptLevel::O3);
+fn average_reduction(explorer: &MultiIssueExplorer, repeats: usize, jobs: usize) -> f64 {
+    // One pool job per benchmark; seeds depend only on the repeat index, so
+    // the numbers are identical to the historical serial loop at any worker
+    // count.
+    let programs: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|b| b.program(OptLevel::O3))
+        .collect();
+    let bests = run_jobs(&programs, jobs, |_, program| {
         let dfg = &program.hottest().dfg;
         let mut best = 0.0f64;
         for rep in 0..repeats.max(1) {
@@ -32,10 +37,9 @@ fn average_reduction(explorer: &MultiIssueExplorer, repeats: usize) -> f64 {
             let r = explorer.explore(dfg, &mut rng);
             best = best.max(r.reduction());
         }
-        total += best;
-        count += 1;
-    }
-    total / count as f64
+        best
+    });
+    bests.iter().sum::<f64>() / bests.len() as f64
 }
 
 fn main() {
@@ -63,7 +67,7 @@ fn main() {
         t.row(vec![
             name.into(),
             format!("{sp:?}"),
-            pct(average_reduction(&e, effort.repeats)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs)),
         ]);
         eprintln!("done: SP {sp:?}");
     }
@@ -72,7 +76,7 @@ fn main() {
         t.row(vec![
             "alpha".into(),
             format!("{alpha}"),
-            pct(average_reduction(&e, effort.repeats)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs)),
         ]);
         eprintln!("done: alpha {alpha}");
     }
@@ -81,7 +85,7 @@ fn main() {
         t.row(vec![
             "lambda".into(),
             format!("{lambda}"),
-            pct(average_reduction(&e, effort.repeats)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs)),
         ]);
         eprintln!("done: lambda {lambda}");
     }
@@ -97,7 +101,7 @@ fn main() {
         t.row(vec![
             "iterations".into(),
             iters.to_string(),
-            pct(average_reduction(&e, effort.repeats)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs)),
         ]);
         eprintln!("done: iters {iters}");
     }
@@ -116,7 +120,7 @@ fn main() {
         t.row(vec![
             "rho scale".into(),
             format!("{scale}x"),
-            pct(average_reduction(&e, effort.repeats)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs)),
         ]);
         eprintln!("done: rho {scale}x");
     }
@@ -126,12 +130,16 @@ fn main() {
         t.row(vec![
             "P_END".into(),
             format!("{p_end}"),
-            pct(average_reduction(&e, effort.repeats)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs)),
         ]);
         eprintln!("done: p_end {p_end}");
     }
     // Merit β penalties: weaker (closer to 1) vs the paper's defaults.
-    for (label, b_io, b_convex) in [("paper", 0.8, 0.4), ("mild", 0.95, 0.9), ("harsh", 0.4, 0.1)] {
+    for (label, b_io, b_convex) in [
+        ("paper", 0.8, 0.4),
+        ("mild", 0.95, 0.9),
+        ("harsh", 0.4, 0.1),
+    ] {
         let e = MultiIssueExplorer::with_params(
             machine,
             cons,
@@ -144,7 +152,7 @@ fn main() {
         t.row(vec![
             "beta IO/convex".into(),
             label.into(),
-            pct(average_reduction(&e, effort.repeats)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs)),
         ]);
         eprintln!("done: beta {label}");
     }
@@ -156,7 +164,7 @@ fn main() {
         t.row(vec![
             "ASFU".into(),
             if pipelined { "pipelined" } else { "blocking" }.into(),
-            pct(average_reduction(&e, effort.repeats)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs)),
         ]);
         eprintln!("done: asfu pipelined={pipelined}");
     }
@@ -184,6 +192,7 @@ fn sharing_comparison(effort: &isex_flow::experiment::SweepEffort) {
             let mut cfg = FlowConfig::for_machine(Algorithm::MultiIssue, machine);
             cfg.repeats = effort.repeats;
             cfg.params.max_iterations = effort.max_iterations;
+            cfg.jobs = effort.jobs;
             cfg.sharing = sharing;
             let report = run_flow(&cfg, &program, 0x5a);
             area += report.total_area;

@@ -31,6 +31,7 @@ fn run_point(
             let mut cfg = FlowConfig::for_machine(point.algorithm, point.machine);
             cfg.repeats = effort.repeats;
             cfg.params.max_iterations = effort.max_iterations;
+            cfg.jobs = effort.jobs;
             cfg.budgets = budgets;
             let report = flow_crate::run_flow(&cfg, &program, seed);
             total += report.reduction();

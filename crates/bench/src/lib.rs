@@ -14,11 +14,13 @@ use isex_flow::experiment::SweepEffort;
 
 /// Command-line effort selection shared by the figure binaries:
 /// `--quick` (1 repeat, 40 iterations — smoke test),
-/// `--paper` (5 repeats, 200 iterations — default), or
-/// `--repeats N --iters M`.
+/// `--paper` (5 repeats, 200 iterations — default),
+/// `--repeats N --iters M`, and `--jobs N` exploration worker threads
+/// (0 = one per core; results are identical for every value).
 pub fn effort_from_args() -> SweepEffort {
     let args: Vec<String> = std::env::args().collect();
     let mut effort = SweepEffort::paper();
+    let mut jobs = 0;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,11 +40,22 @@ pub fn effort_from_args() -> SweepEffort {
                     .and_then(|s| s.parse().ok())
                     .expect("--iters needs a number");
             }
-            other => panic!("unknown argument {other}; use --quick/--paper/--repeats N/--iters M"),
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs needs a number");
+            }
+            other => {
+                panic!(
+                    "unknown argument {other}; use --quick/--paper/--repeats N/--iters M/--jobs N"
+                )
+            }
         }
         i += 1;
     }
-    effort
+    effort.with_jobs(jobs)
 }
 
 /// Formats a fraction as a percentage with two decimals.

@@ -227,10 +227,10 @@ impl SingleIssueExplorer {
     ) -> Walk {
         let k = g.len();
         let mut choice = vec![ImplChoice::Sw(0); k];
-        for n in 0..k {
+        for (n, slot) in choice.iter_mut().enumerate() {
             let options = store.choices(n);
             let weights: Vec<f64> = options.iter().map(|&c| store.attraction(n, c)).collect();
-            choice[n] = options[roulette(rng, &weights)];
+            *slot = options[roulette(rng, &weights)];
         }
         // Serial execution time: software ops cost their latency, each
         // hardware component costs its ISE latency once.

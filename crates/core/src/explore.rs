@@ -533,7 +533,7 @@ pub(crate) fn grow_legal_from(
                     continue;
                 }
                 let key = (d.inputs + d.outputs, v.index());
-                if best.map_or(true, |(bk, bi, _)| key < (bk, bi)) {
+                if best.is_none_or(|(bk, bi, _)| key < (bk, bi)) {
                     best = Some((key.0, key.1, v));
                 }
             }

@@ -1,0 +1,241 @@
+//! The engine proper: job fan-out, per-block best-of-N reduction.
+
+use std::time::Instant;
+
+use isex_aco::AcoParams;
+use isex_core::{Constraints, Exploration, MultiIssueExplorer, SingleIssueExplorer, TraceEntry};
+use isex_isa::{MachineConfig, ProgramDfg};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::events::{EventSink, RunEvent};
+use crate::job::ExploreJob;
+use crate::metrics::BlockSpread;
+use crate::pool::{run_jobs, worker_count};
+
+/// Which explorer drives a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The paper's multi-issue-aware explorer ("MI").
+    MultiIssue,
+    /// The legality-only baseline ("SI", Wu et al. \[8\]).
+    SingleIssue,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Algorithm::MultiIssue => "MI",
+            Algorithm::SingleIssue => "SI",
+        })
+    }
+}
+
+/// What to explore and how hard.
+#[derive(Clone, Debug)]
+pub struct ExploreSpec {
+    /// The modelled machine.
+    pub machine: MachineConfig,
+    /// §4.2 port constraints.
+    pub constraints: Constraints,
+    /// ACO tunables.
+    pub params: AcoParams,
+    /// Explorer choice.
+    pub algorithm: Algorithm,
+    /// Explorations per block, best kept (§5.1 uses 5).
+    pub repeats: usize,
+    /// Worker threads; `0` = one per available core. Results are identical
+    /// for every value — only wall time changes.
+    pub jobs: usize,
+}
+
+/// One block to explore.
+#[derive(Clone, Copy)]
+pub struct BlockTask<'a> {
+    /// Label used in events and telemetry.
+    pub name: &'a str,
+    /// The block's data-flow graph.
+    pub dfg: &'a ProgramDfg,
+}
+
+/// The kept (best-of-N) exploration of one block.
+#[derive(Clone, Debug)]
+pub struct BlockResult {
+    /// Index into the task list passed to [`Engine::explore_blocks`].
+    pub block_index: usize,
+    /// The best exploration over the block's repeats.
+    pub best: Exploration,
+    /// Ant iterations summed over *all* the block's repeats.
+    pub iterations: usize,
+    /// Best-of-N consistency of the repeats.
+    pub spread: BlockSpread,
+}
+
+/// Aggregate outcome of one engine run.
+#[derive(Clone, Debug)]
+pub struct EngineOutcome {
+    /// Per-block kept results, in task order.
+    pub blocks: Vec<BlockResult>,
+    /// Jobs that ran (blocks × repeats).
+    pub jobs_completed: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Exploration wall time, milliseconds.
+    pub explore_ms: f64,
+}
+
+/// Runs exploration jobs deterministically in parallel.
+///
+/// For a fixed master seed the outcome is bitwise identical at any worker
+/// count: every job's seed comes from [`crate::derive_seed`], jobs never
+/// share RNG state, and results are reduced in job order, not completion
+/// order.
+pub struct Engine {
+    spec: ExploreSpec,
+}
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new(spec: ExploreSpec) -> Self {
+        Engine { spec }
+    }
+
+    /// The spec this engine runs.
+    pub fn spec(&self) -> &ExploreSpec {
+        &self.spec
+    }
+
+    /// Explores every block `repeats` times, keeping each block's best
+    /// exploration (fewest cycles, ties broken by smaller area).
+    pub fn explore_blocks(
+        &self,
+        blocks: &[BlockTask<'_>],
+        master_seed: u64,
+        sink: &dyn EventSink,
+    ) -> EngineOutcome {
+        let repeats = self.spec.repeats.max(1);
+        let workers = worker_count(self.spec.jobs);
+        let start = Instant::now();
+        let jobs = ExploreJob::plan(blocks.len(), repeats, master_seed);
+        let explorations = run_jobs(&jobs, self.spec.jobs, |_, job| {
+            self.run_job(blocks[job.block_index], *job, sink)
+        });
+
+        let mut results = Vec::with_capacity(blocks.len());
+        for (block_index, (task, per_block)) in
+            blocks.iter().zip(explorations.chunks(repeats)).enumerate()
+        {
+            let iterations = per_block.iter().map(|e| e.iterations).sum();
+            // Identical tie-break as the historical serial flow: cycles
+            // first, then area, first-seen wins — in repeat order.
+            let mut best: Option<&Exploration> = None;
+            for e in per_block {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        e.cycles_with_ises < b.cycles_with_ises
+                            || (e.cycles_with_ises == b.cycles_with_ises
+                                && e.total_area() < b.total_area())
+                    }
+                };
+                if better {
+                    best = Some(e);
+                }
+            }
+            let best = best.expect("repeats >= 1").clone();
+            let spread = BlockSpread {
+                block: task.name.to_string(),
+                repeats,
+                baseline_cycles: best.baseline_cycles,
+                best_cycles: best.cycles_with_ises,
+                worst_cycles: per_block
+                    .iter()
+                    .map(|e| e.cycles_with_ises)
+                    .max()
+                    .expect("repeats >= 1"),
+            };
+            results.push(BlockResult {
+                block_index,
+                best,
+                iterations,
+                spread,
+            });
+        }
+        EngineOutcome {
+            blocks: results,
+            jobs_completed: jobs.len(),
+            workers,
+            explore_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    fn run_job(&self, task: BlockTask<'_>, job: ExploreJob, sink: &dyn EventSink) -> Exploration {
+        sink.emit(RunEvent::JobStart {
+            block: task.name.to_string(),
+            block_index: job.block_index,
+            repeat: job.repeat,
+            seed: job.seed,
+        });
+        let started = Instant::now();
+        let mut rng = StdRng::seed_from_u64(job.seed);
+        let (exploration, trace) = match self.spec.algorithm {
+            Algorithm::MultiIssue => {
+                let explorer = MultiIssueExplorer::with_params(
+                    self.spec.machine,
+                    self.spec.constraints,
+                    self.spec.params,
+                );
+                if sink.wants_traces() {
+                    explorer.explore_traced(task.dfg, &mut rng)
+                } else {
+                    (explorer.explore(task.dfg, &mut rng), Vec::new())
+                }
+            }
+            // The SI baseline records no per-iteration trace.
+            Algorithm::SingleIssue => (
+                SingleIssueExplorer::with_params(
+                    self.spec.machine,
+                    self.spec.constraints,
+                    self.spec.params,
+                )
+                .explore(task.dfg, &mut rng),
+                Vec::new(),
+            ),
+        };
+        emit_round_summaries(&trace, task.name, &job, sink);
+        sink.emit(RunEvent::JobFinish {
+            block: task.name.to_string(),
+            block_index: job.block_index,
+            repeat: job.repeat,
+            baseline_cycles: exploration.baseline_cycles,
+            cycles: exploration.cycles_with_ises,
+            iterations: exploration.iterations,
+            candidates: exploration.candidates.len(),
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+        exploration
+    }
+}
+
+fn emit_round_summaries(trace: &[TraceEntry], block: &str, job: &ExploreJob, sink: &dyn EventSink) {
+    let mut i = 0;
+    while i < trace.len() {
+        let round = trace[i].round;
+        let mut tets = Vec::new();
+        let mut best_tet = u32::MAX;
+        while i < trace.len() && trace[i].round == round {
+            tets.push(trace[i].tet);
+            best_tet = best_tet.min(trace[i].tet);
+            i += 1;
+        }
+        sink.emit(RunEvent::RoundSummary {
+            block: block.to_string(),
+            block_index: job.block_index,
+            repeat: job.repeat,
+            round,
+            best_tet,
+            tets,
+        });
+    }
+}

@@ -1,0 +1,226 @@
+//! The optional run event stream.
+//!
+//! Events are telemetry, not results: with more than one worker their
+//! arrival order depends on scheduling. The determinism contract covers the
+//! engine's *outputs*; consumers needing a stable view should sort by
+//! `(block_index, repeat, round)`.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// One engine event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RunEvent {
+    /// A job was handed to a worker.
+    JobStart {
+        /// Block label.
+        block: String,
+        /// Block index in the hot set.
+        block_index: usize,
+        /// Repeat index.
+        repeat: usize,
+        /// Derived RNG seed.
+        seed: u64,
+    },
+    /// A job finished.
+    JobFinish {
+        /// Block label.
+        block: String,
+        /// Block index in the hot set.
+        block_index: usize,
+        /// Repeat index.
+        repeat: usize,
+        /// Schedule length without ISEs, cycles.
+        baseline_cycles: u32,
+        /// Schedule length with this exploration's ISEs, cycles.
+        cycles: u32,
+        /// Ant iterations the job spent.
+        iterations: usize,
+        /// ISE candidates the job produced.
+        candidates: usize,
+        /// Wall time of the job, milliseconds.
+        elapsed_ms: f64,
+    },
+    /// One ACO round of a traced job: every sampled walk TET, in iteration
+    /// order (the raw material for convergence sparklines).
+    RoundSummary {
+        /// Block label.
+        block: String,
+        /// Block index in the hot set.
+        block_index: usize,
+        /// Repeat index.
+        repeat: usize,
+        /// Exploration round (1-based).
+        round: usize,
+        /// Best TET observed in the round, cycles.
+        best_tet: u32,
+        /// Sampled walk TETs, iteration order.
+        tets: Vec<u32>,
+    },
+}
+
+/// Receives engine events; shared across workers.
+pub trait EventSink: Send + Sync {
+    /// Accepts one event.
+    fn emit(&self, event: RunEvent);
+
+    /// Whether explorations should record per-iteration traces (the source
+    /// of [`RunEvent::RoundSummary`]). Tracing costs memory per walk, so
+    /// sinks that drop round data leave this `false`.
+    fn wants_traces(&self) -> bool {
+        false
+    }
+}
+
+/// Discards everything.
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _: RunEvent) {}
+}
+
+/// Collects events in memory.
+#[derive(Default)]
+pub struct VecSink {
+    events: Mutex<Vec<RunEvent>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the collected events, sorted to the stable
+    /// `(block_index, repeat, round)` order.
+    pub fn into_events(self) -> Vec<RunEvent> {
+        let mut events = self.events.into_inner().expect("event lock");
+        events.sort_by_key(|e| match e {
+            RunEvent::JobStart {
+                block_index,
+                repeat,
+                ..
+            } => (*block_index, *repeat, 0, 0),
+            RunEvent::RoundSummary {
+                block_index,
+                repeat,
+                round,
+                ..
+            } => (*block_index, *repeat, 1, *round),
+            RunEvent::JobFinish {
+                block_index,
+                repeat,
+                ..
+            } => (*block_index, *repeat, 2, 0),
+        });
+        events
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&self, event: RunEvent) {
+        self.events.lock().expect("event lock").push(event);
+    }
+
+    fn wants_traces(&self) -> bool {
+        true
+    }
+}
+
+/// Streams events as JSON Lines to a writer.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Wraps any writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    /// Creates (truncating) a JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(Box::new(File::create(path)?)))
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().expect("sink lock").flush()
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: RunEvent) {
+        let line = serde_json::to_string(&event).expect("event serializes");
+        let mut out = self.out.lock().expect("sink lock");
+        // Telemetry must never take the run down; drop lines on I/O errors.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn wants_traces(&self) -> bool {
+        true
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let e = RunEvent::RoundSummary {
+            block: "b".to_string(),
+            block_index: 1,
+            repeat: 2,
+            round: 3,
+            best_tet: 17,
+            tets: vec![20, 19, 17],
+        };
+        let text = serde_json::to_string(&e).unwrap();
+        let back: RunEvent = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn vec_sink_sorts_into_stable_order() {
+        let sink = VecSink::new();
+        let finish = |bi, rep| RunEvent::JobFinish {
+            block: "b".to_string(),
+            block_index: bi,
+            repeat: rep,
+            baseline_cycles: 10,
+            cycles: 8,
+            iterations: 5,
+            candidates: 1,
+            elapsed_ms: 0.1,
+        };
+        sink.emit(finish(1, 0));
+        sink.emit(finish(0, 1));
+        sink.emit(finish(0, 0));
+        let order: Vec<(usize, usize)> = sink
+            .into_events()
+            .iter()
+            .map(|e| match e {
+                RunEvent::JobFinish {
+                    block_index,
+                    repeat,
+                    ..
+                } => (*block_index, *repeat),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0)]);
+    }
+}

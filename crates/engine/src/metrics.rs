@@ -1,0 +1,103 @@
+//! Run telemetry: what a run cost and how consistent the search was.
+
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock time per flow phase, milliseconds.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Exploration (all jobs, wall time — not CPU time summed over workers).
+    pub explore_ms: f64,
+    /// Candidate selection under budgets.
+    pub select_ms: f64,
+    /// Pattern replacement and re-scheduling over all blocks.
+    pub replace_ms: f64,
+    /// End-to-end run time.
+    pub total_ms: f64,
+}
+
+/// Best-of-N consistency of one block's repeated explorations.
+///
+/// A wide best/worst gap means the ACO search is noisy on this block and
+/// the `repeats` knob is earning its keep; a zero gap means repeats are
+/// redundant there.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockSpread {
+    /// Block label.
+    pub block: String,
+    /// Explorations run.
+    pub repeats: usize,
+    /// Schedule length without ISEs, cycles.
+    pub baseline_cycles: u32,
+    /// Best `cycles_with_ises` over the repeats.
+    pub best_cycles: u32,
+    /// Worst `cycles_with_ises` over the repeats.
+    pub worst_cycles: u32,
+}
+
+/// Everything measured about one engine-driven flow run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// The run's master seed.
+    pub master_seed: u64,
+    /// Worker threads used for exploration.
+    pub workers: usize,
+    /// Jobs planned (blocks × repeats).
+    pub jobs_total: usize,
+    /// Jobs that ran to completion.
+    pub jobs_completed: usize,
+    /// Hot blocks explored.
+    pub blocks_explored: usize,
+    /// Ant iterations summed over all jobs.
+    pub ant_iterations: usize,
+    /// ISE candidates produced by the kept (best-of-N) explorations.
+    pub candidates_generated: usize,
+    /// Candidates that survived budgeted selection.
+    pub candidates_accepted: usize,
+    /// Per-phase wall time.
+    pub phases: PhaseTimes,
+    /// Per-block best-of-N spread.
+    pub block_spread: Vec<BlockSpread>,
+}
+
+impl RunMetrics {
+    /// An empty record for a run that explored nothing.
+    pub fn empty(master_seed: u64, workers: usize) -> Self {
+        RunMetrics {
+            master_seed,
+            workers,
+            jobs_total: 0,
+            jobs_completed: 0,
+            blocks_explored: 0,
+            ant_iterations: 0,
+            candidates_generated: 0,
+            candidates_accepted: 0,
+            phases: PhaseTimes::default(),
+            block_spread: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let mut m = RunMetrics::empty(7, 4);
+        m.jobs_total = 10;
+        m.jobs_completed = 10;
+        m.ant_iterations = 1234;
+        m.phases.explore_ms = 12.5;
+        m.phases.total_ms = 13.0;
+        m.block_spread.push(BlockSpread {
+            block: "crc32_loop".to_string(),
+            repeats: 5,
+            baseline_cycles: 40,
+            best_cycles: 28,
+            worst_cycles: 33,
+        });
+        let text = serde_json::to_string_pretty(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,100 @@
+//! A scoped-thread worker pool with deterministic result ordering.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested worker count: `0` means "one per available core".
+pub fn worker_count(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `f` over every item, on up to `workers` threads (`0` = auto), and
+/// returns the results **in item order** — each result lands in the slot of
+/// its item index, so the output is identical for any worker count or
+/// scheduling. Items are handed out through a shared cursor, which keeps
+/// the pool busy even when per-item cost varies wildly (hot blocks next to
+/// tiny ones).
+///
+/// Panics in `f` propagate once the scope joins.
+pub fn run_jobs<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = worker_count(workers).min(items.len().max(1));
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every job ran to completion")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_auto_worker_count() {
+        assert!(worker_count(0) >= 1);
+        assert_eq!(worker_count(3), 3);
+    }
+
+    #[test]
+    fn results_keep_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let serial = run_jobs(&items, 1, |i, x| i * 1000 + x * x);
+        for workers in [2, 4, 8] {
+            let parallel = run_jobs(&items, workers, |i, x| i * 1000 + x * x);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn uneven_job_costs_still_complete() {
+        let items: Vec<u64> = (0..20).collect();
+        let out = run_jobs(&items, 4, |_, &x| {
+            if x % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = run_jobs(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Deterministic per-job seed derivation.
+
+/// Derives the RNG seed for one exploration job from the run's master seed
+/// and the job's coordinates.
+///
+/// The seed is a pure function of `(master_seed, block_index, repeat)` —
+/// nothing about scheduling, worker count or completion order enters it —
+/// which is what makes engine runs bitwise reproducible at any parallelism.
+/// Each component passes through a full SplitMix64 mix before the next is
+/// folded in, so adjacent blocks/repeats land in statistically unrelated
+/// stream positions (unlike the xor-of-shifted-indices scheme this
+/// replaces, which left high bits of the master seed untouched and made
+/// `(block 2, repeat 0)` collide with `(block 0, repeat 0)` whenever the
+/// master seed had matching bits 32..48 — see `seeds_do_not_collide`).
+pub fn derive_seed(master_seed: u64, block_index: u64, repeat: u64) -> u64 {
+    let mut state = master_seed;
+    let mixed_master = rand::splitmix64(&mut state);
+    state = mixed_master ^ block_index;
+    let mixed_block = rand::splitmix64(&mut state);
+    state = mixed_block ^ repeat;
+    rand::splitmix64(&mut state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_pure() {
+        assert_eq!(derive_seed(42, 3, 1), derive_seed(42, 3, 1));
+    }
+
+    #[test]
+    fn seeds_do_not_collide() {
+        // Every coordinate must matter, including in combinations the old
+        // shift-xor scheme conflated.
+        let mut seen = std::collections::HashSet::new();
+        for master in [0u64, 1, 42, u64::MAX, 0x0001_5e00_0000_0000] {
+            for block in 0..8u64 {
+                for rep in 0..8u64 {
+                    assert!(
+                        seen.insert(derive_seed(master, block, rep)),
+                        "collision at master={master:#x} block={block} rep={rep}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_avalanche() {
+        // Flipping one low bit of any component flips roughly half the
+        // output bits.
+        let base = derive_seed(7, 2, 3);
+        for other in [
+            derive_seed(6, 2, 3),
+            derive_seed(7, 3, 3),
+            derive_seed(7, 2, 2),
+        ] {
+            let flipped = (base ^ other).count_ones();
+            assert!(
+                (16..=48).contains(&flipped),
+                "weak diffusion: {flipped} bits"
+            );
+        }
+    }
+}

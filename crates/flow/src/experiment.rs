@@ -75,6 +75,9 @@ pub struct SweepEffort {
     pub repeats: usize,
     /// ACO iteration cap per round.
     pub max_iterations: usize,
+    /// Exploration worker threads; `0` = one per available core. Sweep
+    /// results are identical for every value (engine determinism).
+    pub jobs: usize,
 }
 
 impl SweepEffort {
@@ -83,6 +86,7 @@ impl SweepEffort {
         SweepEffort {
             repeats: 5,
             max_iterations: 200,
+            jobs: 0,
         }
     }
 
@@ -91,7 +95,14 @@ impl SweepEffort {
         SweepEffort {
             repeats: 1,
             max_iterations: 40,
+            jobs: 0,
         }
+    }
+
+    /// The same effort with an explicit worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 
@@ -99,6 +110,7 @@ fn config_for(point: &ConfigPoint, effort: &SweepEffort) -> FlowConfig {
     let mut cfg = FlowConfig::for_machine(point.algorithm, point.machine);
     cfg.repeats = effort.repeats;
     cfg.params.max_iterations = effort.max_iterations;
+    cfg.jobs = effort.jobs;
     cfg
 }
 

@@ -1,36 +1,23 @@
 //! The flow driver: profiling-driven block selection, repeated
 //! exploration, selection, replacement and whole-program accounting.
 
+use std::time::Instant;
+
 use isex_aco::AcoParams;
-use isex_core::{Constraints, MultiIssueExplorer, SingleIssueExplorer};
+use isex_core::Constraints;
+use isex_engine::{BlockTask, Engine, EventSink, ExploreSpec, NullSink, RunMetrics};
 use isex_isa::MachineConfig;
 use isex_workloads::Program;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+// The explorer choice lives with the engine that runs it; re-exported here
+// so `flow::Algorithm` keeps working.
+pub use isex_engine::Algorithm;
 
 use crate::merge::WeightedPattern;
 use crate::pattern::IsePattern;
 use crate::replace;
 use crate::select::{self, Budgets, SelectedIse, SharingModel};
-
-/// Which explorer drives the flow.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
-pub enum Algorithm {
-    /// The paper's multi-issue-aware explorer ("MI").
-    MultiIssue,
-    /// The legality-only baseline ("SI", Wu et al. \[8\]).
-    SingleIssue,
-}
-
-impl std::fmt::Display for Algorithm {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Algorithm::MultiIssue => "MI",
-            Algorithm::SingleIssue => "SI",
-        })
-    }
-}
 
 /// Configuration of one flow run.
 #[derive(Clone, Debug)]
@@ -45,6 +32,10 @@ pub struct FlowConfig {
     pub algorithm: Algorithm,
     /// Explorations per block, best kept (§5.1 uses 5).
     pub repeats: usize,
+    /// Worker threads for exploration; `0` = one per available core.
+    /// Results are bitwise identical for every value — only wall time
+    /// changes (the engine derives each job's seed from its coordinates).
+    pub jobs: usize,
     /// Selection budgets.
     pub budgets: Budgets,
     /// Hardware-sharing cost model used at selection.
@@ -63,6 +54,7 @@ impl FlowConfig {
             params: AcoParams::default(),
             algorithm,
             repeats: 5,
+            jobs: 0,
             budgets: Budgets::default(),
             sharing: SharingModel::default(),
             hot_block_coverage: 0.95,
@@ -95,7 +87,10 @@ pub struct BlockOutcome {
 }
 
 /// The whole-program result of one flow run.
-#[derive(Clone, Debug)]
+///
+/// Serializable so determinism can be checked end-to-end: two runs that
+/// should agree are compared via their serialized forms, byte for byte.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FlowReport {
     /// Program name.
     pub program: String,
@@ -134,6 +129,20 @@ pub fn explore_program(
     program: &Program,
     seed: u64,
 ) -> (Vec<WeightedPattern>, usize, usize) {
+    let (patterns, explored, iterations, _) =
+        explore_program_observed(cfg, program, seed, &NullSink);
+    (patterns, explored, iterations)
+}
+
+/// [`explore_program`] with telemetry: also emits engine events to `sink`
+/// and returns partially-filled [`RunMetrics`] (exploration phase only —
+/// [`run_flow_observed`] completes the selection/replacement fields).
+pub fn explore_program_observed(
+    cfg: &FlowConfig,
+    program: &Program,
+    seed: u64,
+    sink: &dyn EventSink,
+) -> (Vec<WeightedPattern>, usize, usize, RunMetrics) {
     let by_heat = program.by_heat();
     let total_work: f64 = by_heat
         .iter()
@@ -149,46 +158,44 @@ pub fn explore_program(
         hot.push(b);
     }
 
+    let engine = Engine::new(ExploreSpec {
+        machine: cfg.machine,
+        constraints: cfg.constraints,
+        params: cfg.params,
+        algorithm: cfg.algorithm,
+        repeats: cfg.repeats,
+        jobs: cfg.jobs,
+    });
+    let tasks: Vec<BlockTask<'_>> = hot
+        .iter()
+        .map(|b| BlockTask {
+            name: b.name.as_str(),
+            dfg: &b.dfg,
+        })
+        .collect();
+    let outcome = engine.explore_blocks(&tasks, seed, sink);
+
     let mut patterns = Vec::new();
     let mut iterations = 0usize;
-    for (bi, block) in hot.iter().enumerate() {
-        let mut best: Option<isex_core::Exploration> = None;
-        for rep in 0..cfg.repeats.max(1) {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (bi as u64) << 32 ^ (rep as u64) << 16 ^ 0x15e);
-            let result = match cfg.algorithm {
-                Algorithm::MultiIssue => {
-                    MultiIssueExplorer::with_params(cfg.machine, cfg.constraints, cfg.params)
-                        .explore(&block.dfg, &mut rng)
-                }
-                Algorithm::SingleIssue => {
-                    SingleIssueExplorer::with_params(cfg.machine, cfg.constraints, cfg.params)
-                        .explore(&block.dfg, &mut rng)
-                }
-            };
-            iterations += result.iterations;
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    result.cycles_with_ises < b.cycles_with_ises
-                        || (result.cycles_with_ises == b.cycles_with_ises
-                            && result.total_area() < b.total_area())
-                }
-            };
-            if better {
-                best = Some(result);
-            }
-        }
-        if let Some(exploration) = best {
-            for cand in &exploration.candidates {
-                patterns.push(WeightedPattern {
-                    pattern: IsePattern::from_candidate(cand, &block.dfg),
-                    gain: cand.saved_cycles as u64 * block.exec_count,
-                });
-            }
+    let mut metrics = RunMetrics::empty(seed, outcome.workers);
+    metrics.jobs_total = tasks.len() * cfg.repeats.max(1);
+    metrics.jobs_completed = outcome.jobs_completed;
+    metrics.blocks_explored = hot.len();
+    metrics.phases.explore_ms = outcome.explore_ms;
+    for result in &outcome.blocks {
+        let block = hot[result.block_index];
+        iterations += result.iterations;
+        metrics.ant_iterations += result.iterations;
+        metrics.block_spread.push(result.spread.clone());
+        for cand in &result.best.candidates {
+            patterns.push(WeightedPattern {
+                pattern: IsePattern::from_candidate(cand, &block.dfg),
+                gain: cand.saved_cycles as u64 * block.exec_count,
+            });
         }
     }
-    (patterns, hot.len(), iterations)
+    metrics.candidates_generated = patterns.len();
+    (patterns, hot.len(), iterations, metrics)
 }
 
 /// The selection/replacement half of the flow, given explored patterns.
@@ -200,6 +207,17 @@ pub fn finish_flow(
     iterations: usize,
 ) -> FlowReport {
     let selected = select::select_with(patterns, &cfg.budgets, cfg.sharing);
+    replace_and_report(cfg, program, selected, explored_blocks, iterations)
+}
+
+/// Replacement over every block plus whole-program accounting.
+fn replace_and_report(
+    cfg: &FlowConfig,
+    program: &Program,
+    selected: Vec<SelectedIse>,
+    explored_blocks: usize,
+    iterations: usize,
+) -> FlowReport {
     let mut per_block = Vec::new();
     let mut before = 0u64;
     let mut after = 0u64;
@@ -230,8 +248,32 @@ pub fn finish_flow(
 
 /// The full design flow of Fig. 3.1.1 on one program.
 pub fn run_flow(cfg: &FlowConfig, program: &Program, seed: u64) -> FlowReport {
-    let (patterns, explored, iterations) = explore_program(cfg, program, seed);
-    finish_flow(cfg, program, patterns, explored, iterations)
+    let (report, _) = run_flow_observed(cfg, program, seed, &NullSink);
+    report
+}
+
+/// [`run_flow`] with telemetry: streams engine events to `sink` and returns
+/// complete [`RunMetrics`] alongside the report.
+pub fn run_flow_observed(
+    cfg: &FlowConfig,
+    program: &Program,
+    seed: u64,
+    sink: &dyn EventSink,
+) -> (FlowReport, RunMetrics) {
+    let start = Instant::now();
+    let (patterns, explored, iterations, mut metrics) =
+        explore_program_observed(cfg, program, seed, sink);
+
+    let select_start = Instant::now();
+    let selected = select::select_with(patterns, &cfg.budgets, cfg.sharing);
+    metrics.phases.select_ms = select_start.elapsed().as_secs_f64() * 1e3;
+    metrics.candidates_accepted = selected.len();
+
+    let replace_start = Instant::now();
+    let report = replace_and_report(cfg, program, selected, explored, iterations);
+    metrics.phases.replace_ms = replace_start.elapsed().as_secs_f64() * 1e3;
+    metrics.phases.total_ms = start.elapsed().as_secs_f64() * 1e3;
+    (report, metrics)
 }
 
 #[cfg(test)]

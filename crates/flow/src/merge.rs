@@ -67,7 +67,7 @@ pub fn merge_patterns(mut items: Vec<WeightedPattern>) -> Vec<WeightedPattern> {
         }
         out.push(item);
     }
-    out.sort_by(|x, y| y.gain.cmp(&x.gain));
+    out.sort_by_key(|x| std::cmp::Reverse(x.gain));
     out
 }
 

@@ -24,7 +24,7 @@ pub struct Budgets {
 }
 
 /// One selected ISE with its accounting.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SelectedIse {
     /// The pattern.
     pub pattern: IsePattern,

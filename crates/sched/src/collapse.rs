@@ -127,8 +127,8 @@ pub fn collapse_groups<N: Clone>(dfg: &Dfg<N>, groups: &[(NodeSet, N)]) -> Colla
     for i in 0..ises.len() {
         vertices.push(Vertex::Ise(i));
     }
-    for n in 0..k {
-        if group[n].is_none() {
+    for (n, g) in group.iter().enumerate().take(k) {
+        if g.is_none() {
             vertices.push(Vertex::Single(n));
         }
     }

@@ -70,7 +70,7 @@ impl Program {
     /// Blocks sorted hottest-first (stable: insertion order breaks ties).
     pub fn by_heat(&self) -> Vec<&BasicBlock> {
         let mut v: Vec<&BasicBlock> = self.blocks.iter().collect();
-        v.sort_by(|a, b| b.exec_count.cmp(&a.exec_count));
+        v.sort_by_key(|b| std::cmp::Reverse(b.exec_count));
         v
     }
 }

@@ -2,14 +2,15 @@
 //! iterations and rounds (the dynamics behind thesis Fig. 2.2.1's ant
 //! story, measured on a real kernel).
 //!
-//! Prints a per-round ASCII sparkline of the walk TETs and the best-so-far
-//! trajectory.
+//! Consumes the engine's event stream: the run goes through
+//! [`isex::engine::Engine`] with a [`isex::engine::VecSink`], and every
+//! printed round is a `RoundSummary` event. Prints a per-round ASCII
+//! sparkline of the walk TETs and the best-so-far trajectory.
 //!
 //! Run with: `cargo run --release --example convergence_trace [bench]`
 
-use isex::core::TraceEntry;
+use isex::engine::{BlockTask, Engine, ExploreSpec, RunEvent, VecSink};
 use isex::prelude::*;
-use rand::SeedableRng;
 
 fn sparkline(values: &[u32]) -> String {
     const GLYPHS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -32,37 +33,54 @@ fn main() {
         .copied()
         .unwrap_or(Benchmark::Bitcount);
     let program = bench.program(OptLevel::O3);
-    let dfg = &program.hottest().dfg;
+    let block = program.hottest();
     let machine = MachineConfig::preset_2issue_4r2w();
-    let mut params = AcoParams::default();
-    params.max_iterations = 120;
-    let explorer =
-        MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7ace);
-    let (result, trace) = explorer.explore_traced(dfg, &mut rng);
+    let params = AcoParams {
+        max_iterations: 120,
+        ..AcoParams::default()
+    };
+    let engine = Engine::new(ExploreSpec {
+        machine,
+        constraints: Constraints::from_machine(&machine),
+        params,
+        algorithm: Algorithm::MultiIssue,
+        repeats: 1,
+        jobs: 1,
+    });
+    let sink = VecSink::new();
+    let outcome = engine.explore_blocks(
+        &[BlockTask {
+            name: &block.name,
+            dfg: &block.dfg,
+        }],
+        0x7ace,
+        &sink,
+    );
 
+    let result = &outcome.blocks[0].best;
     println!(
         "{}: {} ops, {} -> {} cycles over {} rounds / {} iterations\n",
         program.name,
-        dfg.len(),
+        block.dfg.len(),
         result.baseline_cycles,
         result.cycles_with_ises,
         result.rounds,
         result.iterations
     );
-    let rounds: Vec<usize> = {
-        let mut r: Vec<usize> = trace.iter().map(|t| t.round).collect();
-        r.dedup();
-        r
-    };
-    for round in rounds {
-        let entries: Vec<&TraceEntry> = trace.iter().filter(|t| t.round == round).collect();
-        let tets: Vec<u32> = entries.iter().map(|t| t.tet).collect();
-        let best = entries.iter().map(|t| t.tet).min().unwrap_or(0);
+    for event in sink.into_events() {
+        let RunEvent::RoundSummary {
+            round,
+            best_tet,
+            tets,
+            ..
+        } = event
+        else {
+            continue;
+        };
         let first = tets.first().copied().unwrap_or(0);
         println!(
-            "round {round}: {} iterations, first sampled TET {first}, best {best}",
-            entries.len()
+            "round {round}: {} iterations, first sampled TET {first}, best {best_tet}",
+            tets.len()
         );
         // Chunk the sparkline to 60 columns.
         for chunk in tets.chunks(60) {

@@ -18,6 +18,7 @@ fn main() {
         SweepEffort {
             repeats: 3,
             max_iterations: 120,
+            jobs: 0,
         }
     };
     let benchmarks = Benchmark::ALL;

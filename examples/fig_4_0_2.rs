@@ -16,10 +16,7 @@ use rand::SeedableRng;
 fn op() -> Operation {
     Operation::with_table(
         Opcode::Add,
-        IoTable::new(
-            vec![SwOption::new(1)],
-            vec![HwOption::new(3.0, 500.0)],
-        ),
+        IoTable::new(vec![SwOption::new(1)], vec![HwOption::new(3.0, 500.0)]),
     )
 }
 
@@ -42,8 +39,10 @@ fn main() {
     dfg.set_live_out(n9, true);
 
     let machine = MachineConfig::preset_2issue_6r3w();
-    let mut params = AcoParams::default();
-    params.max_iterations = 150;
+    let params = AcoParams {
+        max_iterations: 150,
+        ..AcoParams::default()
+    };
     let explorer =
         MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x402);
@@ -82,9 +81,16 @@ fn main() {
         "paper reaches 3 cycles; we must too"
     );
     let deep_chain_covered = result.candidates.iter().any(|c| {
-        [n6, n7, n8].iter().filter(|n| c.nodes.contains(**n)).count() >= 2
+        [n6, n7, n8]
+            .iter()
+            .filter(|n| c.nodes.contains(**n))
+            .count()
+            >= 2
     });
-    assert!(deep_chain_covered, "the critical chain must be packed first");
+    assert!(
+        deep_chain_covered,
+        "the critical chain must be packed first"
+    );
     println!(
         "\nreproduced: ISEs pack the (moving) critical path, 5 -> {} cycles{}",
         result.cycles_with_ises,

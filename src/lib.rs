@@ -44,6 +44,7 @@
 pub use isex_aco as aco;
 pub use isex_core as core;
 pub use isex_dfg as dfg;
+pub use isex_engine as engine;
 pub use isex_flow as flow;
 pub use isex_isa as isa;
 pub use isex_sched as sched;
@@ -56,7 +57,10 @@ pub mod prelude {
         Constraints, Exploration, IseCandidate, MultiIssueExplorer, SingleIssueExplorer,
     };
     pub use isex_dfg::{Dfg, NodeId, NodeSet, Operand, Reachability};
-    pub use isex_flow::{run_flow, Algorithm, FlowConfig, FlowReport, IsePattern};
+    pub use isex_engine::{EventSink, JsonlSink, NullSink, RunMetrics};
+    pub use isex_flow::{
+        run_flow, run_flow_observed, Algorithm, FlowConfig, FlowReport, IsePattern,
+    };
     pub use isex_isa::{MachineConfig, Opcode, Operation, ProgramDfg};
     pub use isex_sched::{list_schedule, Priority, SchedDfg, SchedOp, UnitClass};
     pub use isex_workloads::{Benchmark, OptLevel, Program};

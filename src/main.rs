@@ -14,6 +14,10 @@
 //!   --iters N              ACO iteration cap per round  (default 150)
 //!   --area UM2             silicon-area budget
 //!   --max-ises N           ISE-count budget
+//!   --jobs N               exploration worker threads (0 = all cores)
+//!   --bench NAME           benchmark to explore (alias for the positional)
+//!   --metrics PATH         write RunMetrics JSON to PATH
+//!   --events PATH          stream JSONL run events to PATH
 //!   --verilog              emit Verilog for the selected ISEs
 //!   --timeline             print the hot block's schedule before/after
 //! ```
@@ -43,6 +47,10 @@ struct Options {
     iters: usize,
     area: Option<f64>,
     max_ises: Option<usize>,
+    jobs: usize,
+    bench: Option<String>,
+    metrics: Option<String>,
+    events: Option<String>,
     verilog: bool,
     timeline: bool,
 }
@@ -58,6 +66,10 @@ impl Default for Options {
             iters: 150,
             area: None,
             max_ises: None,
+            jobs: 0,
+            bench: None,
+            metrics: None,
+            events: None,
             verilog: false,
             timeline: false,
         }
@@ -128,6 +140,22 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                 );
                 i += 1;
             }
+            "--jobs" => {
+                opts.jobs = need(args, i, "--jobs")?.parse().map_err(|_| "bad --jobs")?;
+                i += 1;
+            }
+            "--bench" => {
+                opts.bench = Some(need(args, i, "--bench")?);
+                i += 1;
+            }
+            "--metrics" => {
+                opts.metrics = Some(need(args, i, "--metrics")?);
+                i += 1;
+            }
+            "--events" => {
+                opts.events = Some(need(args, i, "--events")?);
+                i += 1;
+            }
             "--verilog" => opts.verilog = true,
             "--timeline" => opts.timeline = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
@@ -142,11 +170,28 @@ fn flow_config(opts: &Options) -> FlowConfig {
     let mut cfg = FlowConfig::for_machine(opts.algorithm, opts.machine);
     cfg.repeats = opts.repeats;
     cfg.params.max_iterations = opts.iters;
+    cfg.jobs = opts.jobs;
     cfg.budgets = Budgets {
         area_um2: opts.area,
         max_ises: opts.max_ises,
     };
     cfg
+}
+
+/// Runs the flow with whatever observability the options ask for: an
+/// optional JSONL event stream and an optional RunMetrics JSON file.
+fn run_observed(opts: &Options, program: &Program) -> Result<FlowReport, String> {
+    let sink: Box<dyn EventSink> = match &opts.events {
+        Some(path) => Box::new(JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?),
+        None => Box::new(NullSink),
+    };
+    let (report, metrics) =
+        run_flow_observed(&flow_config(opts), program, opts.seed, sink.as_ref());
+    if let Some(path) = &opts.metrics {
+        let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(report)
 }
 
 fn cmd_list() {
@@ -173,13 +218,17 @@ fn print_report(report: &FlowReport, opts: &Options) {
 }
 
 fn cmd_explore(opts: &Options, positional: &[String]) -> Result<(), String> {
-    let name = positional.first().ok_or("explore needs a benchmark name")?;
+    let name = opts
+        .bench
+        .as_deref()
+        .or_else(|| positional.first().map(String::as_str))
+        .ok_or("explore needs a benchmark name (positional or --bench)")?;
     let bench = *Benchmark::ALL
         .iter()
         .find(|b| b.name() == name)
         .ok_or_else(|| format!("unknown benchmark `{name}` (try `isex list`)"))?;
     let program = bench.program(opts.opt);
-    let report = run_flow(&flow_config(opts), &program, opts.seed);
+    let report = run_observed(opts, &program)?;
     print_report(&report, opts);
     if opts.timeline {
         print_timeline(&program.hottest().dfg, &report, opts);
@@ -195,7 +244,7 @@ fn cmd_asm(opts: &Options, positional: &[String]) -> Result<(), String> {
         format!("asm:{path}"),
         vec![isex::workloads::BasicBlock::new("block", dfg, 1)],
     );
-    let report = run_flow(&flow_config(opts), &program, opts.seed);
+    let report = run_observed(opts, &program)?;
     print_report(&report, opts);
     if opts.timeline {
         print_timeline(&program.hottest().dfg, &report, opts);

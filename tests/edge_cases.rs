@@ -5,8 +5,10 @@ use isex::prelude::*;
 use rand::SeedableRng;
 
 fn quick_explorer(machine: MachineConfig) -> MultiIssueExplorer {
-    let mut params = AcoParams::default();
-    params.max_iterations = 30;
+    let params = AcoParams {
+        max_iterations: 30,
+        ..AcoParams::default()
+    };
     MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params)
 }
 
@@ -79,8 +81,10 @@ fn minimal_port_constraints_still_yield_legal_candidates() {
     let program = Benchmark::Bitcount.program(OptLevel::O3);
     let dfg = &program.hottest().dfg;
     let m = MachineConfig::preset_2issue_4r2w();
-    let mut params = AcoParams::default();
-    params.max_iterations = 40;
+    let params = AcoParams {
+        max_iterations: 40,
+        ..AcoParams::default()
+    };
     let ex = MultiIssueExplorer::with_params(m, Constraints::new(1, 1), params);
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let r = ex.explore(dfg, &mut rng);

@@ -1,0 +1,40 @@
+//! The engine's headline contract: exploration results are bitwise
+//! identical for every worker count. Seeds derive from
+//! `(master_seed, block_index, repeat)` — never from scheduling — so
+//! `jobs = 1` and `jobs = 4` must produce byte-identical reports.
+
+use isex::prelude::*;
+use isex::workloads::Benchmark;
+
+fn report_json(bench: Benchmark, algorithm: Algorithm, seed: u64, jobs: usize) -> String {
+    let program = bench.program(OptLevel::O3);
+    let mut cfg = FlowConfig::paper_default(algorithm);
+    cfg.repeats = 2;
+    cfg.params.max_iterations = 25;
+    cfg.jobs = jobs;
+    let report = run_flow(&cfg, &program, seed);
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+#[test]
+fn parallel_flow_matches_serial_flow() {
+    for bench in [Benchmark::Crc32, Benchmark::Bitcount] {
+        for algorithm in [Algorithm::MultiIssue, Algorithm::SingleIssue] {
+            for seed in [11u64, 0xFEED] {
+                let serial = report_json(bench, algorithm, seed, 1);
+                let parallel = report_json(bench, algorithm, seed, 4);
+                assert_eq!(
+                    serial, parallel,
+                    "jobs=1 vs jobs=4 diverged: {bench:?} {algorithm} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_worker_count_matches_serial_flow() {
+    let serial = report_json(Benchmark::Crc32, Algorithm::MultiIssue, 7, 1);
+    let auto = report_json(Benchmark::Crc32, Algorithm::MultiIssue, 7, 0);
+    assert_eq!(serial, auto, "jobs=0 (auto) must equal jobs=1");
+}

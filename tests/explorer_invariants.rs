@@ -8,8 +8,10 @@ use rand::SeedableRng;
 
 fn explore_all(dfg: &ProgramDfg, machine: MachineConfig, seed: u64) -> (Exploration, Exploration) {
     let cons = Constraints::from_machine(&machine);
-    let mut params = AcoParams::default();
-    params.max_iterations = 60;
+    let params = AcoParams {
+        max_iterations: 60,
+        ..AcoParams::default()
+    };
     let mi = MultiIssueExplorer::with_params(machine, cons, params);
     let si = SingleIssueExplorer::with_params(machine, cons, params);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -153,8 +155,10 @@ fn critical_path_bounds_hold() {
     let wide = MachineConfig::new(16, 64, 32);
     let dep = isex::dfg::analysis::critical_path_len(dfg) as u32;
     let cons = Constraints::from_machine(&wide);
-    let mut params = AcoParams::default();
-    params.max_iterations = 60;
+    let params = AcoParams {
+        max_iterations: 60,
+        ..AcoParams::default()
+    };
     let mi = MultiIssueExplorer::with_params(wide, cons, params);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let r = mi.explore(dfg, &mut rng);

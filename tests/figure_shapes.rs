@@ -22,6 +22,7 @@ fn mi_is_more_area_efficient_than_si() {
     let effort = SweepEffort {
         repeats: 2,
         max_iterations: 80,
+        jobs: 0,
     };
     let mi = experiment::ise_count_sweep(
         &point(Algorithm::MultiIssue, OptLevel::O3),
@@ -36,10 +37,8 @@ fn mi_is_more_area_efficient_than_si() {
         0xF16,
     );
     let agg = |ms: &[experiment::Measurement], count: usize| -> (f64, f64) {
-        let xs: Vec<&experiment::Measurement> = ms
-            .iter()
-            .filter(|m| m.constraint == count as f64)
-            .collect();
+        let xs: Vec<&experiment::Measurement> =
+            ms.iter().filter(|m| m.constraint == count as f64).collect();
         let red = xs.iter().map(|m| m.reduction).sum::<f64>() / xs.len() as f64;
         let area = xs.iter().map(|m| m.area_um2).sum::<f64>() / xs.len() as f64;
         (red, area)
@@ -69,6 +68,7 @@ fn first_ise_dominates_the_reduction() {
     let effort = SweepEffort {
         repeats: 2,
         max_iterations: 80,
+        jobs: 0,
     };
     let ms = experiment::ise_count_sweep(
         &point(Algorithm::MultiIssue, OptLevel::O3),
@@ -102,6 +102,7 @@ fn o3_beats_o0_at_two_issue() {
     let effort = SweepEffort {
         repeats: 2,
         max_iterations: 80,
+        jobs: 0,
     };
     let reduction = |opt: OptLevel| -> f64 {
         let ms = experiment::area_sweep(

@@ -17,8 +17,10 @@ use rand::SeedableRng;
 /// match of every pattern against concrete execution.
 fn check_block(dfg: &ProgramDfg, seed: u64) -> usize {
     let machine = MachineConfig::preset_2issue_6r3w();
-    let mut params = AcoParams::default();
-    params.max_iterations = 40;
+    let params = AcoParams {
+        max_iterations: 40,
+        ..AcoParams::default()
+    };
     let ex = MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let result = ex.explore(dfg, &mut rng);
@@ -105,8 +107,10 @@ fn cross_block_matches_are_also_sound() {
     // still reproduce values there (this exercises external-class binding
     // against foreign producers).
     let machine = MachineConfig::preset_2issue_4r2w();
-    let mut params = AcoParams::default();
-    params.max_iterations = 40;
+    let params = AcoParams {
+        max_iterations: 40,
+        ..AcoParams::default()
+    };
     let ex = MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
     let program = Benchmark::Crc32.program(OptLevel::O3);
     let src = &program.hottest().dfg;

@@ -172,8 +172,10 @@ proptest! {
     fn exploration_invariants_on_random_graphs(dfg in arb_dfg(), seed in any::<u64>()) {
         let machine = MachineConfig::preset_2issue_4r2w();
         let cons = Constraints::from_machine(&machine);
-        let mut params = AcoParams::default();
-        params.max_iterations = 12; // keep proptest fast
+        let params = AcoParams {
+            max_iterations: 12, // keep proptest fast
+            ..AcoParams::default()
+        };
         let mi = MultiIssueExplorer::with_params(machine, cons, params);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let r = mi.explore(&dfg, &mut rng);

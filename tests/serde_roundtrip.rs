@@ -58,8 +58,10 @@ fn exploration_and_candidates_roundtrip() {
     let program = Benchmark::Bitcount.program(OptLevel::O3);
     let dfg = &program.hottest().dfg;
     let machine = MachineConfig::preset_2issue_4r2w();
-    let mut params = AcoParams::default();
-    params.max_iterations = 40;
+    let params = AcoParams {
+        max_iterations: 40,
+        ..AcoParams::default()
+    };
     let ex = MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
     let result = ex.explore(dfg, &mut rng);
@@ -82,8 +84,10 @@ fn pattern_roundtrips_and_still_matches() {
     let program = Benchmark::Crc32.program(OptLevel::O3);
     let dfg = &program.hottest().dfg;
     let machine = MachineConfig::preset_2issue_4r2w();
-    let mut params = AcoParams::default();
-    params.max_iterations = 40;
+    let params = AcoParams {
+        max_iterations: 40,
+        ..AcoParams::default()
+    };
     let ex = MultiIssueExplorer::with_params(machine, Constraints::from_machine(&machine), params);
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let result = ex.explore(dfg, &mut rng);

@@ -1,0 +1,124 @@
+//! A small regex subset for string strategies.
+//!
+//! Supports exactly the shapes the workspace's tests write: one character
+//! class — `\PC` (any non-control character) or an explicit `[...]` set with
+//! literals and `a-z` ranges — followed by a `{min,max}` repetition.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Non-ASCII printable characters occasionally mixed into `\PC` samples, so
+/// robustness tests see multi-byte UTF-8 without a full Unicode table.
+const UNICODE_SAMPLES: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '•', '😀'];
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let (class, rest) = parse_class(pattern);
+    let (min, max) = parse_repeat(rest);
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| class.sample(rng)).collect()
+}
+
+enum Class {
+    /// `\PC`: any non-control character.
+    Printable,
+    /// `[...]`: an explicit set.
+    Set(Vec<char>),
+}
+
+impl Class {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            Class::Printable => {
+                // Mostly ASCII printable, sometimes wider Unicode.
+                if rng.gen_bool(0.9) {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+                } else {
+                    UNICODE_SAMPLES[rng.gen_range(0..UNICODE_SAMPLES.len())]
+                }
+            }
+            Class::Set(chars) => chars[rng.gen_range(0..chars.len())],
+        }
+    }
+}
+
+/// Splits the leading character class off `pattern`.
+fn parse_class(pattern: &str) -> (Class, &str) {
+    if let Some(rest) = pattern.strip_prefix("\\PC") {
+        return (Class::Printable, rest);
+    }
+    if let Some(body_on) = pattern.strip_prefix('[') {
+        let close = body_on.find(']').expect("unterminated [...] class");
+        let body: Vec<char> = body_on[..close].chars().collect();
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            // `a-z` is a range unless `-` is the last member.
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                for c in body[i]..=body[i + 2] {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty [...] class in {pattern:?}");
+        return (Class::Set(chars), &body_on[close + 1..]);
+    }
+    panic!("unsupported pattern {pattern:?} (vendored proptest supports \\PC and [...] only)");
+}
+
+/// Parses a trailing `{min,max}` repetition; a bare class repeats once.
+fn parse_repeat(rest: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition {rest:?}"));
+    let (min, max) = body.split_once(',').unwrap_or((body, body));
+    (
+        min.trim().parse().expect("bad repetition min"),
+        max.trim().parse().expect("bad repetition max"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn set_patterns_stay_in_class() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_members_and_ranges_mix() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let allowed = "$abcdefghijklmnopqrstuvwxyz0123456789,() -";
+        for _ in 0..200 {
+            let s = generate("[$a-z0-9,() -]{0,30}", &mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| allowed.contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_has_no_control_chars() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = generate("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Case generation and failure reporting for the `proptest!` runner.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner settings; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed case. `prop_assert!`-style macros and `?` both produce this.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the case with a message.
+    pub fn fail<T: fmt::Display>(msg: T) -> Self {
+        TestCaseError(msg.to_string())
+    }
+
+    /// Alias used by some call sites; same as [`TestCaseError::fail`].
+    pub fn reject<T: fmt::Display>(msg: T) -> Self {
+        Self::fail(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The random source behind every strategy.
+pub struct Gen {
+    /// Underlying deterministic generator.
+    pub rng: StdRng,
+}
+
+impl Gen {
+    /// A generator with a fixed seed — every run generates the same cases,
+    /// so a failure reported by CI reproduces locally.
+    pub fn deterministic() -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+}

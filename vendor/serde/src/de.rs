@@ -1,0 +1,230 @@
+//! Deserialization: a [`Deserializer`] hands out a [`Value`] and types
+//! rebuild themselves from it.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+use crate::Value;
+
+/// Deserializer-side errors.
+pub trait Error: Sized {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+impl Error for String {
+    fn custom<T: Display>(msg: T) -> Self {
+        msg.to_string()
+    }
+}
+
+/// Produces one [`Value`] to deserialize from.
+///
+/// The lifetime mirrors serde's `Deserializer<'de>` so hand-written impls
+/// written against upstream serde compile unchanged; this implementation
+/// always hands out owned data.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the value being deserialized.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A deserializable type.
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an already-parsed [`Value`].
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _err: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _err: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes a `T` from a borrowed [`Value`].
+pub fn from_value<'de, T: Deserialize<'de>, E: Error>(value: &Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::new(value.clone()))
+}
+
+/// Views `value` as an object, or errors naming the expected type.
+pub fn as_object<'v, E: Error>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], E> {
+    value
+        .as_object()
+        .ok_or_else(|| E::custom(format!("expected {ty} object, found {}", value.kind())))
+}
+
+/// Views `value` as an array, or errors naming the expected type.
+pub fn as_array<'v, E: Error>(value: &'v Value, ty: &str) -> Result<&'v [Value], E> {
+    value
+        .as_array()
+        .ok_or_else(|| E::custom(format!("expected {ty} array, found {}", value.kind())))
+}
+
+/// Looks up and deserializes one named field of a struct object.
+///
+/// A missing field deserializes from `null` (covers `Option` fields written
+/// by older schemas); a present field of the wrong shape is an error.
+pub fn field<'de, T: Deserialize<'de>, E: Error>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, E> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => from_value(v),
+        None => from_value(&Value::Null)
+            .map_err(|_: E| E::custom(format!("{ty}: missing field `{name}`"))),
+    }
+}
+
+fn int_error<E: Error>(value: &Value, ty: &str) -> E {
+    E::custom(format!("expected {ty}, found {}", value.kind()))
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let wide = match v {
+                    Value::I64(i) => i as i128,
+                    Value::U64(u) => u as i128,
+                    _ => return Err(int_error(&v, stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| D::Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let wide = match v {
+                    Value::I64(i) => i as i128,
+                    Value::U64(u) => u as i128,
+                    _ => return Err(int_error(&v, stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| D::Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::F64(f) => Ok(f),
+            // Whole floats print without a fraction ("1", not "1.0"), so a
+            // round-trip re-reads them as integers.
+            Value::I64(i) => Ok(i as f64),
+            Value::U64(u) => Ok(u as f64),
+            _ => Err(int_error(&v, "f64")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(int_error(&other, "bool")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom(format!("expected one char, got {s:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(int_error(&other, "string")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(&v).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        let items = as_array::<D::Error>(&v, "sequence")?;
+        items.iter().map(from_value).collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($name:ident : $idx:tt),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                let v = d.take_value()?;
+                let items = as_array::<__D::Error>(&v, "tuple")?;
+                if items.len() != $len {
+                    return Err(__D::Error::custom(format!(
+                        "expected a {}-tuple, found {} elements", $len, items.len()
+                    )));
+                }
+                Ok(($(from_value::<$name, __D::Error>(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; A:0)
+    (2; A:0, B:1)
+    (3; A:0, B:1, C:2)
+    (4; A:0, B:1, C:2, D:3)
+    (5; A:0, B:1, C:2, D:3, E:4)
+    (6; A:0, B:1, C:2, D:3, E:4, F:5)
+    (7; A:0, B:1, C:2, D:3, E:4, F:5, G:6)
+    (8; A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7)
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal serialization framework with the same *usage surface* as serde:
+//! `#[derive(Serialize, Deserialize)]`, `serde::Serialize`/`Deserialize`
+//! trait bounds, `Serializer`/`Deserializer` for hand-written impls and a
+//! `serde::de::Error::custom` escape hatch. The data model is a concrete
+//! [`Value`] tree instead of serde's visitor machinery — serializers
+//! collect a `Value`, deserializers hand one out — which is all the
+//! workspace's JSON round-trips and telemetry need.
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,58 @@
+//! The concrete data model: a JSON-shaped value tree.
+
+/// A serialized value.
+///
+/// Objects keep insertion order (a `Vec` of pairs, not a map), so struct
+/// fields serialize in declaration order and byte-identical output is
+/// deterministic — the exploration engine's reproducibility tests compare
+/// serialized reports directly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer outside `i64` range — or any non-negative count.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered set of named fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The fields if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde`'s value-tree data model, with no syn/quote
+//! dependency: the input item is parsed with a small hand-rolled scanner
+//! over `proc_macro::TokenStream` and the impl is emitted as source text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields (including one type parameter, e.g.
+//!   `Dfg<N>`), serialized as objects in field declaration order;
+//! * tuple structs (`NodeId(u32)` newtypes serialize as their inner value,
+//!   wider tuples as arrays);
+//! * enums with unit, tuple and struct variants, externally tagged exactly
+//!   like serde (`"Variant"`, `{"Variant": inner}`, `{"Variant": {...}}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers, bounds stripped (`Dfg<N>` -> ["N"]).
+    generics: Vec<String>,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Number of tuple fields.
+    Tuple(usize),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility to find `struct` / `enum`.
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => break "struct",
+            TokenTree::Ident(id) if *id.to_string() == *"enum" => break "enum",
+            _ => i += 1,
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    let mut generics = Vec::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        // Collect parameter idents at angle depth 1, skipping bounds.
+        let mut depth = 1usize;
+        let mut expecting_param = true;
+        i += 1;
+        while depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    expecting_param = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                    expecting_param = false;
+                }
+                TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                    generics.push(id.to_string());
+                    expecting_param = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let data = match kind {
+        "struct" => {
+            // Either `{ named fields }`, `( tuple );` or `;` next.
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+                }
+                _ => Data::Struct(Fields::Unit),
+            }
+        }
+        _ => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+    };
+    Item {
+        name,
+        generics,
+        data,
+    }
+}
+
+/// Parses `{ attr* vis? name: Type, ... }` bodies into field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("expected field name, found {other}"),
+        }
+        i += 1;
+        // Skip `: Type` up to the next comma at angle depth 0. Parenthesized
+        // and bracketed type parts arrive as single groups, so only `<>`
+        // depth needs tracking.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts tuple fields: type list entries separated by depth-0 commas.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    let mut saw_any = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if !saw_any {
+        0
+    } else {
+        count
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Skips `#[...]` attributes (including doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// `impl<...> Trait for Name<...>` headers for both derives.
+fn impl_header(item: &Item, serialize: bool) -> String {
+    let params: Vec<String> = item.generics.clone();
+    let ty_args = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    if serialize {
+        let bounds: Vec<String> = params
+            .iter()
+            .map(|p| format!("{p}: ::serde::Serialize"))
+            .collect();
+        let intro = if bounds.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", bounds.join(", "))
+        };
+        format!(
+            "impl{intro} ::serde::ser::Serialize for {}{ty_args}",
+            item.name
+        )
+    } else {
+        let mut bounds: Vec<String> = vec!["'de".to_string()];
+        bounds.extend(
+            params
+                .iter()
+                .map(|p| format!("{p}: ::serde::Deserialize<'de>")),
+        );
+        format!(
+            "impl<{}> ::serde::de::Deserialize<'de> for {}{ty_args}",
+            bounds.join(", "),
+            item.name
+        )
+    }
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), ::serde::ser::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}\
+                 __serializer.collect_value(::serde::Value::Object(__fields))"
+            )
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            "__serializer.collect_value(::serde::ser::to_value(&self.0))".to_string()
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::ser::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "__serializer.collect_value(::serde::Value::Array(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => {
+            "__serializer.collect_value(::serde::Value::Null)".to_string()
+        }
+        Data::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => __serializer.collect_value(\
+                             ::serde::Value::String({vn:?}.to_string())),\n"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => __serializer.collect_value(\
+                             ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::ser::to_value(__f0))])),\n"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::ser::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => __serializer.collect_value(\
+                                 ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Array(vec![{}]))])),\n",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::ser::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => __serializer.collect_value(\
+                                 ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Object(vec![{}]))])),\n",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{} {{\n fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}",
+        impl_header(item, true)
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let gets: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::de::field::<_, __D::Error>(__obj, {f:?}, {name:?})?,\n")
+                })
+                .collect();
+            format!(
+                "let __v = __deserializer.take_value()?;\n\
+                 let __obj = ::serde::de::as_object::<__D::Error>(&__v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{\n{gets}}})"
+            )
+        }
+        Data::Struct(Fields::Tuple(1)) => format!(
+            "let __v = __deserializer.take_value()?;\n\
+             ::std::result::Result::Ok({name}(::serde::de::from_value::<_, __D::Error>(&__v)?))"
+        ),
+        Data::Struct(Fields::Tuple(n)) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::from_value::<_, __D::Error>(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __v = __deserializer.take_value()?;\n\
+                 let __items = ::serde::de::as_array::<__D::Error>(&__v, {name:?})?;\n\
+                 if __items.len() != {n} {{\n\
+                   return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                   format!(\"{name}: expected {n} elements, found {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => {
+            format!(
+                "let _ = __deserializer.take_value()?;\n\
+                 ::std::result::Result::Ok({name})"
+            )
+        }
+        Data::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),\n",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::de::from_value::<_, __D::Error>(__inner)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::de::from_value::<_, __D::Error>(&__items[{i}])?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __items = ::serde::de::as_array::<__D::Error>(__inner, {name:?})?;\n\
+                                 if __items.len() != {n} {{\n\
+                                   return ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                                   format!(\"{name}::{vn}: expected {n} elements, found {{}}\", __items.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                                gets.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let gets: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::de::field::<_, __D::Error>(__vobj, {f:?}, {name:?})?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __vobj = ::serde::de::as_object::<__D::Error>(__inner, {name:?})?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}},\n",
+                                gets.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let __v = __deserializer.take_value()?;\n\
+                 match &__v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "{} {{\n fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}",
+        impl_header(item, false)
+    )
+}

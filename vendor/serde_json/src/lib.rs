@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_json`: JSON text to and from the vendored
+//! serde [`Value`] tree.
+//!
+//! Output is deterministic — object fields print in insertion order — which
+//! the engine's reproducibility tests rely on when comparing serialized
+//! reports byte-for-byte.
+
+use std::fmt;
+
+pub use serde::Value;
+use serde::{de, ser, Deserialize, Serialize};
+
+/// Error raised while reading or writing JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&ser::to_value(value), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&ser::to_value(value), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Converts `value` to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(ser::to_value(value))
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    de::from_value(&value)
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    de::from_value(&value)
+}
+
+fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => {
+            // JSON has no NaN/Infinity literal.
+            if f.is_finite() {
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`Value`].
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error(format!(
+                "unexpected `{}` at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".to_string())),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Advance over a run of plain bytes, then re-decode as UTF-8.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1; // past 'u', at the first hex digit
+                            let code = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error("lone lead surrogate".to_string()));
+                                }
+                                let low = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error("invalid surrogate pair".to_string()))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("invalid \\u{code:04x}")))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(Error(format!("bad escape at byte {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error("unterminated string".to_string())),
+            }
+        }
+    }
+
+    /// Reads four hex digits with `pos` at the first; leaves `pos` past the last.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error("truncated \\u escape".to_string()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error("bad \\u escape".to_string()))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error(format!("bad \\u escape `{hex}`")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".to_string()))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(parse("42").unwrap(), Value::I64(42));
+        assert_eq!(parse("-7").unwrap(), Value::I64(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::F64(2.5));
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(
+            parse("\"a\\nb\"").unwrap(),
+            Value::String("a\nb".to_string())
+        );
+    }
+
+    #[test]
+    fn round_trips_structures() {
+        let text = "{\"a\":[1,2,3],\"b\":{\"c\":null}}";
+        let v = parse(text).unwrap();
+        let mut out = String::new();
+        write_value(&v, &mut out, None, 0);
+        assert_eq!(out, text);
+    }
+
+    #[test]
+    fn preserves_field_order() {
+        let v = parse("{\"z\":1,\"a\":2}").unwrap();
+        let fields = v.as_object().unwrap();
+        assert_eq!(fields[0].0, "z");
+        assert_eq!(fields[1].0, "a");
+    }
+
+    #[test]
+    fn pretty_prints() {
+        let v = parse("{\"a\":1}").unwrap();
+        let mut out = String::new();
+        write_value(&v, &mut out, Some(2), 0);
+        assert_eq!(out, "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let pairs: Vec<(String, u32)> = vec![("x".to_string(), 1), ("y".to_string(), 2)];
+        let text = to_string(&pairs).unwrap();
+        let back: Vec<(String, u32)> = from_str(&text).unwrap();
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            parse("\"\\u00e9\"").unwrap(),
+            Value::String("é".to_string())
+        );
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::String("😀".to_string())
+        );
+    }
+}
