@@ -14,21 +14,23 @@
 //! Run with: `cargo run --release -p isex-bench --bin ablation [--quick]`
 
 use isex_aco::AcoParams;
-use isex_bench::{effort_from_args, pct, TextTable};
+use isex_bench::{harness_from_args, pct, TextTable};
 use isex_core::{Constraints, MultiIssueExplorer, SpFunction};
 use isex_engine::run_jobs;
 use isex_isa::MachineConfig;
 use isex_workloads::{Benchmark, OptLevel};
 use rand::SeedableRng;
 
-fn average_reduction(explorer: &MultiIssueExplorer, repeats: usize, jobs: usize) -> f64 {
+fn average_reduction(
+    explorer: &MultiIssueExplorer,
+    repeats: usize,
+    jobs: usize,
+    benches: &[Benchmark],
+) -> f64 {
     // One pool job per benchmark; seeds depend only on the repeat index, so
     // the numbers are identical to the historical serial loop at any worker
     // count.
-    let programs: Vec<_> = Benchmark::ALL
-        .iter()
-        .map(|b| b.program(OptLevel::O3))
-        .collect();
+    let programs: Vec<_> = benches.iter().map(|b| b.program(OptLevel::O3)).collect();
     let bests = run_jobs(&programs, jobs, |_, program| {
         let dfg = &program.hottest().dfg;
         let mut best = 0.0f64;
@@ -43,7 +45,8 @@ fn average_reduction(explorer: &MultiIssueExplorer, repeats: usize, jobs: usize)
 }
 
 fn main() {
-    let effort = effort_from_args();
+    let args = harness_from_args();
+    let (effort, benches) = (args.effort, args.benches);
     let machine = MachineConfig::preset_2issue_4r2w();
     let cons = Constraints::from_machine(&machine);
     let base = AcoParams {
@@ -52,8 +55,10 @@ fn main() {
     };
 
     println!(
-        "Ablations (7 O3 hot blocks, 2-issue 4/2, {} repeats, {} iterations)\n",
-        effort.repeats, effort.max_iterations
+        "Ablations ({} O3 hot blocks, 2-issue 4/2, {} repeats, {} iterations)\n",
+        benches.len(),
+        effort.repeats,
+        effort.max_iterations
     );
 
     let mut t = TextTable::new(&["knob", "setting", "avg reduction"]);
@@ -67,7 +72,7 @@ fn main() {
         t.row(vec![
             name.into(),
             format!("{sp:?}"),
-            pct(average_reduction(&e, effort.repeats, effort.jobs)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs, &benches)),
         ]);
         eprintln!("done: SP {sp:?}");
     }
@@ -76,7 +81,7 @@ fn main() {
         t.row(vec![
             "alpha".into(),
             format!("{alpha}"),
-            pct(average_reduction(&e, effort.repeats, effort.jobs)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs, &benches)),
         ]);
         eprintln!("done: alpha {alpha}");
     }
@@ -85,7 +90,7 @@ fn main() {
         t.row(vec![
             "lambda".into(),
             format!("{lambda}"),
-            pct(average_reduction(&e, effort.repeats, effort.jobs)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs, &benches)),
         ]);
         eprintln!("done: lambda {lambda}");
     }
@@ -101,7 +106,7 @@ fn main() {
         t.row(vec![
             "iterations".into(),
             iters.to_string(),
-            pct(average_reduction(&e, effort.repeats, effort.jobs)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs, &benches)),
         ]);
         eprintln!("done: iters {iters}");
     }
@@ -120,7 +125,7 @@ fn main() {
         t.row(vec![
             "rho scale".into(),
             format!("{scale}x"),
-            pct(average_reduction(&e, effort.repeats, effort.jobs)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs, &benches)),
         ]);
         eprintln!("done: rho {scale}x");
     }
@@ -130,7 +135,7 @@ fn main() {
         t.row(vec![
             "P_END".into(),
             format!("{p_end}"),
-            pct(average_reduction(&e, effort.repeats, effort.jobs)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs, &benches)),
         ]);
         eprintln!("done: p_end {p_end}");
     }
@@ -152,7 +157,7 @@ fn main() {
         t.row(vec![
             "beta IO/convex".into(),
             label.into(),
-            pct(average_reduction(&e, effort.repeats, effort.jobs)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs, &benches)),
         ]);
         eprintln!("done: beta {label}");
     }
@@ -164,18 +169,18 @@ fn main() {
         t.row(vec![
             "ASFU".into(),
             if pipelined { "pipelined" } else { "blocking" }.into(),
-            pct(average_reduction(&e, effort.repeats, effort.jobs)),
+            pct(average_reduction(&e, effort.repeats, effort.jobs, &benches)),
         ]);
         eprintln!("done: asfu pipelined={pipelined}");
     }
     print!("{}", t.render());
 
     // Hardware-sharing model: selection-level comparison (area, not speed).
-    sharing_comparison(&effort);
+    sharing_comparison(&effort, &benches);
 }
 
 /// Compares the two sharing cost models on the full MI flow.
-fn sharing_comparison(effort: &isex_flow::experiment::SweepEffort) {
+fn sharing_comparison(effort: &isex_flow::experiment::SweepEffort, benches: &[Benchmark]) {
     use isex_flow::select::SharingModel;
     use isex_flow::{run_flow, Algorithm, FlowConfig};
     use isex_workloads::OptLevel;
@@ -187,7 +192,7 @@ fn sharing_comparison(effort: &isex_flow::experiment::SweepEffort) {
     ] {
         let mut area = 0.0;
         let mut red = 0.0;
-        for &bench in Benchmark::ALL {
+        for &bench in benches {
             let program = bench.program(OptLevel::O3);
             let mut cfg = FlowConfig::for_machine(Algorithm::MultiIssue, machine);
             cfg.repeats = effort.repeats;
@@ -200,8 +205,8 @@ fn sharing_comparison(effort: &isex_flow::experiment::SweepEffort) {
         }
         t.row(vec![
             label.into(),
-            format!("{:.0}", area / Benchmark::ALL.len() as f64),
-            pct(red / Benchmark::ALL.len() as f64),
+            format!("{:.0}", area / benches.len() as f64),
+            pct(red / benches.len() as f64),
         ]);
         eprintln!("done: sharing {label}");
     }

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p isex-bench --bin headline [--quick]`
 
-use isex_bench::{effort_from_args, pct, TextTable};
+use isex_bench::{harness_from_args, pct, TextTable};
 use isex_flow::experiment::{self, ConfigPoint};
 use isex_flow::select::Budgets;
 use isex_flow::{self as flow_crate, Algorithm, FlowConfig};
@@ -21,11 +21,12 @@ fn run_point(
     point: &ConfigPoint,
     budgets: Budgets,
     effort: &isex_flow::experiment::SweepEffort,
+    benches: &[Benchmark],
 ) -> f64 {
-    // Average reduction over the seven benchmarks and the seed set.
+    // Average reduction over the selected benchmarks and the seed set.
     let mut total = 0.0;
     let mut count = 0usize;
-    for &bench in Benchmark::ALL {
+    for &bench in benches {
         let program = bench.program(point.opt);
         for &seed in SEEDS {
             let mut cfg = FlowConfig::for_machine(point.algorithm, point.machine);
@@ -49,7 +50,8 @@ fn stats(xs: &[f64]) -> (f64, f64, f64) {
 }
 
 fn main() {
-    let effort = effort_from_args();
+    let args = harness_from_args();
+    let (effort, benches) = (args.effort, args.benches);
     let configs: Vec<ConfigPoint> = experiment::evaluation_configs()
         .into_iter()
         .filter(|c| c.algorithm == Algorithm::MultiIssue)
@@ -62,7 +64,7 @@ fn main() {
     };
     let mut single: Vec<f64> = Vec::new();
     for point in &configs {
-        single.push(run_point(point, one_ise, &effort));
+        single.push(run_point(point, one_ise, &effort, &benches));
         eprintln!("single-ISE done: {}", point.label);
     }
     let (max1, min1, avg1) = stats(&single);
@@ -77,14 +79,14 @@ fn main() {
     };
     let mut deltas: Vec<f64> = Vec::new();
     for point in &configs {
-        let mi = run_point(point, area, &effort);
+        let mi = run_point(point, area, &effort, &benches);
         let si_point = ConfigPoint {
             label: point.label.replace("MI", "SI"),
             machine: point.machine,
             opt: point.opt,
             algorithm: Algorithm::SingleIssue,
         };
-        let si = run_point(&si_point, area, &effort);
+        let si = run_point(&si_point, area, &effort, &benches);
         deltas.push(mi - si);
         eprintln!(
             "MI-vs-SI done: {}  MI={:.2}% SI={:.2}% delta={:+.2}",

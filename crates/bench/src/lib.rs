@@ -11,16 +11,31 @@
 #![warn(missing_docs)]
 
 use isex_flow::experiment::SweepEffort;
+use isex_workloads::{registry, Benchmark};
 
-/// Command-line effort selection shared by the figure binaries:
+/// Everything the figure binaries take from the command line: an effort
+/// level and the benchmark subset to regenerate.
+pub struct HarnessArgs {
+    /// Repeats / iteration cap / worker threads.
+    pub effort: SweepEffort,
+    /// Benchmarks to run; defaults to the full evaluation set. `--bench`
+    /// flags (repeatable) narrow it, resolved through the central
+    /// [`registry`] so a typo lists the valid names instead of silently
+    /// running nothing.
+    pub benches: Vec<Benchmark>,
+}
+
+/// Command-line parsing shared by the figure binaries:
 /// `--quick` (1 repeat, 40 iterations — smoke test),
 /// `--paper` (5 repeats, 200 iterations — default),
-/// `--repeats N --iters M`, and `--jobs N` exploration worker threads
-/// (0 = one per core; results are identical for every value).
-pub fn effort_from_args() -> SweepEffort {
+/// `--repeats N --iters M`, `--jobs N` exploration worker threads
+/// (0 = one per core; results are identical for every value), and
+/// `--bench NAME` (repeatable) to regenerate a benchmark subset.
+pub fn harness_from_args() -> HarnessArgs {
     let args: Vec<String> = std::env::args().collect();
     let mut effort = SweepEffort::paper();
     let mut jobs = 0;
+    let mut benches: Vec<Benchmark> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -47,15 +62,39 @@ pub fn effort_from_args() -> SweepEffort {
                     .and_then(|s| s.parse().ok())
                     .expect("--jobs needs a number");
             }
+            "--bench" => {
+                i += 1;
+                let name = args.get(i).expect("--bench needs a name");
+                match registry::resolve(name) {
+                    Ok(b) => {
+                        if !benches.contains(&b) {
+                            benches.push(b);
+                        }
+                    }
+                    Err(e) => panic!("{e}"),
+                }
+            }
             other => {
                 panic!(
-                    "unknown argument {other}; use --quick/--paper/--repeats N/--iters M/--jobs N"
+                    "unknown argument {other}; use --quick/--paper/--repeats N/--iters M/\
+                     --jobs N/--bench NAME"
                 )
             }
         }
         i += 1;
     }
-    effort.with_jobs(jobs)
+    if benches.is_empty() {
+        benches = Benchmark::ALL.to_vec();
+    }
+    HarnessArgs {
+        effort: effort.with_jobs(jobs),
+        benches,
+    }
+}
+
+/// Backwards-compatible effort-only accessor (ignores the benchmark filter).
+pub fn effort_from_args() -> SweepEffort {
+    harness_from_args().effort
 }
 
 /// Formats a fraction as a percentage with two decimals.

@@ -1,0 +1,64 @@
+//! Cooperative cancellation for engine runs.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between the party
+//! that wants a run stopped (a serving deadline, a ctrl-C handler) and the
+//! worker pool running it. Cancellation is *cooperative and job-grained*:
+//! the pool checks the token before claiming each job, so an in-progress
+//! block exploration always runs to completion, but no further jobs start
+//! once the token trips. That keeps cancellation clean — no half-committed
+//! results, no poisoned locks — at the cost of job-sized latency.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Clones observe the same flag; once [`cancel`](CancelToken::cancel) is
+/// called the token can never be un-cancelled.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Error returned when a run was abandoned because its token tripped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("run cancelled before all jobs completed")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_trips_once_and_for_all_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled());
+    }
+}

@@ -9,10 +9,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::events::{EventSink, RunEvent};
 use crate::job::ExploreJob;
 use crate::metrics::BlockSpread;
-use crate::pool::{run_jobs, worker_count};
+use crate::pool::{run_jobs_cancellable, worker_count};
 
 /// Which explorer drives a run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -114,13 +115,29 @@ impl Engine {
         master_seed: u64,
         sink: &dyn EventSink,
     ) -> EngineOutcome {
+        self.try_explore_blocks(blocks, master_seed, sink, &CancelToken::new())
+            .expect("a fresh token never cancels")
+    }
+
+    /// [`explore_blocks`](Engine::explore_blocks) with cooperative
+    /// cancellation: no new job starts once `cancel` trips, the in-progress
+    /// jobs finish, and the run returns [`Cancelled`] instead of a partial
+    /// outcome. A token that trips only after the last job completed still
+    /// yields `Ok` — the full (and deterministic) outcome exists.
+    pub fn try_explore_blocks(
+        &self,
+        blocks: &[BlockTask<'_>],
+        master_seed: u64,
+        sink: &dyn EventSink,
+        cancel: &CancelToken,
+    ) -> Result<EngineOutcome, Cancelled> {
         let repeats = self.spec.repeats.max(1);
         let workers = worker_count(self.spec.jobs);
         let start = Instant::now();
         let jobs = ExploreJob::plan(blocks.len(), repeats, master_seed);
-        let explorations = run_jobs(&jobs, self.spec.jobs, |_, job| {
+        let explorations = run_jobs_cancellable(&jobs, self.spec.jobs, cancel, |_, job| {
             self.run_job(blocks[job.block_index], *job, sink)
-        });
+        })?;
 
         let mut results = Vec::with_capacity(blocks.len());
         for (block_index, (task, per_block)) in
@@ -162,12 +179,12 @@ impl Engine {
                 spread,
             });
         }
-        EngineOutcome {
+        Ok(EngineOutcome {
             blocks: results,
             jobs_completed: jobs.len(),
             workers,
             explore_ms: start.elapsed().as_secs_f64() * 1e3,
-        }
+        })
     }
 
     fn run_job(&self, task: BlockTask<'_>, job: ExploreJob, sink: &dyn EventSink) -> Exploration {

@@ -10,6 +10,7 @@
 //! job's seed is a pure function of `(master_seed, block_index, repeat)` and
 //! results are committed in job order, not completion order.
 
+mod cancel;
 mod engine;
 mod events;
 mod job;
@@ -17,9 +18,10 @@ mod metrics;
 mod pool;
 mod seed;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use engine::{Algorithm, BlockResult, BlockTask, Engine, EngineOutcome, ExploreSpec};
 pub use events::{EventSink, JsonlSink, NullSink, RunEvent, VecSink};
 pub use job::ExploreJob;
 pub use metrics::{BlockSpread, PhaseTimes, RunMetrics};
-pub use pool::{run_jobs, worker_count};
+pub use pool::{run_jobs, run_jobs_cancellable, worker_count};
 pub use seed::derive_seed;

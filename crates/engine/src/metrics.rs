@@ -35,10 +35,22 @@ pub struct BlockSpread {
 }
 
 /// Everything measured about one engine-driven flow run.
+///
+/// The leading *provenance* fields (`master_seed`, `algorithm`,
+/// `benchmark`, `version`) make every serialized record self-describing:
+/// a `--metrics` file or a server response can be re-run — and, thanks to
+/// engine determinism, bitwise reproduced — from the record alone.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// The run's master seed.
     pub master_seed: u64,
+    /// Explorer that drove the run (`"MI"` / `"SI"`), or `""` when the
+    /// producing layer did not say.
+    pub algorithm: String,
+    /// Name of the explored program (e.g. `"crc32-O3"`), or `""`.
+    pub benchmark: String,
+    /// `isex-engine` crate version that produced the record.
+    pub version: String,
     /// Worker threads used for exploration.
     pub workers: usize,
     /// Jobs planned (blocks × repeats).
@@ -64,6 +76,9 @@ impl RunMetrics {
     pub fn empty(master_seed: u64, workers: usize) -> Self {
         RunMetrics {
             master_seed,
+            algorithm: String::new(),
+            benchmark: String::new(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
             workers,
             jobs_total: 0,
             jobs_completed: 0,
@@ -84,6 +99,8 @@ mod tests {
     #[test]
     fn metrics_round_trip_through_json() {
         let mut m = RunMetrics::empty(7, 4);
+        m.algorithm = "MI".to_string();
+        m.benchmark = "crc32-O3".to_string();
         m.jobs_total = 10;
         m.jobs_completed = 10;
         m.ant_iterations = 1234;

@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::cancel::{CancelToken, Cancelled};
+
 /// Resolves a requested worker count: `0` means "one per available core".
 pub fn worker_count(requested: usize) -> usize {
     if requested > 0 {
@@ -28,36 +30,61 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_jobs_cancellable(items, workers, &CancelToken::new(), f)
+        .expect("a fresh token never cancels")
+}
+
+/// [`run_jobs`] with cooperative cancellation: the pool checks `cancel`
+/// before claiming each item, so an in-progress `f` always finishes but no
+/// new item starts once the token trips. Returns [`Cancelled`] if any item
+/// was skipped; a token that trips only after every item completed still
+/// yields `Ok` (the full result set exists, so there is nothing to abandon).
+pub fn run_jobs_cancellable<T, R, F>(
+    items: &[T],
+    workers: usize,
+    cancel: &CancelToken,
+    f: F,
+) -> Result<Vec<R>, Cancelled>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let workers = worker_count(workers).min(items.len().max(1));
-    if workers <= 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| f(i, item))
-            .collect();
-    }
-    let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(i, &items[i]);
-                *slots[i].lock().expect("slot lock") = Some(result);
-            });
+    if workers <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            if cancel.is_cancelled() {
+                return Err(Cancelled);
+            }
+            *slots[i].lock().expect("slot lock") = Some(f(i, item));
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock")
-                .expect("every job ran to completion")
-        })
-        .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let result = f(i, &items[i]);
+                    *slots[i].lock().expect("slot lock") = Some(result);
+                });
+            }
+        });
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        match slot.into_inner().expect("slot lock") {
+            Some(r) => out.push(r),
+            None => return Err(Cancelled),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -96,5 +123,44 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u32> = run_jobs(&[] as &[u32], 4, |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_all_items() {
+        let token = CancelToken::new();
+        token.cancel();
+        let items: Vec<u32> = (0..8).collect();
+        for workers in [1, 4] {
+            let out = run_jobs_cancellable(&items, workers, &token, |_, &x| x);
+            assert_eq!(out, Err(Cancelled), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_issuing_jobs() {
+        let token = CancelToken::new();
+        let items: Vec<usize> = (0..64).collect();
+        let seen = AtomicUsize::new(0);
+        let out = run_jobs_cancellable(&items, 2, &token, |i, _| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            if i == 3 {
+                token.cancel();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            i
+        });
+        assert_eq!(out, Err(Cancelled));
+        // In-flight jobs finish; nothing new starts after the trip. With 2
+        // workers at most one extra job can already be claimed.
+        assert!(seen.load(Ordering::Relaxed) < items.len());
+    }
+
+    #[test]
+    fn late_cancel_after_completion_still_returns_results() {
+        let token = CancelToken::new();
+        let items: Vec<u32> = (0..10).collect();
+        let out = run_jobs_cancellable(&items, 4, &token, |_, &x| x * 2).unwrap();
+        token.cancel();
+        assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

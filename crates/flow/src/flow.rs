@@ -5,7 +5,9 @@ use std::time::Instant;
 
 use isex_aco::AcoParams;
 use isex_core::Constraints;
-use isex_engine::{BlockTask, Engine, EventSink, ExploreSpec, NullSink, RunMetrics};
+use isex_engine::{
+    BlockTask, CancelToken, Cancelled, Engine, EventSink, ExploreSpec, NullSink, RunMetrics,
+};
 use isex_isa::MachineConfig;
 use isex_workloads::Program;
 use serde::{Deserialize, Serialize};
@@ -143,6 +145,20 @@ pub fn explore_program_observed(
     seed: u64,
     sink: &dyn EventSink,
 ) -> (Vec<WeightedPattern>, usize, usize, RunMetrics) {
+    explore_program_cancellable(cfg, program, seed, sink, &CancelToken::new())
+        .expect("a fresh token never cancels")
+}
+
+/// [`explore_program_observed`] with cooperative cancellation: once
+/// `cancel` trips no new exploration job starts, in-progress jobs finish,
+/// and the run returns [`Cancelled`] instead of partial patterns.
+pub fn explore_program_cancellable(
+    cfg: &FlowConfig,
+    program: &Program,
+    seed: u64,
+    sink: &dyn EventSink,
+    cancel: &CancelToken,
+) -> Result<(Vec<WeightedPattern>, usize, usize, RunMetrics), Cancelled> {
     let by_heat = program.by_heat();
     let total_work: f64 = by_heat
         .iter()
@@ -173,11 +189,13 @@ pub fn explore_program_observed(
             dfg: &b.dfg,
         })
         .collect();
-    let outcome = engine.explore_blocks(&tasks, seed, sink);
+    let outcome = engine.try_explore_blocks(&tasks, seed, sink, cancel)?;
 
     let mut patterns = Vec::new();
     let mut iterations = 0usize;
     let mut metrics = RunMetrics::empty(seed, outcome.workers);
+    metrics.algorithm = cfg.algorithm.to_string();
+    metrics.benchmark = program.name.clone();
     metrics.jobs_total = tasks.len() * cfg.repeats.max(1);
     metrics.jobs_completed = outcome.jobs_completed;
     metrics.blocks_explored = hot.len();
@@ -195,7 +213,7 @@ pub fn explore_program_observed(
         }
     }
     metrics.candidates_generated = patterns.len();
-    (patterns, hot.len(), iterations, metrics)
+    Ok((patterns, hot.len(), iterations, metrics))
 }
 
 /// The selection/replacement half of the flow, given explored patterns.
@@ -260,9 +278,25 @@ pub fn run_flow_observed(
     seed: u64,
     sink: &dyn EventSink,
 ) -> (FlowReport, RunMetrics) {
+    run_flow_cancellable(cfg, program, seed, sink, &CancelToken::new())
+        .expect("a fresh token never cancels")
+}
+
+/// [`run_flow_observed`] with cooperative cancellation, for callers that
+/// impose deadlines (the `isexd` server's per-request timeout): once
+/// `cancel` trips the exploration stops at the next job boundary and the
+/// whole run returns [`Cancelled`]. Selection/replacement are not
+/// interruptible — they are orders of magnitude cheaper than exploration.
+pub fn run_flow_cancellable(
+    cfg: &FlowConfig,
+    program: &Program,
+    seed: u64,
+    sink: &dyn EventSink,
+    cancel: &CancelToken,
+) -> Result<(FlowReport, RunMetrics), Cancelled> {
     let start = Instant::now();
     let (patterns, explored, iterations, mut metrics) =
-        explore_program_observed(cfg, program, seed, sink);
+        explore_program_cancellable(cfg, program, seed, sink, cancel)?;
 
     let select_start = Instant::now();
     let selected = select::select_with(patterns, &cfg.budgets, cfg.sharing);
@@ -273,7 +307,7 @@ pub fn run_flow_observed(
     let report = replace_and_report(cfg, program, selected, explored, iterations);
     metrics.phases.replace_ms = replace_start.elapsed().as_secs_f64() * 1e3;
     metrics.phases.total_ms = start.elapsed().as_secs_f64() * 1e3;
-    (report, metrics)
+    Ok((report, metrics))
 }
 
 #[cfg(test)]

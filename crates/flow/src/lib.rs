@@ -45,6 +45,10 @@ pub mod replace;
 pub mod report;
 pub mod select;
 
-pub use flow::{run_flow, run_flow_observed, Algorithm, BlockOutcome, FlowConfig, FlowReport};
+pub use flow::{
+    run_flow, run_flow_cancellable, run_flow_observed, Algorithm, BlockOutcome, FlowConfig,
+    FlowReport,
+};
+pub use isex_engine::{CancelToken, Cancelled};
 pub use pattern::IsePattern;
 pub use select::SelectedIse;

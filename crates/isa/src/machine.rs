@@ -103,6 +103,31 @@ impl MachineConfig {
         ]
     }
 
+    /// The same six §5.1 configurations keyed by the short machine-name
+    /// spelling every front-end shares (`"2is-4r2w"` etc.) — the `isex`
+    /// CLI's `--machine`, the `isexd` server's `"machine"` request field.
+    pub fn named_presets() -> Vec<(&'static str, MachineConfig)> {
+        vec![
+            ("2is-4r2w", Self::preset_2issue_4r2w()),
+            ("2is-6r3w", Self::preset_2issue_6r3w()),
+            ("3is-6r3w", Self::preset_3issue_6r3w()),
+            ("3is-8r4w", Self::preset_3issue_8r4w()),
+            ("4is-8r4w", Self::preset_4issue_8r4w()),
+            ("4is-10r5w", Self::preset_4issue_10r5w()),
+        ]
+    }
+
+    /// Resolves a [`named_presets`](Self::named_presets) machine by name
+    /// (case-insensitive). `None` carries no message — callers own their
+    /// error wording but should list [`named_presets`](Self::named_presets)
+    /// names.
+    pub fn by_name(name: &str) -> Option<MachineConfig> {
+        Self::named_presets()
+            .into_iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, m)| m)
+    }
+
     /// Converts a combinational hardware delay into whole pipeline cycles
     /// (at least one).
     pub fn cycles_for_delay_ns(&self, delay_ns: f64) -> u32 {
@@ -159,6 +184,19 @@ mod tests {
     #[should_panic]
     fn zero_issue_width_rejected() {
         MachineConfig::new(0, 4, 2);
+    }
+
+    #[test]
+    fn named_presets_cover_the_evaluation_set() {
+        let named = MachineConfig::named_presets();
+        let eval = MachineConfig::evaluation_presets();
+        assert_eq!(named.len(), eval.len());
+        for ((name, m), (_, e)) in named.iter().zip(&eval) {
+            assert_eq!(m, e);
+            assert_eq!(MachineConfig::by_name(name), Some(*m));
+            assert_eq!(MachineConfig::by_name(&name.to_uppercase()), Some(*m));
+        }
+        assert_eq!(MachineConfig::by_name("8is-64r32w"), None);
     }
 
     #[test]

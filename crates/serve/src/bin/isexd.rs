@@ -1,0 +1,27 @@
+//! `isexd` — the exploration service daemon.
+//!
+//! ```text
+//! isexd [options]
+//!
+//! options:
+//!   --addr HOST:PORT    bind address                      (default 127.0.0.1:8173)
+//!   --workers N         concurrent exploration runs       (default 2)
+//!   --queue-cap N       waiting-room size before 503      (default 64)
+//!   --cache-cap N       result-cache entries              (default 256)
+//!   --timeout-ms N      default per-request deadline      (default 120000)
+//! ```
+//!
+//! SIGTERM/ctrl-C drains in-flight jobs and exits.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match isex_serve::run_from_args(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("isexd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

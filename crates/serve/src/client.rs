@@ -1,0 +1,154 @@
+//! A minimal blocking client for `isexd`, used by `isex explore --server`
+//! and the integration tests. One request per connection, mirroring the
+//! server's `Connection: close` discipline.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{ExploreRequest, ExploreResponse};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect or the socket failed mid-exchange.
+    Io(std::io::Error),
+    /// The server answered with a non-200 status.
+    Http {
+        /// HTTP status code.
+        status: u16,
+        /// The server's error message (decoded from its JSON envelope when
+        /// possible, raw body otherwise).
+        message: String,
+    },
+    /// The server answered 200 but the body did not decode.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Http { status, message } => write!(f, "server said {status}: {message}"),
+            ClientError::Protocol(m) => write!(f, "bad server response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A raw HTTP exchange result.
+#[derive(Clone, Debug)]
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The raw header block (status line excluded), lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl RawResponse {
+    /// The value of a header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one HTTP exchange against `addr` (e.g. `"127.0.0.1:8173"`).
+pub fn roundtrip(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    read_timeout: Duration,
+) -> Result<RawResponse, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<RawResponse, ClientError> {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ClientError::Protocol("no header/body separator".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ClientError::Protocol("empty response".into()))?;
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line `{status_line}`")))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(RawResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// Extracts the server's `{"error": ...}` message, falling back to the raw
+/// body.
+fn error_message(body: &str) -> String {
+    if let Ok(value) = serde_json::parse(body) {
+        if let Some(obj) = value.as_object() {
+            if let Some((_, serde::Value::String(msg))) = obj.iter().find(|(k, _)| k == "error") {
+                return msg.clone();
+            }
+        }
+    }
+    body.to_string()
+}
+
+/// Submits an exploration and decodes the response.
+pub fn explore(addr: &str, request: &ExploreRequest) -> Result<ExploreResponse, ClientError> {
+    // Read timeout: the request's own deadline plus grace, so a server-side
+    // 504 arrives before the client gives up on the socket.
+    let timeout = Duration::from_millis(request.timeout_ms.unwrap_or(600_000) + 30_000);
+    let raw = roundtrip(
+        addr,
+        "POST",
+        "/v1/explore",
+        Some(&request.to_json()),
+        timeout,
+    )?;
+    if raw.status != 200 {
+        return Err(ClientError::Http {
+            status: raw.status,
+            message: error_message(&raw.body),
+        });
+    }
+    ExploreResponse::from_json(&raw.body).map_err(ClientError::Protocol)
+}
+
+/// Fetches a control endpoint (`/healthz`, `/metrics`) as raw JSON text.
+pub fn get(addr: &str, path: &str) -> Result<RawResponse, ClientError> {
+    roundtrip(addr, "GET", path, None, Duration::from_secs(30))
+}

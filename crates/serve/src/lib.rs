@@ -1,0 +1,50 @@
+//! `isexd` — the ISE exploration service.
+//!
+//! Turns the deterministic engine of `isex-engine` + `isex-flow` into a
+//! serving subsystem: a std-only HTTP/1.1 JSON API where a request names a
+//! benchmark, machine model and effort, and the answer is the flow's
+//! [`FlowReport`](isex_flow::FlowReport) plus
+//! [`RunMetrics`](isex_engine::RunMetrics).
+//!
+//! * `POST /v1/explore` — run (or re-serve) an exploration;
+//! * `GET /healthz` — liveness;
+//! * `GET /metrics` — queue depth, in-flight jobs, cache hit rate,
+//!   latency histograms, cumulative engine telemetry.
+//!
+//! The serving core is three small mechanisms:
+//!
+//! * a **bounded job queue** ([`queue`]) feeding an engine worker pool,
+//!   with `503` + `Retry-After` backpressure when full;
+//! * a **result cache** ([`cache`]) keyed by the canonical request — sound
+//!   because engine runs are bitwise deterministic, so an exact key match
+//!   *is* the answer;
+//! * **cooperative deadlines** — a request that outlives its timeout trips
+//!   the run's [`CancelToken`](isex_engine::CancelToken) and gets `504`.
+//!
+//! No external dependencies: everything is `std::net` + `std::thread` +
+//! the workspace's vendored serde stand-ins.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! let mut config = isex_serve::ServerConfig::default();
+//! config.addr = "127.0.0.1:0".to_string(); // pick a free port
+//! let handle = isex_serve::start(config).unwrap();
+//! println!("listening on {}", handle.addr());
+//! handle.shutdown();
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use protocol::{ExploreRequest, ExploreResponse};
+pub use server::{run, run_from_args, start, ServerConfig, ServerHandle};

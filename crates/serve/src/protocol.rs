@@ -1,0 +1,405 @@
+//! The `/v1/explore` wire protocol: request parsing, canonicalisation,
+//! and response envelopes.
+//!
+//! A request names *what* to explore (`bench`, `opt`, `machine`,
+//! `algorithm`, `seed`, `repeats`, `effort`) and *how* to run it (`jobs`,
+//! `timeout_ms`). The first group fully determines the answer — the engine
+//! is bitwise deterministic — so the [canonical key](ExploreRequest::canonical_key)
+//! is built from it alone: two requests that differ only in worker count or
+//! deadline are the *same* exploration and share a cache entry.
+
+use isex_flow::select::Budgets;
+use isex_flow::{Algorithm, FlowConfig, FlowReport};
+use isex_isa::MachineConfig;
+use isex_workloads::{registry, Benchmark, OptLevel};
+use serde::Value;
+
+/// Hard caps on request effort, so one request cannot pin a worker for
+/// hours: `repeats`, ACO iterations and worker threads are clamped-checked
+/// against these at parse time (HTTP 400 on violation).
+pub mod limits {
+    /// Max explorations per block.
+    pub const MAX_REPEATS: usize = 64;
+    /// Max ACO iterations per round.
+    pub const MAX_EFFORT: usize = 100_000;
+    /// Max exploration worker threads per request.
+    pub const MAX_JOBS: usize = 256;
+    /// Max per-request deadline.
+    pub const MAX_TIMEOUT_MS: u64 = 600_000;
+}
+
+/// A fully-resolved exploration request (all defaults applied).
+#[derive(Clone, Debug)]
+pub struct ExploreRequest {
+    /// The benchmark to explore.
+    pub bench: Benchmark,
+    /// Workload fidelity.
+    pub opt: OptLevel,
+    /// Canonical machine-preset name (see [`MachineConfig::named_presets`]).
+    pub machine_name: String,
+    /// The resolved machine.
+    pub machine: MachineConfig,
+    /// Explorer choice.
+    pub algorithm: Algorithm,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Explorations per block, best kept.
+    pub repeats: usize,
+    /// ACO iteration cap per round.
+    pub effort: usize,
+    /// Exploration worker threads (`0` = one per core). Not part of the
+    /// canonical key: results are identical for every value.
+    pub jobs: usize,
+    /// Per-request deadline override, milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for ExploreRequest {
+    fn default() -> Self {
+        ExploreRequest {
+            bench: Benchmark::Crc32,
+            opt: OptLevel::O3,
+            machine_name: "2is-4r2w".to_string(),
+            machine: MachineConfig::preset_2issue_4r2w(),
+            algorithm: Algorithm::MultiIssue,
+            seed: 2008,
+            repeats: 3,
+            effort: 150,
+            jobs: 1,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// A request the server refused to parse; the message goes to the client
+/// verbatim in the 400 body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for BadRequest {}
+
+fn bad(msg: impl Into<String>) -> BadRequest {
+    BadRequest(msg.into())
+}
+
+fn field<'v>(obj: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn as_u64(v: &Value, name: &str) -> Result<u64, BadRequest> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(bad(format!(
+            "field `{name}` must be a non-negative integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_str<'v>(v: &'v Value, name: &str) -> Result<&'v str, BadRequest> {
+    match v {
+        Value::String(s) => Ok(s),
+        other => Err(bad(format!(
+            "field `{name}` must be a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl ExploreRequest {
+    /// Parses a request from the decoded JSON body, applying defaults for
+    /// absent fields and rejecting unknown fields, wrong types, unknown
+    /// names and absurd effort values with a self-explanatory message.
+    pub fn from_json(body: &Value) -> Result<Self, BadRequest> {
+        let obj = body.as_object().ok_or_else(|| {
+            bad(format!(
+                "request body must be a JSON object, got {}",
+                body.kind()
+            ))
+        })?;
+        const KNOWN: &[&str] = &[
+            "bench",
+            "opt",
+            "machine",
+            "algorithm",
+            "seed",
+            "repeats",
+            "effort",
+            "jobs",
+            "timeout_ms",
+        ];
+        if let Some((k, _)) = obj.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
+            return Err(bad(format!(
+                "unknown field `{k}` (valid: {})",
+                KNOWN.join(", ")
+            )));
+        }
+
+        let mut req = ExploreRequest::default();
+        let bench = field(obj, "bench")
+            .ok_or_else(|| bad("missing required field `bench`"))
+            .and_then(|v| as_str(v, "bench"))?;
+        req.bench = registry::resolve(bench).map_err(|e| bad(e.to_string()))?;
+
+        if let Some(v) = field(obj, "opt") {
+            req.opt = match as_str(v, "opt")? {
+                "O0" | "o0" => OptLevel::O0,
+                "O3" | "o3" => OptLevel::O3,
+                other => return Err(bad(format!("unknown opt level `{other}` (valid: O0, O3)"))),
+            };
+        }
+        if let Some(v) = field(obj, "machine") {
+            let name = as_str(v, "machine")?;
+            req.machine = MachineConfig::by_name(name).ok_or_else(|| {
+                let names: Vec<&str> = MachineConfig::named_presets()
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect();
+                bad(format!(
+                    "unknown machine `{name}` (valid: {})",
+                    names.join(", ")
+                ))
+            })?;
+            req.machine_name = name.to_ascii_lowercase();
+        }
+        if let Some(v) = field(obj, "algorithm") {
+            req.algorithm = match as_str(v, "algorithm")? {
+                "mi" | "MI" => Algorithm::MultiIssue,
+                "si" | "SI" => Algorithm::SingleIssue,
+                other => return Err(bad(format!("unknown algorithm `{other}` (valid: mi, si)"))),
+            };
+        }
+        if let Some(v) = field(obj, "seed") {
+            req.seed = as_u64(v, "seed")?;
+        }
+        if let Some(v) = field(obj, "repeats") {
+            req.repeats = as_u64(v, "repeats")?.max(1) as usize;
+            if req.repeats > limits::MAX_REPEATS {
+                return Err(bad(format!(
+                    "`repeats` {} exceeds the limit {}",
+                    req.repeats,
+                    limits::MAX_REPEATS
+                )));
+            }
+        }
+        if let Some(v) = field(obj, "effort") {
+            req.effort = as_u64(v, "effort")?.max(1) as usize;
+            if req.effort > limits::MAX_EFFORT {
+                return Err(bad(format!(
+                    "`effort` {} exceeds the limit {}",
+                    req.effort,
+                    limits::MAX_EFFORT
+                )));
+            }
+        }
+        if let Some(v) = field(obj, "jobs") {
+            req.jobs = as_u64(v, "jobs")? as usize;
+            if req.jobs > limits::MAX_JOBS {
+                return Err(bad(format!(
+                    "`jobs` {} exceeds the limit {}",
+                    req.jobs,
+                    limits::MAX_JOBS
+                )));
+            }
+        }
+        if let Some(v) = field(obj, "timeout_ms") {
+            let t = as_u64(v, "timeout_ms")?;
+            if t == 0 || t > limits::MAX_TIMEOUT_MS {
+                return Err(bad(format!(
+                    "`timeout_ms` must be in 1..={}",
+                    limits::MAX_TIMEOUT_MS
+                )));
+            }
+            req.timeout_ms = Some(t);
+        }
+        Ok(req)
+    }
+
+    /// The canonical identity of the *answer* this request asks for.
+    ///
+    /// Execution knobs (`jobs`, `timeout_ms`) are deliberately excluded:
+    /// the engine's determinism contract makes the result a pure function
+    /// of the remaining fields, which is exactly what makes exact-match
+    /// caching sound.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "bench={} opt={} machine={} algorithm={} seed={} repeats={} effort={}",
+            self.bench.name(),
+            self.opt,
+            self.machine_name,
+            self.algorithm,
+            self.seed,
+            self.repeats,
+            self.effort
+        )
+    }
+
+    /// The request as a JSON body (for the CLI client).
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("bench".into(), Value::String(self.bench.name().into())),
+            ("opt".into(), Value::String(self.opt.to_string())),
+            ("machine".into(), Value::String(self.machine_name.clone())),
+            (
+                "algorithm".into(),
+                Value::String(match self.algorithm {
+                    Algorithm::MultiIssue => "mi".into(),
+                    Algorithm::SingleIssue => "si".into(),
+                }),
+            ),
+            ("seed".into(), Value::U64(self.seed)),
+            ("repeats".into(), Value::U64(self.repeats as u64)),
+            ("effort".into(), Value::U64(self.effort as u64)),
+            ("jobs".into(), Value::U64(self.jobs as u64)),
+        ];
+        if let Some(t) = self.timeout_ms {
+            fields.push(("timeout_ms".into(), Value::U64(t)));
+        }
+        serde_json::value_to_string(&Value::Object(fields))
+    }
+
+    /// The [`FlowConfig`] this request resolves to.
+    pub fn flow_config(&self) -> FlowConfig {
+        let mut cfg = FlowConfig::for_machine(self.algorithm, self.machine);
+        cfg.repeats = self.repeats;
+        cfg.params.max_iterations = self.effort;
+        cfg.jobs = self.jobs;
+        cfg.budgets = Budgets::default();
+        cfg
+    }
+
+    /// The program the request names.
+    pub fn program(&self) -> isex_workloads::Program {
+        self.bench.program(self.opt)
+    }
+}
+
+/// A decoded `/v1/explore` response (client side).
+#[derive(Clone, Debug)]
+pub struct ExploreResponse {
+    /// Whether the server answered from its result cache.
+    pub cached: bool,
+    /// The canonical key the server cached under.
+    pub key: String,
+    /// The exploration's whole-program report.
+    pub report: FlowReport,
+    /// The run's telemetry (the cached run's, on a hit).
+    pub metrics: isex_engine::RunMetrics,
+}
+
+impl ExploreResponse {
+    /// Decodes a response body.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value: Value =
+            serde_json::parse(body).map_err(|e| format!("bad response JSON: {e}"))?;
+        let obj = value.as_object().ok_or("response body must be an object")?;
+        let cached = match field(obj, "cached") {
+            Some(Value::Bool(b)) => *b,
+            _ => return Err("response missing `cached`".into()),
+        };
+        let key = match field(obj, "key") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return Err("response missing `key`".into()),
+        };
+        let report = field(obj, "report").ok_or("response missing `report`")?;
+        let report: FlowReport =
+            serde_json::from_value(report.clone()).map_err(|e| format!("bad report: {e}"))?;
+        let metrics = field(obj, "metrics").ok_or("response missing `metrics`")?;
+        let metrics: isex_engine::RunMetrics =
+            serde_json::from_value(metrics.clone()).map_err(|e| format!("bad metrics: {e}"))?;
+        Ok(ExploreResponse {
+            cached,
+            key,
+            report,
+            metrics,
+        })
+    }
+}
+
+/// Builds the `/v1/explore` success envelope.
+pub fn explore_response_json(
+    cached: bool,
+    key: &str,
+    report: &FlowReport,
+    metrics: &isex_engine::RunMetrics,
+) -> String {
+    let report = serde_json::to_value(report).expect("report serializes");
+    let metrics = serde_json::to_value(metrics).expect("metrics serializes");
+    serde_json::value_to_string(&Value::Object(vec![
+        ("cached".into(), Value::Bool(cached)),
+        ("key".into(), Value::String(key.to_string())),
+        ("report".into(), report),
+        ("metrics".into(), metrics),
+    ]))
+}
+
+/// Builds the uniform error envelope `{"error": ...}`.
+pub fn error_json(message: &str) -> String {
+    serde_json::value_to_string(&Value::Object(vec![(
+        "error".into(),
+        Value::String(message.to_string()),
+    )]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<ExploreRequest, BadRequest> {
+        ExploreRequest::from_json(&serde_json::parse(body).unwrap())
+    }
+
+    #[test]
+    fn minimal_request_gets_defaults() {
+        let req = parse(r#"{"bench":"crc32"}"#).unwrap();
+        assert_eq!(req.bench, Benchmark::Crc32);
+        assert_eq!(req.opt, OptLevel::O3);
+        assert_eq!(req.machine_name, "2is-4r2w");
+        assert_eq!(req.seed, 2008);
+    }
+
+    #[test]
+    fn unknown_bench_lists_valid_names() {
+        let err = parse(r#"{"bench":"quicksort"}"#).unwrap_err();
+        assert!(err.0.contains("crc32"), "{err}");
+        assert!(err.0.contains("dijkstra"), "{err}");
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        let err = parse(r#"{"bench":"fft","sed":1}"#).unwrap_err();
+        assert!(err.0.contains("`sed`"), "{err}");
+    }
+
+    #[test]
+    fn effort_limit_is_enforced() {
+        let err = parse(r#"{"bench":"fft","effort":1000000}"#).unwrap_err();
+        assert!(err.0.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn canonical_key_ignores_execution_knobs() {
+        let a = parse(r#"{"bench":"fft","seed":7,"jobs":1}"#).unwrap();
+        let b = parse(r#"{"bench":"fft","seed":7,"jobs":8,"timeout_ms":50}"#).unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let c = parse(r#"{"bench":"fft","seed":8}"#).unwrap();
+        assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn request_round_trips_through_client_json() {
+        let a = parse(r#"{"bench":"adpcm","opt":"O0","algorithm":"si","seed":42,"repeats":2,"effort":99,"jobs":3}"#)
+            .unwrap();
+        let b = parse(&a.to_json()).unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(b.jobs, 3);
+        assert_eq!(b.algorithm, Algorithm::SingleIssue);
+    }
+}

@@ -1,0 +1,249 @@
+//! The bounded job queue between connection handlers and engine workers.
+//!
+//! Connection threads `try_push` (never block — a full queue is an
+//! immediate 503 with `Retry-After`, which is the backpressure contract),
+//! then wait on the job's completion slot with a deadline. Engine workers
+//! `pop` (blocking), run the flow with the job's [`CancelToken`], and
+//! `complete` the slot. A waiter that hits its deadline trips the token on
+//! its way out, so the worker abandons the run at the next job boundary.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use isex_engine::CancelToken;
+
+use crate::cache::CachedResult;
+use crate::protocol::ExploreRequest;
+
+/// How a job ended, delivered to its waiting connection thread.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The flow ran to completion.
+    Done(Arc<CachedResult>),
+    /// The run was abandoned because the job's token tripped (deadline).
+    Cancelled,
+    /// The job never ran: the server is shutting down.
+    Rejected(&'static str),
+}
+
+/// One queued exploration with its completion slot.
+pub struct Job {
+    /// The resolved request.
+    pub request: ExploreRequest,
+    /// The request's canonical cache key.
+    pub key: String,
+    /// Trips when the waiter gives up; workers check it between engine jobs.
+    pub cancel: CancelToken,
+    /// When the job entered the queue (for queue-wait telemetry).
+    pub enqueued_at: Instant,
+    outcome: Mutex<Option<JobOutcome>>,
+    ready: Condvar,
+}
+
+impl Job {
+    /// A fresh job for `request`.
+    pub fn new(request: ExploreRequest, key: String) -> Arc<Job> {
+        Arc::new(Job {
+            request,
+            key,
+            cancel: CancelToken::new(),
+            enqueued_at: Instant::now(),
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Delivers the outcome and wakes the waiter. First delivery wins.
+    pub fn complete(&self, outcome: JobOutcome) {
+        let mut slot = self.outcome.lock().expect("job slot");
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        self.ready.notify_all();
+    }
+
+    /// Waits for the outcome until `deadline`. On timeout, trips the
+    /// job's cancel token and returns `None` — the worker (if it ever
+    /// picks the job up) will skip or abandon it.
+    pub fn wait_until(&self, deadline: Instant) -> Option<JobOutcome> {
+        let mut slot = self.outcome.lock().expect("job slot");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return Some(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.cancel.cancel();
+                return None;
+            }
+            let (next, _) = self
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .expect("job slot");
+            slot = next;
+        }
+    }
+}
+
+/// Returned by [`JobQueue::try_push`] when the queue is at capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+/// A bounded MPMC queue with an in-flight counter.
+pub struct JobQueue {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    capacity: usize,
+    in_flight: AtomicUsize,
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` *waiting* jobs (in-flight jobs
+    /// have already left the queue and do not count).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity,
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues without blocking; a full queue is the caller's 503.
+    pub fn try_push(&self, job: Arc<Job>) -> Result<(), QueueFull> {
+        let mut queue = self.queue.lock().expect("queue lock");
+        if queue.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or `shutdown` is set. Returns
+    /// `None` on shutdown *even if jobs remain queued* — the drain path
+    /// rejects those explicitly so their waiters get an immediate 503
+    /// instead of a silent run.
+    pub fn pop(&self, shutdown: &AtomicBool) -> Option<Arc<Job>> {
+        let mut queue = self.queue.lock().expect("queue lock");
+        loop {
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            let (next, _) = self
+                .available
+                .wait_timeout(queue, Duration::from_millis(100))
+                .expect("queue lock");
+            queue = next;
+        }
+    }
+
+    /// Wakes every blocked [`pop`](JobQueue::pop) (used at shutdown).
+    pub fn wake_all(&self) {
+        self.available.notify_all();
+    }
+
+    /// Removes and returns every queued job (shutdown drain).
+    pub fn drain(&self) -> Vec<Arc<Job>> {
+        let mut queue = self.queue.lock().expect("queue lock");
+        queue.drain(..).collect()
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn depth(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+    }
+
+    /// The waiting-room size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently running on a worker.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Marks a job as running for the lifetime of the returned guard.
+    pub fn start_job(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        InFlightGuard { queue: self }
+    }
+}
+
+/// RAII in-flight marker; decrements on drop, panics included.
+pub struct InFlightGuard<'q> {
+    queue: &'q JobQueue,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.queue.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ExploreRequest;
+
+    fn job() -> Arc<Job> {
+        Job::new(ExploreRequest::default(), "k".into())
+    }
+
+    #[test]
+    fn push_beyond_capacity_is_refused() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(job()).is_ok());
+        assert!(q.try_push(job()).is_ok());
+        assert_eq!(q.try_push(job()), Err(QueueFull));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pop_returns_none_on_shutdown_with_jobs_still_queued() {
+        let q = JobQueue::new(4);
+        q.try_push(job()).unwrap();
+        let shutdown = AtomicBool::new(true);
+        assert!(q.pop(&shutdown).is_none());
+        assert_eq!(q.drain().len(), 1);
+    }
+
+    #[test]
+    fn waiter_timeout_trips_the_cancel_token() {
+        let j = job();
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert!(j.wait_until(deadline).is_none());
+        assert!(j.cancel.is_cancelled());
+    }
+
+    #[test]
+    fn completion_wakes_the_waiter() {
+        let j = job();
+        let j2 = Arc::clone(&j);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            j2.complete(JobOutcome::Rejected("test"));
+        });
+        let got = j.wait_until(Instant::now() + Duration::from_secs(5));
+        t.join().unwrap();
+        assert!(matches!(got, Some(JobOutcome::Rejected(_))));
+    }
+
+    #[test]
+    fn in_flight_guard_counts() {
+        let q = JobQueue::new(1);
+        assert_eq!(q.in_flight(), 0);
+        {
+            let _g = q.start_job();
+            assert_eq!(q.in_flight(), 1);
+        }
+        assert_eq!(q.in_flight(), 0);
+    }
+}

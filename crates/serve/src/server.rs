@@ -1,0 +1,468 @@
+//! The `isexd` server proper: accept loop, request routing, engine worker
+//! pool, and graceful shutdown.
+//!
+//! Threading model — all std, no async runtime:
+//!
+//! * one **acceptor** thread on a non-blocking listener (so it can poll the
+//!   shutdown flag);
+//! * one short-lived **connection** thread per request (`Connection:
+//!   close`, bounded by socket timeouts);
+//! * `engine_workers` long-lived **worker** threads popping the bounded
+//!   [`JobQueue`] and running [`run_flow_cancellable`].
+//!
+//! Backpressure is explicit: a connection never blocks on a full queue, it
+//! answers `503` + `Retry-After` immediately. Deadlines are cooperative:
+//! the waiting connection trips the job's [`CancelToken`](isex_engine::CancelToken) and answers
+//! `504`; the worker abandons the run at the next engine-job boundary.
+//! Graceful shutdown stops accepting, lets in-flight runs finish (their
+//! waiters still get `200`), rejects queued-but-unstarted jobs with `503`,
+//! then joins every thread.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use isex_engine::NullSink;
+use isex_flow::run_flow_cancellable;
+use serde::Value;
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::http::{self, HttpError, Request};
+use crate::metrics::ServerMetrics;
+use crate::protocol::{self, ExploreRequest};
+use crate::queue::{Job, JobOutcome, JobQueue};
+
+/// Tunables for one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8173` (`:0` picks a free port).
+    pub addr: String,
+    /// Engine worker threads — concurrent exploration runs.
+    pub engine_workers: usize,
+    /// Waiting-room size; beyond it requests get `503` + `Retry-After`.
+    pub queue_capacity: usize,
+    /// Result-cache entries.
+    pub cache_capacity: usize,
+    /// Default per-request deadline, ms (requests may set a lower one).
+    pub default_timeout_ms: u64,
+    /// Cap on request bodies, bytes.
+    pub max_body_bytes: usize,
+    /// The `Retry-After` hint sent with `503`, seconds.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8173".to_string(),
+            engine_workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            default_timeout_ms: 120_000,
+            max_body_bytes: 64 * 1024,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Parses the daemon's command-line flags (`--addr`, `--workers`,
+    /// `--queue-cap`, `--cache-cap`, `--timeout-ms`) on top of defaults.
+    /// Shared by the `isexd` binary and `isex serve`.
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let mut config = ServerConfig::default();
+        let mut i = 0;
+        let need = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--addr" => {
+                    config.addr = need(args, i, "--addr")?;
+                    i += 1;
+                }
+                "--workers" => {
+                    config.engine_workers = need(args, i, "--workers")?
+                        .parse()
+                        .map_err(|_| "bad --workers")?;
+                    i += 1;
+                }
+                "--queue-cap" => {
+                    config.queue_capacity = need(args, i, "--queue-cap")?
+                        .parse()
+                        .map_err(|_| "bad --queue-cap")?;
+                    i += 1;
+                }
+                "--cache-cap" => {
+                    config.cache_capacity = need(args, i, "--cache-cap")?
+                        .parse()
+                        .map_err(|_| "bad --cache-cap")?;
+                    i += 1;
+                }
+                "--timeout-ms" => {
+                    config.default_timeout_ms = need(args, i, "--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "bad --timeout-ms")?;
+                    i += 1;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag `{other}` (valid: --addr, --workers, --queue-cap, \
+                         --cache-cap, --timeout-ms)"
+                    ))
+                }
+            }
+            i += 1;
+        }
+        Ok(config)
+    }
+}
+
+/// Parses daemon flags and runs the server until a termination signal.
+pub fn run_from_args(args: &[String]) -> Result<(), String> {
+    let config = ServerConfig::from_args(args)?;
+    run(config).map_err(|e| e.to_string())
+}
+
+/// Shared state threaded through every server thread.
+pub struct ServerState {
+    /// The instance's tunables.
+    pub config: ServerConfig,
+    /// The bounded job queue.
+    pub queue: JobQueue,
+    /// The result cache.
+    pub cache: ResultCache,
+    /// Live counters.
+    pub metrics: ServerMetrics,
+    /// Trips once; every loop polls it.
+    pub shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+/// A running server; dropping it without [`shutdown`](ServerHandle::shutdown)
+/// leaves the threads running detached.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state (tests poke counters through this).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Requests shutdown without blocking (signal-handler friendly).
+    pub fn request_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.queue.wake_all();
+    }
+
+    /// Graceful shutdown: stop accepting, reject queued jobs, finish
+    /// in-flight runs, join every thread.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Queued-but-unstarted jobs are rejected so their waiters get an
+        // immediate 503 instead of silently losing the race with workers
+        // that are already exiting.
+        for job in self.state.queue.drain() {
+            job.complete(JobOutcome::Rejected("server shutting down"));
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Connection threads answer from completed slots and exit; give
+        // them a bounded window to flush.
+        let patience = Instant::now() + Duration::from_secs(10);
+        while self.state.active_connections.load(Ordering::Acquire) > 0 && Instant::now() < patience
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Binds and starts a server, returning once it is accepting.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+
+    let state = Arc::new(ServerState {
+        queue: JobQueue::new(config.queue_capacity),
+        cache: ResultCache::new(config.cache_capacity),
+        metrics: ServerMetrics::new(),
+        shutdown: AtomicBool::new(false),
+        active_connections: AtomicUsize::new(0),
+        config,
+    });
+
+    let mut workers = Vec::new();
+    for i in 0..state.config.engine_workers.max(1) {
+        let state = Arc::clone(&state);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("isexd-worker-{i}"))
+                .spawn(move || worker_loop(&state))
+                .expect("spawn worker"),
+        );
+    }
+
+    let acceptor_state = Arc::clone(&state);
+    let acceptor = std::thread::Builder::new()
+        .name("isexd-acceptor".to_string())
+        .spawn(move || accept_loop(listener, acceptor_state))
+        .expect("spawn acceptor");
+
+    Ok(ServerHandle {
+        state,
+        local_addr,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.active_connections.fetch_add(1, Ordering::AcqRel);
+                let state = Arc::clone(&state);
+                let _ = std::thread::Builder::new()
+                    .name("isexd-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &state);
+                        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    while let Some(job) = state.queue.pop(&state.shutdown) {
+        run_one(state, &job);
+    }
+}
+
+fn run_one(state: &Arc<ServerState>, job: &Job) {
+    if job.cancel.is_cancelled() {
+        // The waiter gave up while the job sat in the queue.
+        state.metrics.runs_cancelled.fetch_add(1, Ordering::Relaxed);
+        job.complete(JobOutcome::Cancelled);
+        return;
+    }
+    let _in_flight = state.queue.start_job();
+    let cfg = job.request.flow_config();
+    let program = job.request.program();
+    match run_flow_cancellable(&cfg, &program, job.request.seed, &NullSink, &job.cancel) {
+        Ok((report, run_metrics)) => {
+            state.metrics.record_run(&run_metrics);
+            let result = Arc::new(CachedResult {
+                report,
+                metrics: run_metrics,
+            });
+            state.cache.insert(job.key.clone(), Arc::clone(&result));
+            job.complete(JobOutcome::Done(result));
+        }
+        Err(_) => {
+            state.metrics.runs_cancelled.fetch_add(1, Ordering::Relaxed);
+            job.complete(JobOutcome::Cancelled);
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let request = match http::read_request(&mut stream, state.config.max_body_bytes) {
+        Ok(r) => r,
+        Err(HttpError::BadRequest(m)) => {
+            respond_control(state, &mut stream, 400, &protocol::error_json(&m), &[]);
+            return;
+        }
+        Err(HttpError::PayloadTooLarge(n)) => {
+            let msg = format!(
+                "body of {n} bytes exceeds the {}-byte cap",
+                state.config.max_body_bytes
+            );
+            respond_control(state, &mut stream, 413, &protocol::error_json(&msg), &[]);
+            return;
+        }
+        // Socket-level failure: nothing sensible to answer.
+        Err(HttpError::Io(_)) => return,
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/explore") => handle_explore(state, &mut stream, &request),
+        ("GET", "/healthz") => {
+            let body = serde_json::value_to_string(&Value::Object(vec![
+                ("status".into(), Value::String("ok".into())),
+                ("uptime_ms".into(), Value::U64(state.metrics.uptime_ms())),
+                (
+                    "shutting_down".into(),
+                    Value::Bool(state.shutdown.load(Ordering::Acquire)),
+                ),
+            ]));
+            respond_control(state, &mut stream, 200, &body, &[]);
+        }
+        ("GET", "/metrics") => {
+            let body =
+                serde_json::value_to_string(&state.metrics.snapshot(&state.queue, &state.cache));
+            respond_control(state, &mut stream, 200, &body, &[]);
+        }
+        (_, "/v1/explore") | (_, "/healthz") | (_, "/metrics") => {
+            respond_control(
+                state,
+                &mut stream,
+                405,
+                &protocol::error_json("method not allowed"),
+                &[],
+            );
+        }
+        (_, path) => {
+            let msg = format!("no route `{path}` (try /v1/explore, /healthz, /metrics)");
+            respond_control(state, &mut stream, 404, &protocol::error_json(&msg), &[]);
+        }
+    }
+}
+
+fn handle_explore(state: &Arc<ServerState>, stream: &mut TcpStream, request: &Request) {
+    let started = Instant::now();
+    let mut respond = |status: u16, body: &str, extra: &[(&str, String)]| {
+        let _ = http::write_json_response(stream, status, body, extra);
+        state.metrics.count_status(status);
+        state
+            .metrics
+            .explore_latency
+            .observe_ms(started.elapsed().as_secs_f64() * 1e3);
+    };
+
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(b) => b,
+        Err(_) => {
+            respond(400, &protocol::error_json("body is not UTF-8"), &[]);
+            return;
+        }
+    };
+    let parsed = serde_json::parse(body)
+        .map_err(|e| format!("malformed JSON: {e}"))
+        .and_then(|v| ExploreRequest::from_json(&v).map_err(|e| e.0));
+    let explore = match parsed {
+        Ok(r) => r,
+        Err(msg) => {
+            respond(400, &protocol::error_json(&msg), &[]);
+            return;
+        }
+    };
+
+    let key = explore.canonical_key();
+    if let Some(hit) = state.cache.lookup(&key) {
+        let body = protocol::explore_response_json(true, &key, &hit.report, &hit.metrics);
+        respond(200, &body, &[]);
+        return;
+    }
+
+    let retry = [("retry-after", state.config.retry_after_secs.to_string())];
+    if state.shutdown.load(Ordering::Acquire) {
+        respond(503, &protocol::error_json("server shutting down"), &retry);
+        return;
+    }
+
+    let timeout_ms = explore
+        .timeout_ms
+        .unwrap_or(state.config.default_timeout_ms);
+    let job = Job::new(explore, key.clone());
+    if state.queue.try_push(Arc::clone(&job)).is_err() {
+        state
+            .metrics
+            .rejected_queue_full
+            .fetch_add(1, Ordering::Relaxed);
+        let msg = format!(
+            "queue full ({} waiting); retry later",
+            state.config.queue_capacity
+        );
+        respond(503, &protocol::error_json(&msg), &retry);
+        return;
+    }
+
+    match job.wait_until(Instant::now() + Duration::from_millis(timeout_ms)) {
+        Some(JobOutcome::Done(result)) => {
+            let body =
+                protocol::explore_response_json(false, &key, &result.report, &result.metrics);
+            respond(200, &body, &[]);
+        }
+        Some(JobOutcome::Rejected(reason)) => {
+            respond(503, &protocol::error_json(reason), &retry);
+        }
+        Some(JobOutcome::Cancelled) => {
+            // Defensive: only this thread trips the token, so a Cancelled
+            // outcome while still waiting means a server bug, not a client
+            // error.
+            respond(
+                500,
+                &protocol::error_json("run cancelled unexpectedly"),
+                &[],
+            );
+        }
+        None => {
+            state
+                .metrics
+                .deadline_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            let msg = format!("deadline of {timeout_ms}ms exceeded; run cancelled");
+            respond(504, &protocol::error_json(&msg), &[]);
+        }
+    }
+}
+
+fn respond_control(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra: &[(&str, String)],
+) {
+    let started = Instant::now();
+    let _ = http::write_json_response(stream, status, body, extra);
+    state.metrics.count_status(status);
+    state
+        .metrics
+        .control_latency
+        .observe_ms(started.elapsed().as_secs_f64() * 1e3);
+}
+
+/// Runs a server until SIGTERM/SIGINT (or a prior
+/// [`request_shutdown`](ServerHandle::request_shutdown)), then drains and
+/// returns — the `isexd` main loop.
+pub fn run(config: ServerConfig) -> std::io::Result<()> {
+    let handle = start(config)?;
+    eprintln!("isexd listening on http://{}", handle.addr());
+    crate::signal::install();
+    while !crate::signal::shutdown_requested() && !handle.state().shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("isexd: draining in-flight jobs and shutting down");
+    handle.shutdown();
+    Ok(())
+}

@@ -38,6 +38,7 @@ mod program;
 pub mod extra;
 
 pub mod random;
+pub mod registry;
 
 pub use builder::BlockBuilder;
 pub use program::{BasicBlock, Program};

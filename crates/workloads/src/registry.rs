@@ -1,0 +1,73 @@
+//! The central named-benchmark registry.
+//!
+//! Every front-end that accepts a benchmark *name* — the `isex` CLI's
+//! `--bench`, the `isexd` server's `"bench"` request field, the
+//! `headline`/`ablation` harness binaries — resolves it here, so all of
+//! them agree on the valid names and produce the same "unknown name"
+//! message, which always lists the alternatives.
+
+use crate::Benchmark;
+
+/// All valid benchmark names, in the paper's order.
+pub fn names() -> Vec<&'static str> {
+    Benchmark::ALL.iter().map(|b| b.name()).collect()
+}
+
+/// Error for a name no benchmark answers to. Its display lists every
+/// valid name so the caller's user can self-correct.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownBenchmark {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown benchmark `{}` (valid: {})",
+            self.name,
+            names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+/// Resolves a benchmark by name (case-insensitive).
+pub fn resolve(name: &str) -> Result<Benchmark, UnknownBenchmark> {
+    Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| UnknownBenchmark {
+            name: name.to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in names() {
+            assert_eq!(resolve(name).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn resolution_is_case_insensitive() {
+        assert_eq!(resolve("CRC32").unwrap(), Benchmark::Crc32);
+    }
+
+    #[test]
+    fn unknown_name_error_lists_the_valid_names() {
+        let err = resolve("quicksort").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`quicksort`"), "{msg}");
+        for name in names() {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
+    }
+}

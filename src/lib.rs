@@ -14,6 +14,7 @@
 //! | [`core`] | `isex-core` | the MI explorer (the paper) + the SI baseline |
 //! | [`flow`] | `isex-flow` | profiling → exploration → merging → selection → replacement |
 //! | [`workloads`] | `isex-workloads` | the seven MiBench-like kernels, random DFGs |
+//! | [`serve`] | `isex-serve` | `isexd`: the HTTP exploration service (queue, cache, backpressure) |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@ pub use isex_engine as engine;
 pub use isex_flow as flow;
 pub use isex_isa as isa;
 pub use isex_sched as sched;
+pub use isex_serve as serve;
 pub use isex_workloads as workloads;
 
 /// The most commonly used items in one import.

@@ -4,6 +4,7 @@
 //! isex list                                   # benchmarks and machine presets
 //! isex explore --bench crc32 [options]        # run the design flow on a benchmark
 //! isex asm <file.s> [options]                 # explore a basic block from assembly
+//! isex serve [isexd options]                  # run the isexd exploration service
 //!
 //! options:
 //!   --opt O0|O3            workload fidelity            (default O3)
@@ -16,31 +17,32 @@
 //!   --max-ises N           ISE-count budget
 //!   --jobs N               exploration worker threads (0 = all cores)
 //!   --bench NAME           benchmark to explore (alias for the positional)
+//!   --server HOST:PORT     submit to a running isexd instead of exploring
+//!                          locally (explore only; budgets/events are local)
 //!   --metrics PATH         write RunMetrics JSON to PATH
 //!   --events PATH          stream JSONL run events to PATH
 //!   --verilog              emit Verilog for the selected ISEs
 //!   --timeline             print the hot block's schedule before/after
+//!
+//! serve options (see also `isexd --help` header):
+//!   --addr HOST:PORT  --workers N  --queue-cap N  --cache-cap N  --timeout-ms N
 //! ```
 
 use std::process::ExitCode;
 
 use isex::flow::select::Budgets;
 use isex::prelude::*;
+use isex::serve::protocol::ExploreRequest;
+use isex::workloads::registry;
 
 fn machine_presets() -> Vec<(&'static str, MachineConfig)> {
-    vec![
-        ("2is-4r2w", MachineConfig::preset_2issue_4r2w()),
-        ("2is-6r3w", MachineConfig::preset_2issue_6r3w()),
-        ("3is-6r3w", MachineConfig::preset_3issue_6r3w()),
-        ("3is-8r4w", MachineConfig::preset_3issue_8r4w()),
-        ("4is-8r4w", MachineConfig::preset_4issue_8r4w()),
-        ("4is-10r5w", MachineConfig::preset_4issue_10r5w()),
-    ]
+    MachineConfig::named_presets()
 }
 
 struct Options {
     opt: OptLevel,
     machine: MachineConfig,
+    machine_name: String,
     algorithm: Algorithm,
     seed: u64,
     repeats: usize,
@@ -49,6 +51,7 @@ struct Options {
     max_ises: Option<usize>,
     jobs: usize,
     bench: Option<String>,
+    server: Option<String>,
     metrics: Option<String>,
     events: Option<String>,
     verilog: bool,
@@ -60,6 +63,7 @@ impl Default for Options {
         Options {
             opt: OptLevel::O3,
             machine: MachineConfig::preset_2issue_4r2w(),
+            machine_name: "2is-4r2w".to_string(),
             algorithm: Algorithm::MultiIssue,
             seed: 2008,
             repeats: 3,
@@ -68,6 +72,7 @@ impl Default for Options {
             max_ises: None,
             jobs: 0,
             bench: None,
+            server: None,
             metrics: None,
             events: None,
             verilog: false,
@@ -97,11 +102,9 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
             }
             "--machine" => {
                 let name = need(args, i, "--machine")?;
-                opts.machine = machine_presets()
-                    .into_iter()
-                    .find(|(n, _)| *n == name)
-                    .map(|(_, m)| m)
+                opts.machine = MachineConfig::by_name(&name)
                     .ok_or_else(|| format!("unknown machine `{name}` (try `isex list`)"))?;
+                opts.machine_name = name.to_ascii_lowercase();
                 i += 1;
             }
             "--algorithm" => {
@@ -146,6 +149,10 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
             }
             "--bench" => {
                 opts.bench = Some(need(args, i, "--bench")?);
+                i += 1;
+            }
+            "--server" => {
+                opts.server = Some(need(args, i, "--server")?);
                 i += 1;
             }
             "--metrics" => {
@@ -223,17 +230,61 @@ fn cmd_explore(opts: &Options, positional: &[String]) -> Result<(), String> {
         .as_deref()
         .or_else(|| positional.first().map(String::as_str))
         .ok_or("explore needs a benchmark name (positional or --bench)")?;
-    let bench = *Benchmark::ALL
-        .iter()
-        .find(|b| b.name() == name)
-        .ok_or_else(|| format!("unknown benchmark `{name}` (try `isex list`)"))?;
+    let bench = registry::resolve(name).map_err(|e| e.to_string())?;
     let program = bench.program(opts.opt);
-    let report = run_observed(opts, &program)?;
+    let report = match &opts.server {
+        Some(addr) => explore_remote(addr, bench, opts)?,
+        None => run_observed(opts, &program)?,
+    };
     print_report(&report, opts);
     if opts.timeline {
         print_timeline(&program.hottest().dfg, &report, opts);
     }
     Ok(())
+}
+
+/// Submits the exploration to a running `isexd` instead of running it
+/// locally. Budgets and event streams are local-only concerns; requesting
+/// them alongside `--server` is an error, not a silent downgrade.
+fn explore_remote(addr: &str, bench: Benchmark, opts: &Options) -> Result<FlowReport, String> {
+    if opts.area.is_some() || opts.max_ises.is_some() {
+        return Err(
+            "--area/--max-ises are not supported with --server (the service \
+                    explores with default budgets)"
+                .to_string(),
+        );
+    }
+    if opts.events.is_some() {
+        return Err("--events is not supported with --server".to_string());
+    }
+    let request = ExploreRequest {
+        bench,
+        opt: opts.opt,
+        machine_name: opts.machine_name.clone(),
+        machine: opts.machine,
+        algorithm: opts.algorithm,
+        seed: opts.seed,
+        repeats: opts.repeats,
+        effort: opts.iters,
+        jobs: opts.jobs,
+        timeout_ms: None,
+    };
+    let response = isex::serve::client::explore(addr, &request).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} answered{} ({})",
+        addr,
+        if response.cached { " from cache" } else { "" },
+        response.key
+    );
+    if let Some(path) = &opts.metrics {
+        let json = serde_json::to_string_pretty(&response.metrics).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(response.report)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    isex::serve::run_from_args(args)
 }
 
 fn cmd_asm(opts: &Options, positional: &[String]) -> Result<(), String> {
@@ -278,7 +329,7 @@ fn print_timeline(dfg: &ProgramDfg, report: &FlowReport, opts: &Options) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: isex <list|explore|asm> [options]  (see src/main.rs header)");
+        eprintln!("usage: isex <list|explore|asm|serve> [options]  (see src/main.rs header)");
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -289,6 +340,7 @@ fn main() -> ExitCode {
         }
         "explore" => parse_options(rest).and_then(|(o, p)| cmd_explore(&o, &p)),
         "asm" => parse_options(rest).and_then(|(o, p)| cmd_asm(&o, &p)),
+        "serve" => cmd_serve(rest),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {

@@ -64,6 +64,24 @@ pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
     de::from_value(&value)
 }
 
+/// Serializes an already-built [`Value`] tree to compact JSON.
+///
+/// The vendored [`Value`] does not implement `Serialize` itself, so callers
+/// composing response envelopes by hand (the `isexd` server) use this
+/// instead of [`to_string`].
+pub fn value_to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out, None, 0);
+    out
+}
+
+/// Serializes an already-built [`Value`] tree to pretty JSON.
+pub fn value_to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out, Some(2), 0);
+    out
+}
+
 fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
     match value {
         Value::Null => out.push_str("null"),
