@@ -11,9 +11,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::cancel::{CancelToken, Cancelled};
 use crate::events::{EventSink, RunEvent};
+use crate::fault::FaultPlan;
 use crate::job::ExploreJob;
-use crate::metrics::BlockSpread;
-use crate::pool::{run_jobs_cancellable, worker_count};
+use crate::metrics::{BlockFailure, BlockSpread};
+use crate::pool::{run_jobs_supervised, worker_count};
 
 /// Which explorer drives a run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -49,6 +50,9 @@ pub struct ExploreSpec {
     /// Worker threads; `0` = one per available core. Results are identical
     /// for every value — only wall time changes.
     pub jobs: usize,
+    /// Deterministic fault injection (tests and resilience drills only).
+    /// `None` in production; see [`FaultPlan`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// One block to explore.
@@ -76,10 +80,17 @@ pub struct BlockResult {
 /// Aggregate outcome of one engine run.
 #[derive(Clone, Debug)]
 pub struct EngineOutcome {
-    /// Per-block kept results, in task order.
+    /// Per-block kept results, in task order. Blocks whose every repeat
+    /// panicked are absent here and listed in `failures` instead.
     pub blocks: Vec<BlockResult>,
-    /// Jobs that ran (blocks × repeats).
+    /// Blocks that produced no kept exploration (every repeat panicked).
+    pub failures: Vec<BlockFailure>,
+    /// Jobs that ran to completion.
     pub jobs_completed: usize,
+    /// Jobs that panicked and were isolated by pool supervision.
+    pub jobs_failed: usize,
+    /// Workers logically resurrected after a caught panic.
+    pub worker_restarts: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Exploration wall time, milliseconds.
@@ -131,23 +142,84 @@ impl Engine {
         sink: &dyn EventSink,
         cancel: &CancelToken,
     ) -> Result<EngineOutcome, Cancelled> {
+        let indices: Vec<usize> = (0..blocks.len()).collect();
+        self.try_explore_subset(blocks, &indices, master_seed, sink, cancel)
+    }
+
+    /// Explores a *subset* of a run's blocks, preserving their canonical
+    /// block indices for seed derivation.
+    ///
+    /// `indices[i]` is the position `tasks[i]` holds in the full run's hot
+    /// list; job seeds derive from that canonical index, so exploring
+    /// blocks one at a time (the checkpoint/resume path) yields results
+    /// bitwise identical to one all-blocks call. Panicking jobs are
+    /// isolated: a block keeps the best of its surviving repeats, and a
+    /// block whose every repeat panicked lands in
+    /// [`EngineOutcome::failures`] instead of aborting the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` and `indices` differ in length.
+    pub fn try_explore_subset(
+        &self,
+        tasks: &[BlockTask<'_>],
+        indices: &[usize],
+        master_seed: u64,
+        sink: &dyn EventSink,
+        cancel: &CancelToken,
+    ) -> Result<EngineOutcome, Cancelled> {
+        assert_eq!(tasks.len(), indices.len(), "one canonical index per task");
         let repeats = self.spec.repeats.max(1);
         let workers = worker_count(self.spec.jobs);
         let start = Instant::now();
-        let jobs = ExploreJob::plan(blocks.len(), repeats, master_seed);
-        let explorations = run_jobs_cancellable(&jobs, self.spec.jobs, cancel, |_, job| {
-            self.run_job(blocks[job.block_index], *job, sink)
+        let jobs = ExploreJob::plan_subset(indices, repeats, master_seed);
+        let outcome = run_jobs_supervised(&jobs, self.spec.jobs, cancel, |pos, job| {
+            // Jobs are planned task-major, `repeats` per task.
+            self.run_job(tasks[pos / repeats], *job, sink, cancel)
         })?;
 
-        let mut results = Vec::with_capacity(blocks.len());
-        for (block_index, (task, per_block)) in
-            blocks.iter().zip(explorations.chunks(repeats)).enumerate()
+        let mut results = Vec::with_capacity(tasks.len());
+        let mut failures = Vec::new();
+        let mut jobs_completed = 0usize;
+        for (t, ((task, &block_index), per_block)) in tasks
+            .iter()
+            .zip(indices.iter())
+            .zip(outcome.results.chunks(repeats))
+            .enumerate()
         {
-            let iterations = per_block.iter().map(|e| e.iterations).sum();
+            let survivors: Vec<&Exploration> =
+                per_block.iter().filter_map(|r| r.as_ref().ok()).collect();
+            jobs_completed += survivors.len();
+            for (rep, r) in per_block.iter().enumerate() {
+                if let Err(p) = r {
+                    sink.emit(RunEvent::JobFailed {
+                        block: task.name.to_string(),
+                        block_index,
+                        repeat: rep,
+                        seed: jobs[t * repeats + rep].seed,
+                        error: p.payload.clone(),
+                    });
+                }
+            }
+            if survivors.is_empty() {
+                let error = per_block
+                    .iter()
+                    .find_map(|r| r.as_ref().err())
+                    .map(|p| p.payload.clone())
+                    .unwrap_or_default();
+                failures.push(BlockFailure {
+                    block: task.name.to_string(),
+                    block_index,
+                    repeats_failed: repeats,
+                    error,
+                });
+                continue;
+            }
+            let iterations = survivors.iter().map(|e| e.iterations).sum();
             // Identical tie-break as the historical serial flow: cycles
             // first, then area, first-seen wins — in repeat order.
             let mut best: Option<&Exploration> = None;
-            for e in per_block {
+            for &e in &survivors {
                 let better = match best {
                     None => true,
                     Some(b) => {
@@ -160,17 +232,17 @@ impl Engine {
                     best = Some(e);
                 }
             }
-            let best = best.expect("repeats >= 1").clone();
+            let best = best.expect("at least one survivor").clone();
             let spread = BlockSpread {
                 block: task.name.to_string(),
                 repeats,
                 baseline_cycles: best.baseline_cycles,
                 best_cycles: best.cycles_with_ises,
-                worst_cycles: per_block
+                worst_cycles: survivors
                     .iter()
                     .map(|e| e.cycles_with_ises)
                     .max()
-                    .expect("repeats >= 1"),
+                    .expect("at least one survivor"),
             };
             results.push(BlockResult {
                 block_index,
@@ -181,13 +253,25 @@ impl Engine {
         }
         Ok(EngineOutcome {
             blocks: results,
-            jobs_completed: jobs.len(),
+            failures,
+            jobs_completed,
+            jobs_failed: jobs.len() - jobs_completed,
+            worker_restarts: outcome.worker_restarts,
             workers,
             explore_ms: start.elapsed().as_secs_f64() * 1e3,
         })
     }
 
-    fn run_job(&self, task: BlockTask<'_>, job: ExploreJob, sink: &dyn EventSink) -> Exploration {
+    fn run_job(
+        &self,
+        task: BlockTask<'_>,
+        job: ExploreJob,
+        sink: &dyn EventSink,
+        cancel: &CancelToken,
+    ) -> Exploration {
+        if let Some(plan) = &self.spec.fault_plan {
+            plan.apply(job.block_index, job.repeat, cancel);
+        }
         sink.emit(RunEvent::JobStart {
             block: task.name.to_string(),
             block_index: job.block_index,

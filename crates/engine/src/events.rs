@@ -45,6 +45,20 @@ pub enum RunEvent {
         /// Wall time of the job, milliseconds.
         elapsed_ms: f64,
     },
+    /// A job panicked and was isolated by pool supervision: its block loses
+    /// one repeat, the rest of the run is untouched.
+    JobFailed {
+        /// Block label.
+        block: String,
+        /// Block index in the hot set.
+        block_index: usize,
+        /// Repeat index.
+        repeat: usize,
+        /// Derived RNG seed (replaying it reproduces the panic).
+        seed: u64,
+        /// The panic payload, stringified.
+        error: String,
+    },
     /// One ACO round of a traced job: every sampled walk TET, in iteration
     /// order (the raw material for convergence sparklines).
     RoundSummary {
@@ -98,7 +112,12 @@ impl VecSink {
     /// Takes the collected events, sorted to the stable
     /// `(block_index, repeat, round)` order.
     pub fn into_events(self) -> Vec<RunEvent> {
-        let mut events = self.events.into_inner().expect("event lock");
+        // Sinks only ever append whole events, so a lock poisoned by a
+        // panicking worker holds nothing torn — recover, don't cascade.
+        let mut events = self
+            .events
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         events.sort_by_key(|e| match e {
             RunEvent::JobStart {
                 block_index,
@@ -115,6 +134,11 @@ impl VecSink {
                 block_index,
                 repeat,
                 ..
+            }
+            | RunEvent::JobFailed {
+                block_index,
+                repeat,
+                ..
             } => (*block_index, *repeat, 2, 0),
         });
         events
@@ -123,7 +147,7 @@ impl VecSink {
 
 impl EventSink for VecSink {
     fn emit(&self, event: RunEvent) {
-        self.events.lock().expect("event lock").push(event);
+        crate::pool::lock_unpoisoned(&self.events).push(event);
     }
 
     fn wants_traces(&self) -> bool {
@@ -151,14 +175,14 @@ impl JsonlSink {
 
     /// Flushes buffered output.
     pub fn flush(&self) -> io::Result<()> {
-        self.out.lock().expect("sink lock").flush()
+        crate::pool::lock_unpoisoned(&self.out).flush()
     }
 }
 
 impl EventSink for JsonlSink {
     fn emit(&self, event: RunEvent) {
         let line = serde_json::to_string(&event).expect("event serializes");
-        let mut out = self.out.lock().expect("sink lock");
+        let mut out = crate::pool::lock_unpoisoned(&self.out);
         // Telemetry must never take the run down; drop lines on I/O errors.
         let _ = writeln!(out, "{line}");
     }

@@ -30,6 +30,25 @@ impl ExploreJob {
             })
             .collect()
     }
+
+    /// Plans jobs for a *subset* of a run's blocks, identified by their
+    /// canonical indices in the full hot list. Seeds derive from those
+    /// canonical indices, so exploring any subset — one block at a time,
+    /// on resume, in any grouping — yields jobs bitwise identical to the
+    /// ones [`ExploreJob::plan`] would assign the same blocks.
+    pub fn plan_subset(indices: &[usize], repeats: usize, master_seed: u64) -> Vec<ExploreJob> {
+        let repeats = repeats.max(1);
+        indices
+            .iter()
+            .flat_map(|&block_index| {
+                (0..repeats).map(move |repeat| ExploreJob {
+                    block_index,
+                    repeat,
+                    seed: derive_seed(master_seed, block_index as u64, repeat as u64),
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

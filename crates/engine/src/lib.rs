@@ -13,6 +13,7 @@
 mod cancel;
 mod engine;
 mod events;
+mod fault;
 mod job;
 mod metrics;
 mod pool;
@@ -21,7 +22,10 @@ mod seed;
 pub use cancel::{CancelToken, Cancelled};
 pub use engine::{Algorithm, BlockResult, BlockTask, Engine, EngineOutcome, ExploreSpec};
 pub use events::{EventSink, JsonlSink, NullSink, RunEvent, VecSink};
+pub use fault::{FaultKind, FaultPlan};
 pub use job::ExploreJob;
-pub use metrics::{BlockSpread, PhaseTimes, RunMetrics};
-pub use pool::{run_jobs, run_jobs_cancellable, worker_count};
+pub use metrics::{BlockFailure, BlockSpread, PhaseTimes, RunMetrics};
+pub use pool::{
+    run_jobs, run_jobs_cancellable, run_jobs_supervised, worker_count, JobPanic, PoolOutcome,
+};
 pub use seed::derive_seed;

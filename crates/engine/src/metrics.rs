@@ -34,6 +34,21 @@ pub struct BlockSpread {
     pub worst_cycles: u32,
 }
 
+/// A block that produced **no** kept exploration: every one of its repeat
+/// jobs panicked. The rest of the run is unaffected — jobs share no state,
+/// so the supervisor drops only this block's patterns.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockFailure {
+    /// Block label.
+    pub block: String,
+    /// Index of the block in the run's task list.
+    pub block_index: usize,
+    /// Repeat jobs that panicked (= all of the block's repeats).
+    pub repeats_failed: usize,
+    /// The first panic's payload, stringified.
+    pub error: String,
+}
+
 /// Everything measured about one engine-driven flow run.
 ///
 /// The leading *provenance* fields (`master_seed`, `algorithm`,
@@ -57,8 +72,18 @@ pub struct RunMetrics {
     pub jobs_total: usize,
     /// Jobs that ran to completion.
     pub jobs_completed: usize,
+    /// Jobs that panicked and were isolated by pool supervision.
+    pub jobs_failed: usize,
+    /// Workers logically resurrected after a caught panic (one per
+    /// isolated job panic).
+    pub worker_restarts: usize,
     /// Hot blocks explored.
     pub blocks_explored: usize,
+    /// Blocks skipped because a checkpoint journal already held their
+    /// results (always 0 for non-checkpointed runs).
+    pub blocks_resumed: usize,
+    /// Blocks with no surviving exploration (every repeat panicked).
+    pub block_failures: Vec<BlockFailure>,
     /// Ant iterations summed over all jobs.
     pub ant_iterations: usize,
     /// ISE candidates produced by the kept (best-of-N) explorations.
@@ -82,7 +107,11 @@ impl RunMetrics {
             workers,
             jobs_total: 0,
             jobs_completed: 0,
+            jobs_failed: 0,
+            worker_restarts: 0,
             blocks_explored: 0,
+            blocks_resumed: 0,
+            block_failures: Vec::new(),
             ant_iterations: 0,
             candidates_generated: 0,
             candidates_accepted: 0,
@@ -102,7 +131,16 @@ mod tests {
         m.algorithm = "MI".to_string();
         m.benchmark = "crc32-O3".to_string();
         m.jobs_total = 10;
-        m.jobs_completed = 10;
+        m.jobs_completed = 9;
+        m.jobs_failed = 1;
+        m.worker_restarts = 1;
+        m.blocks_resumed = 2;
+        m.block_failures.push(BlockFailure {
+            block: "poisoned".to_string(),
+            block_index: 3,
+            repeats_failed: 1,
+            error: "injected fault: panic at block=3 repeat=0".to_string(),
+        });
         m.ant_iterations = 1234;
         m.phases.explore_ms = 12.5;
         m.phases.total_ms = 13.0;

@@ -1,9 +1,28 @@
-//! A scoped-thread worker pool with deterministic result ordering.
+//! A scoped-thread worker pool with deterministic result ordering and
+//! panic isolation.
+//!
+//! [`run_jobs_supervised`] is the fault-tolerant core: each job runs under
+//! `catch_unwind`, a panic becomes a structured [`JobPanic`] in that job's
+//! result slot, and the worker that caught it keeps draining the queue —
+//! logically, the supervisor resurrected it. The restart count is reported
+//! so telemetry can distinguish a clean run from a survived one.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::cancel::{CancelToken, Cancelled};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Every shared structure in this crate stays consistent under unwinding
+/// (slots hold completed values only; sinks append whole lines), so a
+/// poisoned lock carries no torn state — recovery is always sound here.
+/// Never `unwrap` a [`PoisonError`] on these paths: one caught panic must
+/// not cascade into killing every thread that shares the lock.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Resolves a requested worker count: `0` means "one per available core".
 pub fn worker_count(requested: usize) -> usize {
@@ -13,6 +32,36 @@ pub fn worker_count(requested: usize) -> usize {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+}
+
+/// A job that panicked instead of returning a result.
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    /// Index of the item whose job panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim).
+    pub payload: String,
+}
+
+/// What a supervised fan-out produced.
+#[derive(Debug)]
+pub struct PoolOutcome<R> {
+    /// Per-item results in item order: `Ok` for completed jobs, `Err` for
+    /// jobs whose closure panicked.
+    pub results: Vec<Result<R, JobPanic>>,
+    /// Panics caught (= workers logically resurrected by the supervisor).
+    pub worker_restarts: usize,
+}
+
+/// Renders a panic payload for telemetry.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -50,14 +99,55 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let outcome = run_jobs_supervised(items, workers, cancel, f)?;
+    outcome
+        .results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => Ok(v),
+            // Callers of the unsupervised API expect job panics to
+            // propagate, not to be swallowed into a partial result set.
+            Err(p) => panic!("job {} panicked: {}", p.index, p.payload),
+        })
+        .collect()
+}
+
+/// The fault-isolating fan-out: like [`run_jobs_cancellable`], but a panic
+/// in `f` is caught, recorded as that item's [`JobPanic`], and the worker
+/// carries on with the next item. The outcome reports how many panics were
+/// caught. Determinism is preserved: a panicking job affects only its own
+/// slot, because jobs share no RNG or accumulator state.
+pub fn run_jobs_supervised<T, R, F>(
+    items: &[T],
+    workers: usize,
+    cancel: &CancelToken,
+    f: F,
+) -> Result<PoolOutcome<R>, Cancelled>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let workers = worker_count(workers).min(items.len().max(1));
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, JobPanic>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    let restarts = AtomicUsize::new(0);
+    let run_one = |i: usize| {
+        let result = catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|payload| {
+            restarts.fetch_add(1, Ordering::Relaxed);
+            JobPanic {
+                index: i,
+                payload: panic_message(payload),
+            }
+        });
+        *lock_unpoisoned(&slots[i]) = Some(result);
+    };
     if workers <= 1 {
-        for (i, item) in items.iter().enumerate() {
+        for i in 0..items.len() {
             if cancel.is_cancelled() {
                 return Err(Cancelled);
             }
-            *slots[i].lock().expect("slot lock") = Some(f(i, item));
+            run_one(i);
         }
     } else {
         let cursor = AtomicUsize::new(0);
@@ -71,20 +161,22 @@ where
                     if i >= items.len() {
                         break;
                     }
-                    let result = f(i, &items[i]);
-                    *slots[i].lock().expect("slot lock") = Some(result);
+                    run_one(i);
                 });
             }
         });
     }
-    let mut out = Vec::with_capacity(items.len());
+    let mut results = Vec::with_capacity(items.len());
     for slot in slots {
-        match slot.into_inner().expect("slot lock") {
-            Some(r) => out.push(r),
+        match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some(r) => results.push(r),
             None => return Err(Cancelled),
         }
     }
-    Ok(out)
+    Ok(PoolOutcome {
+        results,
+        worker_restarts: restarts.load(Ordering::Relaxed),
+    })
 }
 
 #[cfg(test)]
@@ -162,5 +254,58 @@ mod tests {
         let out = run_jobs_cancellable(&items, 4, &token, |_, &x| x * 2).unwrap();
         token.cancel();
         assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn supervised_pool_isolates_panics_and_counts_restarts() {
+        let items: Vec<usize> = (0..32).collect();
+        for workers in [1, 4] {
+            let outcome = run_jobs_supervised(&items, workers, &CancelToken::new(), |_, &x| {
+                if x % 8 == 3 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            })
+            .unwrap();
+            assert_eq!(outcome.worker_restarts, 4, "workers={workers}");
+            for (i, r) in outcome.results.iter().enumerate() {
+                if i % 8 == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, i);
+                    assert_eq!(p.payload, format!("boom at {i}"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_worker_is_resurrected_for_later_items() {
+        // One worker, first item panics: the remaining items must still
+        // complete on the same (logically restarted) worker.
+        let items: Vec<usize> = (0..6).collect();
+        let outcome = run_jobs_supervised(&items, 1, &CancelToken::new(), |_, &x| {
+            if x == 0 {
+                panic!("first job dies");
+            }
+            x
+        })
+        .unwrap();
+        assert!(outcome.results[0].is_err());
+        assert!(outcome.results[1..].iter().all(|r| r.is_ok()));
+        assert_eq!(outcome.worker_restarts, 1);
+    }
+
+    #[test]
+    fn supervised_results_match_unsupervised_when_clean() {
+        let items: Vec<u64> = (0..40).collect();
+        let clean = run_jobs(&items, 4, |i, &x| (i as u64) * 100 + x);
+        let supervised =
+            run_jobs_supervised(&items, 4, &CancelToken::new(), |i, &x| (i as u64) * 100 + x)
+                .unwrap();
+        assert_eq!(supervised.worker_restarts, 0);
+        let unwrapped: Vec<u64> = supervised.results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(unwrapped, clean);
     }
 }

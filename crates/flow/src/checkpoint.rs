@@ -1,0 +1,458 @@
+//! Crash-safe checkpointing of flow runs.
+//!
+//! [`run_flow_checkpointed`] explores the hot set one block at a time and
+//! journals each finished block to an append-only JSONL file *before*
+//! moving on. If the process dies — `kill -9`, OOM, power loss — a re-run
+//! with the same journal path skips every block whose entry is present and
+//! re-explores only the rest. Because job seeds derive from a block's
+//! *canonical* index in the hot list (see
+//! [`isex_engine::Engine::try_explore_subset`]), the resumed run's
+//! [`FlowReport`] is bitwise identical to an
+//! uninterrupted one.
+//!
+//! # Journal format
+//!
+//! One JSON object per line, in completion order:
+//!
+//! ```text
+//! {"run_key":"…","block_index":3,"block":"crc32_loop","iterations":…,
+//!  "jobs_completed":5,"jobs_failed":0,"worker_restarts":0,
+//!  "spread":{…}|null,"patterns":[{…}],"error":null|"…"}
+//! ```
+//!
+//! Crash safety comes from the write discipline, not the format: a line is
+//! appended, flushed, and fsynced before the next block starts, so the
+//! journal always holds whole entries plus at most one torn trailing line
+//! (which the loader discards). Entries are keyed by [`run_key`], a
+//! canonical rendering of every input that affects exploration; entries
+//! from a different run (other seed, machine, params, program, …) are
+//! ignored rather than trusted.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::time::Instant;
+
+use isex_engine::{BlockSpread, BlockTask, CancelToken, Cancelled, Engine, EventSink, RunMetrics};
+use isex_workloads::Program;
+use serde::{Deserialize, Serialize};
+
+use crate::flow::{explore_spec, hot_blocks, replace_and_report, FlowConfig, FlowReport};
+use crate::merge::WeightedPattern;
+use crate::select;
+
+/// Why a checkpointed run did not produce a report.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Journal I/O failed (the exploration state is still consistent: the
+    /// journal never holds a partially-applied block).
+    Io(std::io::Error),
+    /// The run's [`CancelToken`] tripped; completed blocks stay journaled
+    /// and a re-run resumes from them.
+    Cancelled,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint journal I/O: {e}"),
+            CheckpointError::Cancelled => f.write_str("run cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<Cancelled> for CheckpointError {
+    fn from(_: Cancelled) -> Self {
+        CheckpointError::Cancelled
+    }
+}
+
+/// One journaled block: everything the flow needs from that block's
+/// exploration, plus the key binding it to its run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointEntry {
+    /// The owning run's [`run_key`]; entries with a foreign key are skipped.
+    pub run_key: String,
+    /// Canonical index of the block in the hot list.
+    pub block_index: usize,
+    /// Block label (diagnostic only — the index is authoritative).
+    pub block: String,
+    /// Ant iterations the block's surviving repeats spent.
+    pub iterations: usize,
+    /// Repeat jobs that completed.
+    pub jobs_completed: usize,
+    /// Repeat jobs that panicked.
+    pub jobs_failed: usize,
+    /// Workers resurrected while exploring this block.
+    pub worker_restarts: usize,
+    /// Best-of-N spread, absent when every repeat panicked.
+    pub spread: Option<BlockSpread>,
+    /// The block's gain-weighted patterns, in candidate order.
+    pub patterns: Vec<WeightedPattern>,
+    /// First panic payload when the whole block failed.
+    pub error: Option<String>,
+}
+
+/// The canonical identity of a checkpointable run: every input that can
+/// change a block's exploration result, rendered deterministically. Two
+/// runs share journal entries iff their keys are byte-identical.
+pub fn run_key(cfg: &FlowConfig, program: &Program, seed: u64) -> String {
+    // serde_json writes struct fields in declaration order, so this is a
+    // stable rendering. Budgets and sharing are deliberately absent: they
+    // only shape selection, which runs after the journaled phase.
+    #[derive(Serialize)]
+    struct Key {
+        version: String,
+        program: String,
+        seed: u64,
+        algorithm: String,
+        repeats: usize,
+        coverage: f64,
+        machine: isex_isa::MachineConfig,
+        constraints: isex_core::Constraints,
+        params: isex_aco::AcoParams,
+        fault_plan: Option<String>,
+    }
+    serde_json::to_string(&Key {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        program: program.name.clone(),
+        seed,
+        algorithm: cfg.algorithm.to_string(),
+        repeats: cfg.repeats,
+        coverage: cfg.hot_block_coverage,
+        machine: cfg.machine,
+        constraints: cfg.constraints,
+        params: cfg.params,
+        fault_plan: cfg.fault_plan.as_ref().map(|p| p.source().to_string()),
+    })
+    .expect("key serializes")
+}
+
+/// Loads the entries of `path` that belong to the run identified by `key`.
+///
+/// Missing file means a fresh run. Unparseable lines are tolerated *only*
+/// as the final line (the torn tail of an interrupted append); a malformed
+/// line with entries after it means the file is not a journal — it is
+/// reported as corrupt rather than silently half-used.
+pub fn load_journal(path: &Path, key: &str) -> std::io::Result<Vec<CheckpointEntry>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut entries = Vec::new();
+    let mut torn: Option<usize> = None;
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<CheckpointEntry>(&line) {
+            Ok(entry) => {
+                if let Some(bad) = torn {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "journal line {} is malformed but not the last line \
+                             — refusing to resume from a corrupt journal",
+                            bad + 1
+                        ),
+                    ));
+                }
+                if entry.run_key == key {
+                    entries.push(entry);
+                }
+            }
+            Err(_) => torn = Some(lineno),
+        }
+    }
+    Ok(entries)
+}
+
+/// Truncates the residue of an append that died mid-write, so the next
+/// append starts at a clean line boundary. Without this, a new entry would
+/// concatenate onto the torn line and *both* would be lost to the next
+/// resume — the journal would stay correct but stop being monotonic.
+fn repair_torn_tail(path: &Path) -> std::io::Result<()> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let mut valid = 0usize;
+    for line in bytes.split_inclusive(|&b| b == b'\n') {
+        let terminated = line.ends_with(b"\n");
+        let intact = std::str::from_utf8(line).is_ok_and(|text| {
+            text.trim().is_empty() || serde_json::from_str::<CheckpointEntry>(text).is_ok()
+        });
+        if !terminated || !intact {
+            break;
+        }
+        valid += line.len();
+    }
+    if valid < bytes.len() {
+        OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(valid as u64)?;
+    }
+    Ok(())
+}
+
+/// Appends one entry, then flushes and fsyncs so the entry survives any
+/// crash that happens after this returns.
+fn append_entry(file: &mut File, entry: &CheckpointEntry) -> std::io::Result<()> {
+    let line = serde_json::to_string(entry).expect("entry serializes");
+    file.write_all(line.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.flush()?;
+    file.sync_data()
+}
+
+/// [`run_flow`](crate::run_flow) with block-grain checkpointing to the
+/// JSONL journal at `path`.
+///
+/// Blocks are explored one engine call at a time (each with its canonical
+/// index, so seeds — and therefore results — match an all-at-once run
+/// bitwise) and journaled as they finish. On resume, journaled blocks are
+/// skipped and counted in [`RunMetrics::blocks_resumed`]; their recorded
+/// job counts, iterations, spreads and failures fold into the metrics so
+/// totals match an uninterrupted run.
+///
+/// The one thing checkpointing costs is cross-block work stealing: a fresh
+/// `run_flow` fans every job of every block into one pool, while this path
+/// synchronises at each block boundary. For the paper's workloads (few hot
+/// blocks × several repeats) the difference is noise; crash-safety is worth
+/// it for long sweeps.
+pub fn run_flow_checkpointed(
+    cfg: &FlowConfig,
+    program: &Program,
+    seed: u64,
+    sink: &dyn EventSink,
+    cancel: &CancelToken,
+    path: &Path,
+) -> Result<(FlowReport, RunMetrics), CheckpointError> {
+    let start = Instant::now();
+    let key = run_key(cfg, program, seed);
+    let mut entries = load_journal(path, &key)?;
+    let resumed = entries.len();
+    repair_torn_tail(path)?;
+    let mut journal = OpenOptions::new().create(true).append(true).open(path)?;
+
+    let hot = hot_blocks(cfg, program);
+    let engine = Engine::new(explore_spec(cfg));
+    for (index, block) in hot.iter().enumerate() {
+        if entries.iter().any(|e| e.block_index == index) {
+            continue;
+        }
+        let task = BlockTask {
+            name: block.name.as_str(),
+            dfg: &block.dfg,
+        };
+        let outcome = engine.try_explore_subset(&[task], &[index], seed, sink, cancel)?;
+        let entry = match outcome.blocks.first() {
+            Some(result) => CheckpointEntry {
+                run_key: key.clone(),
+                block_index: index,
+                block: block.name.clone(),
+                iterations: result.iterations,
+                jobs_completed: outcome.jobs_completed,
+                jobs_failed: outcome.jobs_failed,
+                worker_restarts: outcome.worker_restarts,
+                spread: Some(result.spread.clone()),
+                patterns: result
+                    .best
+                    .candidates
+                    .iter()
+                    .map(|cand| WeightedPattern {
+                        pattern: crate::pattern::IsePattern::from_candidate(cand, &block.dfg),
+                        gain: cand.saved_cycles as u64 * block.exec_count,
+                    })
+                    .collect(),
+                error: None,
+            },
+            None => {
+                let failure = outcome.failures.first().expect("no result means failure");
+                CheckpointEntry {
+                    run_key: key.clone(),
+                    block_index: index,
+                    block: block.name.clone(),
+                    iterations: 0,
+                    jobs_completed: outcome.jobs_completed,
+                    jobs_failed: outcome.jobs_failed,
+                    worker_restarts: outcome.worker_restarts,
+                    spread: None,
+                    patterns: Vec::new(),
+                    error: Some(failure.error.clone()),
+                }
+            }
+        };
+        append_entry(&mut journal, &entry)?;
+        entries.push(entry);
+    }
+
+    // Reduce in canonical block order so patterns, spreads and failures
+    // line up exactly with what one all-blocks engine call produces.
+    entries.sort_by_key(|e| e.block_index);
+    let mut patterns = Vec::new();
+    let mut iterations = 0usize;
+    let mut metrics = RunMetrics::empty(seed, isex_engine::worker_count(cfg.jobs));
+    metrics.algorithm = cfg.algorithm.to_string();
+    metrics.benchmark = program.name.clone();
+    metrics.jobs_total = hot.len() * cfg.repeats.max(1);
+    metrics.blocks_explored = hot.len();
+    metrics.blocks_resumed = resumed;
+    for entry in &entries {
+        iterations += entry.iterations;
+        metrics.ant_iterations += entry.iterations;
+        metrics.jobs_completed += entry.jobs_completed;
+        metrics.jobs_failed += entry.jobs_failed;
+        metrics.worker_restarts += entry.worker_restarts;
+        match &entry.spread {
+            Some(spread) => metrics.block_spread.push(spread.clone()),
+            None => metrics.block_failures.push(isex_engine::BlockFailure {
+                block: entry.block.clone(),
+                block_index: entry.block_index,
+                repeats_failed: entry.jobs_failed,
+                error: entry.error.clone().unwrap_or_default(),
+            }),
+        }
+        patterns.extend(entry.patterns.iter().cloned());
+    }
+    metrics.candidates_generated = patterns.len();
+    metrics.phases.explore_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let select_start = Instant::now();
+    let selected = select::select_with(patterns, &cfg.budgets, cfg.sharing);
+    metrics.phases.select_ms = select_start.elapsed().as_secs_f64() * 1e3;
+    metrics.candidates_accepted = selected.len();
+
+    let replace_start = Instant::now();
+    let report = replace_and_report(cfg, program, selected, hot.len(), iterations);
+    metrics.phases.replace_ms = replace_start.elapsed().as_secs_f64() * 1e3;
+    metrics.phases.total_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok((report, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{run_flow, Algorithm};
+    use isex_engine::NullSink;
+    use isex_workloads::{Benchmark, OptLevel};
+
+    fn quick_cfg() -> FlowConfig {
+        let mut cfg = FlowConfig::paper_default(Algorithm::MultiIssue);
+        cfg.repeats = 2;
+        cfg.params.max_iterations = 30;
+        cfg
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("isex-ckpt-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_bitwise() {
+        let program = Benchmark::Crc32.program(OptLevel::O3);
+        let cfg = quick_cfg();
+        let path = temp_journal("fresh");
+        let _ = std::fs::remove_file(&path);
+        let plain = run_flow(&cfg, &program, 9);
+        let (checkpointed, metrics) =
+            run_flow_checkpointed(&cfg, &program, 9, &NullSink, &CancelToken::new(), &path)
+                .unwrap();
+        assert_eq!(
+            serde_json::to_string(&checkpointed).unwrap(),
+            serde_json::to_string(&plain).unwrap()
+        );
+        assert_eq!(metrics.blocks_resumed, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_skips_journaled_blocks_and_reproduces_report() {
+        let program = Benchmark::Bitcount.program(OptLevel::O3);
+        let cfg = quick_cfg();
+        let path = temp_journal("resume");
+        let _ = std::fs::remove_file(&path);
+        let (first, first_metrics) =
+            run_flow_checkpointed(&cfg, &program, 4, &NullSink, &CancelToken::new(), &path)
+                .unwrap();
+        assert!(first_metrics.blocks_explored > 0);
+        // Second run over the same journal: everything resumes, nothing is
+        // re-explored, and the report is byte-identical.
+        let (second, metrics) =
+            run_flow_checkpointed(&cfg, &program, 4, &NullSink, &CancelToken::new(), &path)
+                .unwrap();
+        assert_eq!(metrics.blocks_resumed, first_metrics.blocks_explored);
+        assert_eq!(
+            serde_json::to_string(&second).unwrap(),
+            serde_json::to_string(&first).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_and_torn_journal_lines_are_tolerated() {
+        let program = Benchmark::Crc32.program(OptLevel::O0);
+        let cfg = quick_cfg();
+        let path = temp_journal("torn");
+        let _ = std::fs::remove_file(&path);
+        let (first, _) =
+            run_flow_checkpointed(&cfg, &program, 2, &NullSink, &CancelToken::new(), &path)
+                .unwrap();
+        // Simulate a crash mid-append: a torn half-line at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"run_key\":\"truncated mid-wri").unwrap();
+        }
+        let (again, _) =
+            run_flow_checkpointed(&cfg, &program, 2, &NullSink, &CancelToken::new(), &path)
+                .unwrap();
+        assert_eq!(
+            serde_json::to_string(&again).unwrap(),
+            serde_json::to_string(&first).unwrap()
+        );
+        // A different seed has a different run_key: existing entries are
+        // foreign to it and must not be reused.
+        let key_other = run_key(&cfg, &program, 3);
+        assert!(load_journal(&path, &key_other).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_refused() {
+        let path = temp_journal("corrupt");
+        let entry = CheckpointEntry {
+            run_key: "k".to_string(),
+            block_index: 0,
+            block: "b".to_string(),
+            iterations: 1,
+            jobs_completed: 1,
+            jobs_failed: 0,
+            worker_restarts: 0,
+            spread: None,
+            patterns: Vec::new(),
+            error: None,
+        };
+        let good = serde_json::to_string(&entry).unwrap();
+        // Malformed line *followed by* a well-formed entry: that is not a
+        // torn tail, it is corruption — refuse to resume.
+        std::fs::write(&path, format!("not json\n{good}\n")).unwrap();
+        let err = load_journal(&path, "k").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The same malformed text as the *last* line is a torn append.
+        std::fs::write(&path, format!("{good}\nnot json")).unwrap();
+        assert_eq!(load_journal(&path, "k").unwrap(), vec![entry]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

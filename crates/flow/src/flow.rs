@@ -6,10 +6,11 @@ use std::time::Instant;
 use isex_aco::AcoParams;
 use isex_core::Constraints;
 use isex_engine::{
-    BlockTask, CancelToken, Cancelled, Engine, EventSink, ExploreSpec, NullSink, RunMetrics,
+    BlockTask, CancelToken, Cancelled, Engine, EventSink, ExploreSpec, FaultPlan, NullSink,
+    RunMetrics,
 };
 use isex_isa::MachineConfig;
-use isex_workloads::Program;
+use isex_workloads::{BasicBlock, Program};
 use serde::{Deserialize, Serialize};
 
 // The explorer choice lives with the engine that runs it; re-exported here
@@ -44,6 +45,9 @@ pub struct FlowConfig {
     pub sharing: SharingModel,
     /// Fraction of profiled work the explored hot blocks must cover.
     pub hot_block_coverage: f64,
+    /// Deterministic fault injection passed through to the engine.
+    /// `None` (the default) in production; see [`FaultPlan`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl FlowConfig {
@@ -60,6 +64,7 @@ impl FlowConfig {
             budgets: Budgets::default(),
             sharing: SharingModel::default(),
             hot_block_coverage: 0.95,
+            fault_plan: None,
         }
     }
 
@@ -159,29 +164,8 @@ pub fn explore_program_cancellable(
     sink: &dyn EventSink,
     cancel: &CancelToken,
 ) -> Result<(Vec<WeightedPattern>, usize, usize, RunMetrics), Cancelled> {
-    let by_heat = program.by_heat();
-    let total_work: f64 = by_heat
-        .iter()
-        .map(|b| b.exec_count as f64 * b.dfg.len() as f64)
-        .sum();
-    let mut covered = 0.0;
-    let mut hot = Vec::new();
-    for b in by_heat {
-        if covered >= cfg.hot_block_coverage * total_work && !hot.is_empty() {
-            break;
-        }
-        covered += b.exec_count as f64 * b.dfg.len() as f64;
-        hot.push(b);
-    }
-
-    let engine = Engine::new(ExploreSpec {
-        machine: cfg.machine,
-        constraints: cfg.constraints,
-        params: cfg.params,
-        algorithm: cfg.algorithm,
-        repeats: cfg.repeats,
-        jobs: cfg.jobs,
-    });
+    let hot = hot_blocks(cfg, program);
+    let engine = Engine::new(explore_spec(cfg));
     let tasks: Vec<BlockTask<'_>> = hot
         .iter()
         .map(|b| BlockTask {
@@ -198,6 +182,9 @@ pub fn explore_program_cancellable(
     metrics.benchmark = program.name.clone();
     metrics.jobs_total = tasks.len() * cfg.repeats.max(1);
     metrics.jobs_completed = outcome.jobs_completed;
+    metrics.jobs_failed = outcome.jobs_failed;
+    metrics.worker_restarts = outcome.worker_restarts;
+    metrics.block_failures = outcome.failures.clone();
     metrics.blocks_explored = hot.len();
     metrics.phases.explore_ms = outcome.explore_ms;
     for result in &outcome.blocks {
@@ -216,6 +203,41 @@ pub fn explore_program_cancellable(
     Ok((patterns, hot.len(), iterations, metrics))
 }
 
+/// The profiling-driven hot set: heaviest blocks first until
+/// `hot_block_coverage` of the profiled work is covered. The order of the
+/// returned slice defines the canonical block indices that job seeds derive
+/// from — the checkpoint/resume path depends on it being stable.
+pub(crate) fn hot_blocks<'a>(cfg: &FlowConfig, program: &'a Program) -> Vec<&'a BasicBlock> {
+    let by_heat = program.by_heat();
+    let total_work: f64 = by_heat
+        .iter()
+        .map(|b| b.exec_count as f64 * b.dfg.len() as f64)
+        .sum();
+    let mut covered = 0.0;
+    let mut hot = Vec::new();
+    for b in by_heat {
+        if covered >= cfg.hot_block_coverage * total_work && !hot.is_empty() {
+            break;
+        }
+        covered += b.exec_count as f64 * b.dfg.len() as f64;
+        hot.push(b);
+    }
+    hot
+}
+
+/// The engine spec a flow config implies.
+pub(crate) fn explore_spec(cfg: &FlowConfig) -> ExploreSpec {
+    ExploreSpec {
+        machine: cfg.machine,
+        constraints: cfg.constraints,
+        params: cfg.params,
+        algorithm: cfg.algorithm,
+        repeats: cfg.repeats,
+        jobs: cfg.jobs,
+        fault_plan: cfg.fault_plan.clone(),
+    }
+}
+
 /// The selection/replacement half of the flow, given explored patterns.
 pub fn finish_flow(
     cfg: &FlowConfig,
@@ -229,7 +251,7 @@ pub fn finish_flow(
 }
 
 /// Replacement over every block plus whole-program accounting.
-fn replace_and_report(
+pub(crate) fn replace_and_report(
     cfg: &FlowConfig,
     program: &Program,
     selected: Vec<SelectedIse>,

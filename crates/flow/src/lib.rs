@@ -17,6 +17,8 @@
 //!   followed by rescheduling;
 //! * [`flow`] — the [`run_flow`] driver with the paper's
 //!   "5 explorations per block, keep the best" repetition;
+//! * [`checkpoint`] — crash-safe block-grain journaling and resume
+//!   ([`run_flow_checkpointed`]);
 //! * [`experiment`] — the parameter sweeps behind every evaluation figure.
 //!
 //! # Example
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod emit;
 pub mod experiment;
 pub mod flow;
@@ -45,10 +48,11 @@ pub mod replace;
 pub mod report;
 pub mod select;
 
+pub use checkpoint::{run_flow_checkpointed, CheckpointError};
 pub use flow::{
     run_flow, run_flow_cancellable, run_flow_observed, Algorithm, BlockOutcome, FlowConfig,
     FlowReport,
 };
-pub use isex_engine::{CancelToken, Cancelled};
+pub use isex_engine::{CancelToken, Cancelled, FaultPlan};
 pub use pattern::IsePattern;
 pub use select::SelectedIse;

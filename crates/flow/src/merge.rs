@@ -9,12 +9,16 @@
 //! once.
 
 use isex_dfg::{analysis, Reachability};
+use serde::{Deserialize, Serialize};
 
 use crate::pattern::IsePattern;
 
 /// A pattern annotated with its profiled gain (cycles saved × block
 /// executions), the unit the merger and selector work on.
-#[derive(Clone, Debug)]
+///
+/// Serializable because checkpoint journals persist each explored block's
+/// patterns; see [`crate::checkpoint`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WeightedPattern {
     /// The pattern.
     pub pattern: IsePattern,

@@ -40,7 +40,7 @@ pub struct PatternOp {
 }
 
 /// A matchable, selectable ISE pattern with its hardware metrics.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IsePattern {
     /// Members in topological order.
     pub ops: Vec<PatternOp>,

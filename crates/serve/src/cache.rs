@@ -80,7 +80,7 @@ impl ResultCache {
     /// Looks up `key`, counting the outcome and refreshing LRU order on a
     /// hit.
     pub fn lookup(&self, key: &str) -> Option<Arc<CachedResult>> {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = crate::queue::lock_unpoisoned(&self.inner);
         match inner.map.get(key).cloned() {
             Some(hit) => {
                 inner.hits += 1;
@@ -103,7 +103,7 @@ impl ResultCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = crate::queue::lock_unpoisoned(&self.inner);
         if inner.map.insert(key.clone(), result).is_none() {
             inner.order.push_back(key);
             while inner.order.len() > self.capacity {
@@ -116,7 +116,7 @@ impl ResultCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = crate::queue::lock_unpoisoned(&self.inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,

@@ -1,6 +1,13 @@
 //! A minimal blocking client for `isexd`, used by `isex explore --server`
 //! and the integration tests. One request per connection, mirroring the
 //! server's `Connection: close` discipline.
+//!
+//! [`explore_with_retry`] layers resilience on top: capped exponential
+//! backoff with *deterministic* jitter (seeded SplitMix64, so a test can
+//! predict every sleep), honouring the server's `Retry-After` on `503`.
+//! Retrying is sound because `/v1/explore` is idempotent — the engine is
+//! bitwise deterministic, so resubmitting a request cannot change the
+//! answer — which is also why connection resets are safe to retry.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -20,6 +27,8 @@ pub enum ClientError {
         /// The server's error message (decoded from its JSON envelope when
         /// possible, raw body otherwise).
         message: String,
+        /// The server's `Retry-After` hint in seconds, if it sent one.
+        retry_after_secs: Option<u64>,
     },
     /// The server answered 200 but the body did not decode.
     Protocol(String),
@@ -29,7 +38,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection failed: {e}"),
-            ClientError::Http { status, message } => write!(f, "server said {status}: {message}"),
+            ClientError::Http {
+                status, message, ..
+            } => write!(f, "server said {status}: {message}"),
             ClientError::Protocol(m) => write!(f, "bad server response: {m}"),
         }
     }
@@ -143,6 +154,7 @@ pub fn explore(addr: &str, request: &ExploreRequest) -> Result<ExploreResponse, 
         return Err(ClientError::Http {
             status: raw.status,
             message: error_message(&raw.body),
+            retry_after_secs: raw.header("retry-after").and_then(|v| v.parse().ok()),
         });
     }
     ExploreResponse::from_json(&raw.body).map_err(ClientError::Protocol)
@@ -151,4 +163,159 @@ pub fn explore(addr: &str, request: &ExploreRequest) -> Result<ExploreResponse, 
 /// Fetches a control endpoint (`/healthz`, `/metrics`) as raw JSON text.
 pub fn get(addr: &str, path: &str) -> Result<RawResponse, ClientError> {
     roundtrip(addr, "GET", path, None, Duration::from_secs(30))
+}
+
+/// Retry tuning for [`explore_with_retry`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = single attempt).
+    pub max_retries: usize,
+    /// First backoff delay, ms (doubles per retry).
+    pub base_delay_ms: u64,
+    /// Backoff cap, ms (also caps an absurd `Retry-After`).
+    pub max_delay_ms: u64,
+    /// Jitter seed: the whole delay sequence is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay_ms: 100,
+            max_delay_ms: 5_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry `attempt` (0-based) given the error that
+    /// triggered it: `Retry-After` verbatim when the server sent one,
+    /// otherwise capped exponential backoff with deterministic jitter in
+    /// `[0, delay/2]` so a thundering herd decorrelates reproducibly.
+    pub fn delay_ms(&self, attempt: usize, error: &ClientError) -> u64 {
+        if let ClientError::Http {
+            retry_after_secs: Some(secs),
+            ..
+        } = error
+        {
+            return (secs * 1000).min(self.max_delay_ms);
+        }
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_delay_ms);
+        let jitter_span = exp / 2 + 1;
+        let jitter = isex_engine::derive_seed(self.seed, attempt as u64, 0) % jitter_span;
+        (exp + jitter).min(self.max_delay_ms)
+    }
+}
+
+/// Whether an error may be transient and the (idempotent) request is worth
+/// resubmitting.
+///
+/// * `503` — explicit backpressure; the server asked us to come back.
+/// * Connection reset / refused / aborted / broken pipe / unexpected EOF —
+///   the exchange died mid-flight; determinism makes the resubmit safe.
+///
+/// Everything else is terminal: `400` stays wrong, `500` is deterministic
+/// (the same request will panic the same job again), `504` already cost a
+/// full deadline server-side, and decode failures are bugs, not weather.
+pub fn is_retryable(error: &ClientError) -> bool {
+    match error {
+        ClientError::Http { status, .. } => *status == 503,
+        ClientError::Io(e) => matches!(
+            e.kind(),
+            std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionRefused
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::UnexpectedEof
+        ),
+        ClientError::Protocol(_) => false,
+    }
+}
+
+/// [`explore`] with retries per `policy`. Returns the first success, the
+/// first terminal error, or — when every attempt was retryable — the last
+/// error seen.
+pub fn explore_with_retry(
+    addr: &str,
+    request: &ExploreRequest,
+    policy: &RetryPolicy,
+) -> Result<ExploreResponse, ClientError> {
+    let mut attempt = 0;
+    loop {
+        match explore(addr, request) {
+            Ok(response) => return Ok(response),
+            Err(error) => {
+                if attempt >= policy.max_retries || !is_retryable(&error) {
+                    return Err(error);
+                }
+                std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt, &error)));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http(status: u16, retry_after_secs: Option<u64>) -> ClientError {
+        ClientError::Http {
+            status,
+            message: String::new(),
+            retry_after_secs,
+        }
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(is_retryable(&http(503, None)));
+        assert!(!is_retryable(&http(500, None)));
+        assert!(!is_retryable(&http(504, None)));
+        assert!(!is_retryable(&http(400, None)));
+        assert!(is_retryable(&ClientError::Io(std::io::Error::from(
+            std::io::ErrorKind::ConnectionReset
+        ))));
+        assert!(!is_retryable(&ClientError::Io(std::io::Error::from(
+            std::io::ErrorKind::PermissionDenied
+        ))));
+        assert!(!is_retryable(&ClientError::Protocol("x".into())));
+    }
+
+    #[test]
+    fn retry_after_wins_over_backoff() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.delay_ms(0, &http(503, Some(2))), 2000);
+        // An absurd hint is capped.
+        assert_eq!(policy.delay_ms(0, &http(503, Some(9999))), 5000);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_growing() {
+        let policy = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let reset = || ClientError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionReset));
+        let delays: Vec<u64> = (0..8).map(|a| policy.delay_ms(a, &reset())).collect();
+        let again: Vec<u64> = (0..8).map(|a| policy.delay_ms(a, &reset())).collect();
+        assert_eq!(delays, again, "same seed, same schedule");
+        for (a, &d) in delays.iter().enumerate() {
+            let exp = (100u64 << a).min(5000);
+            assert!(d >= exp && d <= 5000, "attempt {a}: {d}");
+        }
+        let other = RetryPolicy { seed: 8, ..policy };
+        assert_ne!(
+            delays,
+            (0..8)
+                .map(|a| other.delay_ms(a, &reset()))
+                .collect::<Vec<_>>(),
+            "different seed, different jitter"
+        );
+    }
 }

@@ -7,10 +7,9 @@
 //! set socket timeouts so one cannot pin a connection thread.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
 
-/// Cap on request-line + headers bytes.
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Default cap on request-line + headers bytes.
+pub const DEFAULT_MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// A parsed request.
 #[derive(Clone, Debug)]
@@ -42,8 +41,13 @@ pub enum HttpError {
     BadRequest(String),
     /// Declared body larger than the server's cap → 413.
     PayloadTooLarge(usize),
-    /// Socket-level failure (including read timeouts); the connection is
-    /// dropped without a response.
+    /// Request line + headers exceed the head cap → 413 (slowloris-style
+    /// dribbling of an unbounded head is cut off here, not at OOM).
+    HeadTooLarge(usize),
+    /// The socket timed out before a full request arrived → 408.
+    Timeout,
+    /// Other socket-level failure; the connection is dropped without a
+    /// response.
     Io(std::io::Error),
 }
 
@@ -52,6 +56,8 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
             HttpError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds the cap"),
+            HttpError::HeadTooLarge(n) => write!(f, "request head of {n} bytes exceeds the cap"),
+            HttpError::Timeout => f.write_str("timed out reading the request"),
             HttpError::Io(e) => write!(f, "i/o: {e}"),
         }
     }
@@ -59,13 +65,25 @@ impl std::fmt::Display for HttpError {
 
 impl From<std::io::Error> for HttpError {
     fn from(e: std::io::Error) -> Self {
-        HttpError::Io(e)
+        // A socket read timeout surfaces as WouldBlock (non-blocking
+        // semantics) or TimedOut depending on the platform; both mean the
+        // client was too slow and deserve a 408, not a silent drop.
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        }
     }
 }
 
-/// Reads and parses one request from `stream`.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    let head = read_head(stream)?;
+/// Reads and parses one request from `stream`. Generic over the reader so
+/// the parser can be driven by in-memory and chunk-dribbling fuzz harnesses
+/// as well as sockets.
+pub fn read_request<R: Read>(
+    stream: &mut R,
+    max_body: usize,
+    max_head: usize,
+) -> Result<Request, HttpError> {
+    let head = read_head(stream, max_head)?;
     let text = String::from_utf8_lossy(&head.bytes);
     let mut lines = text.split("\r\n");
     let request_line = lines
@@ -146,7 +164,7 @@ struct Head {
 
 /// Reads up to and including the `\r\n\r\n` head terminator; whatever was
 /// already read past it is returned as the start of the body.
-fn read_head(stream: &mut TcpStream) -> Result<Head, HttpError> {
+fn read_head<R: Read>(stream: &mut R, max_head: usize) -> Result<Head, HttpError> {
     let mut bytes = Vec::with_capacity(512);
     let mut buf = [0u8; 1024];
     loop {
@@ -160,8 +178,8 @@ fn read_head(stream: &mut TcpStream) -> Result<Head, HttpError> {
             bytes.truncate(end);
             return Ok(Head { bytes, body_prefix });
         }
-        if bytes.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::BadRequest("request head too large".into()));
+        if bytes.len() > max_head {
+            return Err(HttpError::HeadTooLarge(bytes.len()));
         }
     }
 }
@@ -180,6 +198,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -190,8 +209,8 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Writes a complete JSON response and flushes. `extra_headers` come after
 /// the standard set (used for `Retry-After`).
-pub fn write_json_response(
-    stream: &mut TcpStream,
+pub fn write_json_response<W: Write>(
+    stream: &mut W,
     status: u16,
     body: &str,
     extra_headers: &[(&str, String)],
@@ -224,8 +243,39 @@ mod tests {
 
     #[test]
     fn reasons_cover_served_statuses() {
-        for s in [200, 400, 404, 405, 413, 500, 503, 504] {
+        for s in [200, 400, 404, 405, 408, 413, 500, 503, 504] {
             assert_ne!(reason(s), "Unknown", "{s}");
         }
+    }
+
+    #[test]
+    fn parses_a_request_from_any_reader() {
+        let mut raw: &[u8] =
+            b"POST /v1/explore HTTP/1.1\r\ncontent-length: 4\r\nx-a: b\r\n\r\nbody";
+        let req = read_request(&mut raw, 1024, DEFAULT_MAX_HEAD_BYTES).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/explore");
+        assert_eq!(req.header("x-a"), Some("b"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_as_head_too_large() {
+        let big = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(4096));
+        let mut raw = big.as_bytes();
+        match read_request(&mut raw, 1024, 512) {
+            Err(HttpError::HeadTooLarge(n)) => assert!(n > 512),
+            other => panic!("expected HeadTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_kinds_map_to_http_timeout() {
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            let e: HttpError = std::io::Error::from(kind).into();
+            assert!(matches!(e, HttpError::Timeout), "{kind:?}");
+        }
+        let e: HttpError = std::io::Error::from(std::io::ErrorKind::ConnectionReset).into();
+        assert!(matches!(e, HttpError::Io(_)));
     }
 }

@@ -8,14 +8,24 @@
 //! its way out, so the worker abandons the run at the next job boundary.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use isex_engine::CancelToken;
 
 use crate::cache::CachedResult;
 use crate::protocol::ExploreRequest;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Queue and slot state is only ever mutated in whole steps (push a job,
+/// set an outcome), so a lock poisoned by a panicking thread holds nothing
+/// torn — recover instead of cascading the panic into every thread that
+/// shares the lock.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How a job ended, delivered to its waiting connection thread.
 #[derive(Clone, Debug)]
@@ -24,6 +34,8 @@ pub enum JobOutcome {
     Done(Arc<CachedResult>),
     /// The run was abandoned because the job's token tripped (deadline).
     Cancelled,
+    /// The run died (worker panic); the payload is the stringified cause.
+    Failed(String),
     /// The job never ran: the server is shutting down.
     Rejected(&'static str),
 }
@@ -57,7 +69,7 @@ impl Job {
 
     /// Delivers the outcome and wakes the waiter. First delivery wins.
     pub fn complete(&self, outcome: JobOutcome) {
-        let mut slot = self.outcome.lock().expect("job slot");
+        let mut slot = lock_unpoisoned(&self.outcome);
         if slot.is_none() {
             *slot = Some(outcome);
         }
@@ -68,7 +80,7 @@ impl Job {
     /// job's cancel token and returns `None` — the worker (if it ever
     /// picks the job up) will skip or abandon it.
     pub fn wait_until(&self, deadline: Instant) -> Option<JobOutcome> {
-        let mut slot = self.outcome.lock().expect("job slot");
+        let mut slot = lock_unpoisoned(&self.outcome);
         loop {
             if let Some(outcome) = slot.take() {
                 return Some(outcome);
@@ -81,7 +93,7 @@ impl Job {
             let (next, _) = self
                 .ready
                 .wait_timeout(slot, deadline - now)
-                .expect("job slot");
+                .unwrap_or_else(PoisonError::into_inner);
             slot = next;
         }
     }
@@ -91,12 +103,16 @@ impl Job {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueueFull;
 
-/// A bounded MPMC queue with an in-flight counter.
+/// A bounded MPMC queue with an in-flight counter and job accounting.
 pub struct JobQueue {
     queue: Mutex<VecDeque<Arc<Job>>>,
     available: Condvar,
     capacity: usize,
     in_flight: AtomicUsize,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    last_failure: Mutex<Option<String>>,
 }
 
 impl JobQueue {
@@ -108,12 +124,16 @@ impl JobQueue {
             available: Condvar::new(),
             capacity,
             in_flight: AtomicUsize::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            last_failure: Mutex::new(None),
         }
     }
 
     /// Enqueues without blocking; a full queue is the caller's 503.
     pub fn try_push(&self, job: Arc<Job>) -> Result<(), QueueFull> {
-        let mut queue = self.queue.lock().expect("queue lock");
+        let mut queue = lock_unpoisoned(&self.queue);
         if queue.len() >= self.capacity {
             return Err(QueueFull);
         }
@@ -128,7 +148,7 @@ impl JobQueue {
     /// rejects those explicitly so their waiters get an immediate 503
     /// instead of a silent run.
     pub fn pop(&self, shutdown: &AtomicBool) -> Option<Arc<Job>> {
-        let mut queue = self.queue.lock().expect("queue lock");
+        let mut queue = lock_unpoisoned(&self.queue);
         loop {
             if shutdown.load(Ordering::Acquire) {
                 return None;
@@ -139,7 +159,7 @@ impl JobQueue {
             let (next, _) = self
                 .available
                 .wait_timeout(queue, Duration::from_millis(100))
-                .expect("queue lock");
+                .unwrap_or_else(PoisonError::into_inner);
             queue = next;
         }
     }
@@ -151,13 +171,13 @@ impl JobQueue {
 
     /// Removes and returns every queued job (shutdown drain).
     pub fn drain(&self) -> Vec<Arc<Job>> {
-        let mut queue = self.queue.lock().expect("queue lock");
+        let mut queue = lock_unpoisoned(&self.queue);
         queue.drain(..).collect()
     }
 
     /// Jobs waiting in the queue.
     pub fn depth(&self) -> usize {
-        self.queue.lock().expect("queue lock").len()
+        lock_unpoisoned(&self.queue).len()
     }
 
     /// The waiting-room size.
@@ -170,21 +190,88 @@ impl JobQueue {
         self.in_flight.load(Ordering::Acquire)
     }
 
+    /// Jobs that ran to completion.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose run died (worker panic — explicit or detected at drop).
+    pub fn jobs_failed(&self) -> u64 {
+        self.jobs_failed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs abandoned via cancellation (deadline or shutdown).
+    pub fn jobs_cancelled(&self) -> u64 {
+        self.jobs_cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The most recent failure cause, for `/metrics`.
+    pub fn last_failure(&self) -> Option<String> {
+        lock_unpoisoned(&self.last_failure).clone()
+    }
+
     /// Marks a job as running for the lifetime of the returned guard.
     pub fn start_job(&self) -> InFlightGuard<'_> {
         self.in_flight.fetch_add(1, Ordering::AcqRel);
-        InFlightGuard { queue: self }
+        InFlightGuard {
+            queue: self,
+            recorded: false,
+        }
+    }
+
+    fn record_failure(&self, cause: &str) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        *lock_unpoisoned(&self.last_failure) = Some(cause.to_string());
     }
 }
 
-/// RAII in-flight marker; decrements on drop, panics included.
+/// RAII in-flight marker with outcome accounting.
+///
+/// The worker reports how the job ended via [`complete_ok`](InFlightGuard::complete_ok),
+/// [`complete_cancelled`](InFlightGuard::complete_cancelled) or
+/// [`complete_failed`](InFlightGuard::complete_failed). If the guard is
+/// instead dropped during a panic unwind — a failure path nobody reported —
+/// the drop records the job as *failed*, not silently finished, so
+/// `/metrics` can always tell `jobs_failed` from `jobs_completed`.
 pub struct InFlightGuard<'q> {
     queue: &'q JobQueue,
+    recorded: bool,
+}
+
+impl InFlightGuard<'_> {
+    /// Records a clean completion.
+    pub fn complete_ok(mut self) {
+        self.queue.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.recorded = true;
+    }
+
+    /// Records a cancelled run.
+    pub fn complete_cancelled(mut self) {
+        self.queue.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        self.recorded = true;
+    }
+
+    /// Records a failed run with its cause.
+    pub fn complete_failed(mut self, cause: &str) {
+        self.queue.record_failure(cause);
+        self.recorded = true;
+    }
 }
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
         self.queue.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if !self.recorded {
+            // Nobody reported an outcome: the job died on an unexpected
+            // path. Distinguish an active unwind (worker panic) from a
+            // plain early return so the cause in `/metrics` is honest.
+            let cause = if std::thread::panicking() {
+                "worker panicked while running job (outcome unreported)"
+            } else {
+                "job dropped without a reported outcome"
+            };
+            self.queue.record_failure(cause);
+        }
     }
 }
 
@@ -241,9 +328,58 @@ mod tests {
         let q = JobQueue::new(1);
         assert_eq!(q.in_flight(), 0);
         {
-            let _g = q.start_job();
+            let g = q.start_job();
             assert_eq!(q.in_flight(), 1);
+            g.complete_ok();
         }
         assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.jobs_completed(), 1);
+        assert_eq!(q.jobs_failed(), 0);
+    }
+
+    #[test]
+    fn guard_records_each_outcome_kind() {
+        let q = JobQueue::new(1);
+        q.start_job().complete_ok();
+        q.start_job().complete_cancelled();
+        q.start_job().complete_failed("engine exploded");
+        assert_eq!(
+            (q.jobs_completed(), q.jobs_cancelled(), q.jobs_failed()),
+            (1, 1, 1)
+        );
+        assert_eq!(q.last_failure().as_deref(), Some("engine exploded"));
+    }
+
+    #[test]
+    fn guard_dropped_during_panic_counts_as_failed() {
+        let q = JobQueue::new(1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = q.start_job();
+            panic!("worker died mid-job");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(q.in_flight(), 0, "guard still decrements on unwind");
+        assert_eq!(q.jobs_failed(), 1, "unreported panic is a failure");
+        assert_eq!(q.jobs_completed(), 0);
+        assert!(
+            q.last_failure().unwrap().contains("panicked"),
+            "cause names the panic"
+        );
+    }
+
+    #[test]
+    fn poisoned_queue_lock_recovers() {
+        let q = Arc::new(JobQueue::new(4));
+        let q2 = Arc::clone(&q);
+        // Poison the queue mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = lock_unpoisoned(&q2.queue);
+            panic!("poison");
+        })
+        .join();
+        // Every queue operation must still work.
+        assert!(q.try_push(job()).is_ok());
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.drain().len(), 1);
     }
 }

@@ -49,8 +49,18 @@ pub struct ServerConfig {
     pub default_timeout_ms: u64,
     /// Cap on request bodies, bytes.
     pub max_body_bytes: usize,
+    /// Cap on request-line + header bytes (slowloris protection).
+    pub max_head_bytes: usize,
+    /// Per-connection socket read timeout, ms; a client that dribbles its
+    /// request slower than this gets `408`.
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout, ms.
+    pub write_timeout_ms: u64,
     /// The `Retry-After` hint sent with `503`, seconds.
     pub retry_after_secs: u64,
+    /// Deterministic fault injection applied to every run — a test/drill
+    /// knob, `None` in production. See [`isex_engine::FaultPlan`].
+    pub fault_plan: Option<isex_engine::FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -62,7 +72,11 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             default_timeout_ms: 120_000,
             max_body_bytes: 64 * 1024,
+            max_head_bytes: http::DEFAULT_MAX_HEAD_BYTES,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
             retry_after_secs: 1,
+            fault_plan: None,
         }
     }
 }
@@ -109,10 +123,28 @@ impl ServerConfig {
                         .map_err(|_| "bad --timeout-ms")?;
                     i += 1;
                 }
+                "--read-timeout-ms" => {
+                    config.read_timeout_ms = need(args, i, "--read-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "bad --read-timeout-ms")?;
+                    i += 1;
+                }
+                "--write-timeout-ms" => {
+                    config.write_timeout_ms = need(args, i, "--write-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "bad --write-timeout-ms")?;
+                    i += 1;
+                }
+                "--fault-plan" => {
+                    let spec = need(args, i, "--fault-plan")?;
+                    config.fault_plan = Some(isex_engine::FaultPlan::parse(&spec)?);
+                    i += 1;
+                }
                 other => {
                     return Err(format!(
                         "unknown flag `{other}` (valid: --addr, --workers, --queue-cap, \
-                         --cache-cap, --timeout-ms)"
+                         --cache-cap, --timeout-ms, --read-timeout-ms, --write-timeout-ms, \
+                         --fault-plan)"
                     ))
                 }
             }
@@ -261,7 +293,32 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
 
 fn worker_loop(state: &Arc<ServerState>) {
     while let Some(job) = state.queue.pop(&state.shutdown) {
-        run_one(state, &job);
+        // Supervision: a panicking run must not take the worker thread (and
+        // with it, the server's capacity) down. The panic is caught here,
+        // the waiter gets a structured 500, and the loop — the resurrected
+        // worker — carries on with the next job.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one(state, &job);
+        }));
+        if let Err(payload) = outcome {
+            state
+                .metrics
+                .worker_restarts
+                .fetch_add(1, Ordering::Relaxed);
+            state.metrics.runs_failed.fetch_add(1, Ordering::Relaxed);
+            let cause = panic_text(payload.as_ref());
+            job.complete(JobOutcome::Failed(format!("worker panicked: {cause}")));
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -272,30 +329,66 @@ fn run_one(state: &Arc<ServerState>, job: &Job) {
         job.complete(JobOutcome::Cancelled);
         return;
     }
-    let _in_flight = state.queue.start_job();
-    let cfg = job.request.flow_config();
+    let in_flight = state.queue.start_job();
+    let mut cfg = job.request.flow_config();
+    cfg.fault_plan = state.config.fault_plan.clone();
     let program = job.request.program();
     match run_flow_cancellable(&cfg, &program, job.request.seed, &NullSink, &job.cancel) {
         Ok((report, run_metrics)) => {
+            if run_metrics.blocks_explored > 0
+                && run_metrics.block_failures.len() == run_metrics.blocks_explored
+            {
+                // Every hot block lost every repeat to a panic: there is no
+                // exploration behind this report, so a "no ISEs found"
+                // answer would be a lie. Fail the run instead.
+                state.metrics.runs_failed.fetch_add(1, Ordering::Relaxed);
+                let cause = run_metrics
+                    .block_failures
+                    .first()
+                    .map(|f| f.error.clone())
+                    .unwrap_or_default();
+                in_flight.complete_failed(&cause);
+                job.complete(JobOutcome::Failed(format!(
+                    "all {} explored blocks failed; first cause: {cause}",
+                    run_metrics.blocks_explored
+                )));
+                return;
+            }
             state.metrics.record_run(&run_metrics);
             let result = Arc::new(CachedResult {
                 report,
                 metrics: run_metrics,
             });
-            state.cache.insert(job.key.clone(), Arc::clone(&result));
+            // Cache soundness: the canonical key promises the *fault-free*
+            // answer. A run that survived injected or real job panics is
+            // still served to its requester (with the failures visible in
+            // its metrics) but must never be cached under that key.
+            if result.metrics.jobs_failed == 0 {
+                state.cache.insert(job.key.clone(), Arc::clone(&result));
+            }
+            in_flight.complete_ok();
             job.complete(JobOutcome::Done(result));
         }
         Err(_) => {
             state.metrics.runs_cancelled.fetch_add(1, Ordering::Relaxed);
+            in_flight.complete_cancelled();
             job.complete(JobOutcome::Cancelled);
         }
     }
 }
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let request = match http::read_request(&mut stream, state.config.max_body_bytes) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        state.config.read_timeout_ms.max(1),
+    )));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+        state.config.write_timeout_ms.max(1),
+    )));
+    let request = match http::read_request(
+        &mut stream,
+        state.config.max_body_bytes,
+        state.config.max_head_bytes,
+    ) {
         Ok(r) => r,
         Err(HttpError::BadRequest(m)) => {
             respond_control(state, &mut stream, 400, &protocol::error_json(&m), &[]);
@@ -309,7 +402,25 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             respond_control(state, &mut stream, 413, &protocol::error_json(&msg), &[]);
             return;
         }
-        // Socket-level failure: nothing sensible to answer.
+        Err(HttpError::HeadTooLarge(n)) => {
+            let msg = format!(
+                "request head of {n} bytes exceeds the {}-byte cap",
+                state.config.max_head_bytes
+            );
+            respond_control(state, &mut stream, 413, &protocol::error_json(&msg), &[]);
+            return;
+        }
+        Err(HttpError::Timeout) => {
+            // Slow client (slowloris or a stalled sender): tell it why the
+            // request died rather than silently dropping the socket.
+            let msg = format!(
+                "request not received within {}ms",
+                state.config.read_timeout_ms
+            );
+            respond_control(state, &mut stream, 408, &protocol::error_json(&msg), &[]);
+            return;
+        }
+        // Other socket-level failure: nothing sensible to answer.
         Err(HttpError::Io(_)) => return,
     };
 
@@ -414,6 +525,11 @@ fn handle_explore(state: &Arc<ServerState>, stream: &mut TcpStream, request: &Re
         }
         Some(JobOutcome::Rejected(reason)) => {
             respond(503, &protocol::error_json(reason), &retry);
+        }
+        Some(JobOutcome::Failed(cause)) => {
+            // The worker caught a panic in this run; the supervisor already
+            // resurrected it. The client gets the structured cause.
+            respond(500, &protocol::error_json(&cause), &[]);
         }
         Some(JobOutcome::Cancelled) => {
             // Defensive: only this thread trips the token, so a Cancelled

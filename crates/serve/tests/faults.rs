@@ -1,0 +1,257 @@
+//! Fault-injection tests over real TCP: a server configured with a
+//! deterministic [`FaultPlan`](isex_engine::FaultPlan) must degrade
+//! gracefully — isolate the panicking job, keep answering, report the
+//! damage truthfully — and the transport layer must cut off slow or
+//! oversized clients with `408`/`413` instead of hanging or ballooning.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use isex_engine::FaultPlan;
+use isex_serve::client::{self, ClientError};
+use isex_serve::{start, ExploreRequest, ServerConfig};
+use serde::Value;
+
+fn config(plan: Option<&str>) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        fault_plan: plan.map(|spec| FaultPlan::parse(spec).expect("valid plan")),
+        ..ServerConfig::default()
+    }
+}
+
+fn quick(seed: u64, repeats: usize) -> ExploreRequest {
+    ExploreRequest {
+        seed,
+        effort: 40,
+        repeats,
+        ..ExploreRequest::default()
+    }
+}
+
+fn metrics(addr: &str) -> Value {
+    let raw = client::get(addr, "/metrics").expect("GET /metrics");
+    assert_eq!(raw.status, 200, "{}", raw.body);
+    serde_json::parse(&raw.body).expect("metrics JSON")
+}
+
+fn metric_u64(value: &Value, path: &[&str]) -> u64 {
+    let mut current = value;
+    for key in path {
+        current = current
+            .as_object()
+            .unwrap_or_else(|| panic!("`{key}`: not an object"))
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("no `{key}` in metrics"));
+    }
+    match current {
+        Value::U64(n) => *n,
+        Value::I64(n) => *n as u64,
+        other => panic!("{path:?}: expected integer, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn injected_job_panic_is_isolated_and_reported() {
+    // Block 0, repeat 0 panics; repeat 1 survives, so the run completes.
+    let handle = start(config(Some("panic@0.0"))).expect("start server");
+    let addr = handle.addr().to_string();
+
+    let response = client::explore(&addr, &quick(0xFA117, 2)).expect("run survives the panic");
+    assert!(!response.cached);
+    assert_eq!(response.metrics.jobs_failed, 1, "exactly the planned job");
+    assert!(response.metrics.worker_restarts >= 1);
+    assert_eq!(
+        response.metrics.jobs_completed + response.metrics.jobs_failed,
+        response.metrics.jobs_total
+    );
+    assert!(
+        response.metrics.block_failures.is_empty(),
+        "one surviving repeat keeps the block alive"
+    );
+
+    // A damaged run must not poison the cache: the same request recomputes.
+    let again = client::explore(&addr, &quick(0xFA117, 2)).expect("second run");
+    assert!(
+        !again.cached,
+        "a run with failed jobs must never be served from cache"
+    );
+
+    let snap = metrics(&addr);
+    assert!(metric_u64(&snap, &["engine", "jobs_failed"]) >= 2);
+    assert!(metric_u64(&snap, &["engine", "worker_restarts"]) >= 2);
+    assert_eq!(metric_u64(&snap, &["queue", "jobs_completed"]), 2);
+
+    handle.shutdown();
+}
+
+#[test]
+fn every_job_panicking_yields_structured_500_and_a_live_server() {
+    let handle = start(config(Some("panic:1/1"))).expect("start server");
+    let addr = handle.addr().to_string();
+
+    // Two requests back to back: both must be *answered* (500 with the
+    // structured cause), proving the worker survived the first disaster.
+    for seed in [1u64, 2] {
+        match client::explore(&addr, &quick(seed, 1)) {
+            Err(ClientError::Http {
+                status: 500,
+                message,
+                ..
+            }) => {
+                assert!(
+                    message.contains("explored blocks failed")
+                        && message.contains("injected fault"),
+                    "cause must name the fault: {message}"
+                );
+            }
+            other => panic!("expected structured 500, got {other:?}"),
+        }
+    }
+
+    let raw = client::get(&addr, "/healthz").expect("healthz");
+    assert_eq!(raw.status, 200, "server must still be alive");
+
+    let snap = metrics(&addr);
+    assert!(metric_u64(&snap, &["requests", "runs_failed"]) >= 2);
+    assert!(metric_u64(&snap, &["queue", "jobs_failed"]) >= 2);
+    assert_eq!(metric_u64(&snap, &["requests", "by_status", "500"]), 2);
+
+    handle.shutdown();
+}
+
+#[test]
+fn cancel_fault_is_answered_as_structured_500() {
+    // The injected cancellation trips the run's own token; the waiter is
+    // still waiting, so the server must convert it into an explicit error.
+    let handle = start(config(Some("cancel@0.0"))).expect("start server");
+    let addr = handle.addr().to_string();
+
+    match client::explore(&addr, &quick(3, 1)) {
+        Err(ClientError::Http {
+            status: 500,
+            message,
+            ..
+        }) => {
+            assert!(message.contains("cancelled"), "{message}");
+        }
+        other => panic!("expected 500, got {other:?}"),
+    }
+
+    let raw = client::get(&addr, "/healthz").expect("healthz");
+    assert_eq!(raw.status, 200);
+
+    handle.shutdown();
+}
+
+#[test]
+fn slow_client_gets_408_within_the_read_timeout() {
+    let cfg = ServerConfig {
+        read_timeout_ms: 300,
+        ..config(None)
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.addr().to_string();
+
+    // Send half a request head, then stall past the read timeout.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"POST /v1/explore HTT")
+        .expect("partial head");
+    stream.flush().unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read 408");
+    assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+    assert!(response.contains("not received within 300ms"), "{response}");
+
+    let snap = metrics(&addr);
+    assert_eq!(metric_u64(&snap, &["requests", "by_status", "408"]), 1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_body_and_head_get_413() {
+    let cfg = ServerConfig {
+        max_body_bytes: 256,
+        max_head_bytes: 512,
+        ..config(None)
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.addr().to_string();
+
+    // Body over the cap: rejected from the Content-Length declaration
+    // alone, before any body bytes are read — so only the head is sent
+    // (the server closes immediately; a full client write would race a
+    // broken pipe against the 413).
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"POST /v1/explore HTTP/1.1\r\ncontent-length: 1024\r\n\r\n")
+        .expect("write head");
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.read_to_string(&mut response).expect("read 413");
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+    assert!(response.contains("256-byte cap"), "{response}");
+
+    // Head over the cap: same verdict, different limb. The client may see
+    // the 413 or a reset (the server closes with unread bytes pending, so
+    // the kernel may RST); the server-side status counter is authoritative.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let head = format!(
+        "GET /healthz HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+        "a".repeat(2048)
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    if stream.read_to_string(&mut response).is_ok() && !response.is_empty() {
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+    }
+    drop(stream);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if metric_u64(&metrics(&addr), &["requests", "by_status", "413"]) == 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never counted the second 413"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn fault_free_requests_are_unaffected_by_queued_faulty_ones() {
+    // A plan that only delays: results must be bitwise identical to a
+    // clean run — injection may cost time, never answers.
+    let handle = start(config(Some("delay:1/2:5ms"))).expect("start server");
+    let addr = handle.addr().to_string();
+
+    let req = quick(0xC1EA4, 2);
+    let served = client::explore(&addr, &req).expect("explore");
+    let direct = isex_flow::run_flow(&req.flow_config(), &req.program(), req.seed);
+    assert_eq!(
+        serde_json::to_string(&served.report).unwrap(),
+        serde_json::to_string(&direct).unwrap(),
+        "delay faults must not change the answer"
+    );
+    assert_eq!(served.metrics.jobs_failed, 0);
+    assert!(served.metrics.block_failures.is_empty());
+
+    handle.shutdown();
+}

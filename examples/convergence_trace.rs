@@ -46,6 +46,7 @@ fn main() {
         algorithm: Algorithm::MultiIssue,
         repeats: 1,
         jobs: 1,
+        fault_plan: None,
     });
     let sink = VecSink::new();
     let outcome = engine.explore_blocks(

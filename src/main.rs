@@ -19,6 +19,12 @@
 //!   --bench NAME           benchmark to explore (alias for the positional)
 //!   --server HOST:PORT     submit to a running isexd instead of exploring
 //!                          locally (explore only; budgets/events are local)
+//!   --retries N            --server only: retries on 503/connection reset
+//!                          with capped exponential backoff   (default 4)
+//!   --checkpoint PATH      journal each finished block to PATH and resume
+//!                          a matching interrupted run (local explore only)
+//!   --fault-plan SPEC      deterministic fault injection, e.g.
+//!                          "panic:1/8 delay:1/4:10ms" (local explore only)
 //!   --metrics PATH         write RunMetrics JSON to PATH
 //!   --events PATH          stream JSONL run events to PATH
 //!   --verilog              emit Verilog for the selected ISEs
@@ -52,6 +58,9 @@ struct Options {
     jobs: usize,
     bench: Option<String>,
     server: Option<String>,
+    retries: usize,
+    checkpoint: Option<String>,
+    fault_plan: Option<isex::flow::FaultPlan>,
     metrics: Option<String>,
     events: Option<String>,
     verilog: bool,
@@ -73,6 +82,9 @@ impl Default for Options {
             jobs: 0,
             bench: None,
             server: None,
+            retries: 4,
+            checkpoint: None,
+            fault_plan: None,
             metrics: None,
             events: None,
             verilog: false,
@@ -155,6 +167,23 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                 opts.server = Some(need(args, i, "--server")?);
                 i += 1;
             }
+            "--retries" => {
+                opts.retries = need(args, i, "--retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries")?;
+                i += 1;
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(need(args, i, "--checkpoint")?);
+                i += 1;
+            }
+            "--fault-plan" => {
+                opts.fault_plan = Some(
+                    isex::flow::FaultPlan::parse(&need(args, i, "--fault-plan")?)
+                        .map_err(|e| format!("bad --fault-plan: {e}"))?,
+                );
+                i += 1;
+            }
             "--metrics" => {
                 opts.metrics = Some(need(args, i, "--metrics")?);
                 i += 1;
@@ -182,6 +211,7 @@ fn flow_config(opts: &Options) -> FlowConfig {
         area_um2: opts.area,
         max_ises: opts.max_ises,
     };
+    cfg.fault_plan = opts.fault_plan.clone();
     cfg
 }
 
@@ -192,8 +222,18 @@ fn run_observed(opts: &Options, program: &Program) -> Result<FlowReport, String>
         Some(path) => Box::new(JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?),
         None => Box::new(NullSink),
     };
-    let (report, metrics) =
-        run_flow_observed(&flow_config(opts), program, opts.seed, sink.as_ref());
+    let (report, metrics) = match &opts.checkpoint {
+        Some(path) => isex::flow::run_flow_checkpointed(
+            &flow_config(opts),
+            program,
+            opts.seed,
+            sink.as_ref(),
+            &isex::flow::CancelToken::new(),
+            std::path::Path::new(path),
+        )
+        .map_err(|e| format!("{path}: {e}"))?,
+        None => run_flow_observed(&flow_config(opts), program, opts.seed, sink.as_ref()),
+    };
     if let Some(path) = &opts.metrics {
         let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
@@ -257,6 +297,16 @@ fn explore_remote(addr: &str, bench: Benchmark, opts: &Options) -> Result<FlowRe
     if opts.events.is_some() {
         return Err("--events is not supported with --server".to_string());
     }
+    if opts.checkpoint.is_some() {
+        return Err("--checkpoint is not supported with --server".to_string());
+    }
+    if opts.fault_plan.is_some() {
+        return Err(
+            "--fault-plan is not supported with --server (start isexd with \
+                    --fault-plan instead)"
+                .to_string(),
+        );
+    }
     let request = ExploreRequest {
         bench,
         opt: opts.opt,
@@ -269,7 +319,13 @@ fn explore_remote(addr: &str, bench: Benchmark, opts: &Options) -> Result<FlowRe
         jobs: opts.jobs,
         timeout_ms: None,
     };
-    let response = isex::serve::client::explore(addr, &request).map_err(|e| e.to_string())?;
+    let policy = isex::serve::client::RetryPolicy {
+        max_retries: opts.retries,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let response = isex::serve::client::explore_with_retry(addr, &request, &policy)
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "{} answered{} ({})",
         addr,
