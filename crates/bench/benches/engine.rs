@@ -9,6 +9,11 @@
 //! * `pool_overlap` — the same pool over latency-bound jobs (sleeps), which
 //!   overlap regardless of core count. This isolates the pool's dispatch
 //!   machinery: if these numbers don't scale, the pool itself serialises.
+//! * `trace_overhead` — the same flow with tracing disabled (the default
+//!   no-op `Tracer`) vs enabled (spans recorded, Chrome trace exportable).
+//!   The disabled path is the one every untraced run pays and must stay
+//!   within noise of a build without the instrumentation (≤2% is the
+//!   budget); the enabled ratio prices `--trace`.
 //!
 //! Results land in `BENCH_engine.json` at the workspace root (committed so
 //! the numbers travel with the code; absolute times are machine-dependent,
@@ -110,6 +115,32 @@ fn pool_overlap_section() -> Vec<(usize, f64, f64)> {
     rows
 }
 
+/// Median flow time with the given tracer installed, new tracer per run.
+fn traced_flow_ms(program: &isex_workloads::Program, make: impl Fn() -> isex_trace::Tracer) -> f64 {
+    let mut cfg = flow_cfg(4);
+    cfg.tracer = make();
+    let _warm = run_flow(&cfg, program, 0xE46);
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let mut cfg = flow_cfg(4);
+            cfg.tracer = make();
+            let start = Instant::now();
+            let _ = run_flow(&cfg, program, 0xE46);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    median(&mut samples)
+}
+
+fn trace_overhead_section(program: &isex_workloads::Program) -> (f64, f64, f64) {
+    let disabled_ms = traced_flow_ms(program, isex_trace::Tracer::disabled);
+    let enabled_ms = traced_flow_ms(program, isex_trace::Tracer::new);
+    let ratio = enabled_ms / disabled_ms;
+    println!("trace_overhead disabled: median {disabled_ms:8.1} ms");
+    println!("trace_overhead enabled:  median {enabled_ms:8.1} ms  ratio {ratio:4.3}x");
+    (disabled_ms, enabled_ms, ratio)
+}
+
 fn main() {
     let bench = Benchmark::Crc32;
     let program = bench.program(OptLevel::O3);
@@ -119,9 +150,10 @@ fn main() {
 
     let flow_rows = flow_section(&program);
     let pool_rows = pool_overlap_section();
+    let (disabled_ms, enabled_ms, ratio) = trace_overhead_section(&program);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"samples\": {SAMPLES},\n  \"repeats\": 5,\n  \"max_iterations\": 150,\n  \"flow\": [\n{}\n  ],\n  \"pool_overlap\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"samples\": {SAMPLES},\n  \"repeats\": 5,\n  \"max_iterations\": 150,\n  \"flow\": [\n{}\n  ],\n  \"pool_overlap\": [\n{}\n  ],\n  \"trace_overhead\": {{\"disabled_ms\": {disabled_ms:.2}, \"enabled_ms\": {enabled_ms:.2}, \"ratio\": {ratio:.3}}}\n}}\n",
         bench.name(),
         rows_json(&flow_rows),
         rows_json(&pool_rows)

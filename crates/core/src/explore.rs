@@ -268,6 +268,12 @@ impl MultiIssueExplorer {
         round_no: usize,
         mut trace: Option<&mut Vec<TraceEntry>>,
     ) -> (Vec<(CurCandidate, u32)>, u32) {
+        let _round_span = isex_trace::span_with("aco.round", || {
+            vec![
+                ("round", round_no.to_string()),
+                ("nodes", g.len().to_string()),
+            ]
+        });
         let reach = Reachability::compute(g);
         let shape: Vec<(usize, usize)> = g
             .iter()
@@ -289,7 +295,10 @@ impl MultiIssueExplorer {
         // trail dynamics of Fig. 4.3.5 may hover without converging.
         let mut best: Option<(crate::ant::Walk, f64)> = None;
         for it in 0..self.params.max_iterations {
-            let walk = ant.run(&store, rng);
+            let walk = {
+                let _s = isex_trace::span("aco.construct");
+                ant.run(&store, rng)
+            };
             *iterations += 1;
             if let Some(trace) = trace.as_deref_mut() {
                 trace.push(TraceEntry {
@@ -302,18 +311,24 @@ impl MultiIssueExplorer {
                         .unwrap_or(walk.tet),
                 });
             }
-            trail::update(&mut store, &walk, &mut tstate, &self.params);
-            let analysis_ = merit::analyze(g, &walk, &self.machine);
-            merit::update_merits(
-                &mut store,
-                g,
-                &walk,
-                &analysis_,
-                &self.constraints,
-                &self.machine,
-                &self.params,
-                &reach,
-            );
+            {
+                let _s = isex_trace::span("aco.pheromone_update");
+                trail::update(&mut store, &walk, &mut tstate, &self.params);
+            }
+            {
+                let _s = isex_trace::span("aco.merit");
+                let analysis_ = merit::analyze(g, &walk, &self.machine);
+                merit::update_merits(
+                    &mut store,
+                    g,
+                    &walk,
+                    &analysis_,
+                    &self.constraints,
+                    &self.machine,
+                    &self.params,
+                    &reach,
+                );
+            }
             let area = walk_area(g, &walk);
             let better = match &best {
                 None => true,
@@ -344,6 +359,7 @@ impl MultiIssueExplorer {
                     .collect::<Vec<_>>()
             );
         }
+        let _extract_span = isex_trace::span("aco.extract");
         let cands = extract_candidates(g, &taken, &self.constraints, &self.machine, &reach);
         let base_len = exgraph::schedule_len(g, &self.machine);
         let mut ranked: Vec<(CurCandidate, u32)> = cands

@@ -53,6 +53,10 @@ pub struct ExploreSpec {
     /// Deterministic fault injection (tests and resilience drills only).
     /// `None` in production; see [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
+    /// Span collector; [`Tracer::disabled`](isex_trace::Tracer::disabled)
+    /// (the default) costs one atomic/thread-local check per span site.
+    /// Tracing only observes — results stay bitwise identical.
+    pub tracer: isex_trace::Tracer,
 }
 
 /// One block to explore.
@@ -198,6 +202,8 @@ impl Engine {
                         repeat: rep,
                         seed: jobs[t * repeats + rep].seed,
                         error: p.payload.clone(),
+                        seq: crate::events::Seq(0),
+                        trace: None,
                     });
                 }
             }
@@ -269,6 +275,18 @@ impl Engine {
         sink: &dyn EventSink,
         cancel: &CancelToken,
     ) -> Exploration {
+        // Attach per job, not per worker: the pool's threads are scoped to
+        // one engine call, and the guard flushes this thread's buffered
+        // spans even when the job panics (unwinding drops it last).
+        let _trace = self.spec.tracer.attach();
+        let _job_span = self.spec.tracer.span_with("engine.job", || {
+            vec![
+                ("block", task.name.to_string()),
+                ("block_index", job.block_index.to_string()),
+                ("repeat", job.repeat.to_string()),
+                ("seed", job.seed.to_string()),
+            ]
+        });
         if let Some(plan) = &self.spec.fault_plan {
             plan.apply(job.block_index, job.repeat, cancel);
         }
@@ -277,6 +295,8 @@ impl Engine {
             block_index: job.block_index,
             repeat: job.repeat,
             seed: job.seed,
+            seq: crate::events::Seq(0),
+            trace: None,
         });
         let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(job.seed);
@@ -314,6 +334,8 @@ impl Engine {
             iterations: exploration.iterations,
             candidates: exploration.candidates.len(),
             elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            seq: crate::events::Seq(0),
+            trace: None,
         });
         exploration
     }
@@ -337,6 +359,8 @@ fn emit_round_summaries(trace: &[TraceEntry], block: &str, job: &ExploreJob, sin
             round,
             best_tet,
             tets,
+            seq: crate::events::Seq(0),
+            trace: None,
         });
     }
 }

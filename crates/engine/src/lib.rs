@@ -21,10 +21,10 @@ mod seed;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use engine::{Algorithm, BlockResult, BlockTask, Engine, EngineOutcome, ExploreSpec};
-pub use events::{EventSink, JsonlSink, NullSink, RunEvent, VecSink};
+pub use events::{EventSink, JsonlSink, NullSink, RunEvent, Seq, TaggedSink, VecSink};
 pub use fault::{FaultKind, FaultPlan};
 pub use job::ExploreJob;
-pub use metrics::{BlockFailure, BlockSpread, PhaseTimes, RunMetrics};
+pub use metrics::{BlockFailure, BlockSpread, PhaseProfile, PhaseStat, PhaseTimes, RunMetrics};
 pub use pool::{
     run_jobs, run_jobs_cancellable, run_jobs_supervised, worker_count, JobPanic, PoolOutcome,
 };

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+pub use isex_trace::{PhaseProfile, PhaseStat};
+
 /// Wall-clock time per flow phase, milliseconds.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseTimes {
@@ -94,6 +96,9 @@ pub struct RunMetrics {
     pub phases: PhaseTimes,
     /// Per-block best-of-N spread.
     pub block_spread: Vec<BlockSpread>,
+    /// Per-span-name aggregate from the run's tracer (empty when tracing
+    /// was disabled; missing in pre-tracing records, which still parse).
+    pub phase_profile: PhaseProfile,
 }
 
 impl RunMetrics {
@@ -117,6 +122,7 @@ impl RunMetrics {
             candidates_accepted: 0,
             phases: PhaseTimes::default(),
             block_spread: Vec::new(),
+            phase_profile: PhaseProfile::default(),
         }
     }
 }
@@ -142,6 +148,12 @@ mod tests {
             error: "injected fault: panic at block=3 repeat=0".to_string(),
         });
         m.ant_iterations = 1234;
+        m.phase_profile.0.push(PhaseStat {
+            name: "aco.round".to_string(),
+            count: 3,
+            total_ms: 4.5,
+            max_ms: 2.0,
+        });
         m.phases.explore_ms = 12.5;
         m.phases.total_ms = 13.0;
         m.block_spread.push(BlockSpread {

@@ -10,6 +10,7 @@ use isex_engine::{
     RunMetrics,
 };
 use isex_isa::MachineConfig;
+use isex_trace::Tracer;
 use isex_workloads::{BasicBlock, Program};
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +49,10 @@ pub struct FlowConfig {
     /// Deterministic fault injection passed through to the engine.
     /// `None` (the default) in production; see [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
+    /// Span collector threaded through the whole run (flow phases, engine
+    /// jobs, ACO rounds, scheduler passes). Disabled by default; tracing
+    /// only observes, so reports stay bitwise identical either way.
+    pub tracer: Tracer,
 }
 
 impl FlowConfig {
@@ -65,6 +70,7 @@ impl FlowConfig {
             sharing: SharingModel::default(),
             hot_block_coverage: 0.95,
             fault_plan: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -164,6 +170,7 @@ pub fn explore_program_cancellable(
     sink: &dyn EventSink,
     cancel: &CancelToken,
 ) -> Result<(Vec<WeightedPattern>, usize, usize, RunMetrics), Cancelled> {
+    let _trace = cfg.tracer.attach();
     let hot = hot_blocks(cfg, program);
     let engine = Engine::new(explore_spec(cfg));
     let tasks: Vec<BlockTask<'_>> = hot
@@ -173,8 +180,17 @@ pub fn explore_program_cancellable(
             dfg: &b.dfg,
         })
         .collect();
-    let outcome = engine.try_explore_blocks(&tasks, seed, sink, cancel)?;
+    let outcome = {
+        let _s = cfg.tracer.span_with("flow.explore", || {
+            vec![
+                ("blocks", tasks.len().to_string()),
+                ("seed", seed.to_string()),
+            ]
+        });
+        engine.try_explore_blocks(&tasks, seed, sink, cancel)?
+    };
 
+    let _pattern_span = cfg.tracer.span("flow.patterns");
     let mut patterns = Vec::new();
     let mut iterations = 0usize;
     let mut metrics = RunMetrics::empty(seed, outcome.workers);
@@ -235,6 +251,7 @@ pub(crate) fn explore_spec(cfg: &FlowConfig) -> ExploreSpec {
         repeats: cfg.repeats,
         jobs: cfg.jobs,
         fault_plan: cfg.fault_plan.clone(),
+        tracer: cfg.tracer.clone(),
     }
 }
 
@@ -262,6 +279,7 @@ pub(crate) fn replace_and_report(
     let mut before = 0u64;
     let mut after = 0u64;
     for block in &program.blocks {
+        let _s = isex_trace::span_with("flow.reschedule", || vec![("block", block.name.clone())]);
         let r = replace::replace_in_block(&block.dfg, &selected, &cfg.machine);
         before += r.cycles_before as u64 * block.exec_count;
         after += r.cycles_after as u64 * block.exec_count;
@@ -316,19 +334,34 @@ pub fn run_flow_cancellable(
     sink: &dyn EventSink,
     cancel: &CancelToken,
 ) -> Result<(FlowReport, RunMetrics), Cancelled> {
+    let _trace = cfg.tracer.attach();
     let start = Instant::now();
     let (patterns, explored, iterations, mut metrics) =
         explore_program_cancellable(cfg, program, seed, sink, cancel)?;
 
     let select_start = Instant::now();
-    let selected = select::select_with(patterns, &cfg.budgets, cfg.sharing);
+    let selected = {
+        let _s = cfg.tracer.span_with("flow.select", || {
+            vec![("candidates", patterns.len().to_string())]
+        });
+        select::select_with(patterns, &cfg.budgets, cfg.sharing)
+    };
     metrics.phases.select_ms = select_start.elapsed().as_secs_f64() * 1e3;
     metrics.candidates_accepted = selected.len();
 
     let replace_start = Instant::now();
-    let report = replace_and_report(cfg, program, selected, explored, iterations);
+    let report = {
+        let _s = cfg.tracer.span_with("flow.replace", || {
+            vec![("ises", selected.len().to_string())]
+        });
+        replace_and_report(cfg, program, selected, explored, iterations)
+    };
     metrics.phases.replace_ms = replace_start.elapsed().as_secs_f64() * 1e3;
     metrics.phases.total_ms = start.elapsed().as_secs_f64() * 1e3;
+    // Every span above is closed by now, so the aggregate covers the whole
+    // run. An untraced run leaves the profile empty — the report itself
+    // never depends on the tracer.
+    metrics.phase_profile = cfg.tracer.phase_profile();
     Ok((report, metrics))
 }
 

@@ -97,6 +97,9 @@ impl Schedule {
 /// assert_eq!(s.length, 2); // a and b co-issue, then c
 /// ```
 pub fn list_schedule(dfg: &SchedDfg, machine: &MachineConfig, priority: Priority) -> Schedule {
+    // One thread-local read when no tracer is attached — the scheduler is
+    // called per candidate evaluation, so this must stay near-free.
+    let _span = isex_trace::span_with("sched.list", || vec![("ops", dfg.len().to_string())]);
     let k = dfg.len();
     let mut start = vec![0u32; k];
     let mut scheduled = vec![false; k];

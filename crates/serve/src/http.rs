@@ -18,6 +18,8 @@ pub struct Request {
     pub method: String,
     /// Request path, query string stripped.
     pub path: String,
+    /// Raw query string (everything after the first `?`, without it).
+    pub query: String,
     /// Lower-cased header names with their raw values.
     pub headers: Vec<(String, String)>,
     /// The body, exactly `Content-Length` bytes.
@@ -31,6 +33,16 @@ impl Request {
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of a `key=value` query parameter, if present. A bare `key`
+    /// with no `=` yields `Some("")`. No percent-decoding — the parameters
+    /// this API accepts are plain tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -105,7 +117,10 @@ pub fn read_request<R: Read>(
             "unsupported version `{version}`"
         )));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -152,6 +167,7 @@ pub fn read_request<R: Read>(
     Ok(Request {
         method,
         path,
+        query,
         headers,
         body,
     })
@@ -207,18 +223,21 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete JSON response and flushes. `extra_headers` come after
-/// the standard set (used for `Retry-After`).
-pub fn write_json_response<W: Write>(
+/// Writes a complete response with the given content type and flushes.
+/// `extra_headers` come after the standard set (used for `Retry-After` and
+/// trace-ID echoing).
+pub fn write_response<W: Write>(
     stream: &mut W,
     status: u16,
+    content_type: &str,
     body: &str,
     extra_headers: &[(&str, String)],
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
         status,
         reason(status),
+        content_type,
         body.len()
     );
     for (k, v) in extra_headers {
@@ -228,6 +247,16 @@ pub fn write_json_response<W: Write>(
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// [`write_response`] specialised to `application/json`.
+pub fn write_json_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body, extra_headers)
 }
 
 #[cfg(test)]
@@ -257,6 +286,19 @@ mod tests {
         assert_eq!(req.path, "/v1/explore");
         assert_eq!(req.header("x-a"), Some("b"));
         assert_eq!(req.body, b"body");
+        assert_eq!(req.query, "");
+        assert_eq!(req.query_param("format"), None);
+    }
+
+    #[test]
+    fn query_string_is_split_off_and_parameterised() {
+        let mut raw: &[u8] = b"GET /metrics?format=prometheus&raw HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut raw, 1024, DEFAULT_MAX_HEAD_BYTES).unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, "format=prometheus&raw");
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("raw"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
     }
 
     #[test]

@@ -9,7 +9,14 @@
 //! * `POST /v1/explore` — run (or re-serve) an exploration;
 //! * `GET /healthz` — liveness;
 //! * `GET /metrics` — queue depth, in-flight jobs, cache hit rate,
-//!   latency histograms, cumulative engine telemetry.
+//!   latency histograms (with p50/p95/p99), cumulative engine telemetry
+//!   and per-phase span aggregates; `?format=prometheus` renders the same
+//!   document in Prometheus text exposition format.
+//!
+//! Every request carries an `X-Isex-Trace-Id` (client-supplied or minted)
+//! echoed in the response; with `--trace-dir` each explore run is traced
+//! and written as a Chrome-trace JSON + event JSONL pair named by that ID
+//! (see [`trace`]).
 //!
 //! The serving core is three small mechanisms:
 //!
@@ -45,6 +52,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod signal;
+pub mod trace;
 
 pub use protocol::{ExploreRequest, ExploreResponse};
 pub use server::{run, run_from_args, start, ServerConfig, ServerHandle};

@@ -46,6 +46,9 @@ pub struct Job {
     pub request: ExploreRequest,
     /// The request's canonical cache key.
     pub key: String,
+    /// The request's trace ID (minted or client-supplied), stamped on the
+    /// run's spans and events and echoed in the response.
+    pub trace_id: String,
     /// Trips when the waiter gives up; workers check it between engine jobs.
     pub cancel: CancelToken,
     /// When the job entered the queue (for queue-wait telemetry).
@@ -56,10 +59,11 @@ pub struct Job {
 
 impl Job {
     /// A fresh job for `request`.
-    pub fn new(request: ExploreRequest, key: String) -> Arc<Job> {
+    pub fn new(request: ExploreRequest, key: String, trace_id: String) -> Arc<Job> {
         Arc::new(Job {
             request,
             key,
+            trace_id,
             cancel: CancelToken::new(),
             enqueued_at: Instant::now(),
             outcome: Mutex::new(None),
@@ -281,7 +285,7 @@ mod tests {
     use crate::protocol::ExploreRequest;
 
     fn job() -> Arc<Job> {
-        Job::new(ExploreRequest::default(), "k".into())
+        Job::new(ExploreRequest::default(), "k".into(), "t0".into())
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct ServerConfig {
     /// Deterministic fault injection applied to every run — a test/drill
     /// knob, `None` in production. See [`isex_engine::FaultPlan`].
     pub fault_plan: Option<isex_engine::FaultPlan>,
+    /// When set, every explore run is traced and its Chrome-trace JSON +
+    /// event JSONL are written here, named by the request's trace ID.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// Cap on trace *files* kept in `trace_dir` (each traced request
+    /// writes two); the oldest are deleted beyond it.
+    pub trace_keep: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +83,8 @@ impl Default for ServerConfig {
             write_timeout_ms: 30_000,
             retry_after_secs: 1,
             fault_plan: None,
+            trace_dir: None,
+            trace_keep: 64,
         }
     }
 }
@@ -140,11 +148,21 @@ impl ServerConfig {
                     config.fault_plan = Some(isex_engine::FaultPlan::parse(&spec)?);
                     i += 1;
                 }
+                "--trace-dir" => {
+                    config.trace_dir = Some(need(args, i, "--trace-dir")?.into());
+                    i += 1;
+                }
+                "--trace-keep" => {
+                    config.trace_keep = need(args, i, "--trace-keep")?
+                        .parse()
+                        .map_err(|_| "bad --trace-keep")?;
+                    i += 1;
+                }
                 other => {
                     return Err(format!(
                         "unknown flag `{other}` (valid: --addr, --workers, --queue-cap, \
                          --cache-cap, --timeout-ms, --read-timeout-ms, --write-timeout-ms, \
-                         --fault-plan)"
+                         --fault-plan, --trace-dir, --trace-keep)"
                     ))
                 }
             }
@@ -172,6 +190,9 @@ pub struct ServerState {
     pub metrics: ServerMetrics,
     /// Trips once; every loop polls it.
     pub shutdown: AtomicBool,
+    /// Bounded ring of per-request trace files (empty unless
+    /// [`ServerConfig::trace_dir`] is set).
+    pub trace_ring: crate::trace::TraceRing,
     active_connections: AtomicUsize,
 }
 
@@ -233,11 +254,15 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
 
+    if let Some(dir) = &config.trace_dir {
+        std::fs::create_dir_all(dir)?;
+    }
     let state = Arc::new(ServerState {
         queue: JobQueue::new(config.queue_capacity),
         cache: ResultCache::new(config.cache_capacity),
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
+        trace_ring: crate::trace::TraceRing::new(config.trace_keep),
         active_connections: AtomicUsize::new(0),
         config,
     });
@@ -332,8 +357,54 @@ fn run_one(state: &Arc<ServerState>, job: &Job) {
     let in_flight = state.queue.start_job();
     let mut cfg = job.request.flow_config();
     cfg.fault_plan = state.config.fault_plan.clone();
+    let tracer = match &state.config.trace_dir {
+        Some(_) => isex_trace::Tracer::with_trace_id(&job.trace_id),
+        None => isex_trace::Tracer::disabled(),
+    };
+    cfg.tracer = tracer.clone();
     let program = job.request.program();
-    match run_flow_cancellable(&cfg, &program, job.request.seed, &NullSink, &job.cancel) {
+
+    let run;
+    if let Some(dir) = &state.config.trace_dir {
+        // Traced request: stream seq-stamped, trace-tagged events to a
+        // JSONL file and wrap the whole run in one `request.explore` span
+        // (the flow re-attaches the same tracer internally — a no-op that
+        // keeps this span the parent of every flow/engine/ACO span).
+        let events_path = dir.join(format!("{}.events.jsonl", job.trace_id));
+        let sink = isex_engine::JsonlSink::create(&events_path)
+            .ok()
+            .map(|s| isex_engine::TaggedSink::new(s, job.trace_id.clone()));
+        run = {
+            let _attach = tracer.attach();
+            let _span = tracer.span_with("request.explore", || {
+                vec![
+                    ("key", job.key.clone()),
+                    ("seed", job.request.seed.to_string()),
+                    ("trace", job.trace_id.clone()),
+                ]
+            });
+            match &sink {
+                Some(s) => run_flow_cancellable(&cfg, &program, job.request.seed, s, &job.cancel),
+                None => {
+                    run_flow_cancellable(&cfg, &program, job.request.seed, &NullSink, &job.cancel)
+                }
+            }
+        };
+        let mut written = Vec::new();
+        if let Some(s) = sink {
+            let _ = s.into_inner().flush();
+            written.push(events_path);
+        }
+        let trace_path = dir.join(format!("{}.trace.json", job.trace_id));
+        if std::fs::write(&trace_path, tracer.chrome_trace()).is_ok() {
+            written.push(trace_path);
+        }
+        state.trace_ring.push(written);
+    } else {
+        run = run_flow_cancellable(&cfg, &program, job.request.seed, &NullSink, &job.cancel);
+    }
+
+    match run {
         Ok((report, run_metrics)) => {
             if run_metrics.blocks_explored > 0
                 && run_metrics.block_failures.len() == run_metrics.blocks_explored
@@ -424,8 +495,17 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
         Err(HttpError::Io(_)) => return,
     };
 
+    // Every routed request gets a trace ID — the client's (when
+    // well-formed) or a freshly minted one — echoed on the response and,
+    // for explores, stamped through the run's spans and events.
+    let trace_id = request
+        .header(crate::trace::TRACE_HEADER)
+        .and_then(crate::trace::accept_trace_id)
+        .unwrap_or_else(crate::trace::mint_trace_id);
+    let echo = [(crate::trace::TRACE_HEADER, trace_id.clone())];
+
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/explore") => handle_explore(state, &mut stream, &request),
+        ("POST", "/v1/explore") => handle_explore(state, &mut stream, &request, &trace_id),
         ("GET", "/healthz") => {
             let body = serde_json::value_to_string(&Value::Object(vec![
                 ("status".into(), Value::String("ok".into())),
@@ -435,12 +515,25 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
                     Value::Bool(state.shutdown.load(Ordering::Acquire)),
                 ),
             ]));
-            respond_control(state, &mut stream, 200, &body, &[]);
+            respond_control(state, &mut stream, 200, &body, &echo);
         }
         ("GET", "/metrics") => {
-            let body =
-                serde_json::value_to_string(&state.metrics.snapshot(&state.queue, &state.cache));
-            respond_control(state, &mut stream, 200, &body, &[]);
+            if request.query_param("format") == Some("prometheus") {
+                let body = state.metrics.render_prometheus(&state.queue, &state.cache);
+                respond_control_typed(
+                    state,
+                    &mut stream,
+                    200,
+                    "text/plain; version=0.0.4",
+                    &body,
+                    &echo,
+                );
+            } else {
+                let body = serde_json::value_to_string(
+                    &state.metrics.snapshot(&state.queue, &state.cache),
+                );
+                respond_control(state, &mut stream, 200, &body, &echo);
+            }
         }
         (_, "/v1/explore") | (_, "/healthz") | (_, "/metrics") => {
             respond_control(
@@ -448,20 +541,27 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
                 &mut stream,
                 405,
                 &protocol::error_json("method not allowed"),
-                &[],
+                &echo,
             );
         }
         (_, path) => {
             let msg = format!("no route `{path}` (try /v1/explore, /healthz, /metrics)");
-            respond_control(state, &mut stream, 404, &protocol::error_json(&msg), &[]);
+            respond_control(state, &mut stream, 404, &protocol::error_json(&msg), &echo);
         }
     }
 }
 
-fn handle_explore(state: &Arc<ServerState>, stream: &mut TcpStream, request: &Request) {
+fn handle_explore(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+    trace_id: &str,
+) {
     let started = Instant::now();
     let mut respond = |status: u16, body: &str, extra: &[(&str, String)]| {
-        let _ = http::write_json_response(stream, status, body, extra);
+        let mut headers: Vec<(&str, String)> = extra.to_vec();
+        headers.push((crate::trace::TRACE_HEADER, trace_id.to_string()));
+        let _ = http::write_json_response(stream, status, body, &headers);
         state.metrics.count_status(status);
         state
             .metrics
@@ -503,7 +603,7 @@ fn handle_explore(state: &Arc<ServerState>, stream: &mut TcpStream, request: &Re
     let timeout_ms = explore
         .timeout_ms
         .unwrap_or(state.config.default_timeout_ms);
-    let job = Job::new(explore, key.clone());
+    let job = Job::new(explore, key.clone(), trace_id.to_string());
     if state.queue.try_push(Arc::clone(&job)).is_err() {
         state
             .metrics
@@ -559,8 +659,19 @@ fn respond_control(
     body: &str,
     extra: &[(&str, String)],
 ) {
+    respond_control_typed(state, stream, status, "application/json", body, extra);
+}
+
+fn respond_control_typed(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra: &[(&str, String)],
+) {
     let started = Instant::now();
-    let _ = http::write_json_response(stream, status, body, extra);
+    let _ = http::write_response(stream, status, content_type, body, extra);
     state.metrics.count_status(status);
     state
         .metrics

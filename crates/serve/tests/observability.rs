@@ -1,0 +1,230 @@
+//! Observability over real TCP: trace-ID mint/accept/echo, per-request
+//! trace files under `--trace-dir` (bounded by `--trace-keep`), and the
+//! Prometheus rendering of `/metrics`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use isex_serve::client;
+use isex_serve::trace::TRACE_HEADER;
+use isex_serve::{start, ExploreRequest, ServerConfig};
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    }
+}
+
+fn quick(seed: u64) -> ExploreRequest {
+    ExploreRequest {
+        seed,
+        effort: 40,
+        repeats: 1,
+        ..ExploreRequest::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("isex-serve-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One raw HTTP exchange with caller-controlled request headers (the
+/// bundled client does not expose custom headers).
+fn raw_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\n");
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("complete response");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_ascii_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn every_response_carries_a_minted_trace_id() {
+    let handle = start(config()).expect("start server");
+    let addr = handle.addr().to_string();
+
+    let health = client::get(&addr, "/healthz").unwrap();
+    let id = health.header(TRACE_HEADER).expect("trace id on /healthz");
+    assert!(!id.is_empty());
+
+    // Even errors echo a trace id.
+    let missing = client::get(&addr, "/nowhere").unwrap();
+    assert_eq!(missing.status, 404);
+    assert!(missing.header(TRACE_HEADER).is_some());
+
+    handle.shutdown();
+}
+
+#[test]
+fn client_trace_id_is_accepted_and_hostile_ones_replaced() {
+    let handle = start(config()).expect("start server");
+    let addr = handle.addr().to_string();
+
+    let (status, headers, _) = raw_request(
+        &addr,
+        "GET",
+        "/healthz",
+        &[(TRACE_HEADER, "req-42_A")],
+        None,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, TRACE_HEADER), Some("req-42_A"));
+
+    // A path-traversal attempt is discarded and a fresh ID minted.
+    let (_, headers, _) = raw_request(
+        &addr,
+        "GET",
+        "/healthz",
+        &[(TRACE_HEADER, "../../etc/passwd")],
+        None,
+    );
+    let echoed = header(&headers, TRACE_HEADER).expect("minted id");
+    assert_ne!(echoed, "../../etc/passwd");
+    assert!(!echoed.contains('/'));
+
+    handle.shutdown();
+}
+
+#[test]
+fn traced_server_writes_bounded_per_request_trace_files() {
+    let dir = temp_dir("ring");
+    let mut cfg = config();
+    cfg.trace_dir = Some(dir.clone());
+    cfg.trace_keep = 2; // one traced request = two files
+    let handle = start(cfg).expect("start server");
+    let addr = handle.addr().to_string();
+
+    let id = "trace-files-1";
+    let (status, headers, body) = raw_request(
+        &addr,
+        "POST",
+        "/v1/explore",
+        &[(TRACE_HEADER, id), ("content-type", "application/json")],
+        Some(&quick(0xAB).to_json()),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header(&headers, TRACE_HEADER), Some(id));
+
+    let trace_path = dir.join(format!("{id}.trace.json"));
+    let events_path = dir.join(format!("{id}.events.jsonl"));
+    let trace = std::fs::read_to_string(&trace_path).expect("chrome trace written");
+    let doc = serde_json::parse(&trace).expect("trace is valid JSON");
+    let events_text = std::fs::read_to_string(&events_path).expect("events written");
+    assert!(
+        matches!(doc, serde::Value::Array(ref a) if !a.is_empty()),
+        "trace must be a non-empty event array"
+    );
+    // Every event line parses and is tagged with the request's trace id.
+    let mut lines = 0;
+    for line in events_text.lines() {
+        let ev: isex_engine::RunEvent = serde_json::from_str(line).expect(line);
+        assert_eq!(ev.trace_id(), Some(id), "{line}");
+        lines += 1;
+    }
+    assert!(lines > 0, "the traced run must emit events");
+
+    // Two more traced runs (distinct seeds — cache hits skip the engine
+    // and write nothing) overflow the two-file ring: the oldest pair dies.
+    for seed in [0xAC, 0xADu64] {
+        let (status, _, body) = raw_request(
+            &addr,
+            "POST",
+            "/v1/explore",
+            &[("content-type", "application/json")],
+            Some(&quick(seed).to_json()),
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+    let remaining: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        remaining.len(),
+        2,
+        "ring must bound the directory: {remaining:?}"
+    );
+    assert!(!trace_path.exists(), "oldest trace evicted");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_render_as_prometheus_text() {
+    let handle = start(config()).expect("start server");
+    let addr = handle.addr().to_string();
+    // Generate some traffic so counters are non-trivial.
+    let _ = client::explore(&addr, &quick(0x9)).expect("explore");
+
+    let (status, headers, body) =
+        raw_request(&addr, "GET", "/metrics?format=prometheus", &[], None);
+    assert_eq!(status, 200);
+    assert!(
+        header(&headers, "content-type").is_some_and(|ct| ct.starts_with("text/plain")),
+        "{headers:?}"
+    );
+    assert!(header(&headers, TRACE_HEADER).is_some());
+    let mut lines = 0;
+    for line in body.lines() {
+        let (name, value) = line.rsplit_once(' ').expect(line);
+        assert!(!name.is_empty(), "{line}");
+        assert!(value.parse::<f64>().is_ok(), "{line}");
+        lines += 1;
+    }
+    assert!(lines > 20, "expected a full metric family set, got {lines}");
+    for needle in [
+        "isexd_uptime_ms ",
+        "isexd_engine_runs 1",
+        "isexd_latency_explore_ms_count 1",
+        "isexd_requests_total{status=\"200\"} 1",
+    ] {
+        assert!(body.contains(needle), "missing `{needle}`:\n{body}");
+    }
+
+    // The JSON document is still the default.
+    let json = client::get(&addr, "/metrics").unwrap();
+    assert!(json.body.starts_with('{'), "{}", json.body);
+
+    handle.shutdown();
+}

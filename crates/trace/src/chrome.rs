@@ -1,0 +1,109 @@
+//! The Chrome trace-event exporter.
+//!
+//! Emits the JSON-array flavour of the trace-event format: complete events
+//! (`"ph":"X"`) with microsecond `ts`/`dur`, one `pid` for the whole run
+//! and one `tid` per worker thread, plus `"M"` metadata events naming the
+//! process and threads. The output loads in Perfetto and
+//! `chrome://tracing` as-is.
+
+use serde::Value;
+
+use crate::SpanRecord;
+
+/// The single process id stamped on every event (one trace = one run).
+pub const TRACE_PID: u64 = 1;
+
+/// Renders span records as a Chrome trace-event JSON array.
+pub fn chrome_trace_json(
+    spans: &[SpanRecord],
+    threads: &[(u64, String)],
+    trace_id: Option<&str>,
+) -> String {
+    let mut events = Vec::with_capacity(spans.len() + threads.len() + 1);
+    let process_name = match trace_id {
+        Some(id) => format!("isex run {id}"),
+        None => "isex run".to_string(),
+    };
+    events.push(metadata_event("process_name", 0, &process_name));
+    for (tid, name) in threads {
+        events.push(metadata_event("thread_name", *tid, name));
+    }
+    for span in spans {
+        let mut args: Vec<(String, Value)> = vec![("id".into(), Value::U64(span.id))];
+        if let Some(parent) = span.parent {
+            args.push(("parent".into(), Value::U64(parent)));
+        }
+        if let Some(id) = trace_id {
+            args.push(("trace".into(), Value::String(id.to_string())));
+        }
+        for (k, v) in &span.args {
+            args.push(((*k).to_string(), Value::String(v.clone())));
+        }
+        events.push(Value::Object(vec![
+            ("name".into(), Value::String(span.name.to_string())),
+            ("cat".into(), Value::String("isex".into())),
+            ("ph".into(), Value::String("X".into())),
+            ("ts".into(), Value::F64(span.start_ns as f64 / 1e3)),
+            ("dur".into(), Value::F64(span.dur_ns as f64 / 1e3)),
+            ("pid".into(), Value::U64(TRACE_PID)),
+            ("tid".into(), Value::U64(span.tid)),
+            ("args".into(), Value::Object(args)),
+        ]));
+    }
+    serde_json::value_to_string(&Value::Array(events))
+}
+
+fn metadata_event(kind: &str, tid: u64, name: &str) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::String(kind.to_string())),
+        ("ph".into(), Value::String("M".into())),
+        ("pid".into(), Value::U64(TRACE_PID)),
+        ("tid".into(), Value::U64(tid)),
+        (
+            "args".into(),
+            Value::Object(vec![("name".into(), Value::String(name.to_string()))]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_valid_json_and_round_trips_fields() {
+        let spans = vec![SpanRecord {
+            id: 7,
+            parent: Some(3),
+            name: "flow.select",
+            start_ns: 1_500,
+            dur_ns: 2_500,
+            tid: 2,
+            args: vec![("k", "v".to_string())],
+        }];
+        let threads = vec![(2u64, "worker-0".to_string())];
+        let text = chrome_trace_json(&spans, &threads, Some("t-1"));
+        let parsed = serde_json::parse(&text).expect("valid JSON");
+        let events = parsed.as_array().expect("trace-event array");
+        // process_name + thread_name + 1 span.
+        assert_eq!(events.len(), 3);
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .expect("one complete event");
+        assert_eq!(
+            span.get("name").and_then(Value::as_str),
+            Some("flow.select")
+        );
+        assert_eq!(span.get("ts").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(span.get("dur").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(span.get("tid").and_then(Value::as_u64), Some(2));
+        assert_eq!(span.get("pid").and_then(Value::as_u64), Some(TRACE_PID));
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Value::as_str),
+            Some("t-1")
+        );
+    }
+}

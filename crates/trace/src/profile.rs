@@ -1,0 +1,126 @@
+//! The in-memory aggregate exporter: per-span-name count / total / max.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::SpanRecord;
+
+/// Aggregate cost of one span name across a run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Span name, e.g. `"aco.construct"`.
+    pub name: String,
+    /// Spans recorded under the name.
+    pub count: u64,
+    /// Summed duration, milliseconds.
+    pub total_ms: f64,
+    /// Longest single span, milliseconds.
+    pub max_ms: f64,
+}
+
+/// A run's per-phase profile: one [`PhaseStat`] per span name, sorted by
+/// name. Lives in `RunMetrics` as `phase_profile`.
+///
+/// Serializes as a plain array; a *missing or null* field deserializes as
+/// empty, so metrics records written before tracing existed still parse.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseProfile(pub Vec<PhaseStat>);
+
+impl PhaseProfile {
+    /// The stat for `name`, if the profile saw it.
+    pub fn get(&self, name: &str) -> Option<&PhaseStat> {
+        self.0.iter().find(|s| s.name == name)
+    }
+
+    /// Summed `total_ms` over the given span names (absent names count 0).
+    pub fn total_ms(&self, names: &[&str]) -> f64 {
+        names
+            .iter()
+            .filter_map(|n| self.get(n))
+            .map(|s| s.total_ms)
+            .sum()
+    }
+}
+
+impl Serialize for PhaseProfile {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for PhaseProfile {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            serde::Value::Null => Ok(PhaseProfile::default()),
+            v => serde::de::from_value(&v).map(PhaseProfile),
+        }
+    }
+}
+
+/// Folds closed span records into a name-sorted profile.
+pub(crate) fn aggregate(records: &[SpanRecord]) -> PhaseProfile {
+    let mut stats: Vec<PhaseStat> = Vec::new();
+    for r in records {
+        let ms = r.dur_ns as f64 / 1e6;
+        match stats.iter_mut().find(|s| s.name == r.name) {
+            Some(s) => {
+                s.count += 1;
+                s.total_ms += ms;
+                s.max_ms = s.max_ms.max(ms);
+            }
+            None => stats.push(PhaseStat {
+                name: r.name.to_string(),
+                count: 1,
+                total_ms: ms,
+                max_ms: ms,
+            }),
+        }
+    }
+    stats.sort_by(|a, b| a.name.cmp(&b.name));
+    PhaseProfile(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &'static str, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id: 0,
+            parent: None,
+            name,
+            start_ns: 0,
+            dur_ns,
+            tid: 1,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_count_total_and_max_per_name() {
+        let p = aggregate(&[
+            rec("b", 2_000_000),
+            rec("a", 1_000_000),
+            rec("b", 4_000_000),
+        ]);
+        assert_eq!(p.0.len(), 2);
+        assert_eq!(p.0[0].name, "a"); // sorted
+        let b = p.get("b").unwrap();
+        assert_eq!(b.count, 2);
+        assert!((b.total_ms - 6.0).abs() < 1e-9);
+        assert!((b.max_ms - 4.0).abs() < 1e-9);
+        assert!((p.total_ms(&["a", "b"]) - 7.0).abs() < 1e-9);
+        assert_eq!(p.total_ms(&["absent"]), 0.0);
+    }
+
+    #[test]
+    fn profile_round_trips_and_tolerates_null() {
+        let p = aggregate(&[rec("x", 5_000_000)]);
+        let text = serde_json::to_string(&p).unwrap();
+        let back: PhaseProfile = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, p);
+        // Pre-tracing metrics records have no phase_profile field at all;
+        // the vendored serde hands such fields a null.
+        let empty: PhaseProfile = serde_json::from_str("null").unwrap();
+        assert!(empty.0.is_empty());
+    }
+}

@@ -47,6 +47,7 @@ fn main() {
         repeats: 1,
         jobs: 1,
         fault_plan: None,
+        tracer: Default::default(),
     });
     let sink = VecSink::new();
     let outcome = engine.explore_blocks(

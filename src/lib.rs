@@ -15,6 +15,7 @@
 //! | [`flow`] | `isex-flow` | profiling → exploration → merging → selection → replacement |
 //! | [`workloads`] | `isex-workloads` | the seven MiBench-like kernels, random DFGs |
 //! | [`serve`] | `isex-serve` | `isexd`: the HTTP exploration service (queue, cache, backpressure) |
+//! | [`trace`] | `isex-trace` | structured spans, Chrome-trace export, per-phase profiles |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use isex_flow as flow;
 pub use isex_isa as isa;
 pub use isex_sched as sched;
 pub use isex_serve as serve;
+pub use isex_trace as trace;
 pub use isex_workloads as workloads;
 
 /// The most commonly used items in one import.
@@ -65,5 +67,6 @@ pub mod prelude {
     };
     pub use isex_isa::{MachineConfig, Opcode, Operation, ProgramDfg};
     pub use isex_sched::{list_schedule, Priority, SchedDfg, SchedOp, UnitClass};
+    pub use isex_trace::Tracer;
     pub use isex_workloads::{Benchmark, OptLevel, Program};
 }

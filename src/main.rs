@@ -27,11 +27,15 @@
 //!                          "panic:1/8 delay:1/4:10ms" (local explore only)
 //!   --metrics PATH         write RunMetrics JSON to PATH
 //!   --events PATH          stream JSONL run events to PATH
+//!   --trace PATH           write a Chrome-trace JSON of the run — load it
+//!                          in Perfetto or chrome://tracing (local only)
+//!   --profile              print the per-phase span profile after the run
 //!   --verilog              emit Verilog for the selected ISEs
 //!   --timeline             print the hot block's schedule before/after
 //!
 //! serve options (see also `isexd --help` header):
 //!   --addr HOST:PORT  --workers N  --queue-cap N  --cache-cap N  --timeout-ms N
+//!   --trace-dir DIR  --trace-keep N
 //! ```
 
 use std::process::ExitCode;
@@ -63,6 +67,8 @@ struct Options {
     fault_plan: Option<isex::flow::FaultPlan>,
     metrics: Option<String>,
     events: Option<String>,
+    trace: Option<String>,
+    profile: bool,
     verilog: bool,
     timeline: bool,
 }
@@ -87,6 +93,8 @@ impl Default for Options {
             fault_plan: None,
             metrics: None,
             events: None,
+            trace: None,
+            profile: false,
             verilog: false,
             timeline: false,
         }
@@ -192,6 +200,11 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                 opts.events = Some(need(args, i, "--events")?);
                 i += 1;
             }
+            "--trace" => {
+                opts.trace = Some(need(args, i, "--trace")?);
+                i += 1;
+            }
+            "--profile" => opts.profile = true,
             "--verilog" => opts.verilog = true,
             "--timeline" => opts.timeline = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
@@ -212,19 +225,26 @@ fn flow_config(opts: &Options) -> FlowConfig {
         max_ises: opts.max_ises,
     };
     cfg.fault_plan = opts.fault_plan.clone();
+    // Tracing only observes: with or without it the report is bitwise
+    // identical, so flipping --trace/--profile never changes results.
+    if opts.trace.is_some() || opts.profile {
+        cfg.tracer = Tracer::new();
+    }
     cfg
 }
 
 /// Runs the flow with whatever observability the options ask for: an
-/// optional JSONL event stream and an optional RunMetrics JSON file.
-fn run_observed(opts: &Options, program: &Program) -> Result<FlowReport, String> {
+/// optional JSONL event stream, RunMetrics JSON file, Chrome-trace export
+/// and per-phase profile.
+fn run_observed(opts: &Options, program: &Program) -> Result<(FlowReport, RunMetrics), String> {
+    let cfg = flow_config(opts);
     let sink: Box<dyn EventSink> = match &opts.events {
         Some(path) => Box::new(JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?),
         None => Box::new(NullSink),
     };
     let (report, metrics) = match &opts.checkpoint {
         Some(path) => isex::flow::run_flow_checkpointed(
-            &flow_config(opts),
+            &cfg,
             program,
             opts.seed,
             sink.as_ref(),
@@ -232,13 +252,36 @@ fn run_observed(opts: &Options, program: &Program) -> Result<FlowReport, String>
             std::path::Path::new(path),
         )
         .map_err(|e| format!("{path}: {e}"))?,
-        None => run_flow_observed(&flow_config(opts), program, opts.seed, sink.as_ref()),
+        None => run_flow_observed(&cfg, program, opts.seed, sink.as_ref()),
     };
     if let Some(path) = &opts.metrics {
         let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
     }
-    Ok(report)
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, cfg.tracer.chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (load in Perfetto or chrome://tracing)");
+    }
+    Ok((report, metrics))
+}
+
+/// Prints the per-span-name aggregate collected by the run's tracer.
+fn print_profile(profile: &isex::engine::PhaseProfile) {
+    if profile.0.is_empty() {
+        println!("\n(no phase profile recorded — the run was not traced)");
+        return;
+    }
+    println!("\nphase profile:");
+    println!(
+        "  {:<20} {:>8} {:>12} {:>10}",
+        "span", "count", "total ms", "max ms"
+    );
+    for s in &profile.0 {
+        println!(
+            "  {:<20} {:>8} {:>12.3} {:>10.3}",
+            s.name, s.count, s.total_ms, s.max_ms
+        );
+    }
 }
 
 fn cmd_list() {
@@ -272,11 +315,14 @@ fn cmd_explore(opts: &Options, positional: &[String]) -> Result<(), String> {
         .ok_or("explore needs a benchmark name (positional or --bench)")?;
     let bench = registry::resolve(name).map_err(|e| e.to_string())?;
     let program = bench.program(opts.opt);
-    let report = match &opts.server {
+    let (report, metrics) = match &opts.server {
         Some(addr) => explore_remote(addr, bench, opts)?,
         None => run_observed(opts, &program)?,
     };
     print_report(&report, opts);
+    if opts.profile {
+        print_profile(&metrics.phase_profile);
+    }
     if opts.timeline {
         print_timeline(&program.hottest().dfg, &report, opts);
     }
@@ -286,7 +332,11 @@ fn cmd_explore(opts: &Options, positional: &[String]) -> Result<(), String> {
 /// Submits the exploration to a running `isexd` instead of running it
 /// locally. Budgets and event streams are local-only concerns; requesting
 /// them alongside `--server` is an error, not a silent downgrade.
-fn explore_remote(addr: &str, bench: Benchmark, opts: &Options) -> Result<FlowReport, String> {
+fn explore_remote(
+    addr: &str,
+    bench: Benchmark,
+    opts: &Options,
+) -> Result<(FlowReport, RunMetrics), String> {
     if opts.area.is_some() || opts.max_ises.is_some() {
         return Err(
             "--area/--max-ises are not supported with --server (the service \
@@ -296,6 +346,12 @@ fn explore_remote(addr: &str, bench: Benchmark, opts: &Options) -> Result<FlowRe
     }
     if opts.events.is_some() {
         return Err("--events is not supported with --server".to_string());
+    }
+    if opts.trace.is_some() {
+        return Err("--trace is not supported with --server (start isexd with \
+                    --trace-dir instead; --profile still works when the \
+                    server traces its runs)"
+            .to_string());
     }
     if opts.checkpoint.is_some() {
         return Err("--checkpoint is not supported with --server".to_string());
@@ -336,7 +392,7 @@ fn explore_remote(addr: &str, bench: Benchmark, opts: &Options) -> Result<FlowRe
         let json = serde_json::to_string_pretty(&response.metrics).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
     }
-    Ok(response.report)
+    Ok((response.report, response.metrics))
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -351,8 +407,11 @@ fn cmd_asm(opts: &Options, positional: &[String]) -> Result<(), String> {
         format!("asm:{path}"),
         vec![isex::workloads::BasicBlock::new("block", dfg, 1)],
     );
-    let report = run_observed(opts, &program)?;
+    let (report, metrics) = run_observed(opts, &program)?;
     print_report(&report, opts);
+    if opts.profile {
+        print_profile(&metrics.phase_profile);
+    }
     if opts.timeline {
         print_timeline(&program.hottest().dfg, &report, opts);
     }
