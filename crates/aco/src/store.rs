@@ -123,6 +123,14 @@ impl PheromoneStore {
         self.nodes[node].choices().collect()
     }
 
+    /// All options of operation `node`, without allocating. The ant's
+    /// ready-matrix step enumerates options for every ready operation every
+    /// cycle; the iterator yields the same order as
+    /// [`PheromoneStore::choices`] (software options first).
+    pub fn choice_iter(&self, node: usize) -> impl Iterator<Item = ImplChoice> + '_ {
+        self.nodes[node].choices()
+    }
+
     /// Current trail of an option.
     pub fn trail(&self, node: usize, c: ImplChoice) -> f64 {
         self.nodes[node].trail(c)
@@ -242,6 +250,8 @@ mod tests {
         assert_eq!(s.merit(0, ImplChoice::Hw(0)), 200.0);
         assert_eq!(s.choices(0).len(), 4);
         assert_eq!(s.choices(1).len(), 1);
+        assert_eq!(s.choice_iter(0).collect::<Vec<_>>(), s.choices(0));
+        assert_eq!(s.choice_iter(1).collect::<Vec<_>>(), s.choices(1));
     }
 
     #[test]

@@ -14,12 +14,22 @@
 //!   The disabled path is the one every untraced run pays and must stay
 //!   within noise of a build without the instrumentation (≤2% is the
 //!   budget); the enabled ratio prices `--trace`.
+//! * `hot_path` — the same flow at one worker with the round-scoped
+//!   evaluation cache on (the default) vs off (legacy re-lowering paths).
+//!   One worker isolates per-evaluation cost from pool overlap; the two
+//!   modes are first pinned to serialize to byte-identical reports, so the
+//!   ratio prices a pure wall-clock optimisation.
 //!
 //! Results land in `BENCH_engine.json` at the workspace root (committed so
 //! the numbers travel with the code; absolute times are machine-dependent,
 //! the *ratios* are the interesting part).
 //!
 //! Run with: `cargo bench -p isex-bench --bench engine`
+//!
+//! With `ISEX_BENCH_SMOKE=1` only the `hot_path` section runs (few
+//! samples), the cached/uncached ratio is asserted ≥ 1.0, and no result
+//! file is written — the CI regression gate against the cache becoming a
+//! pessimisation.
 
 use std::time::{Duration, Instant};
 
@@ -141,6 +151,44 @@ fn trace_overhead_section(program: &isex_workloads::Program) -> (f64, f64, f64) 
     (disabled_ms, enabled_ms, ratio)
 }
 
+fn hot_path_section(program: &isex_workloads::Program, samples: usize) -> (f64, f64, f64) {
+    let run = |eval_cache: bool| {
+        let mut cfg = flow_cfg(1);
+        cfg.eval_cache = eval_cache;
+        run_flow(&cfg, program, 0xE46)
+    };
+    // Warm-up both modes, pinning the layer's core contract along the way:
+    // cached and legacy evaluation serialize to byte-identical reports.
+    let cached_ref = serde_json::to_string(&run(true)).expect("report serializes");
+    let legacy_ref = serde_json::to_string(&run(false)).expect("report serializes");
+    assert_eq!(
+        cached_ref, legacy_ref,
+        "the eval cache must not change the flow report"
+    );
+    let time = |eval_cache: bool| {
+        let mut s: Vec<f64> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                let report = run(eval_cache);
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    serde_json::to_string(&report).expect("report serializes"),
+                    cached_ref,
+                    "every run must reproduce the pinned report"
+                );
+                ms
+            })
+            .collect();
+        median(&mut s)
+    };
+    let cached_ms = time(true);
+    let uncached_ms = time(false);
+    let ratio = uncached_ms / cached_ms;
+    println!("hot_path cached:   median {cached_ms:8.1} ms");
+    println!("hot_path uncached: median {uncached_ms:8.1} ms  speedup {ratio:4.2}x");
+    (cached_ms, uncached_ms, ratio)
+}
+
 fn main() {
     let bench = Benchmark::Crc32;
     let program = bench.program(OptLevel::O3);
@@ -148,12 +196,23 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
+    if std::env::var_os("ISEX_BENCH_SMOKE").is_some() {
+        let (_, _, ratio) = hot_path_section(&program, 3);
+        assert!(
+            ratio >= 1.0,
+            "eval cache regressed into a pessimisation: {ratio:.3}x"
+        );
+        println!("smoke ok: hot_path speedup {ratio:.2}x (no result file written)");
+        return;
+    }
+
     let flow_rows = flow_section(&program);
     let pool_rows = pool_overlap_section();
     let (disabled_ms, enabled_ms, ratio) = trace_overhead_section(&program);
+    let (hot_cached_ms, hot_uncached_ms, hot_ratio) = hot_path_section(&program, SAMPLES);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"samples\": {SAMPLES},\n  \"repeats\": 5,\n  \"max_iterations\": 150,\n  \"flow\": [\n{}\n  ],\n  \"pool_overlap\": [\n{}\n  ],\n  \"trace_overhead\": {{\"disabled_ms\": {disabled_ms:.2}, \"enabled_ms\": {enabled_ms:.2}, \"ratio\": {ratio:.3}}}\n}}\n",
+        "{{\n  \"benchmark\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"samples\": {SAMPLES},\n  \"repeats\": 5,\n  \"max_iterations\": 150,\n  \"flow\": [\n{}\n  ],\n  \"pool_overlap\": [\n{}\n  ],\n  \"trace_overhead\": {{\"disabled_ms\": {disabled_ms:.2}, \"enabled_ms\": {enabled_ms:.2}, \"ratio\": {ratio:.3}}},\n  \"hot_path\": {{\"cached_ms\": {hot_cached_ms:.2}, \"uncached_ms\": {hot_uncached_ms:.2}, \"ratio\": {hot_ratio:.3}}}\n}}\n",
         bench.name(),
         rows_json(&flow_rows),
         rows_json(&pool_rows)

@@ -88,25 +88,36 @@ pub enum SpFunction {
 impl SpFunction {
     /// Computes the normalised (`[0, 1]`) priority of every node.
     pub fn values(self, g: &ExGraph) -> Vec<f64> {
+        match self {
+            // ChildCount (the paper's default) never needs the lowering.
+            SpFunction::ChildCount => {
+                Self::normalise(g.node_ids().map(|n| g.child_count(n) as f64).collect())
+            }
+            _ => self.values_on(g, &crate::exgraph::to_sched(g)),
+        }
+    }
+
+    /// [`SpFunction::values`] on a caller-provided lowering of `g` (which
+    /// must equal `to_sched(g)`), so the round's single `SchedDfg` serves
+    /// the Height/Mobility priorities too.
+    pub(crate) fn values_on(self, g: &ExGraph, sched: &isex_sched::SchedDfg) -> Vec<f64> {
         let raw: Vec<f64> = match self {
             SpFunction::ChildCount => g.node_ids().map(|n| g.child_count(n) as f64).collect(),
-            SpFunction::Height => {
-                let sched = crate::exgraph::to_sched(g);
-                isex_sched::Priority::Height
-                    .values(&sched)
-                    .into_iter()
-                    .map(|v| v as f64)
-                    .collect()
-            }
-            SpFunction::Mobility => {
-                let sched = crate::exgraph::to_sched(g);
-                isex_sched::Priority::Mobility
-                    .values(&sched)
-                    .into_iter()
-                    .map(|v| v as f64)
-                    .collect()
-            }
+            SpFunction::Height => isex_sched::Priority::Height
+                .values(sched)
+                .into_iter()
+                .map(|v| v as f64)
+                .collect(),
+            SpFunction::Mobility => isex_sched::Priority::Mobility
+                .values(sched)
+                .into_iter()
+                .map(|v| v as f64)
+                .collect(),
         };
+        Self::normalise(raw)
+    }
+
+    fn normalise(raw: Vec<f64>) -> Vec<f64> {
         let lo = raw.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         if raw.is_empty() || hi <= lo {
@@ -114,6 +125,17 @@ impl SpFunction {
         }
         raw.into_iter().map(|v| (v - lo) / (hi - lo)).collect()
     }
+}
+
+/// Reusable buffers for [`Ant::run_with`]: the Ready-Matrix entry and
+/// weight vectors, the scheduled flags and the resource table. One scratch
+/// serves every walk of a round (and across rounds of shrinking graphs).
+#[derive(Debug, Default)]
+pub(crate) struct AntScratch {
+    entries: Vec<(NodeId, ImplChoice)>,
+    weights: Vec<f64>,
+    scheduled: Vec<bool>,
+    resources: Option<ResourceTable>,
 }
 
 /// The per-round immutable context of the walks.
@@ -157,9 +179,41 @@ impl<'a> Ant<'a> {
         }
     }
 
+    /// [`Ant::with_sp`] computing the SP values on a caller-provided
+    /// lowering of `g` (the round's shared `SchedDfg`).
+    pub(crate) fn with_sp_on(
+        g: &'a ExGraph,
+        machine: &'a MachineConfig,
+        constraints: &'a Constraints,
+        lambda: f64,
+        sp_function: SpFunction,
+        sched: &isex_sched::SchedDfg,
+    ) -> Self {
+        Ant {
+            g,
+            machine,
+            constraints,
+            lambda,
+            sp: sp_function.values_on(g, sched),
+        }
+    }
+
     /// Runs one full iteration: chooses options and schedules every
     /// operation, returning the walk.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn run<R: Rng + ?Sized>(&self, store: &PheromoneStore, rng: &mut R) -> Walk {
+        self.run_with(store, rng, &mut AntScratch::default())
+    }
+
+    /// [`Ant::run`] reusing the buffers in `scratch`, so the round loop
+    /// (hundreds of walks over the same graph) allocates only the walk
+    /// itself.
+    pub fn run_with<R: Rng + ?Sized>(
+        &self,
+        store: &PheromoneStore,
+        rng: &mut R,
+        scratch: &mut AntScratch,
+    ) -> Walk {
         let k = self.g.len();
         let mut walk = Walk {
             choice: vec![ImplChoice::Sw(0); k],
@@ -168,14 +222,22 @@ impl<'a> Ant<'a> {
             groups: Vec::new(),
             tet: 0,
         };
-        let mut scheduled = vec![false; k];
-        let mut rt = ResourceTable::new(*self.machine);
+        let AntScratch {
+            entries,
+            weights,
+            scheduled,
+            resources,
+        } = scratch;
+        scheduled.clear();
+        scheduled.resize(k, false);
+        let rt = resources.get_or_insert_with(|| ResourceTable::new(*self.machine));
+        rt.reset(*self.machine);
         let mut remaining = k;
 
         while remaining > 0 {
             // Ready-Matrix: (operation, option) entries for ready ops.
-            let mut entries: Vec<(NodeId, ImplChoice)> = Vec::new();
-            let mut weights: Vec<f64> = Vec::new();
+            entries.clear();
+            weights.clear();
             for n in self.g.node_ids() {
                 if scheduled[n.index()] {
                     continue;
@@ -183,18 +245,18 @@ impl<'a> Ant<'a> {
                 if !self.g.preds(n).all(|p| scheduled[p.index()]) {
                     continue;
                 }
-                for c in store.choices(n.index()) {
+                for c in store.choice_iter(n.index()) {
                     entries.push((n, c));
                     weights.push(store.attraction(n.index(), c) + self.lambda * self.sp[n.index()]);
                 }
             }
             debug_assert!(!entries.is_empty(), "DAG always has a ready node");
-            let pick = roulette(rng, &weights);
+            let pick = roulette(rng, weights);
             let (n, c) = entries[pick];
             walk.choice[n.index()] = c;
             match c {
-                ImplChoice::Sw(j) => self.schedule_sw(&mut walk, &mut rt, n, j),
-                ImplChoice::Hw(j) => self.schedule_hw(&mut walk, &mut rt, n, j),
+                ImplChoice::Sw(j) => self.schedule_sw(&mut walk, rt, n, j),
+                ImplChoice::Hw(j) => self.schedule_hw(&mut walk, rt, n, j),
             }
             scheduled[n.index()] = true;
             remaining -= 1;

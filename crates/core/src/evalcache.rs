@@ -1,0 +1,355 @@
+//! Round-scoped hot-path evaluation: one-shot lowering plus memoisation.
+//!
+//! Profiling shows the exploration loop dominated by redundant scheduling
+//! work: every `schedule_len` call re-lowers the whole graph, every merit
+//! update rebuilds the same quotient machinery, and near pheromone
+//! convergence the ants resample *identical* walks whose analysis is then
+//! recomputed from scratch (the observation ISEGEN and the ByoRISC DSE
+//! tools both act on — memoised candidate evaluation is what makes
+//! iterative-improvement ISE search tractable).
+//!
+//! [`RoundEval`] lowers the round's [`ExGraph`] exactly once and shares
+//! that `SchedDfg` between the base-length measurement, the SP-function
+//! values and the per-walk merit analysis (whose payloads are patched in
+//! place — the edge structure never changes within a round). On top of the
+//! shared lowering sit two memo tables keyed by canonical `u64`
+//! fingerprints: walk → recorded merit-op sequence, and candidate
+//! `(members, footprint)` → schedule length. Keys compare by full `Vec<u64>`
+//! equality — the FxHash-style hasher only speeds up bucket lookup, so hash
+//! collisions cannot change results and cached runs stay bitwise identical
+//! to uncached ones.
+//!
+//! The cache is *round-scoped by construction*: committing a candidate
+//! collapses the graph, and the next round builds a fresh `RoundEval`, so
+//! no invalidation logic is needed (or possible to get wrong).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use isex_aco::{AcoParams, ImplChoice};
+use isex_dfg::{NodeSet, Reachability};
+use isex_isa::MachineConfig;
+use isex_sched::collapse::collapse_groups;
+use isex_sched::{list_schedule_len, ListScratch, Priority, SchedDfg, SchedOp, UnitClass};
+
+use crate::ant::Walk;
+use crate::candidate::Constraints;
+use crate::exgraph::{self, ExGraph};
+use crate::merit::{self, MeritOp};
+
+/// An FxHash-style multiply-rotate hasher, vendored like PR 1's dependency
+/// stand-ins (no new crates). Quality is sufficient for bucket selection;
+/// correctness never depends on it because the map keys are compared by
+/// full equality.
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Default for FxHasher {
+    /// Starts from the seed rather than zero so the all-zero input is not a
+    /// fixed point (zero words then still advance the state, making key
+    /// length matter).
+    fn default() -> Self {
+        FxHasher { hash: FX_SEED }
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Cumulative hit/miss counters of the evaluation cache, shared between an
+/// explorer and whoever reports the run (the engine folds them into
+/// `RunMetrics.phase_profile`, which the Prometheus endpoint re-exports).
+#[derive(Debug, Default)]
+pub struct EvalStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalStats {
+    /// Cache hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Adds a batch of counts (one exploration's worth).
+    pub fn add(&self, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+}
+
+/// The canonical fingerprint of everything the merit update reads from a
+/// walk: the per-node option vector, each group's member words and frozen
+/// footprint, and the TET. Two walks with equal keys are interchangeable
+/// inputs to `analyze` + `compute_merit_ops`.
+fn walk_key(walk: &Walk) -> Vec<u64> {
+    let mut key = Vec::with_capacity(2 + walk.choice.len() + walk.groups.len() * 3);
+    key.push(walk.tet as u64);
+    key.push(walk.groups.len() as u64);
+    for c in &walk.choice {
+        key.push(match *c {
+            ImplChoice::Sw(j) => (j as u64) << 1,
+            ImplChoice::Hw(j) => ((j as u64) << 1) | 1,
+        });
+    }
+    // Member bitsets all share the round's universe, so each group
+    // contributes a fixed number of words and the encoding stays
+    // prefix-free without explicit separators.
+    for gr in &walk.groups {
+        key.push(((gr.latency as u64) << 32) | ((gr.reads as u64) << 16) | gr.writes as u64);
+        key.extend_from_slice(gr.members.as_words());
+    }
+    key
+}
+
+/// The canonical fingerprint of a candidate evaluation: member words plus
+/// the frozen footprint (class is always the ASFU and is asserted, not
+/// encoded).
+fn candidate_key(members: &NodeSet, footprint: &SchedOp) -> Vec<u64> {
+    debug_assert_eq!(footprint.class, UnitClass::Asfu);
+    let words = members.as_words();
+    let mut key = Vec::with_capacity(1 + words.len());
+    key.push(
+        ((footprint.latency as u64) << 32)
+            | ((footprint.reads as u64) << 16)
+            | footprint.writes as u64,
+    );
+    key.extend_from_slice(words);
+    key
+}
+
+/// One round's shared lowering and memo tables. Dropped (and with it every
+/// cached entry) when the round ends — commitment collapses the graph, so
+/// nothing cached can survive it.
+pub(crate) struct RoundEval<'a> {
+    machine: &'a MachineConfig,
+    /// The round's graph lowered once (`to_sched`), shared by the
+    /// base-length schedule, the SP values, per-walk analysis and candidate
+    /// ranking.
+    pub sched: SchedDfg,
+    /// Schedule length of `sched` with no new ISE (the round's `base_len`).
+    pub base_len: u32,
+    /// Per-walk analysis template: same edges as `sched`, payloads
+    /// overwritten for each distinct walk.
+    template: SchedDfg,
+    merit_memo: HashMap<Vec<u64>, Rc<Vec<MeritOp>>, FxBuild>,
+    cand_memo: HashMap<Vec<u64>, u32, FxBuild>,
+    scratch: ListScratch,
+    /// Memo hits this round.
+    pub hits: u64,
+    /// Memo misses this round.
+    pub misses: u64,
+}
+
+impl<'a> RoundEval<'a> {
+    /// Lowers `g` once and measures (or, when the caller already knows it
+    /// from the previous round's commit, adopts) the base schedule length.
+    pub fn new(g: &ExGraph, machine: &'a MachineConfig, known_len: Option<u32>) -> Self {
+        let _span = isex_trace::span_with("eval.lower", || vec![("ops", g.len().to_string())]);
+        let sched = exgraph::to_sched(g);
+        let mut scratch = ListScratch::new();
+        let base_len = match known_len {
+            Some(len) => {
+                debug_assert_eq!(
+                    len,
+                    list_schedule_len(&sched, machine, Priority::Height, &mut scratch),
+                    "carried base length must match a fresh schedule"
+                );
+                len
+            }
+            None => list_schedule_len(&sched, machine, Priority::Height, &mut scratch),
+        };
+        let template = sched.clone();
+        RoundEval {
+            machine,
+            sched,
+            base_len,
+            template,
+            merit_memo: HashMap::default(),
+            cand_memo: HashMap::default(),
+            scratch,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The merit-op sequence of `walk`, memoised: converged rounds resample
+    /// identical walks, whose whole analysis (quotient build, critical
+    /// path, virtual subgraphs, option evaluation) this skips. The recorded
+    /// sequence replays the exact `scale_merit` calls, so applying a cached
+    /// sequence is bit-identical to recomputing it.
+    pub fn merit_ops(
+        &mut self,
+        g: &ExGraph,
+        walk: &Walk,
+        constraints: &Constraints,
+        params: &AcoParams,
+        reach: &Reachability,
+    ) -> Rc<Vec<MeritOp>> {
+        let key = walk_key(walk);
+        if let Some(ops) = self.merit_memo.get(&key) {
+            self.hits += 1;
+            return Rc::clone(ops);
+        }
+        self.misses += 1;
+        let analysis_ = merit::analyze_with(&mut self.template, g, walk);
+        // One timing analysis of the collapsed graph serves every
+        // per-operation Max_AEC query of this walk.
+        let shared = merit::CollapsedTiming::of(&analysis_);
+        let ops = Rc::new(merit::compute_merit_ops(
+            g,
+            walk,
+            &analysis_,
+            constraints,
+            self.machine,
+            params,
+            reach,
+            Some(&shared),
+        ));
+        self.merit_memo.insert(key, Rc::clone(&ops));
+        ops
+    }
+
+    /// Schedule length of the round's graph with `members` frozen into one
+    /// ISE of the given footprint, memoised. Collapses the *shared
+    /// lowering* instead of `freeze`-ing the `ExGraph` and re-lowering:
+    /// `collapse_groups` builds the quotient purely from the edge
+    /// structure, and the frozen `ExOp`'s `sched_op(0)` equals `footprint`,
+    /// so both paths produce the same `SchedDfg` bit for bit.
+    pub fn candidate_len(&mut self, members: &NodeSet, footprint: SchedOp) -> u32 {
+        let key = candidate_key(members, &footprint);
+        if let Some(&len) = self.cand_memo.get(&key) {
+            self.hits += 1;
+            return len;
+        }
+        self.misses += 1;
+        let collapsed = collapse_groups(&self.sched, &[(members.clone(), footprint)]);
+        let len = list_schedule_len(
+            &collapsed.dfg,
+            self.machine,
+            Priority::Height,
+            &mut self.scratch,
+        );
+        self.cand_memo.insert(key, len);
+        len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exgraph::ExKind;
+    use isex_dfg::{NodeId, Operand};
+    use isex_isa::{Opcode, Operation, ProgramDfg};
+
+    fn chain() -> ExGraph {
+        let mut dfg = ProgramDfg::new();
+        let x = dfg.live_in();
+        let a = dfg.add_node(
+            Operation::new(Opcode::Add),
+            vec![Operand::LiveIn(x), Operand::Const(1)],
+        );
+        let b = dfg.add_node(
+            Operation::new(Opcode::Sll),
+            vec![Operand::Node(a), Operand::Const(2)],
+        );
+        let c = dfg.add_node(
+            Operation::new(Opcode::Xor),
+            vec![Operand::Node(b), Operand::LiveIn(x)],
+        );
+        dfg.set_live_out(c, true);
+        exgraph::build(&dfg)
+    }
+
+    #[test]
+    fn hasher_distributes_and_is_deterministic() {
+        let hash = |words: &[u64]| {
+            let mut h = FxHasher::default();
+            for &w in words {
+                h.write_u64(w);
+            }
+            h.finish()
+        };
+        assert_eq!(hash(&[1, 2, 3]), hash(&[1, 2, 3]));
+        assert_ne!(hash(&[1, 2, 3]), hash(&[3, 2, 1]));
+        assert_ne!(hash(&[0]), hash(&[0, 0]));
+    }
+
+    #[test]
+    fn candidate_len_matches_freeze_path_and_hits_on_repeat() {
+        let g = chain();
+        let m = MachineConfig::preset_2issue_4r2w();
+        let mut eval = RoundEval::new(&g, &m, None);
+        assert_eq!(eval.base_len, exgraph::schedule_len(&g, &m));
+        let mut members = NodeSet::new(g.len());
+        members.insert(NodeId::new(0));
+        members.insert(NodeId::new(1));
+        let fp = SchedOp::new(1, 2, 1, UnitClass::Asfu);
+        let cached = eval.candidate_len(&members, fp);
+        let frozen = exgraph::freeze(&g, &members, fp, usize::MAX).dfg;
+        assert_eq!(cached, exgraph::schedule_len(&frozen, &m));
+        assert_eq!((eval.hits, eval.misses), (0, 1));
+        assert_eq!(eval.candidate_len(&members, fp), cached);
+        assert_eq!((eval.hits, eval.misses), (1, 1));
+        // A different footprint on the same members is a different key.
+        let slow = SchedOp::new(3, 2, 1, UnitClass::Asfu);
+        assert!(eval.candidate_len(&members, slow) >= cached);
+        assert_eq!((eval.hits, eval.misses), (1, 2));
+    }
+
+    #[test]
+    fn frozen_exop_lowering_equals_candidate_footprint() {
+        // The commutation candidate_len relies on: the ExOp that `freeze`
+        // installs lowers (via sched_op(0)) to exactly the footprint.
+        let fp = SchedOp::new(2, 3, 1, UnitClass::Asfu);
+        let frozen = crate::exgraph::ExOp {
+            sw_delays: vec![fp.latency],
+            hw: Vec::new(),
+            reads: fp.reads,
+            writes: fp.writes,
+            class: UnitClass::Asfu,
+            kind: ExKind::FrozenIse(0),
+        };
+        assert_eq!(frozen.sched_op(0), fp);
+    }
+}

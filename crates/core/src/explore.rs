@@ -9,15 +9,19 @@
 //! ISE candidate(s), Make-Convex legalises them, and the best one is
 //! committed by collapsing it into the graph before the next round.
 
+use std::sync::{Arc, OnceLock};
+
 use isex_aco::{AcoParams, ImplChoice, PheromoneStore};
 use isex_dfg::{analysis, convex, ports, NodeId, NodeSet, Reachability};
 use isex_isa::{MachineConfig, ProgramDfg};
-use isex_sched::{SchedOp, UnitClass};
+use isex_sched::collapse::collapse_groups;
+use isex_sched::{list_schedule_len, ListScratch, Priority, SchedDfg, SchedOp, UnitClass};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::ant::Ant;
+use crate::ant::{Ant, AntScratch};
 use crate::candidate::{Constraints, IseCandidate};
+use crate::evalcache::{EvalStats, RoundEval};
 use crate::exgraph::{self, ExGraph, ExKind};
 use crate::merit;
 use crate::trail::{self, TrailState};
@@ -25,6 +29,14 @@ use crate::trail::{self, TrailState};
 /// Hard cap on exploration rounds per basic block (each committed ISE
 /// shrinks the graph, so real runs stop far earlier).
 const MAX_ROUNDS: usize = 32;
+
+/// Whether `ISEX_DEBUG` diagnostics are on. The env var is read once per
+/// process — the round loop must never touch `std::env` (lookups walk the
+/// environment block under a lock on most platforms).
+fn debug_enabled() -> bool {
+    static DEBUG: OnceLock<bool> = OnceLock::new();
+    *DEBUG.get_or_init(|| std::env::var_os("ISEX_DEBUG").is_some())
+}
 
 /// One sampled point of an exploration trace: the walk TET observed at a
 /// given round/iteration (see [`MultiIssueExplorer::explore_traced`]).
@@ -105,6 +117,15 @@ pub struct MultiIssueExplorer {
     /// The scheduling-priority function of Eq. 1 (default: child count,
     /// the paper's choice; Ch. 6 names the alternatives as future work).
     pub sp_function: crate::ant::SpFunction,
+    /// Whether the round-scoped hot-path evaluation layer (shared lowering
+    /// plus merit/candidate memoisation) is used. On by default; results
+    /// are bitwise identical either way — the switch exists for A/B
+    /// benchmarking and the equivalence regression tests.
+    pub eval_cache: bool,
+    /// Optional shared hit/miss counters for the evaluation cache (the
+    /// engine threads one [`EvalStats`] through all its explorers and
+    /// exports the totals via `RunMetrics.phase_profile`).
+    pub eval_stats: Option<Arc<EvalStats>>,
 }
 
 impl MultiIssueExplorer {
@@ -115,6 +136,8 @@ impl MultiIssueExplorer {
             constraints,
             params: AcoParams::default(),
             sp_function: crate::ant::SpFunction::default(),
+            eval_cache: true,
+            eval_stats: None,
         }
     }
 
@@ -134,6 +157,8 @@ impl MultiIssueExplorer {
             constraints,
             params,
             sp_function: crate::ant::SpFunction::default(),
+            eval_cache: true,
+            eval_stats: None,
         }
     }
 
@@ -162,11 +187,26 @@ impl MultiIssueExplorer {
         mut trace: Option<&mut Vec<TraceEntry>>,
     ) -> Exploration {
         let g0 = exgraph::build(dfg);
-        let baseline = exgraph::schedule_len(&g0, &self.machine);
+        // With the hot-path layer on, the original graph is lowered once
+        // and the lowering shared between the baseline measurement and the
+        // leave-one-out sweep at the end.
+        let mut loo_scratch = ListScratch::new();
+        let g0_sched = self.eval_cache.then(|| exgraph::to_sched(&g0));
+        let baseline = match &g0_sched {
+            Some(s) => list_schedule_len(s, &self.machine, Priority::Height, &mut loo_scratch),
+            None => exgraph::schedule_len(&g0, &self.machine),
+        };
         let mut current = g0.clone();
         let mut commits: Vec<IseCandidate> = Vec::new();
         let mut iterations = 0usize;
         let mut rounds = 0usize;
+        // Schedule length of `current`, carried across rounds: the
+        // baseline before any commit, then the committed candidate's
+        // measured `with_len` — the same value the legacy path recomputed
+        // from scratch at the top of every round.
+        let mut known_len = baseline;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
 
         while rounds < MAX_ROUNDS {
             rounds += 1;
@@ -177,17 +217,26 @@ impl MultiIssueExplorer {
             if explorable < 2 {
                 break;
             }
-            let base_len = exgraph::schedule_len(&current, &self.machine);
-            let (ranked, best_tet) =
-                self.round(&current, rng, &mut iterations, rounds, trace.as_deref_mut());
+            let out = self.round(
+                &current,
+                rng,
+                &mut iterations,
+                rounds,
+                trace.as_deref_mut(),
+                self.eval_cache.then_some(known_len),
+            );
+            cache_hits += out.cache_hits;
+            cache_misses += out.cache_misses;
+            let base_len = out.base_len;
+            known_len = base_len;
             // A candidate with zero *immediate* saving may still be half of
             // a jointly-improving set (two balanced chains must both be
             // packed before the schedule drops). Commit it anyway when the
             // best sampled walk proves a shorter schedule is reachable;
             // gains are re-measured leave-one-out after the last round.
-            let allow_zero = best_tet < base_len;
+            let allow_zero = out.best_tet < base_len;
             let mut committed = false;
-            for (cand, saved) in ranked {
+            for (cand, saved, with_len) in out.ranked {
                 if saved == 0 && !allow_zero {
                     continue;
                 }
@@ -230,6 +279,8 @@ impl MultiIssueExplorer {
                 current =
                     exgraph::freeze(&current, &cand.members, cand.footprint(), commits.len()).dfg;
                 commits.push(candidate);
+                // Ranking already scheduled exactly this frozen graph.
+                known_len = with_len;
                 committed = true;
                 break;
             }
@@ -238,14 +289,33 @@ impl MultiIssueExplorer {
             }
         }
 
-        let final_len = exgraph::schedule_len(&current, &self.machine);
+        let final_len = if self.eval_cache {
+            debug_assert_eq!(known_len, exgraph::schedule_len(&current, &self.machine));
+            known_len
+        } else {
+            exgraph::schedule_len(&current, &self.machine)
+        };
         // Leave-one-out gain attribution: a candidate's value is how much
         // the schedule degrades without it (jointly-necessary candidates
         // each carry the joint gain, which is what selection should see).
-        let all_len = schedule_with(&g0, &commits, None, &self.machine);
+        // With the shared lowering this is one `to_sched` (already done)
+        // plus k+1 quotient collapses instead of k+1 full freeze+re-lower
+        // pipelines.
+        let all_len = match &g0_sched {
+            Some(s) => schedule_with_lowered(s, &commits, None, &self.machine, &mut loo_scratch),
+            None => schedule_with(&g0, &commits, None, &self.machine),
+        };
         for i in 0..commits.len() {
-            let without = schedule_with(&g0, &commits, Some(i), &self.machine);
+            let without = match &g0_sched {
+                Some(s) => {
+                    schedule_with_lowered(s, &commits, Some(i), &self.machine, &mut loo_scratch)
+                }
+                None => schedule_with(&g0, &commits, Some(i), &self.machine),
+            };
             commits[i].saved_cycles = without.saturating_sub(all_len);
+        }
+        if let Some(stats) = &self.eval_stats {
+            stats.add(cache_hits, cache_misses);
         }
         Exploration {
             candidates: commits,
@@ -257,8 +327,14 @@ impl MultiIssueExplorer {
     }
 
     /// One exploration round: ACO to convergence, extraction, evaluation.
-    /// Returns candidates ranked best-first with their measured cycle
-    /// savings on the current graph, plus the best sampled walk's TET.
+    ///
+    /// When [`MultiIssueExplorer::eval_cache`] is on, a [`RoundEval`]
+    /// lowers the graph once, shares that lowering with the SP function,
+    /// the merit analysis and candidate ranking, and memoises repeated
+    /// walks and candidates; `known_len` (the schedule length carried from
+    /// the previous round's commit) then replaces the round's base-length
+    /// re-schedule. When off, every evaluation runs the legacy
+    /// freeze-and-re-lower path.
     #[allow(clippy::too_many_arguments)]
     fn round<R: Rng + ?Sized>(
         &self,
@@ -267,7 +343,8 @@ impl MultiIssueExplorer {
         iterations: &mut usize,
         round_no: usize,
         mut trace: Option<&mut Vec<TraceEntry>>,
-    ) -> (Vec<(CurCandidate, u32)>, u32) {
+        known_len: Option<u32>,
+    ) -> RoundOutcome {
         let _round_span = isex_trace::span_with("aco.round", || {
             vec![
                 ("round", round_no.to_string()),
@@ -280,13 +357,27 @@ impl MultiIssueExplorer {
             .map(|(_, n)| (n.payload().sw_delays.len(), n.payload().hw.len()))
             .collect();
         let mut store = PheromoneStore::new(&shape, &self.params);
-        let ant = Ant::with_sp(
-            g,
-            &self.machine,
-            &self.constraints,
-            self.params.lambda,
-            self.sp_function,
-        );
+        let mut eval = self
+            .eval_cache
+            .then(|| RoundEval::new(g, &self.machine, known_len));
+        let ant = match &eval {
+            Some(ev) => Ant::with_sp_on(
+                g,
+                &self.machine,
+                &self.constraints,
+                self.params.lambda,
+                self.sp_function,
+                &ev.sched,
+            ),
+            None => Ant::with_sp(
+                g,
+                &self.machine,
+                &self.constraints,
+                self.params.lambda,
+                self.sp_function,
+            ),
+        };
+        let mut ant_scratch = AntScratch::default();
         let mut tstate = TrailState::default();
 
         // The ACO is the search engine; the answer is the best *sampled*
@@ -297,7 +388,7 @@ impl MultiIssueExplorer {
         for it in 0..self.params.max_iterations {
             let walk = {
                 let _s = isex_trace::span("aco.construct");
-                ant.run(&store, rng)
+                ant.run_with(&store, rng, &mut ant_scratch)
             };
             *iterations += 1;
             if let Some(trace) = trace.as_deref_mut() {
@@ -317,17 +408,25 @@ impl MultiIssueExplorer {
             }
             {
                 let _s = isex_trace::span("aco.merit");
-                let analysis_ = merit::analyze(g, &walk, &self.machine);
-                merit::update_merits(
-                    &mut store,
-                    g,
-                    &walk,
-                    &analysis_,
-                    &self.constraints,
-                    &self.machine,
-                    &self.params,
-                    &reach,
-                );
+                match &mut eval {
+                    Some(ev) => {
+                        let ops = ev.merit_ops(g, &walk, &self.constraints, &self.params, &reach);
+                        merit::apply_merit_ops(&mut store, &ops);
+                    }
+                    None => {
+                        let analysis_ = merit::analyze(g, &walk, &self.machine);
+                        merit::update_merits(
+                            &mut store,
+                            g,
+                            &walk,
+                            &analysis_,
+                            &self.constraints,
+                            &self.machine,
+                            &self.params,
+                            &reach,
+                        );
+                    }
+                }
             }
             let area = walk_area(g, &walk);
             let better = match &best {
@@ -346,7 +445,7 @@ impl MultiIssueExplorer {
             Some((walk, _)) => walk.choice.clone(),
             None => (0..g.len()).map(|n| store.best_option(n).0).collect(),
         };
-        if std::env::var_os("ISEX_DEBUG").is_some() {
+        if debug_enabled() {
             let hw_taken = taken.iter().filter(|c| c.is_hardware()).count();
             let converged = store.converged(self.params.p_end);
             eprintln!(
@@ -361,14 +460,22 @@ impl MultiIssueExplorer {
         }
         let _extract_span = isex_trace::span("aco.extract");
         let cands = extract_candidates(g, &taken, &self.constraints, &self.machine, &reach);
-        let base_len = exgraph::schedule_len(g, &self.machine);
-        let mut ranked: Vec<(CurCandidate, u32)> = cands
+        let base_len = match &eval {
+            Some(ev) => ev.base_len,
+            None => exgraph::schedule_len(g, &self.machine),
+        };
+        let mut ranked: Vec<(CurCandidate, u32, u32)> = cands
             .into_iter()
             .map(|c| {
-                let frozen = exgraph::freeze(g, &c.members, c.footprint(), usize::MAX).dfg;
-                let with_len = exgraph::schedule_len(&frozen, &self.machine);
+                let with_len = match &mut eval {
+                    Some(ev) => ev.candidate_len(&c.members, c.footprint()),
+                    None => {
+                        let frozen = exgraph::freeze(g, &c.members, c.footprint(), usize::MAX).dfg;
+                        exgraph::schedule_len(&frozen, &self.machine)
+                    }
+                };
                 let saved = base_len.saturating_sub(with_len);
-                (c, saved)
+                (c, saved, with_len)
             })
             .collect();
         ranked.sort_by(|a, b| {
@@ -376,15 +483,23 @@ impl MultiIssueExplorer {
                 .then(a.0.area.total_cmp(&b.0.area))
                 .then(b.0.members.len().cmp(&a.0.members.len()))
         });
-        if std::env::var_os("ISEX_DEBUG").is_some() {
-            let crit = isex_sched::timing::critical_nodes(&exgraph::to_sched(g));
+        if debug_enabled() {
+            let owned;
+            let sched: &SchedDfg = match &eval {
+                Some(ev) => &ev.sched,
+                None => {
+                    owned = exgraph::to_sched(g);
+                    &owned
+                }
+            };
+            let crit = isex_sched::timing::critical_nodes(sched);
             eprintln!(
                 "[round] base_len={} dep_len={} best_tet={}",
                 base_len,
-                isex_sched::timing::dep_length(&exgraph::to_sched(g)),
+                isex_sched::timing::dep_length(sched),
                 best.as_ref().map(|(w, _)| w.tet).unwrap_or(0),
             );
-            for (c, s) in ranked.iter().take(4) {
+            for (c, s, _) in ranked.iter().take(4) {
                 eprintln!(
                     "  cand size={} lat={} saved={} members={:?} on_crit={}",
                     c.members.len(),
@@ -396,8 +511,33 @@ impl MultiIssueExplorer {
             }
         }
         let best_tet = best.as_ref().map(|(w, _)| w.tet).unwrap_or(u32::MAX);
-        (ranked, best_tet)
+        let (cache_hits, cache_misses) = eval
+            .as_ref()
+            .map(|ev| (ev.hits, ev.misses))
+            .unwrap_or((0, 0));
+        RoundOutcome {
+            ranked,
+            best_tet,
+            base_len,
+            cache_hits,
+            cache_misses,
+        }
     }
+}
+
+/// Outcome of one exploration round.
+struct RoundOutcome {
+    /// Candidates ranked best-first: `(candidate, saved cycles, schedule
+    /// length with the candidate frozen)`.
+    ranked: Vec<(CurCandidate, u32, u32)>,
+    /// TET of the best sampled walk (`u32::MAX` if no iteration ran).
+    best_tet: u32,
+    /// Schedule length of the round's graph with no new ISE.
+    base_len: u32,
+    /// Evaluation-cache hits this round (0 when the cache is disabled).
+    cache_hits: u64,
+    /// Evaluation-cache misses this round (0 when the cache is disabled).
+    cache_misses: u64,
 }
 
 /// Total ASFU silicon area implied by a walk's hardware choices.
@@ -439,6 +579,35 @@ pub(crate) fn schedule_with(
         .collect();
     let collapsed = isex_sched::collapse::collapse_groups(g0, &groups);
     exgraph::schedule_len(&collapsed.dfg, machine)
+}
+
+/// [`schedule_with`] on a pre-lowered graph: collapses the committed
+/// candidates directly on the shared `SchedDfg` instead of freezing the
+/// `ExGraph` and re-lowering. A frozen candidate lowers to
+/// `SchedOp::new(latency, inputs, outputs, Asfu)`, and `collapse_groups`
+/// builds the quotient graph payload-independently, so the result is
+/// bitwise identical to the legacy path while the k leave-one-out
+/// evaluations reuse one lowering and one scheduler scratch.
+pub(crate) fn schedule_with_lowered(
+    g0_sched: &SchedDfg,
+    commits: &[IseCandidate],
+    skip: Option<usize>,
+    machine: &MachineConfig,
+    scratch: &mut ListScratch,
+) -> u32 {
+    let groups: Vec<(NodeSet, SchedOp)> = commits
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != skip)
+        .map(|(_, c)| {
+            (
+                c.nodes.clone(),
+                SchedOp::new(c.latency, c.inputs, c.outputs, UnitClass::Asfu),
+            )
+        })
+        .collect();
+    let collapsed = collapse_groups(g0_sched, &groups);
+    list_schedule_len(&collapsed.dfg, machine, Priority::Height, scratch)
 }
 
 /// Extracts legal ISE candidates from the converged option assignment:

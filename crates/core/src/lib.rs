@@ -53,6 +53,7 @@ mod ant;
 
 pub use ant::SpFunction;
 mod candidate;
+mod evalcache;
 mod exgraph;
 mod merit;
 mod trail;
@@ -63,6 +64,7 @@ pub mod explore;
 
 pub use baseline::SingleIssueExplorer;
 pub use candidate::{Constraints, IseCandidate};
+pub use evalcache::EvalStats;
 pub use exact::ExactExplorer;
 pub use exgraph::{ExGraph, ExKind, ExOp};
 pub use explore::{Exploration, MultiIssueExplorer, TraceEntry};

@@ -44,8 +44,46 @@ pub(crate) fn analyze(g: &ExGraph, walk: &Walk, _machine: &MachineConfig) -> Ite
         // Placeholder footprint; the node is inside a collapsed group.
         ImplChoice::Hw(_) => op.sched_op(0),
     });
-    let groups: Vec<(NodeSet, SchedOp)> = walk
-        .groups
+    analyze_lowered(&base, g, walk)
+}
+
+/// [`analyze`] against a reusable lowering template: every payload of
+/// `base` is overwritten for this walk's choices (the edge structure is
+/// identical to `to_sched(g)` and never changes), saving the per-iteration
+/// graph rebuild. One ASAP/ALAP pass serves the critical-path test and the
+/// dependence length (the legacy path runs a separate analysis for each);
+/// the timing is integer, so the resulting analysis is bitwise identical.
+pub(crate) fn analyze_with(base: &mut SchedDfg, g: &ExGraph, walk: &Walk) -> IterationAnalysis {
+    for (id, node) in g.iter() {
+        let op = node.payload();
+        *base.node_mut(id).payload_mut() = match walk.choice[id.index()] {
+            ImplChoice::Sw(j) => op.sched_op(j),
+            ImplChoice::Hw(_) => op.sched_op(0),
+        };
+    }
+    let CollapsedGraph { dfg, node_map, .. } = collapse_groups(base, &walk_groups(walk));
+    let a = timing::asap(&dfg);
+    let len = timing::length_from_asap(&dfg, &a);
+    let l = timing::alap(&dfg, len);
+    let mut critical = NodeSet::new(g.len());
+    for n in g.node_ids() {
+        let q = node_map[n.index()].index();
+        if l[q] == a[q] {
+            critical.insert(n);
+        }
+    }
+    let deadline = walk.tet.max(len);
+    IterationAnalysis {
+        collapsed: dfg,
+        node_map,
+        critical,
+        deadline,
+    }
+}
+
+/// The walk's ISE groups as collapse-ready `(members, footprint)` pairs.
+fn walk_groups(walk: &Walk) -> Vec<(NodeSet, SchedOp)> {
+    walk.groups
         .iter()
         .map(|gr| {
             (
@@ -53,8 +91,11 @@ pub(crate) fn analyze(g: &ExGraph, walk: &Walk, _machine: &MachineConfig) -> Ite
                 SchedOp::new(gr.latency, gr.reads, gr.writes, UnitClass::Asfu),
             )
         })
-        .collect();
-    let CollapsedGraph { dfg, node_map, .. } = collapse_groups(&base, &groups);
+        .collect()
+}
+
+fn analyze_lowered(base: &SchedDfg, g: &ExGraph, walk: &Walk) -> IterationAnalysis {
+    let CollapsedGraph { dfg, node_map, .. } = collapse_groups(base, &walk_groups(walk));
     let crit_q = timing::critical_nodes(&dfg);
     let mut critical = NodeSet::new(g.len());
     for n in g.node_ids() {
@@ -147,6 +188,33 @@ pub(crate) fn software_cycles(g: &ExGraph, vs: &NodeSet) -> u32 {
     analysis::weighted_longest_path_within(g, vs, |_, op| op.sw_delays[0] as f64).round() as u32
 }
 
+/// ASAP/ALAP of one analysis' collapsed graph at its deadline, computed
+/// once and shared across every per-operation `Max_AEC` query of the walk
+/// (each query would otherwise redo both passes — the O(k²) core of the
+/// merit loop). Integer timing, so sharing is bitwise-neutral.
+pub(crate) struct CollapsedTiming {
+    asap: Vec<u32>,
+    alap: Vec<u32>,
+}
+
+impl CollapsedTiming {
+    pub(crate) fn of(analysis_: &IterationAnalysis) -> Self {
+        CollapsedTiming {
+            asap: timing::asap(&analysis_.collapsed),
+            alap: timing::alap(&analysis_.collapsed, analysis_.deadline),
+        }
+    }
+}
+
+/// One recorded merit multiplication: `(node index, option, factor)`.
+///
+/// The merit update is a pure function of the walk given a fixed graph and
+/// parameters, so the round cache stores these sequences and replays them.
+/// Replaying the *exact* `scale_merit` calls — never pre-multiplied
+/// factors — keeps the floating-point results bit-identical to a fresh
+/// computation (f64 multiplication is not associative).
+pub(crate) type MeritOp = (u32, ImplChoice, f64);
+
 /// Applies the full merit computation of one iteration (step 8 of
 /// Fig. 4.3.1) and normalises merits.
 #[allow(clippy::too_many_arguments)]
@@ -160,11 +228,52 @@ pub(crate) fn update_merits(
     params: &isex_aco::AcoParams,
     reach: &Reachability,
 ) {
+    let ops = compute_merit_ops(
+        g,
+        walk,
+        analysis_,
+        constraints,
+        machine,
+        params,
+        reach,
+        None,
+    );
+    apply_merit_ops(store, &ops);
+}
+
+/// Replays a recorded merit-op sequence and normalises, exactly as
+/// [`update_merits`] would have.
+pub(crate) fn apply_merit_ops(store: &mut PheromoneStore, ops: &[MeritOp]) {
+    for &(node, choice, factor) in ops {
+        store.scale_merit(node as usize, choice, factor);
+    }
+    store.normalize_merits();
+}
+
+/// The merit computation of one iteration as a replayable op sequence (the
+/// store is only ever touched through `scale_merit`, so recording the calls
+/// captures the whole update). With `shared` timing the per-operation
+/// `Max_AEC` queries reuse one ASAP/ALAP analysis; without it each query
+/// recomputes both (the legacy cost model) — the factors are identical
+/// either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_merit_ops(
+    g: &ExGraph,
+    walk: &Walk,
+    analysis_: &IterationAnalysis,
+    constraints: &Constraints,
+    machine: &MachineConfig,
+    params: &isex_aco::AcoParams,
+    reach: &Reachability,
+    shared: Option<&CollapsedTiming>,
+) -> Vec<MeritOp> {
+    let mut ops: Vec<MeritOp> = Vec::new();
     for x in g.node_ids() {
+        let xi = x.index() as u32;
         let op = g.node(x).payload();
         // Software merit: merit ×= ET(x, SW-i) (Eq. 3 of §4.3's merit part).
         for (i, d) in op.sw_delays.iter().enumerate() {
-            store.scale_merit(x.index(), ImplChoice::Sw(i), *d as f64);
+            ops.push((xi, ImplChoice::Sw(i), *d as f64));
         }
         if op.hw.is_empty() {
             continue;
@@ -173,7 +282,7 @@ pub(crate) fn update_merits(
         // Case 1: critical-path boost.
         if analysis_.critical.contains(x) {
             for j in 0..op.hw.len() {
-                store.scale_merit(x.index(), ImplChoice::Hw(j), 1.0 / params.beta_cp);
+                ops.push((xi, ImplChoice::Hw(j), 1.0 / params.beta_cp));
             }
         }
 
@@ -182,7 +291,7 @@ pub(crate) fn update_merits(
         // Case 2: nothing to fuse with.
         if vs.len() == 1 {
             for j in 0..op.hw.len() {
-                store.scale_merit(x.index(), ImplChoice::Hw(j), params.beta_size);
+                ops.push((xi, ImplChoice::Hw(j), params.beta_size));
             }
             continue;
         }
@@ -199,10 +308,10 @@ pub(crate) fn update_merits(
         let vs = if !io_ok || !convex_ok {
             for j in 0..op.hw.len() {
                 if !io_ok {
-                    store.scale_merit(x.index(), ImplChoice::Hw(j), params.beta_io);
+                    ops.push((xi, ImplChoice::Hw(j), params.beta_io));
                 }
                 if !convex_ok {
-                    store.scale_merit(x.index(), ImplChoice::Hw(j), params.beta_convex);
+                    ops.push((xi, ImplChoice::Hw(j), params.beta_convex));
                 }
             }
             let legal = crate::explore::grow_legal_from(g, x, &vs, constraints, reach);
@@ -227,14 +336,17 @@ pub(crate) fn update_merits(
             for y in &vs {
                 q.insert(analysis_.node_map[y.index()]);
             }
-            timing::max_aec(&analysis_.collapsed, &q, analysis_.deadline)
+            match shared {
+                Some(t) => timing::max_aec_from(&analysis_.collapsed, &t.asap, &t.alap, &q),
+                None => timing::max_aec(&analysis_.collapsed, &q, analysis_.deadline),
+            }
         };
         for (j, ev) in evals.iter().enumerate() {
             let saving = sw_cycles as i64 - ev.et_cycles as i64;
             // Criterion (1): positive savings scale merit up proportionally;
             // a useless option decays instead.
             let perf = if saving > 0 { saving as f64 } else { 0.5 };
-            store.scale_merit(x.index(), ImplChoice::Hw(j), perf);
+            ops.push((xi, ImplChoice::Hw(j), perf));
             // Criteria (2)–(4): area-aware adjustment.
             let factor = if vs_critical {
                 if ev.et_cycles == et_max_reduction {
@@ -247,10 +359,10 @@ pub(crate) fn update_merits(
             } else {
                 1.0 / (1.0 + (ev.et_cycles - max_aec) as f64)
             };
-            store.scale_merit(x.index(), ImplChoice::Hw(j), factor);
+            ops.push((xi, ImplChoice::Hw(j), factor));
         }
     }
-    store.normalize_merits();
+    ops
 }
 
 #[cfg(test)]
@@ -437,6 +549,47 @@ mod tests {
             hw < sw,
             "violating subgraph must not attract hardware choices"
         );
+    }
+
+    #[test]
+    fn template_analysis_replays_bitwise_identically() {
+        let g = graph();
+        let m = MachineConfig::preset_2issue_4r2w();
+        let cons = Constraints::from_machine(&m);
+        let params = AcoParams::default();
+        let reach = Reachability::compute(&g);
+        let shape: Vec<(usize, usize)> = g
+            .iter()
+            .map(|(_, n)| (n.payload().sw_delays.len(), n.payload().hw.len()))
+            .collect();
+        let mut w = software_walk(&g);
+        w.choice[0] = ImplChoice::Hw(0);
+        w.choice[1] = ImplChoice::Hw(0);
+        let fresh = analyze(&g, &w, &m);
+        // Patch the template for a different walk first: stale payloads from
+        // a previous iteration must be fully overwritten.
+        let mut template = crate::exgraph::to_sched(&g);
+        let _ = analyze_with(&mut template, &g, &software_walk(&g));
+        let patched = analyze_with(&mut template, &g, &w);
+        assert_eq!(patched.node_map, fresh.node_map);
+        assert_eq!(patched.critical, fresh.critical);
+        assert_eq!(patched.deadline, fresh.deadline);
+        // Record-and-replay must land on bit-identical merits.
+        let mut direct = PheromoneStore::new(&shape, &params);
+        let mut replayed = direct.clone();
+        update_merits(&mut direct, &g, &w, &fresh, &cons, &m, &params, &reach);
+        let shared = CollapsedTiming::of(&patched);
+        let ops = compute_merit_ops(&g, &w, &patched, &cons, &m, &params, &reach, Some(&shared));
+        apply_merit_ops(&mut replayed, &ops);
+        for n in 0..g.len() {
+            for c in direct.choices(n) {
+                assert_eq!(
+                    direct.merit(n, c).to_bits(),
+                    replayed.merit(n, c).to_bits(),
+                    "node {n} option {c}"
+                );
+            }
+        }
     }
 
     fn software_walk_for(g: &ExGraph, m: &MachineConfig, cons: &Constraints) -> Walk {

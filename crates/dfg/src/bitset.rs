@@ -196,6 +196,16 @@ impl NodeSet {
         self.iter().next()
     }
 
+    /// The raw `u64` blocks backing the set, low indices first.
+    ///
+    /// Two sets over the same universe are equal iff their words are equal,
+    /// which makes the words a canonical fingerprint of the membership —
+    /// the hot-path evaluation cache keys on them directly instead of
+    /// iterating members.
+    pub fn as_words(&self) -> &[u64] {
+        &self.blocks
+    }
+
     fn check(&self, other: &NodeSet) {
         assert_eq!(
             self.universe, other.universe,
@@ -377,5 +387,21 @@ mod tests {
         let mut s = NodeSet::full(12);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn words_are_a_canonical_fingerprint() {
+        let mut a = NodeSet::new(130);
+        let mut b = NodeSet::new(130);
+        for &i in &[0u32, 64, 129] {
+            a.insert(n(i));
+            b.insert(n(i));
+        }
+        assert_eq!(a.as_words(), b.as_words());
+        assert_eq!(a.as_words().len(), 3, "130 nodes span three u64 words");
+        b.remove(n(64));
+        assert_ne!(a.as_words(), b.as_words());
+        b.insert(n(64));
+        assert_eq!(a.as_words(), b.as_words(), "membership round-trips");
     }
 }

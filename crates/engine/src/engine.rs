@@ -1,9 +1,12 @@
 //! The engine proper: job fan-out, per-block best-of-N reduction.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use isex_aco::AcoParams;
-use isex_core::{Constraints, Exploration, MultiIssueExplorer, SingleIssueExplorer, TraceEntry};
+use isex_core::{
+    Constraints, EvalStats, Exploration, MultiIssueExplorer, SingleIssueExplorer, TraceEntry,
+};
 use isex_isa::{MachineConfig, ProgramDfg};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,6 +53,11 @@ pub struct ExploreSpec {
     /// Worker threads; `0` = one per available core. Results are identical
     /// for every value — only wall time changes.
     pub jobs: usize,
+    /// Round-scoped hot-path evaluation cache (one-shot lowering plus
+    /// walk/candidate memoisation). Results are bitwise identical either
+    /// way — only wall time changes; `false` forces the legacy
+    /// re-lowering paths (benchmarks and regression pins).
+    pub eval_cache: bool,
     /// Deterministic fault injection (tests and resilience drills only).
     /// `None` in production; see [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
@@ -99,6 +107,11 @@ pub struct EngineOutcome {
     pub workers: usize,
     /// Exploration wall time, milliseconds.
     pub explore_ms: f64,
+    /// Hot-path evaluation-cache hits summed over all jobs (0 when
+    /// [`ExploreSpec::eval_cache`] is off or the SI algorithm ran).
+    pub eval_cache_hits: u64,
+    /// Hot-path evaluation-cache misses summed over all jobs.
+    pub eval_cache_misses: u64,
 }
 
 /// Runs exploration jobs deterministically in parallel.
@@ -177,9 +190,12 @@ impl Engine {
         let workers = worker_count(self.spec.jobs);
         let start = Instant::now();
         let jobs = ExploreJob::plan_subset(indices, repeats, master_seed);
+        // Counters only — safe to share across workers without affecting
+        // determinism (each job's exploration never reads them).
+        let eval_stats = Arc::new(EvalStats::default());
         let outcome = run_jobs_supervised(&jobs, self.spec.jobs, cancel, |pos, job| {
             // Jobs are planned task-major, `repeats` per task.
-            self.run_job(tasks[pos / repeats], *job, sink, cancel)
+            self.run_job(tasks[pos / repeats], *job, sink, cancel, &eval_stats)
         })?;
 
         let mut results = Vec::with_capacity(tasks.len());
@@ -265,6 +281,8 @@ impl Engine {
             worker_restarts: outcome.worker_restarts,
             workers,
             explore_ms: start.elapsed().as_secs_f64() * 1e3,
+            eval_cache_hits: eval_stats.hits(),
+            eval_cache_misses: eval_stats.misses(),
         })
     }
 
@@ -274,6 +292,7 @@ impl Engine {
         job: ExploreJob,
         sink: &dyn EventSink,
         cancel: &CancelToken,
+        eval_stats: &Arc<EvalStats>,
     ) -> Exploration {
         // Attach per job, not per worker: the pool's threads are scoped to
         // one engine call, and the guard flushes this thread's buffered
@@ -302,11 +321,13 @@ impl Engine {
         let mut rng = StdRng::seed_from_u64(job.seed);
         let (exploration, trace) = match self.spec.algorithm {
             Algorithm::MultiIssue => {
-                let explorer = MultiIssueExplorer::with_params(
+                let mut explorer = MultiIssueExplorer::with_params(
                     self.spec.machine,
                     self.spec.constraints,
                     self.spec.params,
                 );
+                explorer.eval_cache = self.spec.eval_cache;
+                explorer.eval_stats = Some(Arc::clone(eval_stats));
                 if sink.wants_traces() {
                     explorer.explore_traced(task.dfg, &mut rng)
                 } else {

@@ -46,6 +46,11 @@ pub struct FlowConfig {
     pub sharing: SharingModel,
     /// Fraction of profiled work the explored hot blocks must cover.
     pub hot_block_coverage: f64,
+    /// Round-scoped hot-path evaluation cache (one-shot lowering plus
+    /// walk/candidate memoisation) in the MI explorer. On by default;
+    /// reports are bitwise identical either way — `false` forces the
+    /// legacy re-lowering paths for benchmarks and regression pins.
+    pub eval_cache: bool,
     /// Deterministic fault injection passed through to the engine.
     /// `None` (the default) in production; see [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
@@ -69,6 +74,7 @@ impl FlowConfig {
             budgets: Budgets::default(),
             sharing: SharingModel::default(),
             hot_block_coverage: 0.95,
+            eval_cache: true,
             fault_plan: None,
             tracer: Tracer::disabled(),
         }
@@ -216,6 +222,23 @@ pub fn explore_program_cancellable(
         }
     }
     metrics.candidates_generated = patterns.len();
+    // Surface evaluation-cache effectiveness through the same channel as
+    // span aggregates: `PhaseStat` counts. The serve layer re-exports every
+    // profile entry as `isexd_phases_*`, so the hit rate lands on the
+    // Prometheus endpoint with no schema change.
+    if outcome.eval_cache_hits + outcome.eval_cache_misses > 0 {
+        for (name, count) in [
+            ("eval.cache_hit", outcome.eval_cache_hits),
+            ("eval.cache_miss", outcome.eval_cache_misses),
+        ] {
+            metrics.phase_profile.0.push(isex_engine::PhaseStat {
+                name: name.to_string(),
+                count,
+                total_ms: 0.0,
+                max_ms: 0.0,
+            });
+        }
+    }
     Ok((patterns, hot.len(), iterations, metrics))
 }
 
@@ -250,6 +273,7 @@ pub(crate) fn explore_spec(cfg: &FlowConfig) -> ExploreSpec {
         algorithm: cfg.algorithm,
         repeats: cfg.repeats,
         jobs: cfg.jobs,
+        eval_cache: cfg.eval_cache,
         fault_plan: cfg.fault_plan.clone(),
         tracer: cfg.tracer.clone(),
     }
@@ -360,8 +384,13 @@ pub fn run_flow_cancellable(
     metrics.phases.total_ms = start.elapsed().as_secs_f64() * 1e3;
     // Every span above is closed by now, so the aggregate covers the whole
     // run. An untraced run leaves the profile empty — the report itself
-    // never depends on the tracer.
-    metrics.phase_profile = cfg.tracer.phase_profile();
+    // never depends on the tracer. Counter-style entries accumulated during
+    // exploration (the eval-cache stats) are kept alongside the span
+    // aggregate; the profile stays sorted by name.
+    let mut profile = cfg.tracer.phase_profile();
+    profile.0.append(&mut metrics.phase_profile.0);
+    profile.0.sort_by(|a, b| a.name.cmp(&b.name));
+    metrics.phase_profile = profile;
     Ok((report, metrics))
 }
 

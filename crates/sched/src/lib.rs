@@ -46,5 +46,5 @@ pub mod resources;
 pub mod timing;
 pub mod unit;
 
-pub use list::{list_schedule, Priority, Schedule};
+pub use list::{list_schedule, list_schedule_len, ListScratch, Priority, Schedule};
 pub use unit::{SchedDfg, SchedOp, UnitClass};

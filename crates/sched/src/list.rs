@@ -31,22 +31,31 @@ pub enum Priority {
 impl Priority {
     /// Computes the static priority value of every node (larger = sooner).
     pub fn values(self, dfg: &SchedDfg) -> Vec<i64> {
+        let mut out = Vec::new();
+        self.values_into(dfg, &mut out);
+        out
+    }
+
+    /// Like [`Priority::values`], but writes into `out` (cleared first) so
+    /// a caller scheduling many graphs can reuse one allocation.
+    pub fn values_into(self, dfg: &SchedDfg, out: &mut Vec<i64>) {
+        out.clear();
         match self {
-            Priority::ChildCount => dfg.node_ids().map(|n| dfg.child_count(n) as i64).collect(),
+            Priority::ChildCount => {
+                out.extend(dfg.node_ids().map(|n| dfg.child_count(n) as i64));
+            }
             Priority::Height => {
                 // latency-weighted height: cycles from issue to end of chain
-                let mut h = vec![0i64; dfg.len()];
+                out.resize(dfg.len(), 0);
                 for u in (0..dfg.len()).rev() {
                     let uid = NodeId::new(u as u32);
                     let lat = dfg.node(uid).payload().latency as i64;
-                    h[u] = lat + dfg.succs(uid).map(|s| h[s.index()]).max().unwrap_or(0);
+                    out[u] = lat + dfg.succs(uid).map(|s| out[s.index()]).max().unwrap_or(0);
                 }
-                h
             }
-            Priority::Mobility => timing::mobility(dfg)
-                .into_iter()
-                .map(|m| -(m as i64))
-                .collect(),
+            Priority::Mobility => {
+                out.extend(timing::mobility(dfg).into_iter().map(|m| -(m as i64)));
+            }
         }
     }
 }
@@ -97,14 +106,72 @@ impl Schedule {
 /// assert_eq!(s.length, 2); // a and b co-issue, then c
 /// ```
 pub fn list_schedule(dfg: &SchedDfg, machine: &MachineConfig, priority: Priority) -> Schedule {
+    let mut scratch = ListScratch::new();
+    let length = schedule_into(dfg, machine, priority, &mut scratch);
+    Schedule {
+        start: std::mem::take(&mut scratch.start),
+        length,
+    }
+}
+
+/// [`list_schedule`] for callers that only need the makespan, reusing the
+/// buffers in `scratch` so the hot loop (one schedule per candidate
+/// evaluation) allocates nothing.
+pub fn list_schedule_len(
+    dfg: &SchedDfg,
+    machine: &MachineConfig,
+    priority: Priority,
+    scratch: &mut ListScratch,
+) -> u32 {
+    schedule_into(dfg, machine, priority, scratch)
+}
+
+/// Reusable buffers for the list scheduler: issue cycles, scheduled flags,
+/// priorities, the per-cycle ready list and the resource table.
+///
+/// One `ListScratch` serves any sequence of `(dfg, machine)` pairs — every
+/// buffer is cleared (not reallocated) at the start of each schedule.
+#[derive(Debug, Default)]
+pub struct ListScratch {
+    start: Vec<u32>,
+    scheduled: Vec<bool>,
+    prio: Vec<i64>,
+    ready: Vec<NodeId>,
+    resources: Option<ResourceTable>,
+}
+
+impl ListScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The scheduler core: fills `scratch.start` and returns the makespan.
+fn schedule_into(
+    dfg: &SchedDfg,
+    machine: &MachineConfig,
+    priority: Priority,
+    scratch: &mut ListScratch,
+) -> u32 {
     // One thread-local read when no tracer is attached — the scheduler is
     // called per candidate evaluation, so this must stay near-free.
     let _span = isex_trace::span_with("sched.list", || vec![("ops", dfg.len().to_string())]);
     let k = dfg.len();
-    let mut start = vec![0u32; k];
-    let mut scheduled = vec![false; k];
-    let prio = priority.values(dfg);
-    let mut resources = ResourceTable::new(*machine);
+    let ListScratch {
+        start,
+        scheduled,
+        prio,
+        ready,
+        resources,
+    } = scratch;
+    start.clear();
+    start.resize(k, 0);
+    scheduled.clear();
+    scheduled.resize(k, false);
+    priority.values_into(dfg, prio);
+    let resources = resources.get_or_insert_with(|| ResourceTable::new(*machine));
+    resources.reset(*machine);
     let mut remaining = k;
     let mut cycle: u32 = 0;
 
@@ -123,19 +190,17 @@ pub fn list_schedule(dfg: &SchedDfg, machine: &MachineConfig, priority: Priority
 
     while remaining > 0 {
         // Data-ready: all predecessors issued and completed by `cycle`.
-        let mut ready: Vec<NodeId> = dfg
-            .node_ids()
-            .filter(|&n| {
-                !scheduled[n.index()]
-                    && dfg.preds(n).all(|p| {
-                        scheduled[p.index()]
-                            && start[p.index()] + dfg.node(p).payload().latency <= cycle
-                    })
-            })
-            .collect();
+        ready.clear();
+        ready.extend(dfg.node_ids().filter(|&n| {
+            !scheduled[n.index()]
+                && dfg.preds(n).all(|p| {
+                    scheduled[p.index()]
+                        && start[p.index()] + dfg.node(p).payload().latency <= cycle
+                })
+        }));
         // Priority order; node id breaks ties deterministically.
         ready.sort_by_key(|&n| (-prio[n.index()], n.index()));
-        for n in ready {
+        for &n in ready.iter() {
             let op = dfg.node(n).payload();
             if resources.can_issue(cycle, op) {
                 resources.commit(cycle, op);
@@ -147,12 +212,10 @@ pub fn list_schedule(dfg: &SchedDfg, machine: &MachineConfig, priority: Priority
         cycle += 1;
     }
 
-    let length = dfg
-        .iter()
+    dfg.iter()
         .map(|(id, n)| start[id.index()] + n.payload().latency)
         .max()
-        .unwrap_or(0);
-    Schedule { start, length }
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -280,6 +343,32 @@ mod tests {
         let m = MachineConfig::default();
         let s = list_schedule(&g, &m, Priority::ChildCount);
         assert_eq!(s.length, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_schedules() {
+        // The same scratch across graphs of different sizes and machines
+        // must reproduce what a fresh list_schedule computes.
+        let mut scratch = ListScratch::new();
+        let mut big = SchedDfg::new();
+        let mut prev = big.add_node(alu(0), vec![]);
+        for _ in 0..6 {
+            prev = big.add_node(alu(1), vec![Operand::Node(prev)]);
+        }
+        let mut small = SchedDfg::new();
+        small.add_node(alu(0), vec![]);
+        small.add_node(alu(0), vec![]);
+        for (g, m) in [
+            (&big, MachineConfig::preset_2issue_4r2w()),
+            (&small, MachineConfig::new(1, 4, 2)),
+            (&big, MachineConfig::preset_4issue_10r5w()),
+        ] {
+            for p in [Priority::ChildCount, Priority::Height, Priority::Mobility] {
+                let fresh = list_schedule(g, &m, p);
+                let reused = list_schedule_len(g, &m, p, &mut scratch);
+                assert_eq!(reused, fresh.length, "{p:?}");
+            }
+        }
     }
 
     #[test]

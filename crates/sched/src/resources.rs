@@ -66,6 +66,14 @@ impl ResourceTable {
         &self.machine
     }
 
+    /// Empties the table for a new schedule on `machine`, keeping the
+    /// allocated cycle storage. `usage` treats missing cycles as all-zero,
+    /// so a reset table is indistinguishable from a fresh one.
+    pub fn reset(&mut self, machine: MachineConfig) {
+        self.machine = machine;
+        self.cycles.clear();
+    }
+
     /// Usage of `cycle` (all-zero if nothing was committed there yet).
     pub fn usage(&self, cycle: u32) -> CycleUsage {
         self.cycles.get(cycle as usize).copied().unwrap_or_default()
@@ -331,6 +339,21 @@ mod tests {
         assert!(rt.try_adjust_ports(0, -3, -1));
         assert_eq!(rt.usage(0).reads, 1);
         assert_eq!(rt.usage(0).writes, 1);
+    }
+
+    #[test]
+    fn reset_behaves_like_fresh() {
+        let m = MachineConfig::preset_2issue_4r2w();
+        let mut rt = ResourceTable::new(m);
+        rt.commit(0, &alu(2, 1));
+        rt.commit(3, &alu(1, 1));
+        rt.reset(m);
+        assert_eq!(rt.usage(0), CycleUsage::default());
+        assert_eq!(rt.usage(3), CycleUsage::default());
+        assert_eq!(rt.horizon(), 0);
+        let wider = MachineConfig::preset_4issue_10r5w();
+        rt.reset(wider);
+        assert_eq!(rt.machine(), &wider);
     }
 
     #[test]

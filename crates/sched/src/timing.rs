@@ -117,12 +117,20 @@ pub fn max_aec(dfg: &SchedDfg, set: &NodeSet, deadline: u32) -> u32 {
     if set.is_empty() {
         return 0;
     }
-    let a = asap(dfg);
-    let l = alap(dfg, deadline);
-    let earliest_start = set.iter().map(|n| a[n.index()]).min().unwrap_or(0);
+    max_aec_from(dfg, &asap(dfg), &alap(dfg, deadline), set)
+}
+
+/// [`max_aec`] against precomputed [`asap`]/[`alap`] vectors of `dfg`, so
+/// one timing analysis can serve many subgraph queries at the same
+/// deadline (the merit function asks once per operation per iteration).
+pub fn max_aec_from(dfg: &SchedDfg, asap: &[u32], alap: &[u32], set: &NodeSet) -> u32 {
+    if set.is_empty() {
+        return 0;
+    }
+    let earliest_start = set.iter().map(|n| asap[n.index()]).min().unwrap_or(0);
     let latest_finish = set
         .iter()
-        .map(|n| l[n.index()] + dfg.node(n).payload().latency)
+        .map(|n| alap[n.index()] + dfg.node(n).payload().latency)
         .max()
         .unwrap_or(0);
     latest_finish.saturating_sub(earliest_start)

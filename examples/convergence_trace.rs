@@ -46,6 +46,7 @@ fn main() {
         algorithm: Algorithm::MultiIssue,
         repeats: 1,
         jobs: 1,
+        eval_cache: true,
         fault_plan: None,
         tracer: Default::default(),
     });

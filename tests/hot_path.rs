@@ -1,0 +1,87 @@
+//! Hot-path evaluation-layer regression tests: the round-scoped cache and
+//! one-shot lowering must be a pure wall-clock optimisation — cached and
+//! cache-disabled runs produce bitwise-identical reports at every seed and
+//! worker count — while actually earning hits on converging workloads.
+
+use std::sync::Arc;
+
+use isex::core::EvalStats;
+use isex::prelude::*;
+use rand::SeedableRng;
+
+fn quick_cfg(eval_cache: bool, jobs: usize) -> FlowConfig {
+    let mut cfg =
+        FlowConfig::for_machine(Algorithm::MultiIssue, MachineConfig::preset_2issue_4r2w());
+    cfg.repeats = 2;
+    cfg.jobs = jobs;
+    cfg.params.max_iterations = 40;
+    cfg.eval_cache = eval_cache;
+    cfg
+}
+
+#[test]
+fn cached_and_uncached_reports_are_bitwise_identical() {
+    let program = Benchmark::Bitcount.program(OptLevel::O3);
+    for seed in [3u64, 11, 29] {
+        for jobs in [1usize, 4] {
+            let cached = run_flow(&quick_cfg(true, jobs), &program, seed);
+            let legacy = run_flow(&quick_cfg(false, jobs), &program, seed);
+            assert_eq!(
+                serde_json::to_string(&cached).unwrap(),
+                serde_json::to_string(&legacy).unwrap(),
+                "seed {seed} jobs {jobs}: the eval cache changed the result"
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_counters_surface_in_phase_profile() {
+    let program = Benchmark::Crc32.program(OptLevel::O3);
+    let (_, metrics) = run_flow_observed(&quick_cfg(true, 1), &program, 7, &NullSink);
+    let hit = metrics
+        .phase_profile
+        .get("eval.cache_hit")
+        .expect("cached run must report eval.cache_hit");
+    let miss = metrics
+        .phase_profile
+        .get("eval.cache_miss")
+        .expect("cached run must report eval.cache_miss");
+    assert!(miss.count > 0, "every round's first walk is a miss");
+    assert!(
+        hit.count > 0,
+        "a converging ACO must resample walks: {} hits / {} misses",
+        hit.count,
+        miss.count
+    );
+
+    let (_, metrics) = run_flow_observed(&quick_cfg(false, 1), &program, 7, &NullSink);
+    assert!(
+        metrics.phase_profile.get("eval.cache_hit").is_none()
+            && metrics.phase_profile.get("eval.cache_miss").is_none(),
+        "a cache-disabled run must not report cache counters"
+    );
+}
+
+#[test]
+fn explorer_records_hits_on_a_converging_workload() {
+    let program = Benchmark::Bitcount.program(OptLevel::O3);
+    let block = program.hottest();
+    let machine = MachineConfig::preset_2issue_4r2w();
+    let mut explorer = MultiIssueExplorer::new(machine, Constraints::from_machine(&machine));
+    let stats = Arc::new(EvalStats::default());
+    explorer.eval_stats = Some(Arc::clone(&stats));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2008);
+    let result = explorer.explore(&block.dfg, &mut rng);
+    assert!(result.cycles_with_ises <= result.baseline_cycles);
+    assert!(stats.misses() > 0, "each distinct walk costs one analysis");
+    assert!(
+        stats.hits() > 0,
+        "near convergence the ants resample identical walks; the cache must hit"
+    );
+    let rate = stats.hits() as f64 / (stats.hits() + stats.misses()) as f64;
+    assert!(
+        rate > 0.0 && rate < 1.0,
+        "hit rate {rate} must be a real fraction"
+    );
+}
