@@ -1,0 +1,720 @@
+//! The cluster coordinator: deterministic job sharding, heartbeat
+//! sentinels, and re-dispatch.
+//!
+//! Workers dial in over TCP and announce themselves ([`Hello`]); the
+//! coordinator shards a run's hot-block job space across them, one
+//! canonical block index per [`JobAssign`]. Because every job seed derives
+//! from the block's canonical index — not from which node runs it or in
+//! what order — the merged result is bitwise identical to a single-node
+//! run at any worker count, placement, or failure history.
+//!
+//! # Liveness and re-dispatch
+//!
+//! Workers heartbeat every [`CoordinatorConfig::heartbeat_ms`]. A worker
+//! whose connection drops, or that goes silent for
+//! `heartbeat_ms × heartbeat_misses`, is declared dead and its in-flight
+//! blocks return to the pending queue for re-dispatch. If *every* worker
+//! is dead, the coordinator explores pending blocks locally — a cluster
+//! of zero degrades to the single-node flow, it never hangs.
+//!
+//! # Exactly-once completion
+//!
+//! Re-dispatch can race a slow worker against its replacement, so a block
+//! may finish twice; the first [`JobResult`] wins and later duplicates
+//! are dropped (identical by determinism, so "first" is not a choice that
+//! shows in the output). With a journal directory configured, completed
+//! entries are appended to the PR-3 checkpoint journal as they arrive —
+//! a crashed coordinator resumes from it and re-explores only the rest.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use isex_engine::{CancelToken, Cancelled, EventSink, FaultPlan, RunMetrics};
+use isex_flow::{
+    explore_block_entry, finish_from_entries, hot_blocks, load_journal, run_key, CheckpointEntry,
+    FlowConfig, FlowReport,
+};
+use isex_serve::ExploreRequest;
+use isex_trace::PhaseStat;
+use isex_workloads::Program;
+
+use crate::messages::{HelloAck, JobAssign, Message, PROTOCOL_VERSION};
+use crate::wire::{read_frame, write_frame, Frame, OpCode};
+
+/// Tunables for one coordinator instance.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// Bind address for the worker-facing listener (`:0` picks a port).
+    pub listen_addr: String,
+    /// Heartbeat interval announced to workers, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Consecutive missed beats before a silent worker is declared dead.
+    pub heartbeat_misses: u32,
+    /// When set, each run appends completed blocks to a checkpoint journal
+    /// here (named by a hash of the run key) and resumes from it.
+    pub journal_dir: Option<PathBuf>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            listen_addr: "127.0.0.1:0".to_string(),
+            heartbeat_ms: 500,
+            heartbeat_misses: 3,
+            journal_dir: None,
+        }
+    }
+}
+
+/// One connected worker, as the coordinator sees it. Dead workers stay in
+/// the table (marked `!alive`) so their job counts survive into the run's
+/// metrics.
+struct Worker {
+    id: u64,
+    name: String,
+    /// Write half; the connection's reader thread owns its own clone.
+    stream: TcpStream,
+    capacity: usize,
+    alive: bool,
+    last_beat: Instant,
+    /// Job ids currently assigned to this worker.
+    inflight: Vec<u64>,
+    jobs_done: u64,
+}
+
+/// Counters accumulated over one run, surfaced as `cluster.*` phase stats.
+#[derive(Default)]
+struct RunCounters {
+    redispatched: u64,
+    heartbeats_missed: u64,
+    local: u64,
+}
+
+/// The in-progress run (at most one at a time; concurrent callers queue).
+struct RunState {
+    key: String,
+    request_json: String,
+    fault_plan: Option<FaultPlan>,
+    trace_id: String,
+    pending: VecDeque<usize>,
+    /// Dispatch attempts per block (indexes the hot list).
+    attempts: Vec<usize>,
+    /// job id → (block index, worker id).
+    inflight: HashMap<u64, (usize, u64)>,
+    /// Completed entries keyed by block index; first completion wins.
+    completed: BTreeMap<usize, CheckpointEntry>,
+    next_job_id: u64,
+    counters: RunCounters,
+}
+
+struct ClusterState {
+    workers: Vec<Worker>,
+    run: Option<RunState>,
+}
+
+struct Shared {
+    config: CoordinatorConfig,
+    state: Mutex<ClusterState>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    next_worker_id: AtomicU64,
+}
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A running coordinator. Dropping it severs every worker connection and
+/// joins its threads.
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds the worker-facing listener and starts accepting workers.
+    pub fn start(config: CoordinatorConfig) -> std::io::Result<Coordinator> {
+        let listener = TcpListener::bind(&config.listen_addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            state: Mutex::new(ClusterState {
+                workers: Vec::new(),
+                run: None,
+            }),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_worker_id: AtomicU64::new(1),
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("isex-cluster-accept".to_string())
+            .spawn(move || accept_loop(listener, acceptor_shared))
+            .expect("spawn cluster acceptor");
+        Ok(Coordinator {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The worker-facing address actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Workers currently connected and alive.
+    pub fn workers_alive(&self) -> usize {
+        lock_unpoisoned(&self.shared.state)
+            .workers
+            .iter()
+            .filter(|w| w.alive)
+            .count()
+    }
+
+    /// Blocks until at least `n` workers are alive or `timeout` elapses;
+    /// returns whether the quorum was reached. Test/CI convenience — runs
+    /// themselves never require a quorum (zero workers falls back to
+    /// local execution).
+    pub fn wait_for_workers(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock_unpoisoned(&self.shared.state);
+        loop {
+            if state.workers.iter().filter(|w| w.alive).count() >= n {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _) = self
+                .shared
+                .wake
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+        }
+    }
+
+    /// Runs one exploration across the cluster and merges the result.
+    ///
+    /// Blocks until every hot block has exactly one completed entry, then
+    /// reduces them with [`finish_from_entries`] — the same reduce the
+    /// checkpoint path uses, so the report is byte-identical to a local
+    /// [`run_flow`](isex_flow::run_flow) with the same request.
+    ///
+    /// `sink` only observes locally-executed blocks (fallback path);
+    /// engine events do not cross the wire.
+    pub fn run(
+        &self,
+        request: &ExploreRequest,
+        cfg: &FlowConfig,
+        program: &Program,
+        sink: &dyn EventSink,
+        cancel: &CancelToken,
+        trace_id: &str,
+    ) -> Result<(FlowReport, RunMetrics), Cancelled> {
+        let start = Instant::now();
+        let key = run_key(cfg, program, request.seed);
+        let hot_len = hot_blocks(cfg, program).len();
+
+        // Resume: pre-complete blocks the journal already holds.
+        let journal_path = self
+            .shared
+            .config
+            .journal_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("run-{:016x}.jsonl", fnv1a(&key))));
+        let mut resumed_entries = Vec::new();
+        if let Some(path) = &journal_path {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match load_journal(path, &key) {
+                Ok(entries) => resumed_entries = entries,
+                Err(e) => eprintln!("isex-cluster: journal {} unreadable: {e}", path.display()),
+            }
+        }
+        let mut journal = journal_path.as_ref().and_then(|path| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| eprintln!("isex-cluster: journal {} unwritable: {e}", path.display()))
+                .ok()
+        });
+
+        // Install the run (serializing with any run already in progress).
+        let resumed;
+        {
+            let mut state = lock_unpoisoned(&self.shared.state);
+            while state.run.is_some() {
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
+                let (next, _) = self
+                    .shared
+                    .wake
+                    .wait_timeout(state, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = next;
+            }
+            let mut completed = BTreeMap::new();
+            for entry in resumed_entries {
+                if entry.block_index < hot_len {
+                    completed.entry(entry.block_index).or_insert(entry);
+                }
+            }
+            resumed = completed.len();
+            let pending: VecDeque<usize> = (0..hot_len)
+                .filter(|b| !completed.contains_key(b))
+                .collect();
+            state.run = Some(RunState {
+                key: key.clone(),
+                request_json: request.to_json(),
+                fault_plan: cfg.fault_plan.clone(),
+                trace_id: trace_id.to_string(),
+                pending,
+                attempts: vec![0; hot_len],
+                inflight: HashMap::new(),
+                completed,
+                next_job_id: 1,
+                counters: RunCounters::default(),
+            });
+        }
+        self.shared.wake.notify_all();
+
+        // The drive loop. Each pass holds the lock once: sentinel-checks
+        // workers, dispatches pending blocks, and drains newly completed
+        // entries for journaling; journal appends and local fallback
+        // exploration happen with the lock released.
+        let mut journaled: Vec<usize> = Vec::new();
+        let (entries, counters, worker_totals, workers_alive, last_fresh) = loop {
+            if cancel.is_cancelled() {
+                self.abandon_run();
+                return Err(Cancelled);
+            }
+            let mut fresh: Vec<CheckpointEntry> = Vec::new();
+            let mut local_block: Option<usize> = None;
+            {
+                let mut state = lock_unpoisoned(&self.shared.state);
+                self.expire_silent_workers(&mut state);
+                self.dispatch(&mut state);
+                let ClusterState { workers, run } = &mut *state;
+                let run_state = run.as_mut().expect("run installed above");
+                for (&block, entry) in &run_state.completed {
+                    if !journaled.contains(&block) {
+                        journaled.push(block);
+                        fresh.push(entry.clone());
+                    }
+                }
+                if run_state.completed.len() == hot_len {
+                    let entries: Vec<CheckpointEntry> =
+                        run_state.completed.values().cloned().collect();
+                    let counters = std::mem::take(&mut run_state.counters);
+                    let totals: Vec<(String, u64)> = workers
+                        .iter()
+                        .filter(|w| w.jobs_done > 0)
+                        .map(|w| (w.name.clone(), w.jobs_done))
+                        .collect();
+                    let alive = workers.iter().filter(|w| w.alive).count();
+                    for w in workers.iter_mut() {
+                        w.inflight.clear();
+                        w.jobs_done = 0;
+                    }
+                    *run = None;
+                    // Entries drained *this* pass haven't been journaled
+                    // yet — hand them out with the break.
+                    break (entries, counters, totals, alive, std::mem::take(&mut fresh));
+                }
+                if !run_state.pending.is_empty() && !workers.iter().any(|w| w.alive) {
+                    // Cluster of zero: take one block and run it here.
+                    let block = run_state.pending.pop_front().expect("non-empty");
+                    run_state.attempts[block] += 1;
+                    local_block = Some(block);
+                }
+            }
+
+            // Journal first: an entry must be durable before anything
+            // downstream of it, exactly like the single-node journal.
+            if let Some(file) = &mut journal {
+                for entry in &fresh {
+                    if let Err(e) = append_entry(file, entry) {
+                        eprintln!("isex-cluster: journal append failed: {e}");
+                        journal = None;
+                        break;
+                    }
+                }
+            }
+
+            if let Some(block) = local_block {
+                let entry =
+                    match explore_block_entry(cfg, program, request.seed, block, sink, cancel) {
+                        Ok(entry) => entry,
+                        Err(Cancelled) => {
+                            self.abandon_run();
+                            return Err(Cancelled);
+                        }
+                    };
+                let mut state = lock_unpoisoned(&self.shared.state);
+                if let Some(run_state) = state.run.as_mut() {
+                    run_state.counters.local += 1;
+                    run_state.completed.entry(block).or_insert(entry);
+                }
+                drop(state);
+                self.shared.wake.notify_all();
+                continue;
+            }
+
+            if fresh.is_empty() {
+                // Nothing to do until a result, a worker change, or the
+                // next heartbeat deadline.
+                let state = lock_unpoisoned(&self.shared.state);
+                let tick = self.shared.config.heartbeat_ms.clamp(10, 100);
+                let _ = self
+                    .shared
+                    .wake
+                    .wait_timeout(state, Duration::from_millis(tick))
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        self.shared.wake.notify_all();
+        if let Some(file) = &mut journal {
+            for entry in &last_fresh {
+                if let Err(e) = append_entry(file, entry) {
+                    eprintln!("isex-cluster: journal append failed: {e}");
+                    break;
+                }
+            }
+        }
+
+        let explore_ms = start.elapsed().as_secs_f64() * 1e3;
+        let (report, mut metrics) =
+            finish_from_entries(cfg, program, request.seed, entries, hot_len);
+        metrics.blocks_resumed = resumed;
+        metrics.phases.explore_ms = explore_ms;
+        metrics.phases.total_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        // Cluster telemetry rides the phase profile (`count` carries the
+        // value) so it flows through existing RunMetrics consumers — the
+        // Prometheus exposition included — without a schema change that
+        // would orphan pre-cluster records.
+        let mut stats = vec![
+            stat("cluster.workers_alive", workers_alive as u64),
+            stat("cluster.jobs_redispatched", counters.redispatched),
+            stat("cluster.heartbeats_missed", counters.heartbeats_missed),
+            stat("cluster.jobs_local", counters.local),
+        ];
+        for (name, jobs) in worker_totals {
+            stats.push(stat(&format!("cluster.worker.{name}.jobs"), jobs));
+        }
+        metrics.phase_profile.0.extend(stats);
+        metrics.phase_profile.0.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok((report, metrics))
+    }
+
+    /// Declares silent workers dead and requeues their in-flight blocks.
+    fn expire_silent_workers(&self, state: &mut ClusterState) {
+        let limit = Duration::from_millis(
+            self.shared.config.heartbeat_ms * self.shared.config.heartbeat_misses.max(1) as u64,
+        );
+        let now = Instant::now();
+        let ClusterState { workers, run } = state;
+        for worker in workers.iter_mut() {
+            if worker.alive && now.duration_since(worker.last_beat) > limit {
+                worker.alive = false;
+                let _ = worker.stream.shutdown(Shutdown::Both);
+                if let Some(run_state) = run.as_mut() {
+                    run_state.counters.heartbeats_missed += 1;
+                    requeue_worker_inflight(run_state, worker);
+                }
+            }
+        }
+    }
+
+    /// Assigns pending blocks to alive workers with spare capacity,
+    /// consuming transport `drop` faults at the moment of dispatch.
+    fn dispatch(&self, state: &mut ClusterState) {
+        let ClusterState { workers, run } = state;
+        let Some(run_state) = run.as_mut() else {
+            return;
+        };
+        while let Some(&block) = run_state.pending.front() {
+            // Least-loaded alive worker, ties broken by connection order.
+            let Some(slot) = workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.alive && w.inflight.len() < w.capacity)
+                .min_by_key(|(i, w)| (w.inflight.len(), *i))
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            run_state.pending.pop_front();
+            let attempt = run_state.attempts[block];
+            run_state.attempts[block] += 1;
+
+            let dropped = run_state
+                .fault_plan
+                .as_ref()
+                .is_some_and(|plan| plan.drops(block, attempt));
+            if dropped {
+                // Injected network fault: sever this worker's connection
+                // instead of sending. Its reader thread sees EOF and the
+                // block (plus anything else it held) is re-dispatched.
+                let worker = &mut workers[slot];
+                worker.alive = false;
+                let _ = worker.stream.shutdown(Shutdown::Both);
+                run_state.counters.redispatched += 1;
+                requeue_worker_inflight(run_state, worker);
+                run_state.pending.push_back(block);
+                continue;
+            }
+
+            let assign = Message::Job(JobAssign {
+                job_id: run_state.next_job_id,
+                request: run_state.request_json.clone(),
+                fault_plan: run_state
+                    .fault_plan
+                    .as_ref()
+                    .map(|p| p.source().to_string()),
+                block_index: block,
+                attempt,
+                trace_id: run_state.trace_id.clone(),
+            });
+            let worker = &mut workers[slot];
+            if write_frame(&mut worker.stream, &assign.encode()).is_err() {
+                worker.alive = false;
+                let _ = worker.stream.shutdown(Shutdown::Both);
+                run_state.counters.redispatched += 1;
+                requeue_worker_inflight(run_state, worker);
+                run_state.pending.push_back(block);
+                continue;
+            }
+            run_state
+                .inflight
+                .insert(run_state.next_job_id, (block, worker.id));
+            worker.inflight.push(run_state.next_job_id);
+            run_state.next_job_id += 1;
+        }
+    }
+
+    /// Clears the active run (cancellation path).
+    fn abandon_run(&self) {
+        let mut state = lock_unpoisoned(&self.shared.state);
+        state.run = None;
+        for worker in &mut state.workers {
+            worker.inflight.clear();
+            worker.jobs_done = 0;
+        }
+        drop(state);
+        self.shared.wake.notify_all();
+    }
+
+    /// Severs every worker and joins the acceptor.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut state = lock_unpoisoned(&self.shared.state);
+            for worker in &mut state.workers {
+                if worker.alive {
+                    let _ = write_frame(&mut worker.stream, &Frame::control(OpCode::Goodbye));
+                }
+                worker.alive = false;
+                let _ = worker.stream.shutdown(Shutdown::Both);
+            }
+        }
+        self.shared.wake.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn stat(name: &str, count: u64) -> PhaseStat {
+    PhaseStat {
+        name: name.to_string(),
+        count,
+        total_ms: 0.0,
+        max_ms: 0.0,
+    }
+}
+
+/// Returns a dead worker's in-flight blocks to the pending queue.
+fn requeue_worker_inflight(run: &mut RunState, worker: &mut Worker) {
+    for job_id in worker.inflight.drain(..) {
+        if let Some((block, _)) = run.inflight.remove(&job_id) {
+            if !run.completed.contains_key(&block) && !run.pending.contains(&block) {
+                run.counters.redispatched += 1;
+                run.pending.push_back(block);
+            }
+        }
+    }
+}
+
+/// FNV-1a, for stable journal file names derived from the run key.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends one journal entry with the same flush-and-fsync discipline as
+/// the single-node checkpoint path.
+fn append_entry(file: &mut std::fs::File, entry: &CheckpointEntry) -> std::io::Result<()> {
+    let line = serde_json::to_string(entry).expect("entry serializes");
+    file.write_all(line.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.flush()?;
+    file.sync_data()
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("isex-cluster-reader".to_string())
+                    .spawn(move || serve_worker_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One worker connection: handshake, then a read loop that feeds
+/// heartbeats and results into the shared state until the peer goes away.
+fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // Handshake.
+    let hello = match read_frame(&mut stream) {
+        Ok(Some(frame)) => match Message::decode(&frame) {
+            Ok(Message::Hello(h)) => h,
+            _ => return,
+        },
+        _ => return,
+    };
+    if hello.version != PROTOCOL_VERSION {
+        // Version skew would silently break bitwise merging; refuse loudly.
+        eprintln!(
+            "isex-cluster: refusing worker `{}`: protocol {} != {}",
+            hello.name, hello.version, PROTOCOL_VERSION
+        );
+        let _ = write_frame(&mut stream, &Frame::control(OpCode::Goodbye));
+        return;
+    }
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = write_half.set_write_timeout(Some(Duration::from_secs(10)));
+    let ack = Message::HelloAck(HelloAck {
+        version: PROTOCOL_VERSION,
+        heartbeat_ms: shared.config.heartbeat_ms,
+    });
+    if write_frame(&mut write_half, &ack.encode()).is_err() {
+        return;
+    }
+
+    let worker_id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut state = lock_unpoisoned(&shared.state);
+        state.workers.push(Worker {
+            id: worker_id,
+            name: hello.name.clone(),
+            stream: write_half,
+            capacity: hello.capacity.max(1),
+            alive: true,
+            last_beat: Instant::now(),
+            inflight: Vec::new(),
+            jobs_done: 0,
+        });
+    }
+    shared.wake.notify_all();
+
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let Ok(message) = Message::decode(&frame) else {
+            break; // hostile or skewed peer: drop it
+        };
+        let mut state = lock_unpoisoned(&shared.state);
+        let ClusterState { workers, run } = &mut *state;
+        let Some(worker) = workers.iter_mut().find(|w| w.id == worker_id) else {
+            break;
+        };
+        worker.last_beat = Instant::now();
+        match message {
+            Message::Heartbeat => {}
+            Message::Result(result) => {
+                worker.inflight.retain(|&id| id != result.job_id);
+                if let Some(run_state) = run.as_mut() {
+                    if let Some((block, _)) = run_state.inflight.remove(&result.job_id) {
+                        // Guard the merge: the entry must be the installed
+                        // run's (matching key) and for the block assigned.
+                        if result.entry.run_key == run_state.key
+                            && result.entry.block_index == block
+                        {
+                            worker.jobs_done += 1;
+                            run_state.completed.entry(block).or_insert(result.entry);
+                        } else if !run_state.completed.contains_key(&block)
+                            && !run_state.pending.contains(&block)
+                        {
+                            run_state.counters.redispatched += 1;
+                            run_state.pending.push_back(block);
+                        }
+                    }
+                }
+            }
+            Message::Goodbye => {
+                drop(state);
+                break;
+            }
+            // A worker has no business sending these; treat as hostile.
+            Message::Hello(_) | Message::HelloAck(_) | Message::Job(_) => {
+                drop(state);
+                break;
+            }
+        }
+        drop(state);
+        shared.wake.notify_all();
+    }
+
+    // Connection over: whatever the worker still held goes back in the
+    // queue.
+    let mut state = lock_unpoisoned(&shared.state);
+    let ClusterState { workers, run } = &mut *state;
+    if let Some(worker) = workers.iter_mut().find(|w| w.id == worker_id) {
+        worker.alive = false;
+        let _ = worker.stream.shutdown(Shutdown::Both);
+        if let Some(run_state) = run.as_mut() {
+            requeue_worker_inflight(run_state, worker);
+        }
+    }
+    drop(state);
+    shared.wake.notify_all();
+}

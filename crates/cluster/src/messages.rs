@@ -1,0 +1,218 @@
+//! Typed cluster messages and their mapping onto wire frames.
+//!
+//! Each [`OpCode`] with a payload carries one serde struct as JSON. The
+//! JSON-in-binary-framing split is deliberate: framing needs to be cheap
+//! and hostile-input-safe (see [`wire`](crate::wire)), while the payloads
+//! reuse the workspace's existing serde types — most importantly
+//! [`CheckpointEntry`], which already round-trips losslessly through JSON
+//! (the checkpoint journal depends on it), so a result crossing the wire
+//! is bit-for-bit the entry a local run would have produced.
+
+use isex_flow::CheckpointEntry;
+use serde::{Deserialize, Serialize};
+
+use crate::wire::{Frame, OpCode, WireError};
+
+/// The cluster protocol version. A worker and coordinator must agree
+/// exactly: results are merged bitwise, so "close enough" versions are
+/// exactly the bug this check refuses.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Worker → coordinator: first frame on a connection.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// Worker name (diagnostics, per-worker counters, trace file names).
+    pub name: String,
+    /// Blocks the worker will hold in flight at once (≥ 1).
+    pub capacity: usize,
+}
+
+/// Coordinator → worker: accepts the [`Hello`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HelloAck {
+    /// Coordinator's [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// Interval at which the worker must send [`OpCode::Heartbeat`].
+    pub heartbeat_ms: u64,
+}
+
+/// Coordinator → worker: explore one block of one run.
+///
+/// A job is fully described by the run's request plus a canonical block
+/// index — any node resolving the same `(request, fault_plan)` computes
+/// the same hot list, so a bare index is a complete, placement-independent
+/// unit of work.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobAssign {
+    /// Coordinator-unique id; echoed in the matching [`JobResult`].
+    pub job_id: u64,
+    /// The run's `/v1/explore` request as its client JSON (see
+    /// [`ExploreRequest::to_json`](isex_serve::ExploreRequest::to_json)).
+    pub request: String,
+    /// Engine fault-plan source to apply, if the run has one (the `drop`
+    /// kind is transport-only and is consumed by the coordinator instead).
+    pub fault_plan: Option<String>,
+    /// Canonical index of the block in the run's hot list.
+    pub block_index: usize,
+    /// Dispatch attempt for this block, 0-based (re-dispatches increment).
+    pub attempt: usize,
+    /// The originating request's trace id, stamped on the worker's spans
+    /// and trace files.
+    pub trace_id: String,
+}
+
+/// Worker → coordinator: one finished block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The id from the [`JobAssign`] this answers.
+    pub job_id: u64,
+    /// The reporting worker's name.
+    pub worker: String,
+    /// The block's exploration result — the same entry a checkpointed
+    /// local run would have journaled.
+    pub entry: CheckpointEntry,
+}
+
+/// A decoded cluster message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// See [`Hello`].
+    Hello(Hello),
+    /// See [`HelloAck`].
+    HelloAck(HelloAck),
+    /// See [`JobAssign`].
+    Job(JobAssign),
+    /// See [`JobResult`].
+    Result(JobResult),
+    /// Liveness beacon.
+    Heartbeat,
+    /// Orderly close.
+    Goodbye,
+}
+
+fn json_frame<T: Serialize>(opcode: OpCode, value: &T) -> Frame {
+    Frame {
+        opcode,
+        payload: serde_json::to_string(value)
+            .expect("cluster message serializes")
+            .into_bytes(),
+    }
+}
+
+fn decode_json<'a, T: Deserialize<'a>>(frame: &'a Frame) -> Result<T, WireError> {
+    let text = std::str::from_utf8(&frame.payload)
+        .map_err(|_| WireError::Malformed("payload is not UTF-8".to_string()))?;
+    serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+impl Message {
+    /// Encodes the message as its wire frame.
+    pub fn encode(&self) -> Frame {
+        match self {
+            Message::Hello(m) => json_frame(OpCode::Hello, m),
+            Message::HelloAck(m) => json_frame(OpCode::HelloAck, m),
+            Message::Job(m) => json_frame(OpCode::Job, m),
+            Message::Result(m) => json_frame(OpCode::Result, m),
+            Message::Heartbeat => Frame::control(OpCode::Heartbeat),
+            Message::Goodbye => Frame::control(OpCode::Goodbye),
+        }
+    }
+
+    /// Decodes a frame into its typed message. Fails (never panics) on
+    /// payloads that are not the opcode's JSON shape — the bytes came off
+    /// the network and are untrusted.
+    pub fn decode(frame: &Frame) -> Result<Message, WireError> {
+        Ok(match frame.opcode {
+            OpCode::Hello => Message::Hello(decode_json(frame)?),
+            OpCode::HelloAck => Message::HelloAck(decode_json(frame)?),
+            OpCode::Job => Message::Job(decode_json(frame)?),
+            OpCode::Result => Message::Result(decode_json(frame)?),
+            OpCode::Heartbeat => Message::Heartbeat,
+            OpCode::Goodbye => Message::Goodbye,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_messages_round_trip() {
+        let messages = vec![
+            Message::Hello(Hello {
+                version: PROTOCOL_VERSION,
+                name: "w0".to_string(),
+                capacity: 2,
+            }),
+            Message::HelloAck(HelloAck {
+                version: PROTOCOL_VERSION,
+                heartbeat_ms: 250,
+            }),
+            Message::Job(JobAssign {
+                job_id: 7,
+                request: r#"{"bench":"crc32"}"#.to_string(),
+                fault_plan: Some("panic:1/8".to_string()),
+                block_index: 3,
+                attempt: 1,
+                trace_id: "tr-abc".to_string(),
+            }),
+            Message::Heartbeat,
+            Message::Goodbye,
+        ];
+        for m in messages {
+            let back = Message::decode(&m.encode()).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn result_entry_survives_the_wire_bitwise() {
+        let entry = CheckpointEntry {
+            run_key: "k".to_string(),
+            block_index: 2,
+            block: "crc32_loop".to_string(),
+            iterations: 30,
+            jobs_completed: 2,
+            jobs_failed: 0,
+            worker_restarts: 0,
+            spread: None,
+            patterns: Vec::new(),
+            error: None,
+        };
+        let m = Message::Result(JobResult {
+            job_id: 9,
+            worker: "w1".to_string(),
+            entry: entry.clone(),
+        });
+        match Message::decode(&m.encode()).unwrap() {
+            Message::Result(r) => assert_eq!(
+                serde_json::to_string(&r.entry).unwrap(),
+                serde_json::to_string(&entry).unwrap()
+            ),
+            other => panic!("expected Result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_payload_shape_is_malformed_not_panic() {
+        let frame = Frame {
+            opcode: OpCode::Result,
+            payload: br#"{"job_id":"not a number"}"#.to_vec(),
+        };
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::Malformed(_))
+        ));
+        let not_utf8 = Frame {
+            opcode: OpCode::Hello,
+            payload: vec![0xff, 0xfe],
+        };
+        assert!(matches!(
+            Message::decode(&not_utf8),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,260 @@
+//! The cluster worker: dial the coordinator, heartbeat, explore blocks.
+//!
+//! A worker is a thin shell around [`explore_block_entry`] — the same
+//! per-block unit the checkpoint path runs — so the entry it ships back
+//! is bitwise the entry a local run would have produced. Everything else
+//! here is plumbing: the [`Hello`] handshake, a heartbeat thread beating
+//! at the coordinator-announced interval, optional per-job Chrome traces
+//! (named by the propagated trace id and this worker's name, with span
+//! `tid`s labelled by the worker's thread name), and reconnect-with-
+//! backoff when the coordinator severs or restarts.
+
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use isex_engine::{CancelToken, Cancelled, FaultPlan, NullSink};
+use isex_flow::explore_block_entry;
+use isex_serve::ExploreRequest;
+
+use crate::messages::{Hello, JobAssign, JobResult, Message, PROTOCOL_VERSION};
+use crate::wire::{read_frame, write_frame};
+
+/// Tunables for one worker process.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Coordinator address to dial, e.g. `127.0.0.1:8473`.
+    pub connect: String,
+    /// Name announced in [`Hello`] (counters, traces, logs).
+    pub name: String,
+    /// Blocks held in flight at once (the coordinator pipelines up to
+    /// this many assignments onto the connection).
+    pub capacity: usize,
+    /// When set, each job writes a Chrome-trace JSON here, named
+    /// `<trace-id>.<worker>.b<block>.trace.json`.
+    pub trace_dir: Option<PathBuf>,
+    /// Fault-drill hook: die (return an error, dropping the connection)
+    /// upon *receiving* the Nth job, before exploring it — the
+    /// deterministic stand-in for `kill -9` mid-assignment.
+    pub die_after_jobs: Option<usize>,
+    /// Redial after a lost connection instead of exiting.
+    pub reconnect: bool,
+    /// Delay between dial attempts, milliseconds.
+    pub retry_ms: u64,
+    /// Dial attempts before giving up (initial connect and reconnect).
+    pub max_dial_attempts: u32,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            connect: "127.0.0.1:8473".to_string(),
+            name: "worker".to_string(),
+            capacity: 1,
+            trace_dir: None,
+            die_after_jobs: None,
+            reconnect: true,
+            retry_ms: 200,
+            max_dial_attempts: 50,
+        }
+    }
+}
+
+/// How one connection to the coordinator ended.
+enum Session {
+    /// Coordinator said [`Goodbye`](Message::Goodbye): exit cleanly.
+    Closed,
+    /// Connection lost (severed, coordinator died): maybe reconnect.
+    Lost,
+    /// The `die_after_jobs` drill fired: exit with an error.
+    Died,
+}
+
+/// Runs a worker until the coordinator closes the session (`Ok`), the
+/// connection is lost with reconnect disabled or exhausted, or the
+/// `die_after_jobs` drill fires (both `Err`).
+pub fn run_worker(config: &WorkerConfig) -> Result<(), String> {
+    let mut jobs_received = 0usize;
+    loop {
+        let stream = dial(config)?;
+        match serve_session(config, stream, &mut jobs_received)? {
+            Session::Closed => return Ok(()),
+            Session::Died => {
+                return Err(format!(
+                    "worker `{}` died after receiving job {} (--die-after-jobs)",
+                    config.name, jobs_received
+                ))
+            }
+            Session::Lost if config.reconnect => continue,
+            Session::Lost => {
+                return Err(format!(
+                    "worker `{}` lost its coordinator connection",
+                    config.name
+                ))
+            }
+        }
+    }
+}
+
+fn dial(config: &WorkerConfig) -> Result<TcpStream, String> {
+    let mut last_err = String::new();
+    for _ in 0..config.max_dial_attempts.max(1) {
+        match TcpStream::connect(&config.connect) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = e.to_string(),
+        }
+        std::thread::sleep(Duration::from_millis(config.retry_ms.max(1)));
+    }
+    Err(format!(
+        "worker `{}` could not reach coordinator at {}: {last_err}",
+        config.name, config.connect
+    ))
+}
+
+fn serve_session(
+    config: &WorkerConfig,
+    mut stream: TcpStream,
+    jobs_received: &mut usize,
+) -> Result<Session, String> {
+    let hello = Message::Hello(Hello {
+        version: PROTOCOL_VERSION,
+        name: config.name.clone(),
+        capacity: config.capacity.max(1),
+    });
+    if write_frame(&mut stream, &hello.encode()).is_err() {
+        return Ok(Session::Lost);
+    }
+    let heartbeat_ms = match read_frame(&mut stream) {
+        Ok(Some(frame)) => match Message::decode(&frame) {
+            Ok(Message::HelloAck(ack)) if ack.version == PROTOCOL_VERSION => ack.heartbeat_ms,
+            Ok(Message::HelloAck(ack)) => {
+                return Err(format!(
+                    "coordinator speaks protocol {} but this worker speaks {}",
+                    ack.version, PROTOCOL_VERSION
+                ))
+            }
+            Ok(Message::Goodbye) => return Ok(Session::Closed),
+            _ => return Ok(Session::Lost),
+        },
+        _ => return Ok(Session::Lost),
+    };
+
+    // Heartbeats go from their own thread through a shared write half, so
+    // a long-running block cannot starve the liveness signal.
+    let write_half = Arc::new(Mutex::new(stream.try_clone().map_err(|e| e.to_string())?));
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat_half = Arc::clone(&write_half);
+    let beat_stop = Arc::clone(&stop);
+    let beater = std::thread::Builder::new()
+        .name(format!("isex-worker-{}-beat", config.name))
+        .spawn(move || {
+            while !beat_stop.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(heartbeat_ms.max(10)));
+                let mut half = beat_half.lock().unwrap_or_else(|e| e.into_inner());
+                if write_frame(&mut *half, &Message::Heartbeat.encode()).is_err() {
+                    return;
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    let session = 'conn: loop {
+        let message = match read_frame(&mut stream) {
+            Ok(Some(frame)) => match Message::decode(&frame) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("isex-worker {}: bad frame: {e}", config.name);
+                    break 'conn Session::Lost;
+                }
+            },
+            Ok(None) | Err(_) => break 'conn Session::Lost,
+        };
+        match message {
+            Message::Job(assign) => {
+                *jobs_received += 1;
+                if config.die_after_jobs.is_some_and(|n| *jobs_received >= n) {
+                    break 'conn Session::Died;
+                }
+                let result = match run_job(config, &assign) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // A job this worker cannot even parse is a protocol
+                        // breach: drop the connection so the coordinator
+                        // re-dispatches elsewhere instead of waiting.
+                        eprintln!("isex-worker {}: job {}: {e}", config.name, assign.job_id);
+                        break 'conn Session::Lost;
+                    }
+                };
+                let frame = Message::Result(result).encode();
+                let mut half = write_half.lock().unwrap_or_else(|e| e.into_inner());
+                if write_frame(&mut *half, &frame).is_err() {
+                    break 'conn Session::Lost;
+                }
+            }
+            Message::Goodbye => break 'conn Session::Closed,
+            Message::Heartbeat => {}
+            Message::Hello(_) | Message::HelloAck(_) | Message::Result(_) => {
+                break 'conn Session::Lost
+            }
+        }
+    };
+    stop.store(true, Ordering::Release);
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = beater.join();
+    Ok(session)
+}
+
+/// Resolves one [`JobAssign`] to its [`JobResult`] by running the shared
+/// per-block exploration unit.
+fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, String> {
+    let parsed =
+        serde_json::parse(&assign.request).map_err(|e| format!("bad request JSON: {e}"))?;
+    let request = ExploreRequest::from_json(&parsed).map_err(|e| format!("bad request: {e}"))?;
+    let mut cfg = request.flow_config();
+    if let Some(spec) = &assign.fault_plan {
+        cfg.fault_plan = Some(FaultPlan::parse(spec).map_err(|e| format!("bad fault plan: {e}"))?);
+    }
+    let tracer = match &config.trace_dir {
+        Some(_) => isex_trace::Tracer::with_trace_id(&assign.trace_id),
+        None => isex_trace::Tracer::disabled(),
+    };
+    cfg.tracer = tracer.clone();
+    let program = request.program();
+
+    let entry = {
+        let _attach = tracer.attach();
+        let _span = tracer.span_with("worker.block", || {
+            vec![
+                ("worker", config.name.clone()),
+                ("block", assign.block_index.to_string()),
+                ("attempt", assign.attempt.to_string()),
+                ("trace", assign.trace_id.clone()),
+            ]
+        });
+        explore_block_entry(
+            &cfg,
+            &program,
+            request.seed,
+            assign.block_index,
+            &NullSink,
+            &CancelToken::new(),
+        )
+        .map_err(|Cancelled| "cancelled".to_string())?
+    };
+
+    if let Some(dir) = &config.trace_dir {
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join(format!(
+            "{}.{}.b{}.trace.json",
+            assign.trace_id, config.name, assign.block_index
+        ));
+        let _ = std::fs::write(path, tracer.chrome_trace());
+    }
+
+    Ok(JobResult {
+        job_id: assign.job_id,
+        worker: config.name.clone(),
+        entry,
+    })
+}

@@ -1,0 +1,370 @@
+//! End-to-end cluster tests: determinism of the distributed merge, worker
+//! death and re-dispatch, transport fault drills, journal reuse, the
+//! heartbeat sentinel, and the Prometheus surface.
+//!
+//! The load is kept tiny (1–2 hot blocks × 2 repeats × ~30 iterations) so
+//! the whole file runs in seconds on one core; every determinism check is
+//! a *byte* comparison of serialized [`FlowReport`]s against a plain
+//! single-node [`run_flow`] with the same request.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use isex_cluster::messages::{Hello, Message, PROTOCOL_VERSION};
+use isex_cluster::wire::{read_frame, write_frame};
+use isex_cluster::{ClusterRunner, Coordinator, CoordinatorConfig, WorkerConfig};
+use isex_engine::{CancelToken, FaultPlan, NullSink, RunMetrics};
+use isex_flow::{run_flow, FlowReport};
+use isex_serve::ExploreRequest;
+use isex_workloads::Benchmark;
+
+/// A small two-hot-block request (crc32 has 2 hot blocks at the paper's
+/// coverage), so jobs genuinely shard across two workers.
+fn small_request(seed: u64) -> ExploreRequest {
+    ExploreRequest {
+        bench: Benchmark::Crc32,
+        seed,
+        repeats: 2,
+        effort: 30,
+        jobs: 1,
+        ..ExploreRequest::default()
+    }
+}
+
+fn coordinator(heartbeat_ms: u64, journal_dir: Option<std::path::PathBuf>) -> Arc<Coordinator> {
+    Arc::new(
+        Coordinator::start(CoordinatorConfig {
+            listen_addr: "127.0.0.1:0".to_string(),
+            heartbeat_ms,
+            heartbeat_misses: 2,
+            journal_dir,
+        })
+        .expect("coordinator binds"),
+    )
+}
+
+fn spawn_worker(addr: std::net::SocketAddr, name: &str) -> std::thread::JoinHandle<()> {
+    spawn_worker_with(addr, name, |_| {})
+}
+
+fn spawn_worker_with(
+    addr: std::net::SocketAddr,
+    name: &str,
+    tweak: impl FnOnce(&mut WorkerConfig),
+) -> std::thread::JoinHandle<()> {
+    let mut config = WorkerConfig {
+        connect: addr.to_string(),
+        name: name.to_string(),
+        retry_ms: 50,
+        ..WorkerConfig::default()
+    };
+    tweak(&mut config);
+    std::thread::spawn(move || {
+        let _ = isex_cluster::run_worker(&config);
+    })
+}
+
+fn cluster_run(
+    coordinator: &Coordinator,
+    request: &ExploreRequest,
+    fault_plan: Option<FaultPlan>,
+) -> (FlowReport, RunMetrics) {
+    let mut cfg = request.flow_config();
+    cfg.fault_plan = fault_plan;
+    let program = request.program();
+    coordinator
+        .run(
+            request,
+            &cfg,
+            &program,
+            &NullSink,
+            &CancelToken::new(),
+            "trace-test",
+        )
+        .expect("cluster run completes")
+}
+
+fn single_node(request: &ExploreRequest, fault_plan: Option<FaultPlan>) -> FlowReport {
+    let mut cfg = request.flow_config();
+    cfg.fault_plan = fault_plan;
+    run_flow(&cfg, &request.program(), request.seed)
+}
+
+fn report_json(report: &FlowReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+fn stat_count(metrics: &RunMetrics, name: &str) -> u64 {
+    metrics.phase_profile.get(name).map_or(0, |s| s.count)
+}
+
+#[test]
+fn two_workers_merge_byte_identical_to_single_node() {
+    let coord = coordinator(200, None);
+    let w0 = spawn_worker(coord.addr(), "w0");
+    let w1 = spawn_worker(coord.addr(), "w1");
+    assert!(
+        coord.wait_for_workers(2, Duration::from_secs(10)),
+        "both workers register"
+    );
+
+    let request = small_request(11);
+    let (report, metrics) = cluster_run(&coord, &request, None);
+    assert_eq!(
+        report_json(&report),
+        report_json(&single_node(&request, None)),
+        "clustered report must be byte-identical to the single-node run"
+    );
+    assert_eq!(stat_count(&metrics, "cluster.workers_alive"), 2);
+    assert_eq!(stat_count(&metrics, "cluster.jobs_redispatched"), 0);
+    assert_eq!(stat_count(&metrics, "cluster.jobs_local"), 0);
+    let remote_jobs = stat_count(&metrics, "cluster.worker.w0.jobs")
+        + stat_count(&metrics, "cluster.worker.w1.jobs");
+    assert_eq!(
+        remote_jobs as usize, metrics.blocks_explored,
+        "every block ran remotely"
+    );
+
+    // A second run over the same live cluster reproduces the same bytes.
+    let (again, _) = cluster_run(&coord, &request, None);
+    assert_eq!(report_json(&again), report_json(&report));
+
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+    let _ = (w0.join(), w1.join());
+}
+
+#[test]
+fn killed_worker_is_redispatched_without_changing_the_answer() {
+    let coord = coordinator(100, None);
+    // w-dies receives its first assignment and drops dead before running
+    // it — the deterministic stand-in for `kill -9` mid-run.
+    let dying = spawn_worker_with(coord.addr(), "w-dies", |c| {
+        c.die_after_jobs = Some(1);
+        c.reconnect = false;
+    });
+    let survivor = spawn_worker(coord.addr(), "w-lives");
+    assert!(
+        coord.wait_for_workers(2, Duration::from_secs(10)),
+        "both workers register"
+    );
+
+    let request = small_request(23);
+    let (report, metrics) = cluster_run(&coord, &request, None);
+    assert_eq!(
+        report_json(&report),
+        report_json(&single_node(&request, None)),
+        "a mid-run worker death must not change the merged report"
+    );
+    assert!(
+        stat_count(&metrics, "cluster.jobs_redispatched") >= 1,
+        "the dead worker's block was re-dispatched"
+    );
+    assert_eq!(stat_count(&metrics, "cluster.worker.w-dies.jobs"), 0);
+    assert_eq!(
+        stat_count(&metrics, "cluster.worker.w-lives.jobs") as usize,
+        metrics.blocks_explored,
+        "the survivor picked up every block"
+    );
+
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+    let _ = (dying.join(), survivor.join());
+}
+
+#[test]
+fn drop_fault_severs_a_connection_and_the_run_self_heals() {
+    let coord = coordinator(100, None);
+    let w0 = spawn_worker(coord.addr(), "d0");
+    let w1 = spawn_worker(coord.addr(), "d1");
+    assert!(coord.wait_for_workers(2, Duration::from_secs(10)));
+
+    // Sever whichever connection block 0's first dispatch picks. Workers
+    // reconnect by default, so the cluster heals itself afterwards.
+    let plan = FaultPlan::parse("drop@0.0").expect("plan parses");
+    let request = small_request(31);
+    let (report, metrics) = cluster_run(&coord, &request, Some(plan.clone()));
+    assert_eq!(
+        report_json(&report),
+        report_json(&single_node(&request, Some(plan))),
+        "a transport drop must not change the merged report"
+    );
+    assert!(
+        stat_count(&metrics, "cluster.jobs_redispatched") >= 1,
+        "the dropped dispatch was re-dispatched"
+    );
+
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+    let _ = (w0.join(), w1.join());
+}
+
+#[test]
+fn zero_workers_fall_back_to_local_execution() {
+    let coord = coordinator(100, None);
+    let request = small_request(41);
+    let (report, metrics) = cluster_run(&coord, &request, None);
+    assert_eq!(
+        report_json(&report),
+        report_json(&single_node(&request, None)),
+        "an empty cluster degrades to the single-node flow"
+    );
+    assert_eq!(
+        stat_count(&metrics, "cluster.jobs_local") as usize,
+        metrics.blocks_explored
+    );
+    assert_eq!(stat_count(&metrics, "cluster.workers_alive"), 0);
+}
+
+#[test]
+fn journal_makes_block_completion_exactly_once() {
+    let dir = std::env::temp_dir().join(format!("isex-cluster-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let coord = coordinator(200, Some(dir.clone()));
+    let w0 = spawn_worker(coord.addr(), "j0");
+    assert!(coord.wait_for_workers(1, Duration::from_secs(10)));
+
+    let request = small_request(53);
+    let (first, first_metrics) = cluster_run(&coord, &request, None);
+    assert_eq!(first_metrics.blocks_resumed, 0);
+    assert!(first_metrics.blocks_explored > 0);
+
+    // Same request again: every block resumes from the journal; no job
+    // reaches any worker.
+    let (second, metrics) = cluster_run(&coord, &request, None);
+    assert_eq!(report_json(&second), report_json(&first));
+    assert_eq!(metrics.blocks_resumed, first_metrics.blocks_explored);
+    assert_eq!(stat_count(&metrics, "cluster.worker.j0.jobs"), 0);
+    assert_eq!(stat_count(&metrics, "cluster.jobs_local"), 0);
+
+    // A different seed is a different run key: nothing resumes.
+    let other = small_request(54);
+    let (_, other_metrics) = cluster_run(&coord, &other, None);
+    assert_eq!(other_metrics.blocks_resumed, 0);
+
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+    let _ = w0.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn silent_worker_is_expired_by_the_heartbeat_sentinel() {
+    let coord = coordinator(50, None);
+
+    // A hand-rolled worker that completes the handshake, then never beats
+    // and swallows whatever it is assigned.
+    let mut stream = TcpStream::connect(coord.addr()).expect("connect");
+    let hello = Message::Hello(Hello {
+        version: PROTOCOL_VERSION,
+        name: "zombie".to_string(),
+        capacity: 1,
+    });
+    write_frame(&mut stream, &hello.encode()).expect("hello");
+    let ack = read_frame(&mut stream).expect("ack frame").expect("ack");
+    assert!(matches!(Message::decode(&ack), Ok(Message::HelloAck(_))));
+    assert!(coord.wait_for_workers(1, Duration::from_secs(5)));
+
+    let request = small_request(61);
+    let (report, metrics) = cluster_run(&coord, &request, None);
+    assert_eq!(
+        report_json(&report),
+        report_json(&single_node(&request, None)),
+        "a silent worker must not change the merged report"
+    );
+    assert!(
+        stat_count(&metrics, "cluster.heartbeats_missed") >= 1,
+        "the sentinel declared the zombie dead"
+    );
+    assert_eq!(stat_count(&metrics, "cluster.workers_alive"), 0);
+    // Its job(s) completed elsewhere — here, on the local fallback.
+    assert!(stat_count(&metrics, "cluster.jobs_local") >= 1);
+
+    drop(stream);
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+}
+
+#[test]
+fn http_explore_scales_out_and_prometheus_shows_cluster_counters() {
+    let coord = coordinator(200, None);
+    let w0 = spawn_worker(coord.addr(), "h0");
+    let w1 = spawn_worker(coord.addr(), "h1");
+    assert!(coord.wait_for_workers(2, Duration::from_secs(10)));
+
+    let server_config = isex_serve::ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine_workers: 1,
+        ..isex_serve::ServerConfig::default()
+    };
+    let runner = Arc::new(ClusterRunner::new(Arc::clone(&coord)));
+    let handle = isex_serve::start_with_runner(server_config, runner).expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let request = small_request(71);
+    let response = isex_serve::client::explore(&addr, &request).expect("explore succeeds");
+    assert!(!response.cached);
+    assert_eq!(
+        report_json(&response.report),
+        report_json(&single_node(&request, None)),
+        "POST /v1/explore through the cluster matches the single-node answer"
+    );
+    assert_eq!(stat_count(&response.metrics, "cluster.workers_alive"), 2);
+
+    // The exact same request is answered from the cache — clustering does
+    // not disturb the canonical-key contract.
+    let cached = isex_serve::client::explore(&addr, &request).expect("cache hit");
+    assert!(cached.cached);
+
+    // The run's cluster counters surface in the Prometheus exposition.
+    let prom = isex_serve::client::get(&addr, "/metrics?format=prometheus")
+        .expect("metrics fetch")
+        .body;
+    for needle in [
+        r#"isexd_phases_count{phase="cluster.workers_alive"} 2"#,
+        r#"isexd_phases_count{phase="cluster.jobs_redispatched"} 0"#,
+        r#"isexd_phases_count{phase="cluster.heartbeats_missed"} 0"#,
+        r#"isexd_phases_count{phase="cluster.jobs_local"} 0"#,
+        r#"phase="cluster.worker.h"#,
+    ] {
+        assert!(
+            prom.contains(needle),
+            "prometheus exposition is missing `{needle}`:\n{prom}"
+        );
+    }
+
+    handle.shutdown();
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+    let _ = (w0.join(), w1.join());
+}
+
+#[test]
+fn hostile_bytes_on_the_cluster_port_do_not_wedge_the_coordinator() {
+    let coord = coordinator(100, None);
+
+    // Garbage instead of a Hello: the connection is dropped, no worker
+    // registers.
+    let mut garbage = TcpStream::connect(coord.addr()).expect("connect");
+    garbage.write_all(&[0xde, 0xad, 0xbe, 0xef, 0xff]).unwrap();
+    drop(garbage);
+
+    // A version-skewed Hello is refused.
+    let mut skewed = TcpStream::connect(coord.addr()).expect("connect");
+    let hello = Message::Hello(Hello {
+        version: PROTOCOL_VERSION + 1,
+        name: "future".to_string(),
+        capacity: 1,
+    });
+    write_frame(&mut skewed, &hello.encode()).unwrap();
+
+    // And a real worker still registers and serves.
+    let w0 = spawn_worker(coord.addr(), "ok");
+    assert!(coord.wait_for_workers(1, Duration::from_secs(10)));
+    let request = small_request(83);
+    let (report, _) = cluster_run(&coord, &request, None);
+    assert_eq!(
+        report_json(&report),
+        report_json(&single_node(&request, None))
+    );
+
+    drop(skewed);
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+    let _ = w0.join();
+}

@@ -15,7 +15,7 @@
 //!
 //! ```text
 //! rule    := KIND selector [":" DURATION "ms"]
-//! KIND    := "panic" | "delay" | "cancel"
+//! KIND    := "panic" | "delay" | "cancel" | "drop"
 //! selector:= ":" NUM "/" DEN     probabilistic, decided per (block, repeat)
 //!          | "@" BLOCK "." REPEAT  exactly one job
 //! seed    := "seed:" N           decision seed (default 0), one per plan
@@ -23,7 +23,15 @@
 //!
 //! Examples: `panic:1/3` (every job panics with probability 1/3),
 //! `delay:1/5:20ms` (1 in 5 jobs sleeps 20 ms), `panic@2.0` (block 2,
-//! repeat 0 panics), `cancel:1/8 seed:7`.
+//! repeat 0 panics), `cancel:1/8 seed:7`, `drop@1.0` (sever the worker
+//! connection carrying block 1's first dispatch).
+//!
+//! The `drop` kind is a *network* fault: it is a no-op inside the engine
+//! (a single process has no connection to sever) and takes effect at the
+//! cluster transport layer, where the coordinator consults
+//! [`FaultPlan::drops`] with `(block, dispatch attempt)` coordinates and
+//! severs the chosen worker's connection instead of sending the job —
+//! making partition drills as reproducible as the in-process kinds.
 
 use crate::cancel::CancelToken;
 use crate::seed::derive_seed;
@@ -40,6 +48,11 @@ pub enum FaultKind {
     /// The run's [`CancelToken`] trips at the job's start — exercises
     /// cooperative-cancellation handling end to end.
     Cancel,
+    /// The cluster transport severs the worker connection chosen for this
+    /// `(block, attempt)` instead of dispatching the job — exercises
+    /// partition detection and re-dispatch. Ignored by the in-process
+    /// engine ([`FaultPlan::apply`] treats it as a no-op).
+    Drop,
 }
 
 /// Which jobs a rule applies to.
@@ -73,6 +86,7 @@ fn kind_salt(kind: FaultKind) -> u64 {
         FaultKind::Panic => 0x70616e6963,    // "panic"
         FaultKind::Delay(_) => 0x64656c6179, // "delay"
         FaultKind::Cancel => 0x63616e63656c, // "cancel"
+        FaultKind::Drop => 0x64726f70,       // "drop"
     }
 }
 
@@ -128,10 +142,20 @@ impl FaultPlan {
             .collect()
     }
 
+    /// Whether the cluster transport should sever the connection carrying
+    /// dispatch `attempt` of `block` instead of delivering it. Pure in
+    /// `(plan seed ⊕ drop salt, block, attempt)`, so a partition drill
+    /// severs the same dispatches on every run — the engine-level kinds
+    /// never alias it (distinct salt).
+    pub fn drops(&self, block: usize, attempt: usize) -> bool {
+        self.decide(block, attempt).contains(&FaultKind::Drop)
+    }
+
     /// Applies the job's faults in rule order: delays sleep, cancels trip
     /// `cancel`, and a panic fault panics with a structured message naming
     /// the job. Called by the engine inside pool supervision, so an
-    /// injected panic travels the exact path a real one would.
+    /// injected panic travels the exact path a real one would. `drop`
+    /// rules are transport-layer faults and do nothing here.
     pub fn apply(&self, block: usize, repeat: usize, cancel: &CancelToken) {
         for kind in self.decide(block, repeat) {
             match kind {
@@ -141,6 +165,7 @@ impl FaultPlan {
                     "injected fault: panic at block={block} repeat={repeat} (plan `{}`)",
                     self.source
                 ),
+                FaultKind::Drop => {}
             }
         }
     }
@@ -198,6 +223,7 @@ fn parse_rule(token: &str) -> Result<FaultRule, String> {
         "panic" => FaultKind::Panic,
         "delay" => FaultKind::Delay(duration_ms.unwrap_or(10)),
         "cancel" => FaultKind::Cancel,
+        "drop" => FaultKind::Drop,
         other => return Err(format!("unknown fault kind `{other}` in `{token}`")),
     };
     if duration_ms.is_some() && !matches!(kind, FaultKind::Delay(_)) {
@@ -219,6 +245,9 @@ mod tests {
             "cancel:1/8 seed:7",
             "panic:1/3 delay:1/5",
             "panic:1/3,delay:1/5:5ms",
+            "drop:1/4",
+            "drop@1.0",
+            "drop:1/2 panic:1/8",
         ] {
             let plan = FaultPlan::parse(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(plan.source(), spec);
@@ -236,6 +265,7 @@ mod tests {
             "panic@3",
             "panic@a.b",
             "panic:1/2:10ms", // duration on a non-delay rule
+            "drop:1/2:10ms",  // drop takes no duration either
             "seed:abc panic:1/2",
             "seed:1",
         ] {
@@ -294,6 +324,29 @@ mod tests {
         assert!(!token.is_cancelled());
         plan.apply(0, 0, &token);
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn drop_is_a_transport_fault_only() {
+        let plan = FaultPlan::parse("drop@2.0").unwrap();
+        assert!(plan.drops(2, 0));
+        assert!(!plan.drops(2, 1), "second dispatch attempt goes through");
+        assert!(!plan.drops(0, 0));
+        // The engine-level apply ignores drop rules entirely: no panic, no
+        // cancel, no delay.
+        let token = CancelToken::new();
+        plan.apply(2, 0, &token);
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn drop_salt_decorrelates_from_engine_kinds() {
+        let drop = FaultPlan::parse("drop:1/2").unwrap();
+        let panic = FaultPlan::parse("panic:1/2").unwrap();
+        assert!(
+            (0..100).any(|b| drop.drops(b, 0) != !panic.decide(b, 0).is_empty()),
+            "drop decisions must not mirror panic decisions"
+        );
     }
 
     #[test]

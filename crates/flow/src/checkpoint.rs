@@ -217,6 +217,150 @@ fn append_entry(file: &mut File, entry: &CheckpointEntry) -> std::io::Result<()>
     file.sync_data()
 }
 
+/// Explores exactly one block of the run's hot list, identified by its
+/// canonical index, and packages the outcome as a [`CheckpointEntry`].
+///
+/// This is the shared unit of work behind both the checkpoint/resume path
+/// and the cluster worker: seeds derive from the canonical index, so an
+/// entry produced here — on any node — is bitwise identical to what the
+/// same block yields inside an uninterrupted all-blocks run.
+///
+/// # Panics
+///
+/// Panics if `block_index` is outside the run's hot list (callers resolve
+/// indices from the same `(cfg, program)` pair, so a bad index is a
+/// protocol violation, not an expected condition).
+pub fn explore_block_entry(
+    cfg: &FlowConfig,
+    program: &Program,
+    seed: u64,
+    block_index: usize,
+    sink: &dyn EventSink,
+    cancel: &CancelToken,
+) -> Result<CheckpointEntry, Cancelled> {
+    let key = run_key(cfg, program, seed);
+    let hot = hot_blocks(cfg, program);
+    let block = *hot.get(block_index).unwrap_or_else(|| {
+        panic!(
+            "block index {block_index} outside the hot list ({} blocks)",
+            hot.len()
+        )
+    });
+    let engine = Engine::new(explore_spec(cfg));
+    entry_for_block(&engine, block, block_index, &key, seed, sink, cancel)
+}
+
+/// One engine call over one hot block, reduced to its journal entry.
+fn entry_for_block(
+    engine: &Engine,
+    block: &isex_workloads::BasicBlock,
+    index: usize,
+    key: &str,
+    seed: u64,
+    sink: &dyn EventSink,
+    cancel: &CancelToken,
+) -> Result<CheckpointEntry, Cancelled> {
+    let task = BlockTask {
+        name: block.name.as_str(),
+        dfg: &block.dfg,
+    };
+    let outcome = engine.try_explore_subset(&[task], &[index], seed, sink, cancel)?;
+    Ok(match outcome.blocks.first() {
+        Some(result) => CheckpointEntry {
+            run_key: key.to_string(),
+            block_index: index,
+            block: block.name.clone(),
+            iterations: result.iterations,
+            jobs_completed: outcome.jobs_completed,
+            jobs_failed: outcome.jobs_failed,
+            worker_restarts: outcome.worker_restarts,
+            spread: Some(result.spread.clone()),
+            patterns: result
+                .best
+                .candidates
+                .iter()
+                .map(|cand| WeightedPattern {
+                    pattern: crate::pattern::IsePattern::from_candidate(cand, &block.dfg),
+                    gain: cand.saved_cycles as u64 * block.exec_count,
+                })
+                .collect(),
+            error: None,
+        },
+        None => {
+            let failure = outcome.failures.first().expect("no result means failure");
+            CheckpointEntry {
+                run_key: key.to_string(),
+                block_index: index,
+                block: block.name.clone(),
+                iterations: 0,
+                jobs_completed: outcome.jobs_completed,
+                jobs_failed: outcome.jobs_failed,
+                worker_restarts: outcome.worker_restarts,
+                spread: None,
+                patterns: Vec::new(),
+                error: Some(failure.error.clone()),
+            }
+        }
+    })
+}
+
+/// The reduce half shared by checkpointed and clustered runs: folds one
+/// [`CheckpointEntry`] per hot block into the final [`FlowReport`] and
+/// [`RunMetrics`].
+///
+/// Entries are sorted by canonical block index before reduction, so the
+/// result is independent of completion order — a journal replay, a resumed
+/// run and a cluster merge over any worker placement all reduce to the
+/// same bytes as one uninterrupted [`run_flow`](crate::run_flow).
+///
+/// The caller owns the exploration-phase accounting it alone can see:
+/// `phases.explore_ms`, `phases.total_ms` and `blocks_resumed` are left
+/// zeroed here.
+pub fn finish_from_entries(
+    cfg: &FlowConfig,
+    program: &Program,
+    seed: u64,
+    mut entries: Vec<CheckpointEntry>,
+    hot_len: usize,
+) -> (FlowReport, RunMetrics) {
+    entries.sort_by_key(|e| e.block_index);
+    let mut patterns = Vec::new();
+    let mut iterations = 0usize;
+    let mut metrics = RunMetrics::empty(seed, isex_engine::worker_count(cfg.jobs));
+    metrics.algorithm = cfg.algorithm.to_string();
+    metrics.benchmark = program.name.clone();
+    metrics.jobs_total = hot_len * cfg.repeats.max(1);
+    metrics.blocks_explored = hot_len;
+    for entry in &entries {
+        iterations += entry.iterations;
+        metrics.ant_iterations += entry.iterations;
+        metrics.jobs_completed += entry.jobs_completed;
+        metrics.jobs_failed += entry.jobs_failed;
+        metrics.worker_restarts += entry.worker_restarts;
+        match &entry.spread {
+            Some(spread) => metrics.block_spread.push(spread.clone()),
+            None => metrics.block_failures.push(isex_engine::BlockFailure {
+                block: entry.block.clone(),
+                block_index: entry.block_index,
+                repeats_failed: entry.jobs_failed,
+                error: entry.error.clone().unwrap_or_default(),
+            }),
+        }
+        patterns.extend(entry.patterns.iter().cloned());
+    }
+    metrics.candidates_generated = patterns.len();
+
+    let select_start = Instant::now();
+    let selected = select::select_with(patterns, &cfg.budgets, cfg.sharing);
+    metrics.phases.select_ms = select_start.elapsed().as_secs_f64() * 1e3;
+    metrics.candidates_accepted = selected.len();
+
+    let replace_start = Instant::now();
+    let report = replace_and_report(cfg, program, selected, hot_len, iterations);
+    metrics.phases.replace_ms = replace_start.elapsed().as_secs_f64() * 1e3;
+    (report, metrics)
+}
+
 /// [`run_flow`](crate::run_flow) with block-grain checkpointing to the
 /// JSONL journal at `path`.
 ///
@@ -253,91 +397,15 @@ pub fn run_flow_checkpointed(
         if entries.iter().any(|e| e.block_index == index) {
             continue;
         }
-        let task = BlockTask {
-            name: block.name.as_str(),
-            dfg: &block.dfg,
-        };
-        let outcome = engine.try_explore_subset(&[task], &[index], seed, sink, cancel)?;
-        let entry = match outcome.blocks.first() {
-            Some(result) => CheckpointEntry {
-                run_key: key.clone(),
-                block_index: index,
-                block: block.name.clone(),
-                iterations: result.iterations,
-                jobs_completed: outcome.jobs_completed,
-                jobs_failed: outcome.jobs_failed,
-                worker_restarts: outcome.worker_restarts,
-                spread: Some(result.spread.clone()),
-                patterns: result
-                    .best
-                    .candidates
-                    .iter()
-                    .map(|cand| WeightedPattern {
-                        pattern: crate::pattern::IsePattern::from_candidate(cand, &block.dfg),
-                        gain: cand.saved_cycles as u64 * block.exec_count,
-                    })
-                    .collect(),
-                error: None,
-            },
-            None => {
-                let failure = outcome.failures.first().expect("no result means failure");
-                CheckpointEntry {
-                    run_key: key.clone(),
-                    block_index: index,
-                    block: block.name.clone(),
-                    iterations: 0,
-                    jobs_completed: outcome.jobs_completed,
-                    jobs_failed: outcome.jobs_failed,
-                    worker_restarts: outcome.worker_restarts,
-                    spread: None,
-                    patterns: Vec::new(),
-                    error: Some(failure.error.clone()),
-                }
-            }
-        };
+        let entry = entry_for_block(&engine, block, index, &key, seed, sink, cancel)?;
         append_entry(&mut journal, &entry)?;
         entries.push(entry);
     }
 
-    // Reduce in canonical block order so patterns, spreads and failures
-    // line up exactly with what one all-blocks engine call produces.
-    entries.sort_by_key(|e| e.block_index);
-    let mut patterns = Vec::new();
-    let mut iterations = 0usize;
-    let mut metrics = RunMetrics::empty(seed, isex_engine::worker_count(cfg.jobs));
-    metrics.algorithm = cfg.algorithm.to_string();
-    metrics.benchmark = program.name.clone();
-    metrics.jobs_total = hot.len() * cfg.repeats.max(1);
-    metrics.blocks_explored = hot.len();
+    let explore_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (report, mut metrics) = finish_from_entries(cfg, program, seed, entries, hot.len());
     metrics.blocks_resumed = resumed;
-    for entry in &entries {
-        iterations += entry.iterations;
-        metrics.ant_iterations += entry.iterations;
-        metrics.jobs_completed += entry.jobs_completed;
-        metrics.jobs_failed += entry.jobs_failed;
-        metrics.worker_restarts += entry.worker_restarts;
-        match &entry.spread {
-            Some(spread) => metrics.block_spread.push(spread.clone()),
-            None => metrics.block_failures.push(isex_engine::BlockFailure {
-                block: entry.block.clone(),
-                block_index: entry.block_index,
-                repeats_failed: entry.jobs_failed,
-                error: entry.error.clone().unwrap_or_default(),
-            }),
-        }
-        patterns.extend(entry.patterns.iter().cloned());
-    }
-    metrics.candidates_generated = patterns.len();
-    metrics.phases.explore_ms = start.elapsed().as_secs_f64() * 1e3;
-
-    let select_start = Instant::now();
-    let selected = select::select_with(patterns, &cfg.budgets, cfg.sharing);
-    metrics.phases.select_ms = select_start.elapsed().as_secs_f64() * 1e3;
-    metrics.candidates_accepted = selected.len();
-
-    let replace_start = Instant::now();
-    let report = replace_and_report(cfg, program, selected, hot.len(), iterations);
-    metrics.phases.replace_ms = replace_start.elapsed().as_secs_f64() * 1e3;
+    metrics.phases.explore_ms = explore_ms;
     metrics.phases.total_ms = start.elapsed().as_secs_f64() * 1e3;
     Ok((report, metrics))
 }

@@ -245,8 +245,10 @@ pub fn explore_program_cancellable(
 /// The profiling-driven hot set: heaviest blocks first until
 /// `hot_block_coverage` of the profiled work is covered. The order of the
 /// returned slice defines the canonical block indices that job seeds derive
-/// from — the checkpoint/resume path depends on it being stable.
-pub(crate) fn hot_blocks<'a>(cfg: &FlowConfig, program: &'a Program) -> Vec<&'a BasicBlock> {
+/// from — the checkpoint/resume and cluster-sharding paths depend on it
+/// being stable: any node that holds the same `(cfg, program)` computes the
+/// same list, so a bare block index is a complete job description.
+pub fn hot_blocks<'a>(cfg: &FlowConfig, program: &'a Program) -> Vec<&'a BasicBlock> {
     let by_heat = program.by_heat();
     let total_work: f64 = by_heat
         .iter()

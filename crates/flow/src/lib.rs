@@ -48,10 +48,13 @@ pub mod replace;
 pub mod report;
 pub mod select;
 
-pub use checkpoint::{run_flow_checkpointed, CheckpointError};
+pub use checkpoint::{
+    explore_block_entry, finish_from_entries, load_journal, run_flow_checkpointed, run_key,
+    CheckpointEntry, CheckpointError,
+};
 pub use flow::{
-    run_flow, run_flow_cancellable, run_flow_observed, Algorithm, BlockOutcome, FlowConfig,
-    FlowReport,
+    hot_blocks, run_flow, run_flow_cancellable, run_flow_observed, Algorithm, BlockOutcome,
+    FlowConfig, FlowReport,
 };
 pub use isex_engine::{CancelToken, Cancelled, FaultPlan};
 pub use pattern::IsePattern;

@@ -55,4 +55,7 @@ pub mod signal;
 pub mod trace;
 
 pub use protocol::{ExploreRequest, ExploreResponse};
-pub use server::{run, run_from_args, start, ServerConfig, ServerHandle};
+pub use server::{
+    run, run_from_args, start, start_with_runner, ExploreRunner, LocalRunner, ServerConfig,
+    ServerHandle,
+};

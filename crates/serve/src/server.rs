@@ -24,8 +24,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use isex_engine::NullSink;
-use isex_flow::run_flow_cancellable;
+use isex_engine::{Cancelled, EventSink, NullSink, RunMetrics};
+use isex_flow::{run_flow_cancellable, FlowConfig, FlowReport};
+use isex_workloads::Program;
 use serde::Value;
 
 use crate::cache::{CachedResult, ResultCache};
@@ -33,6 +34,45 @@ use crate::http::{self, HttpError, Request};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{self, ExploreRequest};
 use crate::queue::{Job, JobOutcome, JobQueue};
+
+/// How the server executes an exploration once it is dequeued.
+///
+/// The default, [`LocalRunner`], runs the flow in-process on the engine
+/// pool. A distributed deployment swaps in a runner that shards the run
+/// across remote nodes (see the `isex-cluster` crate) — the HTTP surface,
+/// queue, cache and deadline machinery are unchanged, because the engine's
+/// determinism contract makes *where* a run executes unobservable in its
+/// result.
+///
+/// Implementations must honour `job.cancel` cooperatively (return
+/// [`Cancelled`] at the next job boundary once it trips) and may emit
+/// engine events to `sink`.
+pub trait ExploreRunner: Send + Sync {
+    /// Executes the exploration `job` resolves to and returns the report
+    /// plus its telemetry.
+    fn run_explore(
+        &self,
+        job: &Job,
+        cfg: &FlowConfig,
+        program: &Program,
+        sink: &dyn EventSink,
+    ) -> Result<(FlowReport, RunMetrics), Cancelled>;
+}
+
+/// The default [`ExploreRunner`]: [`run_flow_cancellable`] in-process.
+pub struct LocalRunner;
+
+impl ExploreRunner for LocalRunner {
+    fn run_explore(
+        &self,
+        job: &Job,
+        cfg: &FlowConfig,
+        program: &Program,
+        sink: &dyn EventSink,
+    ) -> Result<(FlowReport, RunMetrics), Cancelled> {
+        run_flow_cancellable(cfg, program, job.request.seed, sink, &job.cancel)
+    }
+}
 
 /// Tunables for one server instance.
 #[derive(Clone, Debug)]
@@ -193,6 +233,9 @@ pub struct ServerState {
     /// Bounded ring of per-request trace files (empty unless
     /// [`ServerConfig::trace_dir`] is set).
     pub trace_ring: crate::trace::TraceRing,
+    /// Executes dequeued explorations ([`LocalRunner`] unless the server
+    /// was started with [`start_with_runner`]).
+    pub runner: Arc<dyn ExploreRunner>,
     active_connections: AtomicUsize,
 }
 
@@ -250,6 +293,15 @@ impl ServerHandle {
 
 /// Binds and starts a server, returning once it is accepting.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    start_with_runner(config, Arc::new(LocalRunner))
+}
+
+/// [`start`] with a custom [`ExploreRunner`] — the hook a cluster
+/// coordinator uses to front remote execution with this HTTP surface.
+pub fn start_with_runner(
+    config: ServerConfig,
+    runner: Arc<dyn ExploreRunner>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
@@ -263,6 +315,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
         trace_ring: crate::trace::TraceRing::new(config.trace_keep),
+        runner,
         active_connections: AtomicUsize::new(0),
         config,
     });
@@ -384,10 +437,8 @@ fn run_one(state: &Arc<ServerState>, job: &Job) {
                 ]
             });
             match &sink {
-                Some(s) => run_flow_cancellable(&cfg, &program, job.request.seed, s, &job.cancel),
-                None => {
-                    run_flow_cancellable(&cfg, &program, job.request.seed, &NullSink, &job.cancel)
-                }
+                Some(s) => state.runner.run_explore(job, &cfg, &program, s),
+                None => state.runner.run_explore(job, &cfg, &program, &NullSink),
             }
         };
         let mut written = Vec::new();
@@ -401,7 +452,7 @@ fn run_one(state: &Arc<ServerState>, job: &Job) {
         }
         state.trace_ring.push(written);
     } else {
-        run = run_flow_cancellable(&cfg, &program, job.request.seed, &NullSink, &job.cancel);
+        run = state.runner.run_explore(job, &cfg, &program, &NullSink);
     }
 
     match run {

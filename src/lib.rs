@@ -15,6 +15,7 @@
 //! | [`flow`] | `isex-flow` | profiling → exploration → merging → selection → replacement |
 //! | [`workloads`] | `isex-workloads` | the seven MiBench-like kernels, random DFGs |
 //! | [`serve`] | `isex-serve` | `isexd`: the HTTP exploration service (queue, cache, backpressure) |
+//! | [`cluster`] | `isex-cluster` | distributed exploration: coordinator, workers, heartbeats, re-dispatch |
 //! | [`trace`] | `isex-trace` | structured spans, Chrome-trace export, per-phase profiles |
 //!
 //! # Quickstart
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use isex_aco as aco;
+pub use isex_cluster as cluster;
 pub use isex_core as core;
 pub use isex_dfg as dfg;
 pub use isex_engine as engine;

@@ -5,6 +5,8 @@
 //! isex explore --bench crc32 [options]        # run the design flow on a benchmark
 //! isex asm <file.s> [options]                 # explore a basic block from assembly
 //! isex serve [isexd options]                  # run the isexd exploration service
+//! isex coordinator [options]                  # isexd fronting a worker cluster
+//! isex worker --connect HOST:PORT [options]   # cluster exploration worker
 //!
 //! options:
 //!   --opt O0|O3            workload fidelity            (default O3)
@@ -36,6 +38,14 @@
 //! serve options (see also `isexd --help` header):
 //!   --addr HOST:PORT  --workers N  --queue-cap N  --cache-cap N  --timeout-ms N
 //!   --trace-dir DIR  --trace-keep N
+//!
+//! coordinator options (every serve option, plus):
+//!   --cluster-addr HOST:PORT  --heartbeat-ms N  --heartbeat-misses N
+//!   --journal-dir DIR
+//!
+//! worker options:
+//!   --connect HOST:PORT  --name NAME  --capacity N  --trace-dir DIR
+//!   --die-after-jobs N  --no-reconnect  --retry-ms N  --dial-attempts N
 //! ```
 
 use std::process::ExitCode;
@@ -444,7 +454,10 @@ fn print_timeline(dfg: &ProgramDfg, report: &FlowReport, opts: &Options) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: isex <list|explore|asm|serve> [options]  (see src/main.rs header)");
+        eprintln!(
+            "usage: isex <list|explore|asm|serve|coordinator|worker> [options]  \
+             (see src/main.rs header)"
+        );
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -456,6 +469,8 @@ fn main() -> ExitCode {
         "explore" => parse_options(rest).and_then(|(o, p)| cmd_explore(&o, &p)),
         "asm" => parse_options(rest).and_then(|(o, p)| cmd_asm(&o, &p)),
         "serve" => cmd_serve(rest),
+        "coordinator" => isex::cluster::coordinator_main(rest),
+        "worker" => isex::cluster::worker_main(rest),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
