@@ -1,7 +1,8 @@
 //! The cluster coordinator: deterministic job sharding, heartbeat
 //! sentinels, and re-dispatch.
 //!
-//! Workers dial in over TCP and announce themselves ([`Hello`]); the
+//! Workers dial in over TCP and announce themselves
+//! ([`Hello`](crate::messages::Hello)); the
 //! coordinator shards a run's hot-block job space across them, one
 //! canonical block index per [`JobAssign`]. Because every job seed derives
 //! from the block's canonical index — not from which node runs it or in
@@ -20,7 +21,8 @@
 //! # Exactly-once completion
 //!
 //! Re-dispatch can race a slow worker against its replacement, so a block
-//! may finish twice; the first [`JobResult`] wins and later duplicates
+//! may finish twice; the first [`JobResult`](crate::messages::JobResult)
+//! wins and later duplicates
 //! are dropped (identical by determinism, so "first" is not a choice that
 //! shows in the output). With a journal directory configured, completed
 //! entries are appended to the PR-3 checkpoint journal as they arrive —

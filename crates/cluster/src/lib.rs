@@ -9,7 +9,7 @@
 //! every job's seed derives from its block's *canonical* index, so a
 //! block explored on any node — or re-dispatched after its first node
 //! died — yields bitwise the same [`CheckpointEntry`](isex_flow::CheckpointEntry),
-//! and the merged [`FlowReport`](isex_flow::FlowReport) is byte-identical
+//! and the merged [`FlowReport`] is byte-identical
 //! to a single-node run. Distribution changes *where* work happens, never
 //! *what* the answer is.
 //!

@@ -4,11 +4,20 @@
 //! isexd [options]
 //!
 //! options:
-//!   --addr HOST:PORT    bind address                      (default 127.0.0.1:8173)
-//!   --workers N         concurrent exploration runs       (default 2)
-//!   --queue-cap N       waiting-room size before 503      (default 64)
-//!   --cache-cap N       result-cache entries              (default 256)
-//!   --timeout-ms N      default per-request deadline      (default 120000)
+//!   --addr HOST:PORT      bind address                      (default 127.0.0.1:8173)
+//!   --workers N           concurrent exploration runs       (default 2)
+//!   --queue-cap N         waiting-room size before 503      (default 64)
+//!   --cache-cap N         result-cache entries              (default 256)
+//!   --timeout-ms N        default per-request deadline      (default 120000)
+//!   --read-timeout-ms N   socket read timeout before 408    (default 30000)
+//!   --write-timeout-ms N  socket write timeout              (default 30000)
+//!   --trace-dir DIR       write per-request trace exports here
+//!   --trace-keep N        trace files kept in --trace-dir   (default 64)
+//!   --store-dir DIR       persist finished results to a content-addressed
+//!                         store; survives restarts, shared across replicas
+//!   --store-max-bytes N   store byte budget, LRU-evicted    (default 0 = unlimited)
+//!   --jobs-keep N         finished async jobs kept by ID    (default 256)
+//!   --fault-plan SPEC     deterministic fault injection (test/drill knob)
 //! ```
 //!
 //! SIGTERM/ctrl-C drains in-flight jobs and exits.

@@ -13,7 +13,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::protocol::{ExploreRequest, ExploreResponse};
+use crate::protocol::{ExploreRequest, ExploreResponse, JobStatusResponse};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -163,6 +163,159 @@ pub fn explore(addr: &str, request: &ExploreRequest) -> Result<ExploreResponse, 
 /// Fetches a control endpoint (`/healthz`, `/metrics`) as raw JSON text.
 pub fn get(addr: &str, path: &str) -> Result<RawResponse, ClientError> {
     roundtrip(addr, "GET", path, None, Duration::from_secs(30))
+}
+
+/// A decoded `POST /v1/jobs` acceptance (`202`).
+#[derive(Clone, Debug)]
+pub struct JobSubmitted {
+    /// Handle for the status endpoints.
+    pub job_id: String,
+    /// The canonical key of the exploration the job answers.
+    pub key: String,
+    /// The job's lifecycle phase at admission (`queued`, `running`,
+    /// `done` — the last when a cache tier already held the answer).
+    pub status: String,
+    /// Whether the submission coalesced onto an identical in-flight run.
+    pub coalesced: bool,
+}
+
+/// Submits an exploration asynchronously (`POST /v1/jobs`): returns the
+/// job handle immediately, without waiting for the run.
+pub fn submit_job(addr: &str, request: &ExploreRequest) -> Result<JobSubmitted, ClientError> {
+    let raw = roundtrip(
+        addr,
+        "POST",
+        "/v1/jobs",
+        Some(&request.to_json()),
+        Duration::from_secs(30),
+    )?;
+    if raw.status != 202 {
+        return Err(ClientError::Http {
+            status: raw.status,
+            message: error_message(&raw.body),
+            retry_after_secs: raw.header("retry-after").and_then(|v| v.parse().ok()),
+        });
+    }
+    let value = serde_json::parse(&raw.body)
+        .map_err(|e| ClientError::Protocol(format!("bad 202 body: {e}")))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| ClientError::Protocol("202 body must be an object".into()))?;
+    let text = |name: &str| -> Result<String, ClientError> {
+        match obj.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+            Some(serde::Value::String(s)) => Ok(s.clone()),
+            _ => Err(ClientError::Protocol(format!("202 body missing `{name}`"))),
+        }
+    };
+    Ok(JobSubmitted {
+        job_id: text("job_id")?,
+        key: text("key")?,
+        status: text("status")?,
+        coalesced: matches!(
+            obj.iter().find(|(k, _)| k == "coalesced").map(|(_, v)| v),
+            Some(serde::Value::Bool(true))
+        ),
+    })
+}
+
+/// Fetches a job's current status (`GET /v1/jobs/{id}`) without blocking.
+pub fn job_status(addr: &str, job_id: &str) -> Result<JobStatusResponse, ClientError> {
+    job_exchange(addr, &format!("/v1/jobs/{job_id}"), Duration::from_secs(30))
+}
+
+/// Long-polls a job (`GET /v1/jobs/{id}/wait?timeout_ms=`): blocks until
+/// it finishes or `timeout_ms` lapses, then reports whatever state it is
+/// in. Polling never cancels the run.
+pub fn wait_job(
+    addr: &str,
+    job_id: &str,
+    timeout_ms: u64,
+) -> Result<JobStatusResponse, ClientError> {
+    job_exchange(
+        addr,
+        &format!("/v1/jobs/{job_id}/wait?timeout_ms={timeout_ms}"),
+        Duration::from_millis(timeout_ms + 30_000),
+    )
+}
+
+fn job_exchange(
+    addr: &str,
+    path: &str,
+    read_timeout: Duration,
+) -> Result<JobStatusResponse, ClientError> {
+    let raw = roundtrip(addr, "GET", path, None, read_timeout)?;
+    if raw.status != 200 {
+        return Err(ClientError::Http {
+            status: raw.status,
+            message: error_message(&raw.body),
+            retry_after_secs: raw.header("retry-after").and_then(|v| v.parse().ok()),
+        });
+    }
+    JobStatusResponse::from_json(&raw.body).map_err(ClientError::Protocol)
+}
+
+/// Explores through the async API: submit, then long-poll until the job is
+/// terminal (each poll bounded, reconnecting between polls — so the result
+/// survives network blips that would kill one long synchronous exchange).
+/// `deadline_ms` bounds the whole wait.
+pub fn explore_async(
+    addr: &str,
+    request: &ExploreRequest,
+    deadline_ms: u64,
+) -> Result<ExploreResponse, ClientError> {
+    let submitted = submit_job(addr, request)?;
+    let deadline = std::time::Instant::now() + Duration::from_millis(deadline_ms);
+    loop {
+        let left = deadline
+            .saturating_duration_since(std::time::Instant::now())
+            .as_millis() as u64;
+        if left == 0 {
+            return Err(ClientError::Http {
+                status: 504,
+                message: format!(
+                    "job {} still running after {deadline_ms}ms",
+                    submitted.job_id
+                ),
+                retry_after_secs: None,
+            });
+        }
+        let status = wait_job(addr, &submitted.job_id, left.min(30_000))?;
+        match status.status.as_str() {
+            "done" => {
+                let (report, metrics) = match (status.report, status.metrics) {
+                    (Some(r), Some(m)) => (r, m),
+                    _ => {
+                        return Err(ClientError::Protocol(
+                            "done status without report/metrics".into(),
+                        ))
+                    }
+                };
+                let source = status.source.unwrap_or_else(|| "run".to_string());
+                return Ok(ExploreResponse {
+                    cached: source != "run",
+                    source,
+                    key: status.key,
+                    report,
+                    metrics,
+                });
+            }
+            "failed" | "rejected" | "cancelled" => {
+                return Err(ClientError::Http {
+                    status: if status.status == "rejected" {
+                        503
+                    } else {
+                        500
+                    },
+                    message: status
+                        .error
+                        .unwrap_or_else(|| format!("job {}", status.status)),
+                    retry_after_secs: None,
+                });
+            }
+            // queued / running: poll again until the deadline.
+            _ => {}
+        }
+    }
 }
 
 /// Retry tuning for [`explore_with_retry`].

@@ -211,6 +211,7 @@ fn find_head_end(bytes: &[u8]) -> Option<usize> {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -272,7 +273,7 @@ mod tests {
 
     #[test]
     fn reasons_cover_served_statuses() {
-        for s in [200, 400, 404, 405, 408, 413, 500, 503, 504] {
+        for s in [200, 202, 400, 404, 405, 408, 413, 500, 503, 504] {
             assert_ne!(reason(s), "Unknown", "{s}");
         }
     }

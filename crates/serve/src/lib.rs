@@ -6,7 +6,10 @@
 //! [`FlowReport`](isex_flow::FlowReport) plus
 //! [`RunMetrics`](isex_engine::RunMetrics).
 //!
-//! * `POST /v1/explore` — run (or re-serve) an exploration;
+//! * `POST /v1/explore` — run (or re-serve) an exploration synchronously;
+//! * `POST /v1/jobs` — submit the same exploration asynchronously: `202`
+//!   `{job_id}` immediately, with `GET /v1/jobs/{id}` for status/result
+//!   and `GET /v1/jobs/{id}/wait?timeout_ms=` to long-poll ([`jobs`]);
 //! * `GET /healthz` — liveness;
 //! * `GET /metrics` — queue depth, in-flight jobs, cache hit rate,
 //!   latency histograms (with p50/p95/p99), cumulative engine telemetry
@@ -24,9 +27,15 @@
 //!   with `503` + `Retry-After` backpressure when full;
 //! * a **result cache** ([`cache`]) keyed by the canonical request — sound
 //!   because engine runs are bitwise deterministic, so an exact key match
-//!   *is* the answer;
+//!   *is* the answer — optionally backed by a persistent on-disk store
+//!   (`--store-dir`, the `isex-store` crate) that survives restarts and is
+//!   shared by replicas pointing at one directory;
+//! * a **job table** ([`jobs`]) that coalesces identical in-flight
+//!   explorations into one engine run with N waiters and gives every
+//!   admitted exploration an ID for the async endpoints;
 //! * **cooperative deadlines** — a request that outlives its timeout trips
-//!   the run's [`CancelToken`](isex_engine::CancelToken) and gets `504`.
+//!   the run's [`CancelToken`](isex_engine::CancelToken) and gets `504`
+//!   (with coalescing, only when the *last* waiter gives up).
 //!
 //! No external dependencies: everything is `std::net` + `std::thread` +
 //! the workspace's vendored serde stand-ins.
@@ -47,6 +56,7 @@
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod jobs;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;

@@ -284,8 +284,12 @@ impl ExploreRequest {
 /// A decoded `/v1/explore` response (client side).
 #[derive(Clone, Debug)]
 pub struct ExploreResponse {
-    /// Whether the server answered from its result cache.
+    /// Whether the server answered from a cache tier (memory, store, or a
+    /// coalesced in-flight run) rather than a fresh run.
     pub cached: bool,
+    /// Where the answer came from (`run`, `memory`, `store`, `coalesced`);
+    /// derived from `cached` when talking to an older server.
+    pub source: String,
     /// The canonical key the server cached under.
     pub key: String,
     /// The exploration's whole-program report.
@@ -314,8 +318,13 @@ impl ExploreResponse {
         let metrics = field(obj, "metrics").ok_or("response missing `metrics`")?;
         let metrics: isex_engine::RunMetrics =
             serde_json::from_value(metrics.clone()).map_err(|e| format!("bad metrics: {e}"))?;
+        let source = match field(obj, "source") {
+            Some(Value::String(s)) => s.clone(),
+            _ => if cached { "memory" } else { "run" }.to_string(),
+        };
         Ok(ExploreResponse {
             cached,
+            source,
             key,
             report,
             metrics,
@@ -323,9 +332,13 @@ impl ExploreResponse {
     }
 }
 
-/// Builds the `/v1/explore` success envelope.
+/// Builds the `/v1/explore` success envelope. `source` names where the
+/// answer came from — `"run"` (computed now), `"memory"` (in-process LRU),
+/// `"store"` (disk store), or `"coalesced"` (shared an in-flight run);
+/// `cached` stays for wire compatibility and is true for everything but a
+/// fresh run.
 pub fn explore_response_json(
-    cached: bool,
+    source: &str,
     key: &str,
     report: &FlowReport,
     metrics: &isex_engine::RunMetrics,
@@ -333,11 +346,165 @@ pub fn explore_response_json(
     let report = serde_json::to_value(report).expect("report serializes");
     let metrics = serde_json::to_value(metrics).expect("metrics serializes");
     serde_json::value_to_string(&Value::Object(vec![
-        ("cached".into(), Value::Bool(cached)),
+        ("cached".into(), Value::Bool(source != "run")),
+        ("source".into(), Value::String(source.to_string())),
         ("key".into(), Value::String(key.to_string())),
         ("report".into(), report),
         ("metrics".into(), metrics),
     ]))
+}
+
+/// Version of the *store payload* envelope (orthogonal to the store's
+/// frame version, which guards the container, not the content).
+pub const RESULT_PAYLOAD_VERSION: u64 = 1;
+
+/// Serializes a finished result for the persistent store: the payload the
+/// store files under the canonical key. Self-describing — it embeds its
+/// own version, the key it answers, and (inside `metrics`) the engine
+/// version and seed provenance of the producing run — so a reader can
+/// refuse anything it does not fully recognise.
+pub fn result_payload_json(
+    key: &str,
+    report: &FlowReport,
+    metrics: &isex_engine::RunMetrics,
+) -> String {
+    let report = serde_json::to_value(report).expect("report serializes");
+    let metrics = serde_json::to_value(metrics).expect("metrics serializes");
+    serde_json::value_to_string(&Value::Object(vec![
+        ("payload_version".into(), Value::U64(RESULT_PAYLOAD_VERSION)),
+        ("key".into(), Value::String(key.to_string())),
+        ("report".into(), report),
+        ("metrics".into(), metrics),
+    ]))
+}
+
+/// Decodes a store payload back into a servable result, or `None` — never
+/// an error — when the entry cannot be trusted: not UTF-8/JSON, an
+/// unknown `payload_version`, filed under a different key (hash collision
+/// or a copied file), undecodable report/metrics, or produced by a
+/// different engine version (`RunMetrics::version` ≠ ours). A stale or
+/// foreign entry is a cache miss; the flow recomputes.
+pub fn decode_result_payload(
+    expected_key: &str,
+    bytes: &[u8],
+) -> Option<crate::cache::CachedResult> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let value = serde_json::parse(text).ok()?;
+    let obj = value.as_object()?;
+    match field(obj, "payload_version").map(|v| as_u64(v, "payload_version")) {
+        Some(Ok(v)) if v == RESULT_PAYLOAD_VERSION => {}
+        _ => return None,
+    }
+    match field(obj, "key") {
+        Some(Value::String(k)) if k == expected_key => {}
+        _ => return None,
+    }
+    let report: FlowReport = serde_json::from_value(field(obj, "report")?.clone()).ok()?;
+    let metrics: isex_engine::RunMetrics =
+        serde_json::from_value(field(obj, "metrics")?.clone()).ok()?;
+    // All workspace crates share one version, so the engine that stamped
+    // these metrics and the server deciding whether to trust them agree on
+    // the version string exactly when they were built together.
+    if metrics.version != env!("CARGO_PKG_VERSION") {
+        return None;
+    }
+    Some(crate::cache::CachedResult { report, metrics })
+}
+
+/// Builds the `POST /v1/jobs` acceptance envelope (`202`).
+pub fn job_submitted_json(job_id: &str, key: &str, status: &str, coalesced: bool) -> String {
+    serde_json::value_to_string(&Value::Object(vec![
+        ("job_id".into(), Value::String(job_id.to_string())),
+        ("key".into(), Value::String(key.to_string())),
+        ("status".into(), Value::String(status.to_string())),
+        ("coalesced".into(), Value::Bool(coalesced)),
+    ]))
+}
+
+/// Builds the `GET /v1/jobs/{id}` status envelope. Terminal jobs embed
+/// their payload: `result` (the explore envelope fields) for `done`,
+/// `error` for `failed`/`rejected`.
+pub fn job_status_json(
+    job_id: &str,
+    key: &str,
+    status: &str,
+    source: &str,
+    result: Option<(&FlowReport, &isex_engine::RunMetrics)>,
+    error: Option<&str>,
+) -> String {
+    let mut fields = vec![
+        ("job_id".into(), Value::String(job_id.to_string())),
+        ("key".into(), Value::String(key.to_string())),
+        ("status".into(), Value::String(status.to_string())),
+    ];
+    if let Some((report, metrics)) = result {
+        fields.push(("source".into(), Value::String(source.to_string())));
+        fields.push((
+            "report".into(),
+            serde_json::to_value(report).expect("report serializes"),
+        ));
+        fields.push((
+            "metrics".into(),
+            serde_json::to_value(metrics).expect("metrics serializes"),
+        ));
+    }
+    if let Some(message) = error {
+        fields.push(("error".into(), Value::String(message.to_string())));
+    }
+    serde_json::value_to_string(&Value::Object(fields))
+}
+
+/// A decoded `GET /v1/jobs/{id}` response (client side).
+#[derive(Clone, Debug)]
+pub struct JobStatusResponse {
+    /// The job ID (echoed).
+    pub job_id: String,
+    /// The canonical key of the exploration the job answers.
+    pub key: String,
+    /// The lifecycle phase (`queued`, `running`, `done`, `cancelled`,
+    /// `failed`, `rejected`).
+    pub status: String,
+    /// For `done`: where the answer came from (`run`, `memory`, `store`).
+    pub source: Option<String>,
+    /// For `done`: the report.
+    pub report: Option<FlowReport>,
+    /// For `done`: the producing run's telemetry.
+    pub metrics: Option<isex_engine::RunMetrics>,
+    /// For `failed`/`rejected`: the cause.
+    pub error: Option<String>,
+}
+
+impl JobStatusResponse {
+    /// Decodes a status body.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value: Value = serde_json::parse(body).map_err(|e| format!("bad status JSON: {e}"))?;
+        let obj = value.as_object().ok_or("status body must be an object")?;
+        let text = |name: &str| match field(obj, name) {
+            Some(Value::String(s)) => Ok(s.clone()),
+            _ => Err(format!("status missing `{name}`")),
+        };
+        let report = field(obj, "report")
+            .map(|v| serde_json::from_value(v.clone()).map_err(|e| format!("bad report: {e}")))
+            .transpose()?;
+        let metrics = field(obj, "metrics")
+            .map(|v| serde_json::from_value(v.clone()).map_err(|e| format!("bad metrics: {e}")))
+            .transpose()?;
+        Ok(JobStatusResponse {
+            job_id: text("job_id")?,
+            key: text("key")?,
+            status: text("status")?,
+            source: match field(obj, "source") {
+                Some(Value::String(s)) => Some(s.clone()),
+                _ => None,
+            },
+            report,
+            metrics,
+            error: match field(obj, "error") {
+                Some(Value::String(s)) => Some(s.clone()),
+                _ => None,
+            },
+        })
+    }
 }
 
 /// Builds the uniform error envelope `{"error": ...}`.
@@ -391,6 +558,70 @@ mod tests {
         assert_eq!(a.canonical_key(), b.canonical_key());
         let c = parse(r#"{"bench":"fft","seed":8}"#).unwrap();
         assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    fn report() -> FlowReport {
+        FlowReport {
+            program: "t".into(),
+            selected: Vec::new(),
+            total_area: 0.0,
+            cycles_before: 10,
+            cycles_after: 8,
+            per_block: Vec::new(),
+            explored_blocks: 1,
+            iterations: 5,
+        }
+    }
+
+    #[test]
+    fn store_payload_round_trips() {
+        let metrics = isex_engine::RunMetrics::empty(1, 2);
+        let payload = result_payload_json("k1", &report(), &metrics);
+        let decoded = decode_result_payload("k1", payload.as_bytes()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&decoded.report).unwrap(),
+            serde_json::to_string(&report()).unwrap(),
+            "report survives the store payload bitwise"
+        );
+        assert_eq!(decoded.metrics.version, metrics.version);
+    }
+
+    #[test]
+    fn store_payload_provenance_guards_reject_as_miss() {
+        let metrics = isex_engine::RunMetrics::empty(1, 2);
+        let payload = result_payload_json("k1", &report(), &metrics);
+        // Filed under a different key: a hash collision or a copied file.
+        assert!(decode_result_payload("k2", payload.as_bytes()).is_none());
+        // Unknown payload version.
+        let bumped = payload.replace("\"payload_version\":1", "\"payload_version\":2");
+        assert!(decode_result_payload("k1", bumped.as_bytes()).is_none());
+        // A different engine version stamped the metrics.
+        let foreign = payload.replace(
+            &format!("\"version\":\"{}\"", metrics.version),
+            "\"version\":\"0.0.0-elsewhere\"",
+        );
+        assert_ne!(foreign, payload, "replacement must hit");
+        assert!(decode_result_payload("k1", foreign.as_bytes()).is_none());
+        // Plain garbage.
+        assert!(decode_result_payload("k1", b"not json").is_none());
+        assert!(decode_result_payload("k1", &[0xff, 0xfe]).is_none());
+        assert!(decode_result_payload("k1", b"{}").is_none());
+    }
+
+    #[test]
+    fn job_envelopes_carry_status_and_decode() {
+        let body = job_submitted_json("j-3", "k", "queued", false);
+        assert!(body.contains("\"job_id\":\"j-3\""), "{body}");
+        let metrics = isex_engine::RunMetrics::empty(1, 2);
+        let done = job_status_json("j-3", "k", "done", "run", Some((&report(), &metrics)), None);
+        let decoded = JobStatusResponse::from_json(&done).unwrap();
+        assert_eq!(decoded.status, "done");
+        assert!(decoded.report.is_some() && decoded.metrics.is_some());
+        let failed = job_status_json("j-4", "k", "failed", "", None, Some("boom"));
+        let decoded = JobStatusResponse::from_json(&failed).unwrap();
+        assert_eq!(decoded.status, "failed");
+        assert_eq!(decoded.error.as_deref(), Some("boom"));
+        assert!(decoded.report.is_none());
     }
 
     #[test]

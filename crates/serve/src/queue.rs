@@ -53,6 +53,9 @@ pub struct Job {
     pub cancel: CancelToken,
     /// When the job entered the queue (for queue-wait telemetry).
     pub enqueued_at: Instant,
+    /// Set once a worker has dequeued the job (queued vs running, for the
+    /// async status endpoint).
+    started: AtomicBool,
     outcome: Mutex<Option<JobOutcome>>,
     ready: Condvar,
 }
@@ -66,9 +69,20 @@ impl Job {
             trace_id,
             cancel: CancelToken::new(),
             enqueued_at: Instant::now(),
+            started: AtomicBool::new(false),
             outcome: Mutex::new(None),
             ready: Condvar::new(),
         })
+    }
+
+    /// Marks the job as picked up by a worker.
+    pub fn mark_started(&self) {
+        self.started.store(true, Ordering::Release);
+    }
+
+    /// Whether a worker has dequeued the job yet.
+    pub fn is_started(&self) -> bool {
+        self.started.load(Ordering::Acquire)
     }
 
     /// Delivers the outcome and wakes the waiter. First delivery wins.
@@ -78,6 +92,14 @@ impl Job {
             *slot = Some(outcome);
         }
         self.ready.notify_all();
+    }
+
+    /// A copy of the outcome, if delivered. Unlike
+    /// [`wait_until`](Job::wait_until) this never consumes the slot, so any
+    /// number of observers (coalesced waiters, async status pollers) can
+    /// each read the same result.
+    pub fn peek_outcome(&self) -> Option<JobOutcome> {
+        lock_unpoisoned(&self.outcome).clone()
     }
 
     /// Waits for the outcome until `deadline`. On timeout, trips the
@@ -92,6 +114,29 @@ impl Job {
             let now = Instant::now();
             if now >= deadline {
                 self.cancel.cancel();
+                return None;
+            }
+            let (next, _) = self
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = next;
+        }
+    }
+
+    /// Waits for the outcome until `deadline`, *without* consuming it and
+    /// *without* cancelling on timeout — the shared-wait discipline for
+    /// coalesced waiters and long-poll observers, where one impatient
+    /// waiter must not abandon the run for everyone else. Cancellation is
+    /// the job table's call (last waiter out, non-detached job).
+    pub fn wait_shared_until(&self, deadline: Instant) -> Option<JobOutcome> {
+        let mut slot = lock_unpoisoned(&self.outcome);
+        loop {
+            if let Some(outcome) = slot.clone() {
+                return Some(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
                 return None;
             }
             let (next, _) = self
@@ -369,6 +414,32 @@ mod tests {
             q.last_failure().unwrap().contains("panicked"),
             "cause names the panic"
         );
+    }
+
+    #[test]
+    fn shared_wait_neither_consumes_nor_cancels() {
+        let j = job();
+        // An expiring shared wait leaves the run alone: no cancellation.
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert!(j.wait_shared_until(deadline).is_none());
+        assert!(!j.cancel.is_cancelled());
+        // Every observer sees the same delivered outcome.
+        j.complete(JobOutcome::Rejected("test"));
+        for _ in 0..3 {
+            assert!(matches!(
+                j.wait_shared_until(Instant::now()),
+                Some(JobOutcome::Rejected(_))
+            ));
+            assert!(matches!(j.peek_outcome(), Some(JobOutcome::Rejected(_))));
+        }
+    }
+
+    #[test]
+    fn started_flag_flips_once_marked() {
+        let j = job();
+        assert!(!j.is_started());
+        j.mark_started();
+        assert!(j.is_started());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use serde::Value;
 
 use crate::cache::{CachedResult, ResultCache};
 use crate::http::{self, HttpError, Request};
+use crate::jobs::{JobTable, Submitted};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{self, ExploreRequest};
 use crate::queue::{Job, JobOutcome, JobQueue};
@@ -107,6 +108,15 @@ pub struct ServerConfig {
     /// Cap on trace *files* kept in `trace_dir` (each traced request
     /// writes two); the oldest are deleted beyond it.
     pub trace_keep: usize,
+    /// When set, completed explorations persist to a content-addressed
+    /// store in this directory and lookups read through it (memory LRU →
+    /// disk store → run). Replicas sharing the directory share the cache.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Byte budget for the store; least-recently-used entries are evicted
+    /// beyond it (`0` = unlimited).
+    pub store_max_bytes: u64,
+    /// Finished async jobs kept addressable by ID for status polls.
+    pub jobs_keep: usize,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +135,9 @@ impl Default for ServerConfig {
             fault_plan: None,
             trace_dir: None,
             trace_keep: 64,
+            store_dir: None,
+            store_max_bytes: 0,
+            jobs_keep: 256,
         }
     }
 }
@@ -198,11 +211,28 @@ impl ServerConfig {
                         .map_err(|_| "bad --trace-keep")?;
                     i += 1;
                 }
+                "--store-dir" => {
+                    config.store_dir = Some(need(args, i, "--store-dir")?.into());
+                    i += 1;
+                }
+                "--store-max-bytes" => {
+                    config.store_max_bytes = need(args, i, "--store-max-bytes")?
+                        .parse()
+                        .map_err(|_| "bad --store-max-bytes")?;
+                    i += 1;
+                }
+                "--jobs-keep" => {
+                    config.jobs_keep = need(args, i, "--jobs-keep")?
+                        .parse()
+                        .map_err(|_| "bad --jobs-keep")?;
+                    i += 1;
+                }
                 other => {
                     return Err(format!(
                         "unknown flag `{other}` (valid: --addr, --workers, --queue-cap, \
                          --cache-cap, --timeout-ms, --read-timeout-ms, --write-timeout-ms, \
-                         --fault-plan, --trace-dir, --trace-keep)"
+                         --fault-plan, --trace-dir, --trace-keep, --store-dir, \
+                         --store-max-bytes, --jobs-keep)"
                     ))
                 }
             }
@@ -233,6 +263,10 @@ pub struct ServerState {
     /// Bounded ring of per-request trace files (empty unless
     /// [`ServerConfig::trace_dir`] is set).
     pub trace_ring: crate::trace::TraceRing,
+    /// The persistent result store (`None` without `--store-dir`).
+    pub store: Option<Arc<isex_store::Store>>,
+    /// The async job table: IDs, coalescing, waiter-aware cancellation.
+    pub jobs: JobTable,
     /// Executes dequeued explorations ([`LocalRunner`] unless the server
     /// was started with [`start_with_runner`]).
     pub runner: Arc<dyn ExploreRunner>,
@@ -309,12 +343,21 @@ pub fn start_with_runner(
     if let Some(dir) = &config.trace_dir {
         std::fs::create_dir_all(dir)?;
     }
+    let store = match &config.store_dir {
+        Some(dir) => Some(Arc::new(isex_store::Store::open(
+            dir,
+            config.store_max_bytes,
+        )?)),
+        None => None,
+    };
     let state = Arc::new(ServerState {
         queue: JobQueue::new(config.queue_capacity),
         cache: ResultCache::new(config.cache_capacity),
         metrics: ServerMetrics::new(),
         shutdown: AtomicBool::new(false),
         trace_ring: crate::trace::TraceRing::new(config.trace_keep),
+        store,
+        jobs: JobTable::new(config.jobs_keep),
         runner,
         active_connections: AtomicUsize::new(0),
         config,
@@ -371,6 +414,7 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
 
 fn worker_loop(state: &Arc<ServerState>) {
     while let Some(job) = state.queue.pop(&state.shutdown) {
+        job.mark_started();
         // Supervision: a panicking run must not take the worker thread (and
         // with it, the server's capacity) down. The panic is caught here,
         // the waiter gets a structured 500, and the loop — the resurrected
@@ -484,9 +528,21 @@ fn run_one(state: &Arc<ServerState>, job: &Job) {
             // Cache soundness: the canonical key promises the *fault-free*
             // answer. A run that survived injected or real job panics is
             // still served to its requester (with the failures visible in
-            // its metrics) but must never be cached under that key.
+            // its metrics) but must never be cached under that key — and
+            // the same guard gates the persistent store, where a damaged
+            // answer would outlive the process. Cancelled runs never reach
+            // this arm at all (they exit via `Err` below), so neither tier
+            // can ever hold a partial result.
             if result.metrics.jobs_failed == 0 {
                 state.cache.insert(job.key.clone(), Arc::clone(&result));
+                if let Some(store) = &state.store {
+                    let payload =
+                        protocol::result_payload_json(&job.key, &result.report, &result.metrics);
+                    match store.insert(&job.key, payload.as_bytes()) {
+                        Ok(_) => state.metrics.bump_phase("store.insert", 1),
+                        Err(_) => state.metrics.bump_phase("store.write_error", 1),
+                    }
+                }
             }
             in_flight.complete_ok();
             job.complete(JobOutcome::Done(result));
@@ -557,6 +613,10 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
 
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/explore") => handle_explore(state, &mut stream, &request, &trace_id),
+        ("POST", "/v1/jobs") => handle_job_submit(state, &mut stream, &request, &trace_id),
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            handle_job_status(state, &mut stream, &request, &trace_id)
+        }
         ("GET", "/healthz") => {
             let body = serde_json::value_to_string(&Value::Object(vec![
                 ("status".into(), Value::String("ok".into())),
@@ -569,8 +629,11 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             respond_control(state, &mut stream, 200, &body, &echo);
         }
         ("GET", "/metrics") => {
+            let extra = metrics_extra(state);
             if request.query_param("format") == Some("prometheus") {
-                let body = state.metrics.render_prometheus(&state.queue, &state.cache);
+                let body = state
+                    .metrics
+                    .render_prometheus(&state.queue, &state.cache, &extra);
                 respond_control_typed(
                     state,
                     &mut stream,
@@ -580,24 +643,104 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
                     &echo,
                 );
             } else {
-                let body = serde_json::value_to_string(
-                    &state.metrics.snapshot(&state.queue, &state.cache),
-                );
+                let body = serde_json::value_to_string(&state.metrics.snapshot(
+                    &state.queue,
+                    &state.cache,
+                    &extra,
+                ));
                 respond_control(state, &mut stream, 200, &body, &echo);
             }
         }
-        (_, "/v1/explore") | (_, "/healthz") | (_, "/metrics") => {
-            respond_control(
-                state,
-                &mut stream,
-                405,
-                &protocol::error_json("method not allowed"),
-                &echo,
-            );
+        // Known path, wrong method: 405 with an `Allow` header naming what
+        // the path *does* accept, per RFC 9110 §15.5.6.
+        (_, path @ ("/v1/explore" | "/v1/jobs")) => {
+            respond_405(state, &mut stream, path, "POST", &echo);
+        }
+        (_, path) if path == "/healthz" || path == "/metrics" || path.starts_with("/v1/jobs/") => {
+            let path = path.to_string();
+            respond_405(state, &mut stream, &path, "GET", &echo);
         }
         (_, path) => {
-            let msg = format!("no route `{path}` (try /v1/explore, /healthz, /metrics)");
+            let msg = format!("no route `{path}` (try /v1/explore, /v1/jobs, /healthz, /metrics)");
             respond_control(state, &mut stream, 404, &protocol::error_json(&msg), &echo);
+        }
+    }
+}
+
+fn respond_405(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    path: &str,
+    allow: &str,
+    echo: &[(&str, String)],
+) {
+    let mut headers: Vec<(&str, String)> = echo.to_vec();
+    headers.push(("allow", allow.to_string()));
+    respond_control(
+        state,
+        stream,
+        405,
+        &protocol::error_json(&format!("method not allowed on `{path}` (allow: {allow})")),
+        &headers,
+    );
+}
+
+/// The caller-owned `/metrics` sections: the persistent store's counters
+/// (when configured) and the job table's.
+fn metrics_extra(state: &Arc<ServerState>) -> Vec<(String, Value)> {
+    let mut extra = Vec::new();
+    if let Some(store) = &state.store {
+        let s = store.stats();
+        extra.push((
+            "store".to_string(),
+            Value::Object(vec![
+                ("entries".into(), Value::U64(s.entries)),
+                ("bytes".into(), Value::U64(s.bytes)),
+                ("max_bytes".into(), Value::U64(s.max_bytes)),
+                ("hits".into(), Value::U64(s.hits)),
+                ("misses".into(), Value::U64(s.misses)),
+                ("inserts".into(), Value::U64(s.inserts)),
+                ("evictions".into(), Value::U64(s.evictions)),
+                ("manifest_skipped".into(), Value::U64(s.manifest_skipped)),
+            ]),
+        ));
+    }
+    let j = state.jobs.stats();
+    extra.push((
+        "jobs".to_string(),
+        Value::Object(vec![
+            ("submitted".into(), Value::U64(j.submitted)),
+            ("coalesced".into(), Value::U64(j.coalesced)),
+            ("tracked".into(), Value::U64(j.tracked)),
+            ("active".into(), Value::U64(j.active)),
+        ]),
+    ));
+    extra
+}
+
+/// Memory LRU → disk store read-through. A store hit is decoded behind the
+/// provenance guard, promoted into the memory cache, and served; an entry
+/// that decodes but fails the guard is removed (it can never serve a hit)
+/// and counted as a miss.
+fn lookup_tiers(state: &Arc<ServerState>, key: &str) -> Option<(Arc<CachedResult>, &'static str)> {
+    if let Some(hit) = state.cache.lookup(key) {
+        return Some((hit, "memory"));
+    }
+    let store = state.store.as_ref()?;
+    let bytes = store.lookup(key)?;
+    match protocol::decode_result_payload(key, &bytes) {
+        Some(result) => {
+            state.metrics.bump_phase("store.hit", 1);
+            let result = Arc::new(result);
+            state.cache.insert(key.to_string(), Arc::clone(&result));
+            Some((result, "store"))
+        }
+        None => {
+            // The frame was intact but the payload is stale (another
+            // format or engine version): ignored, not trusted.
+            state.metrics.bump_phase("store.miss", 1);
+            let _ = store.remove(key);
+            None
         }
     }
 }
@@ -620,17 +763,7 @@ fn handle_explore(
             .observe_ms(started.elapsed().as_secs_f64() * 1e3);
     };
 
-    let body = match std::str::from_utf8(&request.body) {
-        Ok(b) => b,
-        Err(_) => {
-            respond(400, &protocol::error_json("body is not UTF-8"), &[]);
-            return;
-        }
-    };
-    let parsed = serde_json::parse(body)
-        .map_err(|e| format!("malformed JSON: {e}"))
-        .and_then(|v| ExploreRequest::from_json(&v).map_err(|e| e.0));
-    let explore = match parsed {
+    let explore = match parse_explore_body(request) {
         Ok(r) => r,
         Err(msg) => {
             respond(400, &protocol::error_json(&msg), &[]);
@@ -639,8 +772,8 @@ fn handle_explore(
     };
 
     let key = explore.canonical_key();
-    if let Some(hit) = state.cache.lookup(&key) {
-        let body = protocol::explore_response_json(true, &key, &hit.report, &hit.metrics);
+    if let Some((hit, source)) = lookup_tiers(state, &key) {
+        let body = protocol::explore_response_json(source, &key, &hit.report, &hit.metrics);
         respond(200, &body, &[]);
         return;
     }
@@ -654,24 +787,44 @@ fn handle_explore(
     let timeout_ms = explore
         .timeout_ms
         .unwrap_or(state.config.default_timeout_ms);
-    let job = Job::new(explore, key.clone(), trace_id.to_string());
-    if state.queue.try_push(Arc::clone(&job)).is_err() {
-        state
-            .metrics
-            .rejected_queue_full
-            .fetch_add(1, Ordering::Relaxed);
-        let msg = format!(
-            "queue full ({} waiting); retry later",
-            state.config.queue_capacity
-        );
-        respond(503, &protocol::error_json(&msg), &retry);
-        return;
-    }
+    let submitted = state
+        .jobs
+        .submit(explore, key.clone(), trace_id.to_string(), false);
+    let (record, source) = match submitted {
+        Submitted::New(record) => {
+            if state.queue.try_push(Arc::clone(&record.job)).is_err() {
+                state.jobs.abort(&record);
+                state
+                    .metrics
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                let msg = format!(
+                    "queue full ({} waiting); retry later",
+                    state.config.queue_capacity
+                );
+                respond(503, &protocol::error_json(&msg), &retry);
+                return;
+            }
+            (record, "run")
+        }
+        Submitted::Coalesced(record) => {
+            // An identical exploration is already in flight: share its one
+            // engine run instead of queueing a second.
+            state.metrics.bump_phase("jobs.coalesced", 1);
+            (record, "coalesced")
+        }
+    };
 
-    match job.wait_until(Instant::now() + Duration::from_millis(timeout_ms)) {
+    // Registered waiter: the run is abandoned only when the *last* waiter
+    // leaves (and nobody detached the job via the async API).
+    let _waiting = state.jobs.begin_wait(&record);
+    match record
+        .job
+        .wait_shared_until(Instant::now() + Duration::from_millis(timeout_ms))
+    {
         Some(JobOutcome::Done(result)) => {
             let body =
-                protocol::explore_response_json(false, &key, &result.report, &result.metrics);
+                protocol::explore_response_json(source, &key, &result.report, &result.metrics);
             respond(200, &body, &[]);
         }
         Some(JobOutcome::Rejected(reason)) => {
@@ -683,12 +836,14 @@ fn handle_explore(
             respond(500, &protocol::error_json(&cause), &[]);
         }
         Some(JobOutcome::Cancelled) => {
-            // Defensive: only this thread trips the token, so a Cancelled
-            // outcome while still waiting means a server bug, not a client
-            // error.
+            // The run was cancelled while this waiter was still waiting —
+            // an injected cancel fault, or a lost coalescing race against a
+            // previous last waiter giving up. Either way the waiter asked
+            // for an answer and there is none: an explicit error, not a
+            // silent drop. A retry gets a fresh run.
             respond(
                 500,
-                &protocol::error_json("run cancelled unexpectedly"),
+                &protocol::error_json("run cancelled before completion; a retry starts fresh"),
                 &[],
             );
         }
@@ -701,6 +856,202 @@ fn handle_explore(
             respond(504, &protocol::error_json(&msg), &[]);
         }
     }
+}
+
+fn parse_explore_body(request: &Request) -> Result<ExploreRequest, String> {
+    let body = std::str::from_utf8(&request.body).map_err(|_| "body is not UTF-8".to_string())?;
+    serde_json::parse(body)
+        .map_err(|e| format!("malformed JSON: {e}"))
+        .and_then(|v| ExploreRequest::from_json(&v).map_err(|e| e.0))
+}
+
+/// `POST /v1/jobs`: admit an exploration asynchronously. Answers `202`
+/// with a job ID immediately — from a cache tier (the job is born `done`),
+/// by coalescing onto an identical in-flight run, or by queueing a fresh
+/// detached run that completes whether or not anyone polls it.
+fn handle_job_submit(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+    trace_id: &str,
+) {
+    let respond = |stream: &mut TcpStream, status: u16, body: &str, extra: &[(&str, String)]| {
+        let mut headers: Vec<(&str, String)> = extra.to_vec();
+        headers.push((crate::trace::TRACE_HEADER, trace_id.to_string()));
+        let _ = http::write_json_response(stream, status, body, &headers);
+        state.metrics.count_status(status);
+    };
+
+    let explore = match parse_explore_body(request) {
+        Ok(r) => r,
+        Err(msg) => {
+            respond(stream, 400, &protocol::error_json(&msg), &[]);
+            return;
+        }
+    };
+    let key = explore.canonical_key();
+
+    if let Some((hit, source)) = lookup_tiers(state, &key) {
+        let record =
+            state
+                .jobs
+                .admit_completed(explore, key.clone(), JobOutcome::Done(hit), source);
+        respond(
+            stream,
+            202,
+            &protocol::job_submitted_json(&record.id, &key, "done", false),
+            &[],
+        );
+        return;
+    }
+
+    let retry = [("retry-after", state.config.retry_after_secs.to_string())];
+    if state.shutdown.load(Ordering::Acquire) {
+        respond(
+            stream,
+            503,
+            &protocol::error_json("server shutting down"),
+            &retry,
+        );
+        return;
+    }
+
+    match state
+        .jobs
+        .submit(explore, key.clone(), trace_id.to_string(), true)
+    {
+        Submitted::New(record) => {
+            if state.queue.try_push(Arc::clone(&record.job)).is_err() {
+                state.jobs.abort(&record);
+                state
+                    .metrics
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                let msg = format!(
+                    "queue full ({} waiting); retry later",
+                    state.config.queue_capacity
+                );
+                respond(stream, 503, &protocol::error_json(&msg), &retry);
+                return;
+            }
+            respond(
+                stream,
+                202,
+                &protocol::job_submitted_json(&record.id, &key, "queued", false),
+                &[],
+            );
+        }
+        Submitted::Coalesced(record) => {
+            state.metrics.bump_phase("jobs.coalesced", 1);
+            let status = record.status().as_str();
+            respond(
+                stream,
+                202,
+                &protocol::job_submitted_json(&record.id, &key, status, true),
+                &[],
+            );
+        }
+    }
+}
+
+/// `GET /v1/jobs/{id}` and `GET /v1/jobs/{id}/wait?timeout_ms=N`: the
+/// job's lifecycle status; terminal jobs embed their result or error. The
+/// `/wait` form long-polls — it blocks until the job finishes or the
+/// timeout lapses, then reports whatever state the job is in (a poll that
+/// expires never cancels the run; polls are observers, not waiters).
+fn handle_job_status(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+    trace_id: &str,
+) {
+    let respond = |stream: &mut TcpStream, status: u16, body: &str| {
+        let headers = [(crate::trace::TRACE_HEADER, trace_id.to_string())];
+        let _ = http::write_json_response(stream, status, body, &headers);
+        state.metrics.count_status(status);
+    };
+
+    let rest = request.path.strip_prefix("/v1/jobs/").unwrap_or("");
+    let (id, wait) = match rest.strip_suffix("/wait") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    if id.is_empty() || id.contains('/') {
+        respond(
+            stream,
+            404,
+            &protocol::error_json("expected /v1/jobs/{id} or /v1/jobs/{id}/wait"),
+        );
+        return;
+    }
+    let Some(record) = state.jobs.get(id) else {
+        respond(
+            stream,
+            404,
+            &protocol::error_json(&format!(
+                "no such job `{id}` (finished jobs age out after {} newer ones)",
+                state.config.jobs_keep
+            )),
+        );
+        return;
+    };
+
+    let outcome = if wait {
+        let timeout_ms = request
+            .query_param("timeout_ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(30_000)
+            .clamp(1, protocol::limits::MAX_TIMEOUT_MS);
+        record
+            .job
+            .wait_shared_until(Instant::now() + Duration::from_millis(timeout_ms))
+    } else {
+        record.job.peek_outcome()
+    };
+
+    let body = match outcome {
+        Some(JobOutcome::Done(result)) => protocol::job_status_json(
+            &record.id,
+            &record.key,
+            "done",
+            record.origin,
+            Some((&result.report, &result.metrics)),
+            None,
+        ),
+        Some(JobOutcome::Failed(cause)) => protocol::job_status_json(
+            &record.id,
+            &record.key,
+            "failed",
+            record.origin,
+            None,
+            Some(&cause),
+        ),
+        Some(JobOutcome::Rejected(reason)) => protocol::job_status_json(
+            &record.id,
+            &record.key,
+            "rejected",
+            record.origin,
+            None,
+            Some(reason),
+        ),
+        Some(JobOutcome::Cancelled) => protocol::job_status_json(
+            &record.id,
+            &record.key,
+            "cancelled",
+            record.origin,
+            None,
+            Some("run cancelled"),
+        ),
+        None => protocol::job_status_json(
+            &record.id,
+            &record.key,
+            record.status().as_str(),
+            record.origin,
+            None,
+            None,
+        ),
+    };
+    respond(stream, 200, &body);
 }
 
 fn respond_control(

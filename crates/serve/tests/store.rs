@@ -1,0 +1,326 @@
+//! End-to-end tests of the async job tier and the persistent result store:
+//! every test binds `127.0.0.1:0` and talks to a full server over TCP.
+//!
+//! Coverage follows the contract:
+//! * a stored result survives a server restart and is byte-identical to a
+//!   direct `run_flow` of the same request;
+//! * two live replicas sharing one `--store-dir` share answers;
+//! * N concurrent identical explorations coalesce into ONE engine run;
+//! * damaged runs (injected panics, cancellations) never persist;
+//! * the `/v1/jobs` lifecycle: submit → wait → done, cache-tier admission;
+//! * `405` responses carry an `Allow` header (checked over raw TCP).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use isex_engine::FaultPlan;
+use isex_serve::client::{self, ClientError};
+use isex_serve::{start, ExploreRequest, ServerConfig};
+use serde::Value;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "isex-serve-store-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(store_dir: Option<PathBuf>) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        store_dir,
+        ..ServerConfig::default()
+    }
+}
+
+fn quick(seed: u64) -> ExploreRequest {
+    ExploreRequest {
+        seed,
+        effort: 40,
+        repeats: 2,
+        ..ExploreRequest::default()
+    }
+}
+
+fn metrics(addr: &str) -> Value {
+    let raw = client::get(addr, "/metrics").expect("GET /metrics");
+    assert_eq!(raw.status, 200, "{}", raw.body);
+    serde_json::parse(&raw.body).expect("metrics JSON")
+}
+
+fn metric_u64(value: &Value, path: &[&str]) -> u64 {
+    let mut current = value;
+    for key in path {
+        current = current
+            .as_object()
+            .unwrap_or_else(|| panic!("`{key}`: not an object"))
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("no `{key}` in metrics"));
+    }
+    match current {
+        Value::U64(n) => *n,
+        Value::I64(n) => *n as u64,
+        other => panic!("{path:?}: expected integer, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn stored_result_survives_restart_bitwise() {
+    let dir = tmp_dir("restart");
+    let req = quick(0x5707E);
+
+    // First server: a fresh run that lands in the store.
+    let first = {
+        let handle = start(config(Some(dir.clone()))).expect("start server 1");
+        let addr = handle.addr().to_string();
+        let response = client::explore(&addr, &req).expect("first explore");
+        assert_eq!(response.source, "run");
+        let snap = metrics(&addr);
+        assert_eq!(metric_u64(&snap, &["store", "inserts"]), 1);
+        handle.shutdown();
+        response
+    };
+
+    // Second server, same directory, cold memory cache: the answer must
+    // come from the disk store.
+    let handle = start(config(Some(dir.clone()))).expect("start server 2");
+    let addr = handle.addr().to_string();
+    let second = client::explore(&addr, &req).expect("explore after restart");
+    assert!(second.cached, "must not recompute");
+    assert_eq!(second.source, "store");
+    let snap = metrics(&addr);
+    assert_eq!(metric_u64(&snap, &["phases", "store.hit", "count"]), 1);
+    assert_eq!(metric_u64(&snap, &["queue", "jobs_completed"]), 0);
+    handle.shutdown();
+
+    // Byte-identical across the restart AND against a direct local run.
+    let served = serde_json::to_string(&second.report).unwrap();
+    assert_eq!(served, serde_json::to_string(&first.report).unwrap());
+    let direct = isex_flow::run_flow(&req.flow_config(), &req.program(), req.seed);
+    assert_eq!(served, serde_json::to_string(&direct).unwrap());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_replicas_share_one_store_directory() {
+    let dir = tmp_dir("replicas");
+    let req = quick(0x2E911CA);
+
+    // Both replicas are up BEFORE the run: replica B's in-memory index
+    // cannot know about A's insert, so serving the hit exercises the
+    // disk-probe adoption path.
+    let a = start(config(Some(dir.clone()))).expect("start replica a");
+    let b = start(config(Some(dir.clone()))).expect("start replica b");
+    let computed = client::explore(&a.addr().to_string(), &req).expect("explore on a");
+    assert_eq!(computed.source, "run");
+
+    let shared = client::explore(&b.addr().to_string(), &req).expect("explore on b");
+    assert_eq!(shared.source, "store", "replica b must adopt a's entry");
+    assert_eq!(
+        serde_json::to_string(&shared.report).unwrap(),
+        serde_json::to_string(&computed.report).unwrap()
+    );
+    assert_eq!(
+        metric_u64(
+            &metrics(&b.addr().to_string()),
+            &["queue", "jobs_completed"]
+        ),
+        0,
+        "replica b must not run the engine"
+    );
+
+    a.shutdown();
+    b.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_identical_explorations_coalesce_into_one_run() {
+    // One worker, one slowish request, four concurrent clients: the job
+    // table must fold them onto a single engine run.
+    let cfg = ServerConfig {
+        engine_workers: 1,
+        ..config(None)
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.addr().to_string();
+    let req = ExploreRequest {
+        seed: 0xC0A1,
+        effort: if cfg!(debug_assertions) { 300 } else { 2_000 },
+        repeats: 4,
+        ..ExploreRequest::default()
+    };
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let req = req.clone();
+            std::thread::spawn(move || client::explore(&addr, &req).expect("coalesced explore"))
+        })
+        .collect();
+    let responses: Vec<_> = clients.into_iter().map(|t| t.join().unwrap()).collect();
+
+    let reference = serde_json::to_string(&responses[0].report).unwrap();
+    for r in &responses[1..] {
+        assert_eq!(
+            serde_json::to_string(&r.report).unwrap(),
+            reference,
+            "every waiter sees the same answer"
+        );
+    }
+
+    let snap = metrics(&addr);
+    assert_eq!(
+        metric_u64(&snap, &["queue", "jobs_completed"]),
+        1,
+        "exactly one engine run for four identical requests"
+    );
+    assert!(
+        metric_u64(&snap, &["jobs", "coalesced"]) >= 1,
+        "late arrivals coalesced onto the in-flight run"
+    );
+    assert_eq!(metric_u64(&snap, &["requests", "by_status", "200"]), 4);
+    handle.shutdown();
+}
+
+#[test]
+fn damaged_and_cancelled_runs_never_persist() {
+    // Plan: block 0 repeat 0 panics — the run *survives* (repeat 1 covers
+    // it) and is served with `jobs_failed == 1`, which is exactly the
+    // dangerous case: a 200 answer that must still never be persisted.
+    let dir = tmp_dir("damaged");
+    let cfg = ServerConfig {
+        fault_plan: Some(FaultPlan::parse("panic@0.0").expect("valid plan")),
+        ..config(Some(dir.clone()))
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.addr().to_string();
+    let response = client::explore(&addr, &quick(0xDA3A6E)).expect("damaged run is served");
+    assert_eq!(response.metrics.jobs_failed, 1, "the planned casualty");
+    let snap = metrics(&addr);
+    assert_eq!(metric_u64(&snap, &["store", "inserts"]), 0);
+    handle.shutdown();
+
+    // A cancelled run must not persist either.
+    let cfg = ServerConfig {
+        fault_plan: Some(FaultPlan::parse("cancel@0.0").expect("valid plan")),
+        ..config(Some(dir.clone()))
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.addr().to_string();
+    match client::explore(&addr, &quick(0xCA4CE1)) {
+        Err(ClientError::Http { status: 500, .. }) => {}
+        other => panic!("expected 500 for the cancelled run, got {other:?}"),
+    }
+    handle.shutdown();
+
+    let store = isex_store::Store::open(&dir, 0).expect("open store offline");
+    assert!(
+        store.entries().is_empty(),
+        "no damaged or cancelled run may leave a store entry: {:?}",
+        store.entries()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn async_job_lifecycle_submit_wait_done() {
+    let dir = tmp_dir("jobs");
+    let handle = start(config(Some(dir.clone()))).expect("start server");
+    let addr = handle.addr().to_string();
+    let req = quick(0xA57);
+
+    let submitted = client::submit_job(&addr, &req).expect("submit");
+    assert!(!submitted.coalesced);
+    assert!(matches!(submitted.status.as_str(), "queued" | "running"));
+
+    let done = client::wait_job(&addr, &submitted.job_id, 120_000).expect("wait");
+    assert_eq!(done.status, "done", "error: {:?}", done.error);
+    assert_eq!(done.key, submitted.key);
+    let report = done.report.expect("done embeds the report");
+
+    // Non-blocking status poll still answers after completion.
+    let polled = client::job_status(&addr, &submitted.job_id).expect("status");
+    assert_eq!(polled.status, "done");
+
+    // The same exploration resubmitted is admitted pre-completed from a
+    // cache tier — no second engine run.
+    let again = client::submit_job(&addr, &req).expect("resubmit");
+    assert_eq!(again.status, "done");
+    assert_ne!(again.job_id, submitted.job_id, "a fresh handle every time");
+    let cached = client::wait_job(&addr, &again.job_id, 1_000).expect("wait cached");
+    assert_eq!(cached.status, "done");
+    assert_eq!(cached.source.as_deref(), Some("memory"));
+
+    // And the one-call wrapper agrees with everything above.
+    let wrapped = client::explore_async(&addr, &req, 120_000).expect("explore_async");
+    assert!(wrapped.cached);
+    assert_eq!(
+        serde_json::to_string(&wrapped.report).unwrap(),
+        serde_json::to_string(&report).unwrap()
+    );
+
+    assert_eq!(
+        metric_u64(&metrics(&addr), &["queue", "jobs_completed"]),
+        1,
+        "one engine run behind three submissions"
+    );
+
+    // Unknown and malformed job IDs are 404, not 500.
+    for path in ["/v1/jobs/j-999999", "/v1/jobs/", "/v1/jobs/a/b"] {
+        let raw = client::get(&addr, path).expect("GET");
+        assert_eq!(raw.status, 404, "{path}: {}", raw.body);
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn method_not_allowed_carries_allow_header_over_raw_tcp() {
+    let handle = start(config(None)).expect("start server");
+    let addr = handle.addr().to_string();
+
+    // (request line, expected Allow) — a GET on the explore endpoints and
+    // a POST on the read-only ones.
+    let cases = [
+        ("GET /v1/explore HTTP/1.1", "POST"),
+        ("DELETE /v1/jobs HTTP/1.1", "POST"),
+        ("POST /healthz HTTP/1.1", "GET"),
+        ("PUT /metrics HTTP/1.1", "GET"),
+        ("POST /v1/jobs/j-1/wait HTTP/1.1", "GET"),
+    ];
+    for (request_line, allow) in cases {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+            .write_all(format!("{request_line}\r\nhost: t\r\ncontent-length: 0\r\n\r\n").as_bytes())
+            .expect("write request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        assert!(
+            response.starts_with("HTTP/1.1 405"),
+            "{request_line}: {response}"
+        );
+        let allow_line = response
+            .lines()
+            .find(|l| l.to_ascii_lowercase().starts_with("allow:"))
+            .unwrap_or_else(|| panic!("{request_line}: no Allow header in {response}"));
+        assert_eq!(
+            allow_line.split(':').nth(1).map(str::trim),
+            Some(allow),
+            "{request_line}"
+        );
+    }
+    handle.shutdown();
+}

@@ -14,7 +14,8 @@
 //! | [`core`] | `isex-core` | the MI explorer (the paper) + the SI baseline |
 //! | [`flow`] | `isex-flow` | profiling → exploration → merging → selection → replacement |
 //! | [`workloads`] | `isex-workloads` | the seven MiBench-like kernels, random DFGs |
-//! | [`serve`] | `isex-serve` | `isexd`: the HTTP exploration service (queue, cache, backpressure) |
+//! | [`serve`] | `isex-serve` | `isexd`: the HTTP exploration service (queue, cache, backpressure, async jobs) |
+//! | [`store`] | `isex-store` | persistent content-addressed result store (atomic writes, LRU GC) |
 //! | [`cluster`] | `isex-cluster` | distributed exploration: coordinator, workers, heartbeats, re-dispatch |
 //! | [`trace`] | `isex-trace` | structured spans, Chrome-trace export, per-phase profiles |
 //!
@@ -53,6 +54,7 @@ pub use isex_flow as flow;
 pub use isex_isa as isa;
 pub use isex_sched as sched;
 pub use isex_serve as serve;
+pub use isex_store as store;
 pub use isex_trace as trace;
 pub use isex_workloads as workloads;
 

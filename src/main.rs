@@ -5,6 +5,7 @@
 //! isex explore --bench crc32 [options]        # run the design flow on a benchmark
 //! isex asm <file.s> [options]                 # explore a basic block from assembly
 //! isex serve [isexd options]                  # run the isexd exploration service
+//! isex store <ls|stats|gc|clear> [options]    # inspect/maintain a result store
 //! isex coordinator [options]                  # isexd fronting a worker cluster
 //! isex worker --connect HOST:PORT [options]   # cluster exploration worker
 //!
@@ -23,6 +24,8 @@
 //!                          locally (explore only; budgets/events are local)
 //!   --retries N            --server only: retries on 503/connection reset
 //!                          with capped exponential backoff   (default 4)
+//!   --async                --server only: submit via POST /v1/jobs and
+//!                          long-poll the job instead of one blocking call
 //!   --checkpoint PATH      journal each finished block to PATH and resume
 //!                          a matching interrupted run (local explore only)
 //!   --fault-plan SPEC      deterministic fault injection, e.g.
@@ -37,7 +40,12 @@
 //!
 //! serve options (see also `isexd --help` header):
 //!   --addr HOST:PORT  --workers N  --queue-cap N  --cache-cap N  --timeout-ms N
-//!   --trace-dir DIR  --trace-keep N
+//!   --trace-dir DIR  --trace-keep N  --store-dir DIR  --store-max-bytes N
+//!   --jobs-keep N
+//!
+//! store options:
+//!   --store-dir DIR        the store to operate on (required)
+//!   --max-bytes N          gc only: evict LRU entries beyond N bytes
 //!
 //! coordinator options (every serve option, plus):
 //!   --cluster-addr HOST:PORT  --heartbeat-ms N  --heartbeat-misses N
@@ -73,6 +81,7 @@ struct Options {
     bench: Option<String>,
     server: Option<String>,
     retries: usize,
+    async_jobs: bool,
     checkpoint: Option<String>,
     fault_plan: Option<isex::flow::FaultPlan>,
     metrics: Option<String>,
@@ -99,6 +108,7 @@ impl Default for Options {
             bench: None,
             server: None,
             retries: 4,
+            async_jobs: false,
             checkpoint: None,
             fault_plan: None,
             metrics: None,
@@ -214,6 +224,7 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                 opts.trace = Some(need(args, i, "--trace")?);
                 i += 1;
             }
+            "--async" => opts.async_jobs = true,
             "--profile" => opts.profile = true,
             "--verilog" => opts.verilog = true,
             "--timeline" => opts.timeline = true,
@@ -324,6 +335,9 @@ fn cmd_explore(opts: &Options, positional: &[String]) -> Result<(), String> {
         .or_else(|| positional.first().map(String::as_str))
         .ok_or("explore needs a benchmark name (positional or --bench)")?;
     let bench = registry::resolve(name).map_err(|e| e.to_string())?;
+    if opts.async_jobs && opts.server.is_none() {
+        return Err("--async requires --server (it drives the /v1/jobs API)".to_string());
+    }
     let program = bench.program(opts.opt);
     let (report, metrics) = match &opts.server {
         Some(addr) => explore_remote(addr, bench, opts)?,
@@ -385,18 +399,22 @@ fn explore_remote(
         jobs: opts.jobs,
         timeout_ms: None,
     };
-    let policy = isex::serve::client::RetryPolicy {
-        max_retries: opts.retries,
-        seed: opts.seed,
-        ..Default::default()
+    let response = if opts.async_jobs {
+        // Async path: the job survives this client's network blips — each
+        // poll is a fresh bounded exchange against the same job ID.
+        isex::serve::client::explore_async(addr, &request, 600_000).map_err(|e| e.to_string())?
+    } else {
+        let policy = isex::serve::client::RetryPolicy {
+            max_retries: opts.retries,
+            seed: opts.seed,
+            ..Default::default()
+        };
+        isex::serve::client::explore_with_retry(addr, &request, &policy)
+            .map_err(|e| e.to_string())?
     };
-    let response = isex::serve::client::explore_with_retry(addr, &request, &policy)
-        .map_err(|e| e.to_string())?;
     eprintln!(
-        "{} answered{} ({})",
-        addr,
-        if response.cached { " from cache" } else { "" },
-        response.key
+        "{} answered from {} ({})",
+        addr, response.source, response.key
     );
     if let Some(path) = &opts.metrics {
         let json = serde_json::to_string_pretty(&response.metrics).map_err(|e| e.to_string())?;
@@ -407,6 +425,89 @@ fn explore_remote(
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     isex::serve::run_from_args(args)
+}
+
+/// `isex store <ls|stats|gc|clear> --store-dir DIR [--max-bytes N]`:
+/// offline inspection and maintenance of a result store — the same format
+/// the server reads, so it is safe to point at a live server's directory
+/// (every mutation goes through the same atomic rename + manifest path).
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    let action = args
+        .first()
+        .map(String::as_str)
+        .ok_or("store needs an action: ls, stats, gc, clear")?;
+    let mut dir: Option<String> = None;
+    let mut max_bytes: Option<u64> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store-dir" => {
+                dir = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or("--store-dir needs a value")?,
+                );
+                i += 1;
+            }
+            "--max-bytes" => {
+                max_bytes = Some(
+                    args.get(i + 1)
+                        .ok_or("--max-bytes needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --max-bytes")?,
+                );
+                i += 1;
+            }
+            other => return Err(format!("unknown store flag `{other}`")),
+        }
+        i += 1;
+    }
+    let dir = dir.ok_or("store needs --store-dir DIR")?;
+    // Open with no budget: maintenance must never evict as a side effect —
+    // only an explicit `gc` shrinks the store.
+    let store = isex::store::Store::open(std::path::Path::new(&dir), 0)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    match action {
+        "ls" => {
+            println!("{:>12}  {:>8}  key", "bytes", "lru-seq");
+            for e in store.entries() {
+                println!("{:>12}  {:>8}  {}", e.bytes, e.last_seq, e.key);
+            }
+        }
+        "stats" => {
+            let s = store.stats();
+            println!("dir:              {dir}");
+            println!("entries:          {}", s.entries);
+            println!("bytes:            {}", s.bytes);
+            println!("manifest skipped: {}", s.manifest_skipped);
+        }
+        "gc" => {
+            let target = max_bytes.ok_or("gc needs --max-bytes N")?;
+            let evicted = store.gc_to(target).map_err(|e| e.to_string())?;
+            for key in &evicted {
+                println!("evicted: {key}");
+            }
+            let s = store.stats();
+            println!(
+                "{} entr{} evicted; {} entr{} / {} bytes remain",
+                evicted.len(),
+                if evicted.len() == 1 { "y" } else { "ies" },
+                s.entries,
+                if s.entries == 1 { "y" } else { "ies" },
+                s.bytes
+            );
+        }
+        "clear" => {
+            let removed = store.clear().map_err(|e| e.to_string())?;
+            println!("removed {removed} entries");
+        }
+        other => {
+            return Err(format!(
+                "unknown store action `{other}` (ls, stats, gc, clear)"
+            ))
+        }
+    }
+    Ok(())
 }
 
 fn cmd_asm(opts: &Options, positional: &[String]) -> Result<(), String> {
@@ -455,7 +556,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: isex <list|explore|asm|serve|coordinator|worker> [options]  \
+            "usage: isex <list|explore|asm|serve|store|coordinator|worker> [options]  \
              (see src/main.rs header)"
         );
         return ExitCode::FAILURE;
@@ -469,6 +570,7 @@ fn main() -> ExitCode {
         "explore" => parse_options(rest).and_then(|(o, p)| cmd_explore(&o, &p)),
         "asm" => parse_options(rest).and_then(|(o, p)| cmd_asm(&o, &p)),
         "serve" => cmd_serve(rest),
+        "store" => cmd_store(rest),
         "coordinator" => isex::cluster::coordinator_main(rest),
         "worker" => isex::cluster::worker_main(rest),
         other => Err(format!("unknown command `{other}`")),
