@@ -63,6 +63,14 @@ pub struct AcoParams {
     /// round is declared converged by fiat (the thesis notes convergence
     /// time is unbounded in theory, §4.4).
     pub max_iterations: usize,
+    /// Deterministic round budget per block: when non-zero, exploration
+    /// stops after this many rounds even if further ISEs would commit, and
+    /// the result is marked degraded. `0` (the default) means unbudgeted —
+    /// only the explorer's hard safety cap applies. This is the
+    /// reproducible twin of the wall-clock deadline cut: a test can pin the
+    /// exact partial result a deadline would have produced.
+    #[serde(default)]
+    pub max_rounds: usize,
 }
 
 impl Default for AcoParams {
@@ -84,6 +92,7 @@ impl Default for AcoParams {
             init_merit_hw: 200.0,
             init_trail: 0.0,
             max_iterations: 400,
+            max_rounds: 0,
         }
     }
 }

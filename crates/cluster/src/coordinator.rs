@@ -61,6 +61,16 @@ pub struct CoordinatorConfig {
     /// When set, each run appends completed blocks to a checkpoint journal
     /// here (named by a hash of the run key) and resumes from it.
     pub journal_dir: Option<PathBuf>,
+    /// Consecutive failures (unclean disconnects, missed-heartbeat
+    /// expiries, dispatch write errors) after which a worker *name* is
+    /// circuit-broken: no dispatch until the cooloff elapses, then one
+    /// half-open probe job decides between closing and re-opening.
+    pub breaker_threshold: u32,
+    /// Breaker cooloff, milliseconds. `None` = 5 × [`heartbeat_ms`]
+    /// (long enough for a flapping worker to miss a sentinel cycle).
+    ///
+    /// [`heartbeat_ms`]: CoordinatorConfig::heartbeat_ms
+    pub breaker_cooloff_ms: Option<u64>,
 }
 
 impl Default for CoordinatorConfig {
@@ -70,7 +80,57 @@ impl Default for CoordinatorConfig {
             heartbeat_ms: 500,
             heartbeat_misses: 3,
             journal_dir: None,
+            breaker_threshold: 3,
+            breaker_cooloff_ms: None,
         }
+    }
+}
+
+impl CoordinatorConfig {
+    fn breaker_cooloff(&self) -> Duration {
+        Duration::from_millis(
+            self.breaker_cooloff_ms
+                .unwrap_or(self.heartbeat_ms.saturating_mul(5))
+                .max(1),
+        )
+    }
+}
+
+/// Per-worker-*name* circuit breaker. Keyed by name (not connection id)
+/// so a flapping worker that reconnects under the same identity keeps its
+/// failure history instead of resetting it with every redial.
+#[derive(Debug, Default)]
+struct Breaker {
+    consecutive_failures: u32,
+    /// `Some(t)` = open until `t`; past `t` the breaker is *half-open*
+    /// (one probe job allowed).
+    open_until: Option<Instant>,
+}
+
+impl Breaker {
+    /// Records one failure; returns whether this (re)opened the breaker.
+    fn record_failure(&mut self, threshold: u32, cooloff: Duration, now: Instant) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= threshold.max(1) {
+            self.open_until = Some(now + cooloff);
+            return true;
+        }
+        false
+    }
+
+    fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_until = None;
+    }
+
+    /// Dispatch allowed? Closed: yes. Open: no. Half-open: yes (the
+    /// caller limits half-open dispatch to a single probe job).
+    fn allows(&self, now: Instant) -> bool {
+        self.open_until.is_none_or(|t| now >= t)
+    }
+
+    fn is_half_open(&self, now: Instant) -> bool {
+        self.open_until.is_some_and(|t| now >= t)
     }
 }
 
@@ -96,6 +156,7 @@ struct RunCounters {
     redispatched: u64,
     heartbeats_missed: u64,
     local: u64,
+    breaker_trips: u64,
 }
 
 /// The in-progress run (at most one at a time; concurrent callers queue).
@@ -104,6 +165,10 @@ struct RunState {
     request_json: String,
     fault_plan: Option<FaultPlan>,
     trace_id: String,
+    /// The run's compute deadline. Dispatch stamps each [`JobAssign`] with
+    /// the budget *remaining at dispatch time* (minus wire overhead), so
+    /// re-dispatched blocks get only what is actually left.
+    deadline: Option<Instant>,
     pending: VecDeque<usize>,
     /// Dispatch attempts per block (indexes the hot list).
     attempts: Vec<usize>,
@@ -118,6 +183,41 @@ struct RunState {
 struct ClusterState {
     workers: Vec<Worker>,
     run: Option<RunState>,
+    /// Circuit breakers by worker name; outlives connections and runs.
+    breakers: HashMap<String, Breaker>,
+}
+
+/// Can `worker` be assigned a job right now? Alive, breaker closed — or
+/// half-open with nothing in flight (the single probe job).
+fn dispatchable(breakers: &HashMap<String, Breaker>, worker: &Worker, now: Instant) -> bool {
+    if !worker.alive {
+        return false;
+    }
+    match breakers.get(&worker.name) {
+        None => true,
+        Some(b) if b.is_half_open(now) => worker.inflight.is_empty(),
+        Some(b) => b.allows(now),
+    }
+}
+
+/// Records a worker failure on its name's breaker, counting a trip on the
+/// active run when the breaker (re)opens.
+fn breaker_failure(
+    breakers: &mut HashMap<String, Breaker>,
+    run: &mut Option<RunState>,
+    name: &str,
+    threshold: u32,
+    cooloff: Duration,
+) {
+    let opened = breakers
+        .entry(name.to_string())
+        .or_default()
+        .record_failure(threshold, cooloff, Instant::now());
+    if opened {
+        if let Some(run_state) = run.as_mut() {
+            run_state.counters.breaker_trips += 1;
+        }
+    }
 }
 
 struct Shared {
@@ -151,6 +251,7 @@ impl Coordinator {
             state: Mutex::new(ClusterState {
                 workers: Vec::new(),
                 run: None,
+                breakers: HashMap::new(),
             }),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -213,8 +314,17 @@ impl Coordinator {
     /// checkpoint path uses, so the report is byte-identical to a local
     /// [`run_flow`](isex_flow::run_flow) with the same request.
     ///
+    /// With a `deadline`, every [`JobAssign`] is stamped with the budget
+    /// remaining at dispatch time (workers self-cancel and ship degraded
+    /// partials), and `cancel` tripping finishes the run *with what it
+    /// has*: completed entries merge as-is, unfinished blocks become
+    /// degraded empty entries, and the report comes back `Ok` with
+    /// [`FlowReport::degraded`](isex_flow::FlowReport) set — never an
+    /// error.
+    ///
     /// `sink` only observes locally-executed blocks (fallback path);
     /// engine events do not cross the wire.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
         request: &ExploreRequest,
@@ -223,10 +333,15 @@ impl Coordinator {
         sink: &dyn EventSink,
         cancel: &CancelToken,
         trace_id: &str,
+        deadline: Option<Instant>,
     ) -> Result<(FlowReport, RunMetrics), Cancelled> {
         let start = Instant::now();
         let key = run_key(cfg, program, request.seed);
-        let hot_len = hot_blocks(cfg, program).len();
+        let hot_names: Vec<String> = hot_blocks(cfg, program)
+            .iter()
+            .map(|b| b.name.clone())
+            .collect();
+        let hot_len = hot_names.len();
 
         // Resume: pre-complete blocks the journal already holds.
         let journal_path = self
@@ -260,7 +375,25 @@ impl Coordinator {
             let mut state = lock_unpoisoned(&self.shared.state);
             while state.run.is_some() {
                 if cancel.is_cancelled() {
-                    return Err(Cancelled);
+                    // The deadline expired before this run even got the
+                    // slot: answer with an all-degraded empty report
+                    // rather than an error — same anytime contract as a
+                    // run cut mid-flight.
+                    let alive = state.workers.iter().filter(|w| w.alive).count();
+                    drop(state);
+                    let entries = fill_missing_degraded(BTreeMap::new(), &hot_names, &key);
+                    return Ok(self.finish(
+                        cfg,
+                        program,
+                        request.seed,
+                        entries,
+                        hot_len,
+                        start,
+                        0,
+                        RunCounters::default(),
+                        Vec::new(),
+                        alive,
+                    ));
                 }
                 let (next, _) = self
                     .shared
@@ -284,6 +417,7 @@ impl Coordinator {
                 request_json: request.to_json(),
                 fault_plan: cfg.fault_plan.clone(),
                 trace_id: trace_id.to_string(),
+                deadline,
                 pending,
                 attempts: vec![0; hot_len],
                 inflight: HashMap::new(),
@@ -301,8 +435,29 @@ impl Coordinator {
         let mut journaled: Vec<usize> = Vec::new();
         let (entries, counters, worker_totals, workers_alive, last_fresh) = loop {
             if cancel.is_cancelled() {
-                self.abandon_run();
-                return Err(Cancelled);
+                // Deadline: finish with what the cluster has. Completed
+                // entries merge as-is, everything still pending or in
+                // flight becomes a degraded empty entry, and results that
+                // race in later are dropped with the cleared run.
+                let mut state = lock_unpoisoned(&self.shared.state);
+                let ClusterState { workers, run, .. } = &mut *state;
+                let run_state = run.as_mut().expect("run installed above");
+                let completed = std::mem::take(&mut run_state.completed);
+                let counters = std::mem::take(&mut run_state.counters);
+                let totals: Vec<(String, u64)> = workers
+                    .iter()
+                    .filter(|w| w.jobs_done > 0)
+                    .map(|w| (w.name.clone(), w.jobs_done))
+                    .collect();
+                let alive = workers.iter().filter(|w| w.alive).count();
+                for w in workers.iter_mut() {
+                    w.inflight.clear();
+                    w.jobs_done = 0;
+                }
+                *run = None;
+                drop(state);
+                let entries = fill_missing_degraded(completed, &hot_names, &key);
+                break (entries, counters, totals, alive, Vec::new());
             }
             let mut fresh: Vec<CheckpointEntry> = Vec::new();
             let mut local_block: Option<usize> = None;
@@ -310,7 +465,11 @@ impl Coordinator {
                 let mut state = lock_unpoisoned(&self.shared.state);
                 self.expire_silent_workers(&mut state);
                 self.dispatch(&mut state);
-                let ClusterState { workers, run } = &mut *state;
+                let ClusterState {
+                    workers,
+                    run,
+                    breakers,
+                } = &mut *state;
                 let run_state = run.as_mut().expect("run installed above");
                 for (&block, entry) in &run_state.completed {
                     if !journaled.contains(&block) {
@@ -337,8 +496,12 @@ impl Coordinator {
                     // yet — hand them out with the break.
                     break (entries, counters, totals, alive, std::mem::take(&mut fresh));
                 }
-                if !run_state.pending.is_empty() && !workers.iter().any(|w| w.alive) {
-                    // Cluster of zero: take one block and run it here.
+                let now = Instant::now();
+                if !run_state.pending.is_empty()
+                    && !workers.iter().any(|w| dispatchable(breakers, w, now))
+                {
+                    // Cluster of zero — none connected, or every breaker
+                    // open: take one block and run it here.
                     let block = run_state.pending.pop_front().expect("non-empty");
                     run_state.attempts[block] += 1;
                     local_block = Some(block);
@@ -347,8 +510,10 @@ impl Coordinator {
 
             // Journal first: an entry must be durable before anything
             // downstream of it, exactly like the single-node journal.
+            // Degraded partials never touch the journal — a resumed run
+            // must recompute the block canonically, not inherit the cut.
             if let Some(file) = &mut journal {
-                for entry in &fresh {
+                for entry in fresh.iter().filter(|e| !e.degraded) {
                     if let Err(e) = append_entry(file, entry) {
                         eprintln!("isex-cluster: journal append failed: {e}");
                         journal = None;
@@ -358,6 +523,9 @@ impl Coordinator {
             }
 
             if let Some(block) = local_block {
+                // Anytime semantics: a deadline tripping mid-block comes
+                // back as an `Ok` degraded entry; the next loop pass sees
+                // the cancelled token and finishes with partials.
                 let entry =
                     match explore_block_entry(cfg, program, request.seed, block, sink, cancel) {
                         Ok(entry) => entry,
@@ -390,7 +558,7 @@ impl Coordinator {
         };
         self.shared.wake.notify_all();
         if let Some(file) = &mut journal {
-            for entry in &last_fresh {
+            for entry in last_fresh.iter().filter(|e| !e.degraded) {
                 if let Err(e) = append_entry(file, entry) {
                     eprintln!("isex-cluster: journal append failed: {e}");
                     break;
@@ -398,9 +566,38 @@ impl Coordinator {
             }
         }
 
+        Ok(self.finish(
+            cfg,
+            program,
+            request.seed,
+            entries,
+            hot_len,
+            start,
+            resumed,
+            counters,
+            worker_totals,
+            workers_alive,
+        ))
+    }
+
+    /// The shared reduce-and-account tail: folds entries into the report
+    /// and stamps run timing plus the `cluster.*` phase stats.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        cfg: &FlowConfig,
+        program: &Program,
+        seed: u64,
+        entries: Vec<CheckpointEntry>,
+        hot_len: usize,
+        start: Instant,
+        resumed: usize,
+        counters: RunCounters,
+        worker_totals: Vec<(String, u64)>,
+        workers_alive: usize,
+    ) -> (FlowReport, RunMetrics) {
         let explore_ms = start.elapsed().as_secs_f64() * 1e3;
-        let (report, mut metrics) =
-            finish_from_entries(cfg, program, request.seed, entries, hot_len);
+        let (report, mut metrics) = finish_from_entries(cfg, program, seed, entries, hot_len);
         metrics.blocks_resumed = resumed;
         metrics.phases.explore_ms = explore_ms;
         metrics.phases.total_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -414,13 +611,14 @@ impl Coordinator {
             stat("cluster.jobs_redispatched", counters.redispatched),
             stat("cluster.heartbeats_missed", counters.heartbeats_missed),
             stat("cluster.jobs_local", counters.local),
+            stat("cluster.breaker_trips", counters.breaker_trips),
         ];
         for (name, jobs) in worker_totals {
             stats.push(stat(&format!("cluster.worker.{name}.jobs"), jobs));
         }
         metrics.phase_profile.0.extend(stats);
         metrics.phase_profile.0.sort_by(|a, b| a.name.cmp(&b.name));
-        Ok((report, metrics))
+        (report, metrics)
     }
 
     /// Declares silent workers dead and requeues their in-flight blocks.
@@ -429,11 +627,22 @@ impl Coordinator {
             self.shared.config.heartbeat_ms * self.shared.config.heartbeat_misses.max(1) as u64,
         );
         let now = Instant::now();
-        let ClusterState { workers, run } = state;
+        let ClusterState {
+            workers,
+            run,
+            breakers,
+        } = state;
         for worker in workers.iter_mut() {
             if worker.alive && now.duration_since(worker.last_beat) > limit {
                 worker.alive = false;
                 let _ = worker.stream.shutdown(Shutdown::Both);
+                breaker_failure(
+                    breakers,
+                    run,
+                    &worker.name,
+                    self.shared.config.breaker_threshold,
+                    self.shared.config.breaker_cooloff(),
+                );
                 if let Some(run_state) = run.as_mut() {
                     run_state.counters.heartbeats_missed += 1;
                     requeue_worker_inflight(run_state, worker);
@@ -442,19 +651,29 @@ impl Coordinator {
         }
     }
 
-    /// Assigns pending blocks to alive workers with spare capacity,
-    /// consuming transport `drop` faults at the moment of dispatch.
+    /// Assigns pending blocks to dispatchable workers (alive, breaker
+    /// closed or half-open-probing) with spare capacity, consuming
+    /// transport `drop` faults at the moment of dispatch. With a run
+    /// deadline, each assignment is stamped with the budget remaining *at
+    /// dispatch time* minus wire overhead — so a re-dispatched block asks
+    /// its new worker only for what the run can still afford.
     fn dispatch(&self, state: &mut ClusterState) {
-        let ClusterState { workers, run } = state;
+        let ClusterState {
+            workers,
+            run,
+            breakers,
+        } = state;
         let Some(run_state) = run.as_mut() else {
             return;
         };
         while let Some(&block) = run_state.pending.front() {
-            // Least-loaded alive worker, ties broken by connection order.
+            let now = Instant::now();
+            // Least-loaded dispatchable worker, ties broken by connection
+            // order.
             let Some(slot) = workers
                 .iter()
                 .enumerate()
-                .filter(|(_, w)| w.alive && w.inflight.len() < w.capacity)
+                .filter(|(_, w)| dispatchable(breakers, w, now) && w.inflight.len() < w.capacity)
                 .min_by_key(|(i, w)| (w.inflight.len(), *i))
                 .map(|(i, _)| i)
             else {
@@ -478,9 +697,24 @@ impl Coordinator {
                 run_state.counters.redispatched += 1;
                 requeue_worker_inflight(run_state, worker);
                 run_state.pending.push_back(block);
+                if breakers
+                    .entry(worker.name.clone())
+                    .or_default()
+                    .record_failure(
+                        self.shared.config.breaker_threshold,
+                        self.shared.config.breaker_cooloff(),
+                        now,
+                    )
+                {
+                    run_state.counters.breaker_trips += 1;
+                }
                 continue;
             }
 
+            let budget_ms = run_state.deadline.map(|d| {
+                let remaining = d.saturating_duration_since(now).as_millis() as u64;
+                remaining.saturating_sub(DISPATCH_OVERHEAD_MS).max(1)
+            });
             let assign = Message::Job(JobAssign {
                 job_id: run_state.next_job_id,
                 request: run_state.request_json.clone(),
@@ -491,6 +725,7 @@ impl Coordinator {
                 block_index: block,
                 attempt,
                 trace_id: run_state.trace_id.clone(),
+                budget_ms,
             });
             let worker = &mut workers[slot];
             if write_frame(&mut worker.stream, &assign.encode()).is_err() {
@@ -499,6 +734,17 @@ impl Coordinator {
                 run_state.counters.redispatched += 1;
                 requeue_worker_inflight(run_state, worker);
                 run_state.pending.push_back(block);
+                if breakers
+                    .entry(worker.name.clone())
+                    .or_default()
+                    .record_failure(
+                        self.shared.config.breaker_threshold,
+                        self.shared.config.breaker_cooloff(),
+                        now,
+                    )
+                {
+                    run_state.counters.breaker_trips += 1;
+                }
                 continue;
             }
             run_state
@@ -549,6 +795,43 @@ impl Drop for Coordinator {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
+}
+
+/// Wire-and-queue overhead discounted from a job's budget at dispatch:
+/// the worker must ship its partial back *before* the coordinator's own
+/// deadline trips, or the best-so-far work is lost to the race.
+const DISPATCH_OVERHEAD_MS: u64 = 25;
+
+/// Pads `completed` out to one entry per hot block, synthesizing a
+/// degraded empty entry (zero rounds, no patterns) for each block the
+/// deadline cut before any result arrived — the same shape the engine
+/// produces for a block whose every repeat was skipped.
+fn fill_missing_degraded(
+    completed: BTreeMap<usize, CheckpointEntry>,
+    hot_names: &[String],
+    key: &str,
+) -> Vec<CheckpointEntry> {
+    let mut entries: Vec<CheckpointEntry> = completed.into_values().collect();
+    for (index, name) in hot_names.iter().enumerate() {
+        if entries.iter().any(|e| e.block_index == index) {
+            continue;
+        }
+        entries.push(CheckpointEntry {
+            run_key: key.to_string(),
+            block_index: index,
+            block: name.clone(),
+            iterations: 0,
+            jobs_completed: 0,
+            jobs_failed: 0,
+            worker_restarts: 0,
+            spread: None,
+            patterns: Vec::new(),
+            error: None,
+            degraded: true,
+            rounds_completed: Some(0),
+        });
+    }
+    entries
 }
 
 fn stat(name: &str, count: u64) -> PhaseStat {
@@ -660,12 +943,17 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
     shared.wake.notify_all();
 
+    let mut clean_exit = false;
     while let Ok(Some(frame)) = read_frame(&mut stream) {
         let Ok(message) = Message::decode(&frame) else {
             break; // hostile or skewed peer: drop it
         };
         let mut state = lock_unpoisoned(&shared.state);
-        let ClusterState { workers, run } = &mut *state;
+        let ClusterState {
+            workers,
+            run,
+            breakers,
+        } = &mut *state;
         let Some(worker) = workers.iter_mut().find(|w| w.id == worker_id) else {
             break;
         };
@@ -678,11 +966,19 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                     if let Some((block, _)) = run_state.inflight.remove(&result.job_id) {
                         // Guard the merge: the entry must be the installed
                         // run's (matching key) and for the block assigned.
+                        // A *degraded* entry is a legitimate answer — the
+                        // worker self-cancelled at its stamped budget and
+                        // shipped its best-so-far.
                         if result.entry.run_key == run_state.key
                             && result.entry.block_index == block
                         {
                             worker.jobs_done += 1;
                             run_state.completed.entry(block).or_insert(result.entry);
+                            // A delivered result closes the name's breaker.
+                            breakers
+                                .entry(worker.name.clone())
+                                .or_default()
+                                .record_success();
                         } else if !run_state.completed.contains_key(&block)
                             && !run_state.pending.contains(&block)
                         {
@@ -693,6 +989,7 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 }
             }
             Message::Goodbye => {
+                clean_exit = true;
                 drop(state);
                 break;
             }
@@ -707,16 +1004,103 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 
     // Connection over: whatever the worker still held goes back in the
-    // queue.
+    // queue. An *unclean* end (no Goodbye) while the worker was still
+    // considered alive counts against its circuit breaker.
     let mut state = lock_unpoisoned(&shared.state);
-    let ClusterState { workers, run } = &mut *state;
+    let ClusterState {
+        workers,
+        run,
+        breakers,
+    } = &mut *state;
     if let Some(worker) = workers.iter_mut().find(|w| w.id == worker_id) {
+        let was_alive = worker.alive;
         worker.alive = false;
         let _ = worker.stream.shutdown(Shutdown::Both);
+        if was_alive && !clean_exit && !shared.shutdown.load(Ordering::Acquire) {
+            breaker_failure(
+                breakers,
+                run,
+                &worker.name.clone(),
+                shared.config.breaker_threshold,
+                shared.config.breaker_cooloff(),
+            );
+        }
         if let Some(run_state) = run.as_mut() {
             requeue_worker_inflight(run_state, worker);
         }
     }
     drop(state);
     shared.wake.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOLOFF: Duration = Duration::from_millis(250);
+
+    #[test]
+    fn breaker_opens_only_at_the_threshold() {
+        let now = Instant::now();
+        let mut breaker = Breaker::default();
+        assert!(breaker.allows(now));
+        assert!(!breaker.record_failure(3, COOLOFF, now));
+        assert!(!breaker.record_failure(3, COOLOFF, now));
+        assert!(breaker.allows(now), "still closed below the threshold");
+        assert!(
+            breaker.record_failure(3, COOLOFF, now),
+            "third strike opens"
+        );
+        assert!(!breaker.allows(now), "open: no dispatch");
+        assert!(!breaker.is_half_open(now));
+    }
+
+    #[test]
+    fn breaker_goes_half_open_after_the_cooloff_and_success_closes_it() {
+        let now = Instant::now();
+        let mut breaker = Breaker::default();
+        for _ in 0..3 {
+            breaker.record_failure(3, COOLOFF, now);
+        }
+        let later = now + COOLOFF;
+        assert!(
+            breaker.is_half_open(later),
+            "cooloff elapsed: probe allowed"
+        );
+        assert!(breaker.allows(later));
+
+        // A successful probe closes the breaker entirely.
+        breaker.record_success();
+        assert!(breaker.allows(later));
+        assert!(!breaker.is_half_open(later));
+        assert_eq!(breaker.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_for_a_full_cooloff() {
+        let now = Instant::now();
+        let mut breaker = Breaker::default();
+        for _ in 0..3 {
+            breaker.record_failure(3, COOLOFF, now);
+        }
+        let probe_time = now + COOLOFF;
+        assert!(breaker.is_half_open(probe_time));
+        // The probe fails: immediately open again, measured from *now*.
+        assert!(breaker.record_failure(3, COOLOFF, probe_time));
+        assert!(!breaker.allows(probe_time));
+        assert!(breaker.allows(probe_time + COOLOFF));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let now = Instant::now();
+        let mut breaker = Breaker::default();
+        breaker.record_failure(3, COOLOFF, now);
+        breaker.record_failure(3, COOLOFF, now);
+        breaker.record_success();
+        // Two more failures don't reach the threshold after the reset.
+        assert!(!breaker.record_failure(3, COOLOFF, now));
+        assert!(!breaker.record_failure(3, COOLOFF, now));
+        assert!(breaker.allows(now));
+    }
 }

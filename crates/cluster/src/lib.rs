@@ -86,8 +86,27 @@ impl ExploreRunner for ClusterRunner {
         program: &Program,
         sink: &dyn EventSink,
     ) -> Result<(FlowReport, RunMetrics), Cancelled> {
-        self.coordinator
-            .run(&job.request, cfg, program, sink, &job.cancel, &job.trace_id)
+        // The job's deadline (stamped by the HTTP layer from the request's
+        // `timeout_ms`) propagates into per-assignment worker budgets, so
+        // a deadline-pressed run degrades to partials instead of timing
+        // out.
+        self.coordinator.run(
+            &job.request,
+            cfg,
+            program,
+            sink,
+            &job.cancel,
+            &job.trace_id,
+            job.deadline(),
+        )
+    }
+
+    /// A coordinator with zero live workers still *answers* (local
+    /// fallback), but it is not what the operator deployed a cluster for:
+    /// `GET /readyz` reports unready so load balancers hold traffic until
+    /// at least one worker has registered.
+    fn ready(&self) -> bool {
+        self.coordinator.workers_alive() > 0
     }
 }
 
@@ -99,8 +118,9 @@ fn need(args: &[String], i: usize, flag: &str) -> Result<String, String> {
 
 /// The `isexd-coordinator` entry point: an `isexd` server whose explores
 /// run on the cluster. Cluster flags (`--cluster-addr`, `--heartbeat-ms`,
-/// `--heartbeat-misses`, `--journal-dir`) are consumed here; everything
-/// else is the standard `isexd` flag set.
+/// `--heartbeat-misses`, `--journal-dir`, `--breaker-threshold`,
+/// `--breaker-cooloff-ms`) are consumed here; everything else is the
+/// standard `isexd` flag set.
 pub fn coordinator_main(args: &[String]) -> Result<(), String> {
     let mut cluster = CoordinatorConfig {
         listen_addr: "127.0.0.1:8473".to_string(),
@@ -128,6 +148,20 @@ pub fn coordinator_main(args: &[String]) -> Result<(), String> {
             }
             "--journal-dir" => {
                 cluster.journal_dir = Some(need(args, i, "--journal-dir")?.into());
+                i += 1;
+            }
+            "--breaker-threshold" => {
+                cluster.breaker_threshold = need(args, i, "--breaker-threshold")?
+                    .parse()
+                    .map_err(|_| "bad --breaker-threshold")?;
+                i += 1;
+            }
+            "--breaker-cooloff-ms" => {
+                cluster.breaker_cooloff_ms = Some(
+                    need(args, i, "--breaker-cooloff-ms")?
+                        .parse()
+                        .map_err(|_| "bad --breaker-cooloff-ms")?,
+                );
                 i += 1;
             }
             // Pass-through flags and their values land here one token at a

@@ -61,6 +61,15 @@ pub struct JobAssign {
     /// The originating request's trace id, stamped on the worker's spans
     /// and trace files.
     pub trace_id: String,
+    /// Compute budget for this job, milliseconds, already discounted for
+    /// wire and queue overhead by the coordinator. The worker arms a timer
+    /// that trips its run's [`CancelToken`](isex_engine::CancelToken) at
+    /// the budget, so the result comes back as a *degraded best-so-far
+    /// partial* instead of the job overrunning the run's deadline.
+    /// `None` = unbudgeted (explore to completion). Absent on the wire
+    /// when unset, so protocol version 1 peers interoperate unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub budget_ms: Option<u64>,
 }
 
 /// Worker → coordinator: one finished block.
@@ -158,6 +167,7 @@ mod tests {
                 block_index: 3,
                 attempt: 1,
                 trace_id: "tr-abc".to_string(),
+                budget_ms: Some(1_500),
             }),
             Message::Heartbeat,
             Message::Goodbye,
@@ -181,6 +191,8 @@ mod tests {
             spread: None,
             patterns: Vec::new(),
             error: None,
+            degraded: false,
+            rounds_completed: None,
         };
         let m = Message::Result(JobResult {
             job_id: 9,
@@ -194,6 +206,35 @@ mod tests {
             ),
             other => panic!("expected Result, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn unbudgeted_assign_is_wire_compatible_with_version_1_peers() {
+        // A frame from a peer that predates `budget_ms` must still decode
+        // (the field defaults to None) …
+        let legacy = Frame {
+            opcode: OpCode::Job,
+            payload: br#"{"job_id":1,"request":"{}","fault_plan":null,"block_index":0,"attempt":0,"trace_id":"t"}"#
+                .to_vec(),
+        };
+        match Message::decode(&legacy).unwrap() {
+            Message::Job(assign) => assert_eq!(assign.budget_ms, None),
+            other => panic!("expected Job, got {other:?}"),
+        }
+        // … and an unbudgeted assign we encode must not emit the field, so
+        // old peers never see an unknown key.
+        let assign = JobAssign {
+            job_id: 1,
+            request: "{}".to_string(),
+            fault_plan: None,
+            block_index: 0,
+            attempt: 0,
+            trace_id: "t".to_string(),
+            budget_ms: None,
+        };
+        let frame = Message::Job(assign).encode();
+        let text = std::str::from_utf8(&frame.payload).unwrap();
+        assert!(!text.contains("budget_ms"), "unexpected field: {text}");
     }
 
     #[test]

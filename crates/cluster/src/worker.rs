@@ -4,7 +4,9 @@
 //! per-block unit the checkpoint path runs — so the entry it ships back
 //! is bitwise the entry a local run would have produced. Everything else
 //! here is plumbing: the [`Hello`] handshake, a heartbeat thread beating
-//! at the coordinator-announced interval, optional per-job Chrome traces
+//! at the coordinator-announced interval, per-job budget timers that trip
+//! the run's cancel token so a deadline-pressed job ships a degraded
+//! best-so-far partial instead of overrunning, optional per-job Chrome traces
 //! (named by the propagated trace id and this worker's name, with span
 //! `tid`s labelled by the worker's thread name), and reconnect-with-
 //! backoff when the coordinator severs or restarts.
@@ -12,8 +14,9 @@
 use std::net::{Shutdown, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use isex_engine::{CancelToken, Cancelled, FaultPlan, NullSink};
 use isex_flow::explore_block_entry;
@@ -205,6 +208,59 @@ fn serve_session(
     Ok(session)
 }
 
+/// Trips a [`CancelToken`] once the job's `budget_ms` elapses, so the
+/// exploration below returns its best-so-far partial instead of blowing
+/// the run's deadline. Dropping the timer (job finished in time) stops the
+/// thread without tripping anything.
+struct BudgetTimer {
+    done: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl BudgetTimer {
+    fn arm(cancel: CancelToken, budget: Duration) -> Option<BudgetTimer> {
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&done);
+        let deadline = Instant::now() + budget;
+        let thread = std::thread::Builder::new()
+            .name("isex-worker-budget".to_string())
+            .spawn(move || {
+                let (lock, signal) = &*shared;
+                let mut finished = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if *finished {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        cancel.cancel();
+                        return;
+                    }
+                    let (next, _) = signal
+                        .wait_timeout(finished, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    finished = next;
+                }
+            })
+            .ok()?;
+        Some(BudgetTimer {
+            done,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl Drop for BudgetTimer {
+    fn drop(&mut self) {
+        let (lock, signal) = &*self.done;
+        *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        signal.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
 /// Resolves one [`JobAssign`] to its [`JobResult`] by running the shared
 /// per-block exploration unit.
 fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, String> {
@@ -222,6 +278,14 @@ fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, Strin
     cfg.tracer = tracer.clone();
     let program = request.program();
 
+    // A budgeted job self-cancels at its deadline: the timer trips the
+    // token, `explore_block_entry` returns a *degraded* best-so-far entry
+    // (never `Err` — anytime semantics), and the coordinator folds it into
+    // a degraded report instead of waiting on work the run can't afford.
+    let cancel = CancelToken::new();
+    let _budget = assign
+        .budget_ms
+        .and_then(|ms| BudgetTimer::arm(cancel.clone(), Duration::from_millis(ms.max(1))));
     let entry = {
         let _attach = tracer.attach();
         let _span = tracer.span_with("worker.block", || {
@@ -238,7 +302,7 @@ fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, Strin
             request.seed,
             assign.block_index,
             &NullSink,
-            &CancelToken::new(),
+            &cancel,
         )
         .map_err(|Cancelled| "cancelled".to_string())?
     };

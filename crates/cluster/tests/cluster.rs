@@ -40,6 +40,7 @@ fn coordinator(heartbeat_ms: u64, journal_dir: Option<std::path::PathBuf>) -> Ar
             heartbeat_ms,
             heartbeat_misses: 2,
             journal_dir,
+            ..CoordinatorConfig::default()
         })
         .expect("coordinator binds"),
     )
@@ -82,6 +83,7 @@ fn cluster_run(
             &NullSink,
             &CancelToken::new(),
             "trace-test",
+            None,
         )
         .expect("cluster run completes")
 }
@@ -333,6 +335,114 @@ fn http_explore_scales_out_and_prometheus_shows_cluster_counters() {
     handle.shutdown();
     Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
     let _ = (w0.join(), w1.join());
+}
+
+#[test]
+fn tight_deadline_makes_workers_ship_degraded_partials() {
+    let coord = coordinator(100, None);
+    let w0 = spawn_worker(coord.addr(), "b0");
+    assert!(coord.wait_for_workers(1, Duration::from_secs(10)));
+
+    // An exploration far too heavy for its deadline: the coordinator
+    // stamps the remaining budget on each assignment, the worker's budget
+    // timer trips its cancel token, and a *degraded best-so-far* entry
+    // comes back — the run finishes near the deadline instead of running
+    // to completion or erroring.
+    let request = ExploreRequest {
+        bench: Benchmark::Crc32,
+        seed: 97,
+        repeats: 4,
+        effort: if cfg!(debug_assertions) { 300 } else { 2_000 },
+        jobs: 1,
+        ..ExploreRequest::default()
+    };
+    let cfg = request.flow_config();
+    let program = request.program();
+    let started = std::time::Instant::now();
+    let (report, metrics) = coord
+        .run(
+            &request,
+            &cfg,
+            &program,
+            &NullSink,
+            &CancelToken::new(),
+            "trace-deadline",
+            Some(std::time::Instant::now() + Duration::from_millis(300)),
+        )
+        .expect("a budgeted run answers, degraded, never errors");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the deadline must actually cut the run short"
+    );
+    assert!(report.degraded, "report carries the degradation marker");
+    assert!(metrics.degraded);
+    assert!(metrics.blocks_degraded >= 1);
+    assert!(
+        report
+            .per_block
+            .iter()
+            .any(|b| b.degraded && b.rounds_completed.is_some()),
+        "degraded blocks carry rounds_completed provenance: {:?}",
+        report.per_block
+    );
+
+    // The same request with no deadline still yields the canonical bytes:
+    // degradation is a property of the *budget*, not of the cluster.
+    let (full, full_metrics) = cluster_run(&coord, &request, None);
+    assert!(!full.degraded);
+    assert!(!full_metrics.degraded);
+    assert_eq!(
+        report_json(&full),
+        report_json(&single_node(&request, None))
+    );
+
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+    let _ = w0.join();
+}
+
+#[test]
+fn flapping_worker_trips_its_breaker_and_the_run_falls_back_local() {
+    // Every dispatch to this cluster is consumed by a transport drop
+    // fault, so the single worker fails on its very first assignment.
+    // With a threshold of 1 and a cooloff longer than the test, the
+    // breaker opens immediately and stays open: the coordinator must
+    // stop retrying the flapping worker and finish every block locally —
+    // without changing a byte of the answer.
+    let coord = Arc::new(
+        Coordinator::start(CoordinatorConfig {
+            listen_addr: "127.0.0.1:0".to_string(),
+            heartbeat_ms: 100,
+            heartbeat_misses: 2,
+            breaker_threshold: 1,
+            breaker_cooloff_ms: Some(60_000),
+            ..CoordinatorConfig::default()
+        })
+        .expect("coordinator binds"),
+    );
+    let w0 = spawn_worker(coord.addr(), "flappy");
+    assert!(coord.wait_for_workers(1, Duration::from_secs(10)));
+
+    let plan = FaultPlan::parse("drop:1/1").expect("plan parses");
+    let request = small_request(89);
+    let (report, metrics) = cluster_run(&coord, &request, Some(plan.clone()));
+    assert_eq!(
+        report_json(&report),
+        report_json(&single_node(&request, Some(plan))),
+        "breaker fallback must not change the merged report"
+    );
+    assert!(
+        stat_count(&metrics, "cluster.breaker_trips") >= 1,
+        "the flapping worker's breaker opened"
+    );
+    assert_eq!(
+        stat_count(&metrics, "cluster.jobs_local") as usize,
+        metrics.blocks_explored,
+        "with the breaker open, every block ran on the local fallback"
+    );
+    assert_eq!(stat_count(&metrics, "cluster.worker.flappy.jobs"), 0);
+
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+    let _ = w0.join();
 }
 
 #[test]

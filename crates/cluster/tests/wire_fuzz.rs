@@ -18,12 +18,14 @@ fn arb_entry() -> impl Strategy<Value = CheckpointEntry> {
         ("[a-z0-9{}\",:]{0,40}", 0usize..64, "[a-z_]{1,16}"),
         (0usize..10_000, 0usize..64, 0usize..64, 0usize..8),
         (any::<bool>(), "[ -~]{0,60}"),
+        (any::<bool>(), any::<bool>(), 0usize..10_000),
     )
         .prop_map(
             |(
                 (run_key, block_index, block),
                 (iterations, jobs_completed, jobs_failed, worker_restarts),
                 (with_error, error),
+                (degraded, with_rounds, rounds),
             )| CheckpointEntry {
                 run_key,
                 block_index,
@@ -35,6 +37,8 @@ fn arb_entry() -> impl Strategy<Value = CheckpointEntry> {
                 spread: None,
                 patterns: Vec::new(),
                 error: with_error.then_some(error),
+                degraded,
+                rounds_completed: with_rounds.then_some(rounds),
             },
         )
 }
@@ -60,10 +64,17 @@ fn arb_message() -> impl Strategy<Value = Message> {
             (any::<bool>(), "[a-z:/@. 0-9]{0,24}"),
             0usize..64,
             0usize..16,
-            "[a-z0-9-]{0,24}",
+            ("[a-z0-9-]{0,24}", any::<bool>(), 1u64..600_000),
         )
             .prop_map(
-                |(job_id, request, (with_plan, plan), block_index, attempt, trace_id)| {
+                |(
+                    job_id,
+                    request,
+                    (with_plan, plan),
+                    block_index,
+                    attempt,
+                    (trace_id, with_budget, budget),
+                )| {
                     Message::Job(JobAssign {
                         job_id,
                         request,
@@ -71,6 +82,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                         block_index,
                         attempt,
                         trace_id,
+                        budget_ms: with_budget.then_some(budget),
                     })
                 }
             ),

@@ -636,7 +636,7 @@ mod tests {
             // Non-degenerate spreads normalise so some node hits 1.0;
             // uniform inputs (e.g. mobility on a pure chain) collapse to 0.
             if v.iter().any(|&x| x != v[0]) {
-                assert!(v.iter().any(|&x| x == 1.0), "{f:?}: some node is max");
+                assert!(v.contains(&1.0), "{f:?}: some node is max");
             }
         }
         // Chain: head has 1 child, tail 0 → ChildCount ranks head over tail.

@@ -161,6 +161,7 @@ impl SingleIssueExplorer {
             cycles_with_ises: final_len,
             rounds,
             iterations,
+            degraded: false,
         }
     }
 

@@ -9,6 +9,7 @@
 //! ISE candidate(s), Make-Convex legalises them, and the best one is
 //! committed by collapsing it into the graph before the next round.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use isex_aco::{AcoParams, ImplChoice, PheromoneStore};
@@ -66,6 +67,13 @@ pub struct Exploration {
     pub rounds: usize,
     /// Total ant iterations across all rounds.
     pub iterations: usize,
+    /// Whether exploration was cut short — by a tripped stop flag or by an
+    /// explicit [`AcoParams::max_rounds`] budget — so the candidates are a
+    /// valid best-so-far set rather than the run-to-quiescence answer.
+    /// Absent from serialized form when `false`, keeping untouched runs
+    /// byte-identical to pre-anytime output.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub degraded: bool,
 }
 
 impl Exploration {
@@ -126,6 +134,12 @@ pub struct MultiIssueExplorer {
     /// engine threads one [`EvalStats`] through all its explorers and
     /// exports the totals via `RunMetrics.phase_profile`).
     pub eval_stats: Option<Arc<EvalStats>>,
+    /// Optional cooperative stop flag, checked between rounds. When it
+    /// trips, the explorer returns the committed best-so-far candidates
+    /// with [`Exploration::degraded`] set instead of running to
+    /// quiescence — the anytime property of the round loop (§4.3: each
+    /// round ends holding a valid ISE set).
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl MultiIssueExplorer {
@@ -138,6 +152,7 @@ impl MultiIssueExplorer {
             sp_function: crate::ant::SpFunction::default(),
             eval_cache: true,
             eval_stats: None,
+            stop: None,
         }
     }
 
@@ -159,6 +174,7 @@ impl MultiIssueExplorer {
             sp_function: crate::ant::SpFunction::default(),
             eval_cache: true,
             eval_stats: None,
+            stop: None,
         }
     }
 
@@ -208,13 +224,28 @@ impl MultiIssueExplorer {
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
 
-        while rounds < MAX_ROUNDS {
+        let round_cap = match self.params.max_rounds {
+            0 => MAX_ROUNDS,
+            budget => budget.min(MAX_ROUNDS),
+        };
+        let mut degraded = false;
+        let mut quiescent = false;
+        while rounds < round_cap {
+            if self
+                .stop
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::Acquire))
+            {
+                degraded = true;
+                break;
+            }
             rounds += 1;
             let explorable = current
                 .iter()
                 .filter(|(_, n)| n.payload().is_explorable())
                 .count();
             if explorable < 2 {
+                quiescent = true;
                 break;
             }
             let out = self.round(
@@ -285,8 +316,15 @@ impl MultiIssueExplorer {
                 break;
             }
             if !committed {
+                quiescent = true;
                 break;
             }
+        }
+        // Falling out of the loop still mid-commit on an explicit round
+        // budget is the deterministic cut; hitting the hard safety cap
+        // without a budget keeps its historical (non-degraded) meaning.
+        if !quiescent && self.params.max_rounds != 0 {
+            degraded = true;
         }
 
         let final_len = if self.eval_cache {
@@ -323,6 +361,7 @@ impl MultiIssueExplorer {
             cycles_with_ises: final_len,
             rounds,
             iterations,
+            degraded,
         }
     }
 

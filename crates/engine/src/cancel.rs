@@ -33,6 +33,13 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Acquire)
     }
+
+    /// The shared flag itself — for layers (e.g. the core explorer's
+    /// between-rounds stop check) that observe cancellation without
+    /// depending on this crate.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.0)
+    }
 }
 
 /// Error returned when a run was abandoned because its token tripped.

@@ -17,7 +17,7 @@ use crate::events::{EventSink, RunEvent};
 use crate::fault::FaultPlan;
 use crate::job::ExploreJob;
 use crate::metrics::{BlockFailure, BlockSpread};
-use crate::pool::{run_jobs_supervised, worker_count};
+use crate::pool::{run_jobs_anytime, worker_count};
 
 /// Which explorer drives a run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -87,6 +87,13 @@ pub struct BlockResult {
     pub iterations: usize,
     /// Best-of-N consistency of the repeats.
     pub spread: BlockSpread,
+    /// Repeats that ran to completion (= planned repeats unless the run
+    /// was cut short).
+    pub repeats_completed: usize,
+    /// Whether this block's kept result is best-so-far rather than
+    /// canonical: some repeats were skipped after a cancellation, or the
+    /// kept exploration itself was cut mid-rounds.
+    pub degraded: bool,
 }
 
 /// Aggregate outcome of one engine run.
@@ -97,10 +104,19 @@ pub struct EngineOutcome {
     pub blocks: Vec<BlockResult>,
     /// Blocks that produced no kept exploration (every repeat panicked).
     pub failures: Vec<BlockFailure>,
+    /// Canonical indices of blocks whose every repeat was skipped by a
+    /// tripped token before it could start — no result, but no failure
+    /// either. Empty unless `cancelled`.
+    pub skipped_blocks: Vec<usize>,
     /// Jobs that ran to completion.
     pub jobs_completed: usize,
     /// Jobs that panicked and were isolated by pool supervision.
     pub jobs_failed: usize,
+    /// Jobs never started because the token tripped first.
+    pub jobs_skipped: usize,
+    /// Whether the token tripped before every job completed — the outcome
+    /// is a valid best-so-far partial, not the canonical answer.
+    pub cancelled: bool,
     /// Workers logically resurrected after a caught panic.
     pub worker_restarts: usize,
     /// Worker threads used.
@@ -185,6 +201,26 @@ impl Engine {
         sink: &dyn EventSink,
         cancel: &CancelToken,
     ) -> Result<EngineOutcome, Cancelled> {
+        let outcome = self.explore_subset_anytime(tasks, indices, master_seed, sink, cancel);
+        if outcome.cancelled {
+            return Err(Cancelled);
+        }
+        Ok(outcome)
+    }
+
+    /// [`try_explore_subset`](Engine::try_explore_subset) with anytime
+    /// semantics: a tripped token yields the best-so-far partial outcome
+    /// (`cancelled: true`, per-block degraded provenance) instead of
+    /// discarding completed work. With an untripped token the outcome is
+    /// bitwise identical to the non-anytime path.
+    pub fn explore_subset_anytime(
+        &self,
+        tasks: &[BlockTask<'_>],
+        indices: &[usize],
+        master_seed: u64,
+        sink: &dyn EventSink,
+        cancel: &CancelToken,
+    ) -> EngineOutcome {
         assert_eq!(tasks.len(), indices.len(), "one canonical index per task");
         let repeats = self.spec.repeats.max(1);
         let workers = worker_count(self.spec.jobs);
@@ -193,25 +229,33 @@ impl Engine {
         // Counters only — safe to share across workers without affecting
         // determinism (each job's exploration never reads them).
         let eval_stats = Arc::new(EvalStats::default());
-        let outcome = run_jobs_supervised(&jobs, self.spec.jobs, cancel, |pos, job| {
+        let outcome = run_jobs_anytime(&jobs, self.spec.jobs, cancel, |pos, job| {
             // Jobs are planned task-major, `repeats` per task.
             self.run_job(tasks[pos / repeats], *job, sink, cancel, &eval_stats)
-        })?;
+        });
 
         let mut results = Vec::with_capacity(tasks.len());
         let mut failures = Vec::new();
+        let mut skipped_blocks = Vec::new();
         let mut jobs_completed = 0usize;
+        let mut jobs_failed = 0usize;
+        let mut jobs_skipped = 0usize;
         for (t, ((task, &block_index), per_block)) in tasks
             .iter()
             .zip(indices.iter())
             .zip(outcome.results.chunks(repeats))
             .enumerate()
         {
-            let survivors: Vec<&Exploration> =
-                per_block.iter().filter_map(|r| r.as_ref().ok()).collect();
+            let survivors: Vec<&Exploration> = per_block
+                .iter()
+                .filter_map(|slot| slot.as_ref().and_then(|r| r.as_ref().ok()))
+                .collect();
             jobs_completed += survivors.len();
-            for (rep, r) in per_block.iter().enumerate() {
-                if let Err(p) = r {
+            jobs_skipped += per_block.iter().filter(|slot| slot.is_none()).count();
+            let mut panics = 0usize;
+            for (rep, slot) in per_block.iter().enumerate() {
+                if let Some(Err(p)) = slot {
+                    panics += 1;
                     sink.emit(RunEvent::JobFailed {
                         block: task.name.to_string(),
                         block_index,
@@ -223,23 +267,32 @@ impl Engine {
                     });
                 }
             }
+            jobs_failed += panics;
             if survivors.is_empty() {
-                let error = per_block
-                    .iter()
-                    .find_map(|r| r.as_ref().err())
-                    .map(|p| p.payload.clone())
-                    .unwrap_or_default();
-                failures.push(BlockFailure {
-                    block: task.name.to_string(),
-                    block_index,
-                    repeats_failed: repeats,
-                    error,
-                });
+                if panics > 0 {
+                    let error = per_block
+                        .iter()
+                        .find_map(|slot| slot.as_ref().and_then(|r| r.as_ref().err()))
+                        .map(|p| p.payload.clone())
+                        .unwrap_or_default();
+                    failures.push(BlockFailure {
+                        block: task.name.to_string(),
+                        block_index,
+                        repeats_failed: repeats,
+                        error,
+                    });
+                } else {
+                    // Every repeat was skipped by the trip: nothing ran,
+                    // nothing failed — the block simply has no result yet.
+                    skipped_blocks.push(block_index);
+                }
                 continue;
             }
             let iterations = survivors.iter().map(|e| e.iterations).sum();
             // Identical tie-break as the historical serial flow: cycles
-            // first, then area, first-seen wins — in repeat order.
+            // first, then area, first-seen wins — in repeat order. On a
+            // full tie a non-degraded exploration beats a degraded one, so
+            // partial work never shadows an equally good canonical repeat.
             let mut best: Option<&Exploration> = None;
             for &e in &survivors {
                 let better = match best {
@@ -248,6 +301,10 @@ impl Engine {
                         e.cycles_with_ises < b.cycles_with_ises
                             || (e.cycles_with_ises == b.cycles_with_ises
                                 && e.total_area() < b.total_area())
+                            || (e.cycles_with_ises == b.cycles_with_ises
+                                && e.total_area() == b.total_area()
+                                && b.degraded
+                                && !e.degraded)
                     }
                 };
                 if better {
@@ -266,24 +323,31 @@ impl Engine {
                     .max()
                     .expect("at least one survivor"),
             };
+            let repeats_completed = survivors.len();
+            let degraded = best.degraded || repeats_completed + panics < repeats;
             results.push(BlockResult {
                 block_index,
                 best,
                 iterations,
                 spread,
+                repeats_completed,
+                degraded,
             });
         }
-        Ok(EngineOutcome {
+        EngineOutcome {
             blocks: results,
             failures,
+            skipped_blocks,
             jobs_completed,
-            jobs_failed: jobs.len() - jobs_completed,
+            jobs_failed,
+            jobs_skipped,
+            cancelled: outcome.cancelled,
             worker_restarts: outcome.worker_restarts,
             workers,
             explore_ms: start.elapsed().as_secs_f64() * 1e3,
             eval_cache_hits: eval_stats.hits(),
             eval_cache_misses: eval_stats.misses(),
-        })
+        }
     }
 
     fn run_job(
@@ -328,6 +392,11 @@ impl Engine {
                 );
                 explorer.eval_cache = self.spec.eval_cache;
                 explorer.eval_stats = Some(Arc::clone(eval_stats));
+                // The anytime hook: a token tripping mid-job stops the
+                // round loop at the next boundary, and the job returns its
+                // best-so-far (degraded) exploration instead of burning the
+                // rest of the deadline.
+                explorer.stop = Some(cancel.flag());
                 if sink.wants_traces() {
                     explorer.explore_traced(task.dfg, &mut rng)
                 } else {

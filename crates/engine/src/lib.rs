@@ -26,6 +26,7 @@ pub use fault::{FaultKind, FaultPlan};
 pub use job::ExploreJob;
 pub use metrics::{BlockFailure, BlockSpread, PhaseProfile, PhaseStat, PhaseTimes, RunMetrics};
 pub use pool::{
-    run_jobs, run_jobs_cancellable, run_jobs_supervised, worker_count, JobPanic, PoolOutcome,
+    run_jobs, run_jobs_anytime, run_jobs_cancellable, run_jobs_supervised, worker_count,
+    AnytimeOutcome, JobPanic, PoolOutcome,
 };
 pub use seed::derive_seed;

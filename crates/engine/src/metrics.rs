@@ -99,6 +99,25 @@ pub struct RunMetrics {
     /// Per-span-name aggregate from the run's tracer (empty when tracing
     /// was disabled; missing in pre-tracing records, which still parse).
     pub phase_profile: PhaseProfile,
+    /// Whether the run was cut short (deadline, cancellation, or explicit
+    /// round budget) and the report is a valid best-so-far partial rather
+    /// than the canonical answer. Degraded records are barred from the
+    /// result cache, the disk store, and coalesced job results. Absent
+    /// from serialized form when `false`, so pristine records stay
+    /// byte-identical to pre-anytime output (and old records still parse).
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub degraded: bool,
+    /// Jobs never started because the run's token tripped first.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub jobs_skipped: usize,
+    /// Blocks whose result is best-so-far (skipped repeats or a mid-rounds
+    /// cut) in a degraded run.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub blocks_degraded: usize,
+}
+
+fn is_zero(n: &usize) -> bool {
+    *n == 0
 }
 
 impl RunMetrics {
@@ -123,6 +142,9 @@ impl RunMetrics {
             phases: PhaseTimes::default(),
             block_spread: Vec::new(),
             phase_profile: PhaseProfile::default(),
+            degraded: false,
+            jobs_skipped: 0,
+            blocks_degraded: 0,
         }
     }
 }

@@ -54,6 +54,20 @@ pub struct PoolOutcome<R> {
     pub worker_restarts: usize,
 }
 
+/// What an anytime fan-out produced: every slot that completed before the
+/// token tripped, in item order, with skipped slots left `None` instead of
+/// the whole result set being discarded.
+#[derive(Debug)]
+pub struct AnytimeOutcome<R> {
+    /// Per-item slots in item order: `Some(Ok)` completed, `Some(Err)`
+    /// panicked, `None` never started (claimed after the token tripped).
+    pub results: Vec<Option<Result<R, JobPanic>>>,
+    /// Panics caught (= workers logically resurrected by the supervisor).
+    pub worker_restarts: usize,
+    /// Whether any slot was skipped because the token tripped.
+    pub cancelled: bool,
+}
+
 /// Renders a panic payload for telemetry.
 pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -128,6 +142,36 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let outcome = run_jobs_anytime(items, workers, cancel, f);
+    if outcome.cancelled {
+        return Err(Cancelled);
+    }
+    Ok(PoolOutcome {
+        results: outcome
+            .results
+            .into_iter()
+            .map(|slot| slot.expect("uncancelled outcome has every slot"))
+            .collect(),
+        worker_restarts: outcome.worker_restarts,
+    })
+}
+
+/// The anytime fan-out: like [`run_jobs_supervised`], but a tripped token
+/// does not discard the work already done. Every job completed (or caught
+/// panicking) before the trip keeps its slot; slots never claimed stay
+/// `None`. A token that trips only after the last item completed reports
+/// `cancelled: false` — the full, deterministic result set exists.
+pub fn run_jobs_anytime<T, R, F>(
+    items: &[T],
+    workers: usize,
+    cancel: &CancelToken,
+    f: F,
+) -> AnytimeOutcome<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let workers = worker_count(workers).min(items.len().max(1));
     let slots: Vec<Mutex<Option<Result<R, JobPanic>>>> =
         items.iter().map(|_| Mutex::new(None)).collect();
@@ -145,7 +189,7 @@ where
     if workers <= 1 {
         for i in 0..items.len() {
             if cancel.is_cancelled() {
-                return Err(Cancelled);
+                break;
             }
             run_one(i);
         }
@@ -167,16 +211,17 @@ where
         });
     }
     let mut results = Vec::with_capacity(items.len());
+    let mut cancelled = false;
     for slot in slots {
-        match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
-            Some(r) => results.push(r),
-            None => return Err(Cancelled),
-        }
+        let slot = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+        cancelled |= slot.is_none();
+        results.push(slot);
     }
-    Ok(PoolOutcome {
+    AnytimeOutcome {
         results,
         worker_restarts: restarts.load(Ordering::Relaxed),
-    })
+        cancelled,
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,17 @@ pub struct CheckpointEntry {
     pub patterns: Vec<WeightedPattern>,
     /// First panic payload when the whole block failed.
     pub error: Option<String>,
+    /// Whether the kept result is best-so-far rather than canonical: the
+    /// exploration was cut mid-rounds, or some repeats were skipped by a
+    /// tripped token. Degraded entries are never *journaled* — a resume
+    /// must recompute the block — but they do travel the cluster wire so
+    /// the coordinator can fold worker partials into a degraded report.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub degraded: bool,
+    /// ACO rounds the kept exploration completed; stamped only on
+    /// degraded entries (`Some(0)` when every repeat was skipped).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rounds_completed: Option<usize>,
 }
 
 /// The canonical identity of a checkpointable run: every input that can
@@ -225,6 +236,11 @@ fn append_entry(file: &mut File, entry: &CheckpointEntry) -> std::io::Result<()>
 /// entry produced here — on any node — is bitwise identical to what the
 /// same block yields inside an uninterrupted all-blocks run.
 ///
+/// Anytime semantics: a token tripping mid-block yields an `Ok` entry with
+/// [`CheckpointEntry::degraded`] set (the block's best-so-far) instead of
+/// an error. The `Result` signature is kept for caller stability; the
+/// `Err` variant is no longer produced.
+///
 /// # Panics
 ///
 /// Panics if `block_index` is outside the run's hot list (callers resolve
@@ -264,7 +280,7 @@ fn entry_for_block(
         name: block.name.as_str(),
         dfg: &block.dfg,
     };
-    let outcome = engine.try_explore_subset(&[task], &[index], seed, sink, cancel)?;
+    let outcome = engine.explore_subset_anytime(&[task], &[index], seed, sink, cancel);
     Ok(match outcome.blocks.first() {
         Some(result) => CheckpointEntry {
             run_key: key.to_string(),
@@ -285,9 +301,11 @@ fn entry_for_block(
                 })
                 .collect(),
             error: None,
+            degraded: result.degraded,
+            rounds_completed: result.degraded.then_some(result.best.rounds),
         },
-        None => {
-            let failure = outcome.failures.first().expect("no result means failure");
+        None if !outcome.failures.is_empty() => {
+            let failure = outcome.failures.first().expect("checked non-empty");
             CheckpointEntry {
                 run_key: key.to_string(),
                 block_index: index,
@@ -299,8 +317,26 @@ fn entry_for_block(
                 spread: None,
                 patterns: Vec::new(),
                 error: Some(failure.error.clone()),
+                degraded: false,
+                rounds_completed: None,
             }
         }
+        // Every repeat was skipped by the trip: a degraded empty entry —
+        // no result yet, but no failure either.
+        None => CheckpointEntry {
+            run_key: key.to_string(),
+            block_index: index,
+            block: block.name.clone(),
+            iterations: 0,
+            jobs_completed: 0,
+            jobs_failed: 0,
+            worker_restarts: outcome.worker_restarts,
+            spread: None,
+            patterns: Vec::new(),
+            error: None,
+            degraded: true,
+            rounds_completed: Some(0),
+        },
     })
 }
 
@@ -339,15 +375,25 @@ pub fn finish_from_entries(
         metrics.worker_restarts += entry.worker_restarts;
         match &entry.spread {
             Some(spread) => metrics.block_spread.push(spread.clone()),
-            None => metrics.block_failures.push(isex_engine::BlockFailure {
-                block: entry.block.clone(),
-                block_index: entry.block_index,
-                repeats_failed: entry.jobs_failed,
-                error: entry.error.clone().unwrap_or_default(),
-            }),
+            // A spread-less entry with an error is a failed block; without
+            // one it is a degraded empty entry (every repeat skipped) —
+            // not a failure.
+            None if entry.error.is_some() => {
+                metrics.block_failures.push(isex_engine::BlockFailure {
+                    block: entry.block.clone(),
+                    block_index: entry.block_index,
+                    repeats_failed: entry.jobs_failed,
+                    error: entry.error.clone().unwrap_or_default(),
+                })
+            }
+            None => {}
+        }
+        if entry.degraded {
+            metrics.blocks_degraded += 1;
         }
         patterns.extend(entry.patterns.iter().cloned());
     }
+    metrics.degraded = metrics.blocks_degraded > 0;
     metrics.candidates_generated = patterns.len();
 
     let select_start = Instant::now();
@@ -356,8 +402,19 @@ pub fn finish_from_entries(
     metrics.candidates_accepted = selected.len();
 
     let replace_start = Instant::now();
-    let report = replace_and_report(cfg, program, selected, hot_len, iterations);
+    let mut report = replace_and_report(cfg, program, selected, hot_len, iterations);
     metrics.phases.replace_ms = replace_start.elapsed().as_secs_f64() * 1e3;
+    if metrics.degraded {
+        report.degraded = true;
+        for outcome in &mut report.per_block {
+            if let Some(entry) = entries.iter().find(|e| e.block == outcome.name) {
+                if entry.degraded {
+                    outcome.rounds_completed = entry.rounds_completed.or(Some(0));
+                    outcome.degraded = true;
+                }
+            }
+        }
+    }
     (report, metrics)
 }
 
@@ -398,6 +455,14 @@ pub fn run_flow_checkpointed(
             continue;
         }
         let entry = entry_for_block(&engine, block, index, &key, seed, sink, cancel)?;
+        if entry.degraded {
+            // A degraded entry is a best-so-far partial; journaling it
+            // would make the resumed run inherit the cut instead of
+            // recomputing the block canonically. Keep the journal clean
+            // and surface the historical cancel contract: completed
+            // blocks stay journaled, the rest re-explore on resume.
+            return Err(CheckpointError::Cancelled);
+        }
         append_entry(&mut journal, &entry)?;
         entries.push(entry);
     }
@@ -511,6 +576,8 @@ mod tests {
             spread: None,
             patterns: Vec::new(),
             error: None,
+            degraded: false,
+            rounds_completed: None,
         };
         let good = serde_json::to_string(&entry).unwrap();
         // Malformed line *followed by* a well-formed entry: that is not a

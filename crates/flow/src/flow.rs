@@ -103,6 +103,17 @@ pub struct BlockOutcome {
     pub cycles_after: u32,
     /// Number of ISE instances placed in the block.
     pub matches: usize,
+    /// ACO rounds completed by the block's kept exploration. Stamped only
+    /// on degraded runs, and only for explored (hot) blocks — `0` for a
+    /// hot block whose every repeat was skipped. Absent from serialized
+    /// form otherwise, so clean reports stay byte-identical to
+    /// pre-anytime output.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rounds_completed: Option<usize>,
+    /// Whether this block's exploration was cut short (skipped repeats or
+    /// a mid-rounds cut) and its result is best-so-far, not canonical.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub degraded: bool,
 }
 
 /// The whole-program result of one flow run.
@@ -127,6 +138,11 @@ pub struct FlowReport {
     pub explored_blocks: usize,
     /// Total ant iterations spent.
     pub iterations: usize,
+    /// Whether the run was cut short (deadline or round budget) and this
+    /// report is a valid best-so-far partial rather than the canonical
+    /// answer. Absent from serialized form when `false`.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub degraded: bool,
 }
 
 impl FlowReport {
@@ -166,9 +182,12 @@ pub fn explore_program_observed(
         .expect("a fresh token never cancels")
 }
 
-/// [`explore_program_observed`] with cooperative cancellation: once
-/// `cancel` trips no new exploration job starts, in-progress jobs finish,
-/// and the run returns [`Cancelled`] instead of partial patterns.
+/// [`explore_program_observed`] with cooperative cancellation and
+/// *anytime* semantics: once `cancel` trips no new exploration job starts,
+/// in-progress explorations stop at the next ACO round boundary, and the
+/// run returns the best-so-far partial patterns with
+/// [`RunMetrics::degraded`] set — never an error. The `Result` signature
+/// is kept for caller stability; the `Err` variant is no longer produced.
 pub fn explore_program_cancellable(
     cfg: &FlowConfig,
     program: &Program,
@@ -176,6 +195,38 @@ pub fn explore_program_cancellable(
     sink: &dyn EventSink,
     cancel: &CancelToken,
 ) -> Result<(Vec<WeightedPattern>, usize, usize, RunMetrics), Cancelled> {
+    let (patterns, explored, iterations, metrics, _) =
+        explore_program_anytime(cfg, program, seed, sink, cancel);
+    Ok((patterns, explored, iterations, metrics))
+}
+
+/// Anytime provenance of one explored block, threaded from the engine
+/// outcome to the final report's [`BlockOutcome`] rows.
+pub(crate) struct BlockProvenance {
+    /// Block label (matches [`BlockOutcome::name`]).
+    pub name: String,
+    /// ACO rounds the kept exploration completed (`0` when every repeat
+    /// was skipped).
+    pub rounds_completed: usize,
+    /// Whether the block's kept result is best-so-far, not canonical.
+    pub degraded: bool,
+}
+
+/// The anytime core: explores as much as the token allows and reports what
+/// it got, with per-block provenance.
+pub(crate) fn explore_program_anytime(
+    cfg: &FlowConfig,
+    program: &Program,
+    seed: u64,
+    sink: &dyn EventSink,
+    cancel: &CancelToken,
+) -> (
+    Vec<WeightedPattern>,
+    usize,
+    usize,
+    RunMetrics,
+    Vec<BlockProvenance>,
+) {
     let _trace = cfg.tracer.attach();
     let hot = hot_blocks(cfg, program);
     let engine = Engine::new(explore_spec(cfg));
@@ -186,6 +237,7 @@ pub fn explore_program_cancellable(
             dfg: &b.dfg,
         })
         .collect();
+    let indices: Vec<usize> = (0..tasks.len()).collect();
     let outcome = {
         let _s = cfg.tracer.span_with("flow.explore", || {
             vec![
@@ -193,7 +245,7 @@ pub fn explore_program_cancellable(
                 ("seed", seed.to_string()),
             ]
         });
-        engine.try_explore_blocks(&tasks, seed, sink, cancel)?
+        engine.explore_subset_anytime(&tasks, &indices, seed, sink, cancel)
     };
 
     let _pattern_span = cfg.tracer.span("flow.patterns");
@@ -209,11 +261,17 @@ pub fn explore_program_cancellable(
     metrics.block_failures = outcome.failures.clone();
     metrics.blocks_explored = hot.len();
     metrics.phases.explore_ms = outcome.explore_ms;
+    let mut provenance = Vec::new();
     for result in &outcome.blocks {
         let block = hot[result.block_index];
         iterations += result.iterations;
         metrics.ant_iterations += result.iterations;
         metrics.block_spread.push(result.spread.clone());
+        provenance.push(BlockProvenance {
+            name: block.name.clone(),
+            rounds_completed: result.best.rounds,
+            degraded: result.degraded,
+        });
         for cand in &result.best.candidates {
             patterns.push(WeightedPattern {
                 pattern: IsePattern::from_candidate(cand, &block.dfg),
@@ -221,6 +279,18 @@ pub fn explore_program_cancellable(
             });
         }
     }
+    // Hot blocks whose every repeat was skipped by the trip have no result
+    // at all — still part of the partial report's provenance.
+    for &block_index in &outcome.skipped_blocks {
+        provenance.push(BlockProvenance {
+            name: hot[block_index].name.clone(),
+            rounds_completed: 0,
+            degraded: true,
+        });
+    }
+    metrics.jobs_skipped = outcome.jobs_skipped;
+    metrics.blocks_degraded = provenance.iter().filter(|p| p.degraded).count();
+    metrics.degraded = outcome.cancelled || metrics.blocks_degraded > 0;
     metrics.candidates_generated = patterns.len();
     // Surface evaluation-cache effectiveness through the same channel as
     // span aggregates: `PhaseStat` counts. The serve layer re-exports every
@@ -239,7 +309,7 @@ pub fn explore_program_cancellable(
             });
         }
     }
-    Ok((patterns, hot.len(), iterations, metrics))
+    (patterns, hot.len(), iterations, metrics, provenance)
 }
 
 /// The profiling-driven hot set: heaviest blocks first until
@@ -315,6 +385,8 @@ pub(crate) fn replace_and_report(
             cycles_before: r.cycles_before,
             cycles_after: r.cycles_after,
             matches: r.matches.len(),
+            rounds_completed: None,
+            degraded: false,
         });
     }
     let total_area = select::total_area(&selected);
@@ -327,6 +399,7 @@ pub(crate) fn replace_and_report(
         per_block,
         explored_blocks,
         iterations,
+        degraded: false,
     }
 }
 
@@ -349,10 +422,16 @@ pub fn run_flow_observed(
 }
 
 /// [`run_flow_observed`] with cooperative cancellation, for callers that
-/// impose deadlines (the `isexd` server's per-request timeout): once
-/// `cancel` trips the exploration stops at the next job boundary and the
-/// whole run returns [`Cancelled`]. Selection/replacement are not
-/// interruptible — they are orders of magnitude cheaper than exploration.
+/// impose deadlines (the `isexd` server's per-request timeout). Anytime
+/// semantics: once `cancel` trips, exploration stops at the next round
+/// boundary and the run returns a *partial* report — each block's
+/// best-so-far candidates, per-block `rounds_completed`/`degraded`
+/// provenance, and [`RunMetrics::degraded`] set — instead of an error.
+/// Selection/replacement are not interruptible — they are orders of
+/// magnitude cheaper than exploration. The `Result` signature is kept for
+/// caller stability; the `Err` variant is no longer produced. A token that
+/// never trips (and an unbudgeted [`AcoParams::max_rounds`]) yields a
+/// report byte-identical to [`run_flow`]'s.
 pub fn run_flow_cancellable(
     cfg: &FlowConfig,
     program: &Program,
@@ -362,8 +441,8 @@ pub fn run_flow_cancellable(
 ) -> Result<(FlowReport, RunMetrics), Cancelled> {
     let _trace = cfg.tracer.attach();
     let start = Instant::now();
-    let (patterns, explored, iterations, mut metrics) =
-        explore_program_cancellable(cfg, program, seed, sink, cancel)?;
+    let (patterns, explored, iterations, mut metrics, provenance) =
+        explore_program_anytime(cfg, program, seed, sink, cancel);
 
     let select_start = Instant::now();
     let selected = {
@@ -376,12 +455,25 @@ pub fn run_flow_cancellable(
     metrics.candidates_accepted = selected.len();
 
     let replace_start = Instant::now();
-    let report = {
+    let mut report = {
         let _s = cfg.tracer.span_with("flow.replace", || {
             vec![("ises", selected.len().to_string())]
         });
         replace_and_report(cfg, program, selected, explored, iterations)
     };
+    // Degraded runs carry their provenance on the report itself, so the
+    // partial is self-describing wherever it travels (responses, journals,
+    // CLI output). Clean runs stamp nothing — the serde-skipped fields
+    // keep their reports byte-identical to `run_flow`'s.
+    if metrics.degraded {
+        report.degraded = true;
+        for outcome in &mut report.per_block {
+            if let Some(p) = provenance.iter().find(|p| p.name == outcome.name) {
+                outcome.rounds_completed = Some(p.rounds_completed);
+                outcome.degraded = p.degraded;
+            }
+        }
+    }
     metrics.phases.replace_ms = replace_start.elapsed().as_secs_f64() * 1e3;
     metrics.phases.total_ms = start.elapsed().as_secs_f64() * 1e3;
     // Every span above is closed by now, so the aggregate covers the whole
@@ -471,9 +563,8 @@ mod tests {
             pooled.total_area,
             base.total_area
         );
-        assert_eq!(
+        assert!(
             pooled.selected.len() >= base.selected.len(),
-            true,
             "cheaper costing can only admit more candidates under a budget"
         );
     }

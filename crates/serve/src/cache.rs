@@ -141,6 +141,7 @@ mod tests {
                 per_block: Vec::new(),
                 explored_blocks: 0,
                 iterations: 0,
+                degraded: false,
             },
             metrics: RunMetrics::empty(0, 1),
         })

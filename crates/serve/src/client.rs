@@ -11,7 +11,7 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{ExploreRequest, ExploreResponse, JobStatusResponse};
 
@@ -143,6 +143,17 @@ pub fn explore(addr: &str, request: &ExploreRequest) -> Result<ExploreResponse, 
     // Read timeout: the request's own deadline plus grace, so a server-side
     // 504 arrives before the client gives up on the socket.
     let timeout = Duration::from_millis(request.timeout_ms.unwrap_or(600_000) + 30_000);
+    explore_within(addr, request, timeout)
+}
+
+/// [`explore`] with the socket read timeout bounded by `timeout` — the
+/// remaining slice of a caller-owned total deadline, not a fresh
+/// per-attempt allowance.
+fn explore_within(
+    addr: &str,
+    request: &ExploreRequest,
+    timeout: Duration,
+) -> Result<ExploreResponse, ClientError> {
     let raw = roundtrip(
         addr,
         "POST",
@@ -291,12 +302,14 @@ pub fn explore_async(
                     }
                 };
                 let source = status.source.unwrap_or_else(|| "run".to_string());
+                let degraded = metrics.degraded;
                 return Ok(ExploreResponse {
                     cached: source != "run",
                     source,
                     key: status.key,
                     report,
                     metrics,
+                    degraded,
                 });
             }
             "failed" | "rejected" | "cancelled" => {
@@ -390,23 +403,41 @@ pub fn is_retryable(error: &ClientError) -> bool {
     }
 }
 
-/// [`explore`] with retries per `policy`. Returns the first success, the
-/// first terminal error, or — when every attempt was retryable — the last
-/// error seen.
+/// [`explore`] with retries per `policy` under one **total** deadline.
+/// Returns the first success, the first terminal error, or — when every
+/// attempt was retryable — the last error seen.
+///
+/// The deadline is derived once from the request's `timeout_ms` (plus the
+/// same grace window a single [`explore`] gets) and shared by every
+/// attempt and every backoff sleep. Each attempt's socket timeout is the
+/// *remaining* budget, so `max_retries` failures cannot multiply the
+/// caller's wait — a caller asking for a 10 s answer waits ~10 s total,
+/// not 10 s per attempt.
 pub fn explore_with_retry(
     addr: &str,
     request: &ExploreRequest,
     policy: &RetryPolicy,
 ) -> Result<ExploreResponse, ClientError> {
+    let budget = Duration::from_millis(request.timeout_ms.unwrap_or(600_000) + 30_000);
+    let deadline = Instant::now() + budget;
     let mut attempt = 0;
     loop {
-        match explore(addr, request) {
+        let left = deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        match explore_within(addr, request, left) {
             Ok(response) => return Ok(response),
             Err(error) => {
                 if attempt >= policy.max_retries || !is_retryable(&error) {
                     return Err(error);
                 }
-                std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt, &error)));
+                let delay = Duration::from_millis(policy.delay_ms(attempt, &error));
+                // A backoff sleep that outlives the budget cannot be
+                // followed by a useful attempt: surface the error now.
+                if delay >= deadline.saturating_duration_since(Instant::now()) {
+                    return Err(error);
+                }
+                std::thread::sleep(delay);
                 attempt += 1;
             }
         }

@@ -10,7 +10,10 @@
 //! * `POST /v1/jobs` — submit the same exploration asynchronously: `202`
 //!   `{job_id}` immediately, with `GET /v1/jobs/{id}` for status/result
 //!   and `GET /v1/jobs/{id}/wait?timeout_ms=` to long-poll ([`jobs`]);
-//! * `GET /healthz` — liveness;
+//! * `GET /healthz` — liveness (the process is up: always `200`);
+//! * `GET /readyz` — readiness (`503` while shutting down, while the
+//!   queue is saturated, or while the runner has no workers to execute
+//!   on);
 //! * `GET /metrics` — queue depth, in-flight jobs, cache hit rate,
 //!   latency histograms (with p50/p95/p99), cumulative engine telemetry
 //!   and per-phase span aggregates; `?format=prometheus` renders the same
@@ -33,9 +36,15 @@
 //! * a **job table** ([`jobs`]) that coalesces identical in-flight
 //!   explorations into one engine run with N waiters and gives every
 //!   admitted exploration an ID for the async endpoints;
-//! * **cooperative deadlines** — a request that outlives its timeout trips
-//!   the run's [`CancelToken`](isex_engine::CancelToken) and gets `504`
-//!   (with coalescing, only when the *last* waiter gives up).
+//! * **cooperative deadlines with anytime results** — a budgeted run gets
+//!   its deadline minus a grace window; a watchdog trips the run's
+//!   [`CancelToken`](isex_engine::CancelToken) at that budget and the
+//!   engine hands back its best-so-far partial, served as `200` with
+//!   `"degraded": true` inside the still-open HTTP deadline (`504` remains
+//!   the fallback when the engine overruns the grace window). Degraded
+//!   results are barred from every cache tier. Deadline-aware **admission
+//!   control** sheds requests (`503` + `Retry-After`) whose whole budget
+//!   would be eaten by the estimated queue wait.
 //!
 //! No external dependencies: everything is `std::net` + `std::thread` +
 //! the workspace's vendored serde stand-ins.

@@ -296,6 +296,9 @@ pub struct ExploreResponse {
     pub report: FlowReport,
     /// The run's telemetry (the cached run's, on a hit).
     pub metrics: isex_engine::RunMetrics,
+    /// Whether the report is a best-so-far partial (deadline tripped
+    /// mid-run). Degraded answers are served `200` but never cached.
+    pub degraded: bool,
 }
 
 impl ExploreResponse {
@@ -322,12 +325,14 @@ impl ExploreResponse {
             Some(Value::String(s)) => s.clone(),
             _ => if cached { "memory" } else { "run" }.to_string(),
         };
+        let degraded = matches!(field(obj, "degraded"), Some(Value::Bool(true)));
         Ok(ExploreResponse {
             cached,
             source,
             key,
             report,
             metrics,
+            degraded,
         })
     }
 }
@@ -343,15 +348,22 @@ pub fn explore_response_json(
     report: &FlowReport,
     metrics: &isex_engine::RunMetrics,
 ) -> String {
+    let degraded = metrics.degraded;
     let report = serde_json::to_value(report).expect("report serializes");
     let metrics = serde_json::to_value(metrics).expect("metrics serializes");
-    serde_json::value_to_string(&Value::Object(vec![
+    let mut fields = vec![
         ("cached".into(), Value::Bool(source != "run")),
         ("source".into(), Value::String(source.to_string())),
         ("key".into(), Value::String(key.to_string())),
-        ("report".into(), report),
-        ("metrics".into(), metrics),
-    ]))
+    ];
+    // Only degraded (partial, best-so-far) answers carry the flag, so a
+    // full-budget response stays byte-identical to pre-degradation output.
+    if degraded {
+        fields.push(("degraded".into(), Value::Bool(true)));
+    }
+    fields.push(("report".into(), report));
+    fields.push(("metrics".into(), metrics));
+    serde_json::value_to_string(&Value::Object(fields))
 }
 
 /// Version of the *store payload* envelope (orthogonal to the store's
@@ -408,6 +420,12 @@ pub fn decode_result_payload(
     if metrics.version != env!("CARGO_PKG_VERSION") {
         return None;
     }
+    // Degraded (best-so-far partial) results must never be re-served as
+    // the canonical answer. The write path refuses to store them; this
+    // read-side guard also voids any entry smuggled in by hand.
+    if metrics.degraded || report.degraded {
+        return None;
+    }
     Some(crate::cache::CachedResult { report, metrics })
 }
 
@@ -439,6 +457,9 @@ pub fn job_status_json(
     ];
     if let Some((report, metrics)) = result {
         fields.push(("source".into(), Value::String(source.to_string())));
+        if metrics.degraded {
+            fields.push(("degraded".into(), Value::Bool(true)));
+        }
         fields.push((
             "report".into(),
             serde_json::to_value(report).expect("report serializes"),
@@ -570,6 +591,7 @@ mod tests {
             per_block: Vec::new(),
             explored_blocks: 1,
             iterations: 5,
+            degraded: false,
         }
     }
 

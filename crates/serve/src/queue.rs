@@ -56,6 +56,10 @@ pub struct Job {
     /// Set once a worker has dequeued the job (queued vs running, for the
     /// async status endpoint).
     started: AtomicBool,
+    /// The run's compute budget, absolute: the watchdog trips `cancel` here
+    /// so the engine returns a best-so-far partial *before* the waiter's
+    /// own (slightly later) HTTP deadline. `None` = unbudgeted.
+    deadline: Mutex<Option<Instant>>,
     outcome: Mutex<Option<JobOutcome>>,
     ready: Condvar,
 }
@@ -70,9 +74,26 @@ impl Job {
             cancel: CancelToken::new(),
             enqueued_at: Instant::now(),
             started: AtomicBool::new(false),
+            deadline: Mutex::new(None),
             outcome: Mutex::new(None),
             ready: Condvar::new(),
         })
+    }
+
+    /// Grants the run compute budget until `deadline`. A later waiter with
+    /// a longer budget *extends* the deadline (coalescing must not shorten
+    /// the run for waiters who asked for more); it never shrinks.
+    pub fn extend_deadline(&self, deadline: Instant) {
+        let mut slot = lock_unpoisoned(&self.deadline);
+        *slot = Some(match *slot {
+            Some(existing) => existing.max(deadline),
+            None => deadline,
+        });
+    }
+
+    /// The run's current compute deadline, if budgeted.
+    pub fn deadline(&self) -> Option<Instant> {
+        *lock_unpoisoned(&self.deadline)
     }
 
     /// Marks the job as picked up by a worker.

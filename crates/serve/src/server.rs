@@ -20,7 +20,7 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -58,6 +58,14 @@ pub trait ExploreRunner: Send + Sync {
         program: &Program,
         sink: &dyn EventSink,
     ) -> Result<(FlowReport, RunMetrics), Cancelled>;
+
+    /// Whether the runner could execute a run *right now*. The local
+    /// runner always can; a cluster front-end reports `false` while no
+    /// workers are registered. Surfaced by `GET /readyz` — liveness
+    /// (`/healthz`) is unaffected.
+    fn ready(&self) -> bool {
+        true
+    }
 }
 
 /// The default [`ExploreRunner`]: [`run_flow_cancellable`] in-process.
@@ -434,6 +442,64 @@ fn worker_loop(state: &Arc<ServerState>) {
     }
 }
 
+/// Trips a budgeted job's cancel token at its compute deadline so the
+/// engine hands back a best-so-far partial while the waiter's (slightly
+/// later) HTTP deadline is still open. The deadline is re-read on every
+/// wake, so a coalesced waiter extending the budget mid-run is honoured.
+/// Dropping the watchdog (run finished, or the worker is unwinding)
+/// retires the timer thread.
+struct Watchdog {
+    done: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn arm(job: &Arc<Job>) -> Option<Watchdog> {
+        job.deadline()?;
+        let job = Arc::clone(job);
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = Arc::clone(&done);
+        let thread = std::thread::Builder::new()
+            .name("isexd-watchdog".to_string())
+            .spawn(move || {
+                let (lock, cvar) = &*waiter;
+                let mut finished = crate::queue::lock_unpoisoned(lock);
+                loop {
+                    if *finished {
+                        return;
+                    }
+                    let Some(deadline) = job.deadline() else {
+                        return;
+                    };
+                    let now = Instant::now();
+                    if now >= deadline {
+                        job.cancel.cancel();
+                        return;
+                    }
+                    let (next, _) = cvar
+                        .wait_timeout(finished, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    finished = next;
+                }
+            })
+            .ok()?;
+        Some(Watchdog {
+            done,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        *crate::queue::lock_unpoisoned(&self.done.0) = true;
+        self.done.1.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -444,7 +510,7 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn run_one(state: &Arc<ServerState>, job: &Job) {
+fn run_one(state: &Arc<ServerState>, job: &Arc<Job>) {
     if job.cancel.is_cancelled() {
         // The waiter gave up while the job sat in the queue.
         state.metrics.runs_cancelled.fetch_add(1, Ordering::Relaxed);
@@ -452,6 +518,7 @@ fn run_one(state: &Arc<ServerState>, job: &Job) {
         return;
     }
     let in_flight = state.queue.start_job();
+    let _watchdog = Watchdog::arm(job);
     let mut cfg = job.request.flow_config();
     cfg.fault_plan = state.config.fault_plan.clone();
     let tracer = match &state.config.trace_dir {
@@ -521,19 +588,23 @@ fn run_one(state: &Arc<ServerState>, job: &Job) {
                 return;
             }
             state.metrics.record_run(&run_metrics);
+            if run_metrics.degraded {
+                state.metrics.degraded_runs.fetch_add(1, Ordering::Relaxed);
+            }
             let result = Arc::new(CachedResult {
                 report,
                 metrics: run_metrics,
             });
-            // Cache soundness: the canonical key promises the *fault-free*
-            // answer. A run that survived injected or real job panics is
-            // still served to its requester (with the failures visible in
-            // its metrics) but must never be cached under that key — and
-            // the same guard gates the persistent store, where a damaged
-            // answer would outlive the process. Cancelled runs never reach
-            // this arm at all (they exit via `Err` below), so neither tier
-            // can ever hold a partial result.
-            if result.metrics.jobs_failed == 0 {
+            // Cache soundness: the canonical key promises the *fault-free,
+            // full-budget* answer. A run that survived injected or real job
+            // panics is still served to its requester (with the failures
+            // visible in its metrics) but must never be cached under that
+            // key — and the same goes for a degraded run, whose report is a
+            // valid best-so-far partial of whatever deadline happened to be
+            // in force, not the canonical result. Both guards also gate the
+            // persistent store, where a damaged answer would outlive the
+            // process.
+            if result.metrics.jobs_failed == 0 && !result.metrics.degraded {
                 state.cache.insert(job.key.clone(), Arc::clone(&result));
                 if let Some(store) = &state.store {
                     let payload =
@@ -618,6 +689,9 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             handle_job_status(state, &mut stream, &request, &trace_id)
         }
         ("GET", "/healthz") => {
+            // Liveness: the process is up and answering. Always 200 — a
+            // saturated or workerless server is still *alive*; readiness
+            // is `/readyz`'s verdict.
             let body = serde_json::value_to_string(&Value::Object(vec![
                 ("status".into(), Value::String("ok".into())),
                 ("uptime_ms".into(), Value::U64(state.metrics.uptime_ms())),
@@ -627,6 +701,44 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
                 ),
             ]));
             respond_control(state, &mut stream, 200, &body, &echo);
+        }
+        ("GET", "/readyz") => {
+            // Readiness: whether new work admitted *now* would be served.
+            // Unready (503) while shutting down, while the queue is
+            // saturated, or while the runner has nowhere to execute (a
+            // cluster front-end with zero live workers).
+            let shutting_down = state.shutdown.load(Ordering::Acquire);
+            let queue_saturated = state.queue.depth() >= state.queue.capacity();
+            let runner_ready = state.runner.ready();
+            let reason = if shutting_down {
+                Some("shutting down")
+            } else if queue_saturated {
+                Some("queue saturated")
+            } else if !runner_ready {
+                Some("runner not ready (no workers available)")
+            } else {
+                None
+            };
+            let mut fields = vec![
+                (
+                    "status".to_string(),
+                    Value::String(if reason.is_none() { "ok" } else { "unready" }.into()),
+                ),
+                (
+                    "queue_depth".to_string(),
+                    Value::U64(state.queue.depth() as u64),
+                ),
+                (
+                    "queue_capacity".to_string(),
+                    Value::U64(state.queue.capacity() as u64),
+                ),
+            ];
+            if let Some(reason) = reason {
+                fields.push(("reason".to_string(), Value::String(reason.to_string())));
+            }
+            let body = serde_json::value_to_string(&Value::Object(fields));
+            let status = if reason.is_none() { 200 } else { 503 };
+            respond_control(state, &mut stream, status, &body, &echo);
         }
         ("GET", "/metrics") => {
             let extra = metrics_extra(state);
@@ -656,12 +768,19 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
         (_, path @ ("/v1/explore" | "/v1/jobs")) => {
             respond_405(state, &mut stream, path, "POST", &echo);
         }
-        (_, path) if path == "/healthz" || path == "/metrics" || path.starts_with("/v1/jobs/") => {
+        (_, path)
+            if path == "/healthz"
+                || path == "/readyz"
+                || path == "/metrics"
+                || path.starts_with("/v1/jobs/") =>
+        {
             let path = path.to_string();
             respond_405(state, &mut stream, &path, "GET", &echo);
         }
         (_, path) => {
-            let msg = format!("no route `{path}` (try /v1/explore, /v1/jobs, /healthz, /metrics)");
+            let msg = format!(
+                "no route `{path}` (try /v1/explore, /v1/jobs, /healthz, /readyz, /metrics)"
+            );
             respond_control(state, &mut stream, 404, &protocol::error_json(&msg), &echo);
         }
     }
@@ -787,11 +906,34 @@ fn handle_explore(
     let timeout_ms = explore
         .timeout_ms
         .unwrap_or(state.config.default_timeout_ms);
+
+    // Deadline-aware admission: estimate this request's queue wait (EWMA
+    // of recent run cost × queue depth ÷ workers) and shed it *now* with
+    // 503 + Retry-After when the whole budget would be eaten before a
+    // worker even picked it up — a cheap, honest refusal beats holding the
+    // connection open to time out. An empty queue admits everything: a
+    // tight deadline with a free worker is served best-effort (a degraded
+    // 200), never refused.
+    let est_wait_ms = state
+        .metrics
+        .estimated_queue_wait_ms(state.queue.depth(), state.config.engine_workers.max(1));
+    if est_wait_ms > timeout_ms as f64 {
+        state.metrics.shed_overload.fetch_add(1, Ordering::Relaxed);
+        let msg = format!(
+            "estimated queue wait {est_wait_ms:.0}ms exceeds the {timeout_ms}ms budget; retry later"
+        );
+        respond(503, &protocol::error_json(&msg), &retry);
+        return;
+    }
+
     let submitted = state
         .jobs
         .submit(explore, key.clone(), trace_id.to_string(), false);
     let (record, source) = match submitted {
         Submitted::New(record) => {
+            record
+                .job
+                .extend_deadline(Instant::now() + Duration::from_millis(run_budget_ms(timeout_ms)));
             if state.queue.try_push(Arc::clone(&record.job)).is_err() {
                 state.jobs.abort(&record);
                 state
@@ -809,8 +951,14 @@ fn handle_explore(
         }
         Submitted::Coalesced(record) => {
             // An identical exploration is already in flight: share its one
-            // engine run instead of queueing a second.
+            // engine run instead of queueing a second. A longer budget than
+            // the original waiter's *extends* the run's compute deadline
+            // (never shrinks it), so the fullest answer anyone asked for
+            // stays reachable.
             state.metrics.bump_phase("jobs.coalesced", 1);
+            record
+                .job
+                .extend_deadline(Instant::now() + Duration::from_millis(run_budget_ms(timeout_ms)));
             (record, "coalesced")
         }
     };
@@ -823,6 +971,15 @@ fn handle_explore(
         .wait_shared_until(Instant::now() + Duration::from_millis(timeout_ms))
     {
         Some(JobOutcome::Done(result)) => {
+            if result.metrics.degraded {
+                // The run's compute deadline tripped and it handed back a
+                // best-so-far partial inside the grace window: a 200 with
+                // `"degraded": true`, not a 504 with nothing.
+                state
+                    .metrics
+                    .degraded_responses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             let body =
                 protocol::explore_response_json(source, &key, &result.report, &result.metrics);
             respond(200, &body, &[]);
@@ -856,6 +1013,17 @@ fn handle_explore(
             respond(504, &protocol::error_json(&msg), &[]);
         }
     }
+}
+
+/// The compute budget carved out of a request's deadline: the run gets the
+/// deadline minus a grace window (10%, clamped to 5..=1000 ms) in which a
+/// budget-tripped run can hand its best-so-far partial back to the waiter
+/// before the waiter's own HTTP deadline fires 504. 504 remains the
+/// fallback when the engine overruns the grace window between two
+/// cancellation points.
+fn run_budget_ms(timeout_ms: u64) -> u64 {
+    let grace = (timeout_ms / 10).clamp(5, 1_000);
+    timeout_ms.saturating_sub(grace).max(1)
 }
 
 fn parse_explore_body(request: &Request) -> Result<ExploreRequest, String> {
@@ -916,11 +1084,19 @@ fn handle_job_submit(
         return;
     }
 
+    let timeout_ms = explore
+        .timeout_ms
+        .unwrap_or(state.config.default_timeout_ms);
     match state
         .jobs
         .submit(explore, key.clone(), trace_id.to_string(), true)
     {
         Submitted::New(record) => {
+            // Async runs are budgeted too: a detached job must not pin a
+            // worker past the deadline its submitter asked for.
+            record
+                .job
+                .extend_deadline(Instant::now() + Duration::from_millis(run_budget_ms(timeout_ms)));
             if state.queue.try_push(Arc::clone(&record.job)).is_err() {
                 state.jobs.abort(&record);
                 state

@@ -188,7 +188,7 @@ fn head_cap_applies_before_the_terminator_arrives() {
     // An endless header stream must be cut off at the cap even though the
     // `\r\n\r\n` terminator never shows up.
     let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
-    wire.extend(std::iter::repeat(b'a').take(DEFAULT_MAX_HEAD_BYTES * 2));
+    wire.extend(std::iter::repeat_n(b'a', DEFAULT_MAX_HEAD_BYTES * 2));
     match parse(&wire, 512, 4096) {
         Err(HttpError::HeadTooLarge(n)) => assert!(n > DEFAULT_MAX_HEAD_BYTES),
         other => panic!("expected HeadTooLarge, got {other:?}"),

@@ -16,7 +16,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use isex_engine::FaultPlan;
-use isex_serve::client::{self, ClientError};
+use isex_serve::client;
 use isex_serve::{start, ExploreRequest, ServerConfig};
 use serde::Value;
 
@@ -209,23 +209,24 @@ fn damaged_and_cancelled_runs_never_persist() {
     assert_eq!(metric_u64(&snap, &["store", "inserts"]), 0);
     handle.shutdown();
 
-    // A cancelled run must not persist either.
+    // A cancelled (now: degraded, best-so-far partial) run is *served* as
+    // a 200 with `degraded: true` — but it must not persist either.
     let cfg = ServerConfig {
         fault_plan: Some(FaultPlan::parse("cancel@0.0").expect("valid plan")),
         ..config(Some(dir.clone()))
     };
     let handle = start(cfg).expect("start server");
     let addr = handle.addr().to_string();
-    match client::explore(&addr, &quick(0xCA4CE1)) {
-        Err(ClientError::Http { status: 500, .. }) => {}
-        other => panic!("expected 500 for the cancelled run, got {other:?}"),
-    }
+    let partial = client::explore(&addr, &quick(0xCA4CE1)).expect("partial is served");
+    assert!(partial.degraded, "cancel fault yields a degraded partial");
+    let snap = metrics(&addr);
+    assert_eq!(metric_u64(&snap, &["store", "inserts"]), 0);
     handle.shutdown();
 
     let store = isex_store::Store::open(&dir, 0).expect("open store offline");
     assert!(
         store.entries().is_empty(),
-        "no damaged or cancelled run may leave a store entry: {:?}",
+        "no damaged or degraded run may leave a store entry: {:?}",
         store.entries()
     );
     let _ = std::fs::remove_dir_all(&dir);

@@ -96,6 +96,19 @@ pub fn field<'de, T: Deserialize<'de>, E: Error>(
     }
 }
 
+/// [`field`] honoring `#[serde(default)]`: a missing field deserializes to
+/// `Default::default()`, a present field of the wrong shape is an error.
+pub fn field_or_default<'de, T: Deserialize<'de> + Default, E: Error>(
+    fields: &[(String, Value)],
+    name: &str,
+    _ty: &str,
+) -> Result<T, E> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => from_value(v),
+        None => Ok(T::default()),
+    }
+}
+
 fn int_error<E: Error>(value: &Value, ty: &str) -> E {
     E::custom(format!("expected {ty}, found {}", value.kind()))
 }

@@ -12,11 +12,22 @@
 //!   wider tuples as arrays);
 //! * enums with unit, tuple and struct variants, externally tagged exactly
 //!   like serde (`"Variant"`, `{"Variant": inner}`, `{"Variant": {...}}`).
+//!
+//! Supported field attributes (named fields only), with upstream serde's
+//! exact semantics:
+//! * `#[serde(default)]` — a missing field deserializes to
+//!   `Default::default()` instead of erroring;
+//! * `#[serde(skip_serializing_if = "path")]` — the field is omitted from
+//!   the serialized object when `path(&field)` returns true. The path is
+//!   resolved in the deriving module's scope, exactly like upstream.
+//!
+//! Any other `#[serde(...)]` content is a compile-time panic — silently
+//! ignoring an attribute the workspace relies on would corrupt data.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     render_serialize(&item)
@@ -25,7 +36,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     render_deserialize(&item)
@@ -53,9 +64,20 @@ struct Variant {
 enum Fields {
     Unit,
     /// Named fields in declaration order.
-    Named(Vec<String>),
+    Named(Vec<Field>),
     /// Number of tuple fields.
     Tuple(usize),
+}
+
+/// One named field plus its recognized `#[serde(...)]` attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing field deserializes to
+    /// `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the field when
+    /// `path(&field)` is true.
+    skip_serializing_if: Option<String>,
 }
 
 fn parse_item(input: TokenStream) -> Item {
@@ -127,18 +149,24 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Parses `{ attr* vis? name: Type, ... }` bodies into field names.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Parses `{ attr* vis? name: Type, ... }` bodies into fields with their
+/// recognized `#[serde(...)]` attributes.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs_and_vis(&tokens, i);
+        let (next, default, skip_serializing_if) = scan_field_attrs(&tokens, i);
+        i = next;
         if i >= tokens.len() {
             break;
         }
         match &tokens[i] {
-            TokenTree::Ident(id) => fields.push(id.to_string()),
+            TokenTree::Ident(id) => fields.push(Field {
+                name: id.to_string(),
+                default,
+                skip_serializing_if,
+            }),
             other => panic!("expected field name, found {other}"),
         }
         i += 1;
@@ -243,6 +271,74 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
     }
 }
 
+/// [`skip_attrs_and_vis`] that also reads `#[serde(...)]` attributes off a
+/// field, returning `(next_index, default, skip_serializing_if)`.
+fn scan_field_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool, Option<String>) {
+    let mut default = false;
+    let mut skip_serializing_if = None;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g, &mut default, &mut skip_serializing_if);
+                }
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return (i, default, skip_serializing_if),
+        }
+    }
+}
+
+/// Reads one attribute's bracket group; recognizes `#[serde(...)]` content
+/// and leaves every other attribute (doc comments, lints) alone.
+fn parse_serde_attr(group: &proc_macro::Group, default: &mut bool, skip: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let inner = match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if *id.to_string() == *"serde"
+                && g.delimiter() == Delimiter::Parenthesis
+                && tokens.len() == 2 =>
+        {
+            g.stream()
+        }
+        _ => return,
+    };
+    let items: Vec<TokenTree> = inner.into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        match &items[j] {
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            TokenTree::Ident(id) if *id.to_string() == *"default" => {
+                *default = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"skip_serializing_if" => {
+                let eq =
+                    matches!(items.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                let lit = items.get(j + 2).and_then(|t| match t {
+                    TokenTree::Literal(l) => Some(l.to_string()),
+                    _ => None,
+                });
+                match (eq, lit) {
+                    (true, Some(text)) => {
+                        *skip = Some(text.trim_matches('"').to_string());
+                        j += 3;
+                    }
+                    _ => panic!("skip_serializing_if expects `= \"path\"`"),
+                }
+            }
+            other => panic!("unsupported #[serde(...)] content: {other}"),
+        }
+    }
+}
+
 /// `impl<...> Trait for Name<...>` headers for both derives.
 fn impl_header(item: &Item, serialize: bool) -> String {
     let params: Vec<String> = item.generics.clone();
@@ -287,9 +383,14 @@ fn render_serialize(item: &Item) -> String {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "__fields.push(({f:?}.to_string(), ::serde::ser::to_value(&self.{f})));\n"
-                    )
+                    let n = &f.name;
+                    let push = format!(
+                        "__fields.push(({n:?}.to_string(), ::serde::ser::to_value(&self.{n})));\n"
+                    );
+                    match &f.skip_serializing_if {
+                        Some(pred) => format!("if !{pred}(&self.{n}) {{ {push}}}\n"),
+                        None => push,
+                    }
                 })
                 .collect();
             format!(
@@ -343,11 +444,16 @@ fn render_serialize(item: &Item) -> String {
                             )
                         }
                         Fields::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let pushes: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
-                                    format!("({f:?}.to_string(), ::serde::ser::to_value({f}))")
+                                    let n = &f.name;
+                                    format!("({n:?}.to_string(), ::serde::ser::to_value({n}))")
                                 })
                                 .collect();
                             format!(
@@ -377,7 +483,15 @@ fn render_deserialize(item: &Item) -> String {
             let gets: String = fields
                 .iter()
                 .map(|f| {
-                    format!("{f}: ::serde::de::field::<_, __D::Error>(__obj, {f:?}, {name:?})?,\n")
+                    let n = &f.name;
+                    let helper = if f.default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    format!(
+                        "{n}: ::serde::de::{helper}::<_, __D::Error>(__obj, {n:?}, {name:?})?,\n"
+                    )
                 })
                 .collect();
             format!(
@@ -455,8 +569,11 @@ fn render_deserialize(item: &Item) -> String {
                             let gets: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let n = &f.name;
+                                    let helper =
+                                        if f.default { "field_or_default" } else { "field" };
                                     format!(
-                                        "{f}: ::serde::de::field::<_, __D::Error>(__vobj, {f:?}, {name:?})?"
+                                        "{n}: ::serde::de::{helper}::<_, __D::Error>(__vobj, {n:?}, {name:?})?"
                                     )
                                 })
                                 .collect();
