@@ -43,10 +43,10 @@ use isex_flow::{
     FlowConfig, FlowReport,
 };
 use isex_serve::ExploreRequest;
-use isex_trace::PhaseStat;
+use isex_trace::{OwnedSpan, PhaseProfile, PhaseStat, Tracer};
 use isex_workloads::Program;
 
-use crate::messages::{HelloAck, JobAssign, Message, PROTOCOL_VERSION};
+use crate::messages::{HelloAck, JobAssign, Message, MetricsReport, PROTOCOL_VERSION};
 use crate::wire::{read_frame, write_frame, Frame, OpCode};
 
 /// Tunables for one coordinator instance.
@@ -148,6 +148,66 @@ struct Worker {
     /// Job ids currently assigned to this worker.
     inflight: Vec<u64>,
     jobs_done: u64,
+    /// Observability capability negotiated at handshake: the session may
+    /// carry `TraceChunk` / `MetricsReport` frames.
+    obs: bool,
+}
+
+/// Latency bucket upper bounds, milliseconds. Log-spaced: job latency
+/// spans sub-millisecond cache-hot blocks to multi-second deep explores.
+const LATENCY_BUCKETS_MS: [u64; 11] = [1, 2, 5, 10, 25, 50, 100, 250, 1000, 2500, 10_000];
+
+/// A fixed-bucket latency histogram (dispatch → result, per worker).
+/// Quantiles are read as the upper bound of the covering bucket — coarse,
+/// but allocation-free and monotone, which is all a federation rollup
+/// needs.
+#[derive(Clone, Debug, Default)]
+struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS_MS.len() + 1],
+    total: u64,
+}
+
+impl LatencyHistogram {
+    fn observe(&mut self, ms: u64) {
+        let slot = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.counts[slot] += 1;
+        self.total += 1;
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0 when empty;
+    /// the overflow bucket reports the largest finite bound).
+    fn quantile_ms(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (slot, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return LATENCY_BUCKETS_MS
+                    .get(slot)
+                    .copied()
+                    .unwrap_or(LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1]);
+            }
+        }
+        LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1]
+    }
+}
+
+/// Federated telemetry for one worker *name* — like the breakers, keyed
+/// by identity rather than connection so it survives redials, and kept
+/// across runs so `/metrics` shows the cluster between explorations too.
+#[derive(Default)]
+struct WorkerTelemetry {
+    /// Latest [`MetricsReport`] shipped on the heartbeat cadence.
+    report: Option<MetricsReport>,
+    /// Dispatch→result latency observed by the coordinator itself (covers
+    /// wire + queue + compute, which is what a caller actually waits on).
+    latency: LatencyHistogram,
 }
 
 /// Counters accumulated over one run, surfaced as `cluster.*` phase stats.
@@ -172,12 +232,40 @@ struct RunState {
     pending: VecDeque<usize>,
     /// Dispatch attempts per block (indexes the hot list).
     attempts: Vec<usize>,
-    /// job id → (block index, worker id).
-    inflight: HashMap<u64, (usize, u64)>,
+    /// job id → dispatch-time metadata.
+    inflight: HashMap<u64, InflightJob>,
     /// Completed entries keyed by block index; first completion wins.
     completed: BTreeMap<usize, CheckpointEntry>,
+    /// Worker span batches awaiting injection into the run's tracer when
+    /// the run finishes (empty on untraced runs).
+    trace_chunks: Vec<PendingTrace>,
     next_job_id: u64,
     counters: RunCounters,
+}
+
+/// What the coordinator remembers about one dispatched job.
+struct InflightJob {
+    block: usize,
+    worker_id: u64,
+    /// The `job.dispatch` span this job's remote spans re-parent onto
+    /// (`None` when the run is untraced or the worker lacks `obs`).
+    span_id: Option<u64>,
+    /// For the dispatch→result latency histogram.
+    dispatched_at: Instant,
+    /// Tracer-epoch nanoseconds at dispatch — the timestamp offset that
+    /// places the worker's spans (relative to *its* epoch) on the
+    /// coordinator's timeline.
+    dispatch_ns: u64,
+}
+
+/// One worker's span batch, parked until the run completes and the spans
+/// can be merged into the request's tracer.
+struct PendingTrace {
+    process: String,
+    parent: Option<u64>,
+    offset_ns: u64,
+    spans: Vec<OwnedSpan>,
+    threads: Vec<(u64, String)>,
 }
 
 struct ClusterState {
@@ -185,6 +273,9 @@ struct ClusterState {
     run: Option<RunState>,
     /// Circuit breakers by worker name; outlives connections and runs.
     breakers: HashMap<String, Breaker>,
+    /// Federated per-worker telemetry by name; outlives connections and
+    /// runs, like the breakers.
+    telemetry: HashMap<String, WorkerTelemetry>,
 }
 
 /// Can `worker` be assigned a job right now? Alive, breaker closed — or
@@ -252,6 +343,7 @@ impl Coordinator {
                 workers: Vec::new(),
                 run: None,
                 breakers: HashMap::new(),
+                telemetry: HashMap::new(),
             }),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -281,6 +373,104 @@ impl Coordinator {
             .iter()
             .filter(|w| w.alive)
             .count()
+    }
+
+    /// The federated cluster rollup as a JSON value, shaped for the serve
+    /// tier's `/metrics` document (and, through it, the Prometheus
+    /// exposition — every key is already a legal metric-name segment):
+    ///
+    /// ```json
+    /// {
+    ///   "workers_alive": 2,
+    ///   "eval": {"cache_hit": 0.83, "hits": 120, "misses": 24},
+    ///   "worker": {
+    ///     "w0": {
+    ///       "alive": 1, "breaker_open": 0,
+    ///       "jobs_completed": 9, "jobs_failed": 0,
+    ///       "eval_cache_hits": 60, "eval_cache_misses": 12,
+    ///       "latency_p50_ms": 25, "latency_p95_ms": 100, "latency_jobs": 9,
+    ///       "phases": {"engine_job": 9, ...}
+    ///     }
+    ///   }
+    /// }
+    /// ```
+    pub fn metrics_value(&self) -> serde::Value {
+        use serde::Value;
+        let state = lock_unpoisoned(&self.shared.state);
+        let now = Instant::now();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut names: Vec<&String> = state.telemetry.keys().collect();
+        names.sort();
+        let mut workers = Vec::new();
+        for name in names {
+            let t = &state.telemetry[name];
+            let alive = state.workers.iter().any(|w| w.alive && &w.name == name);
+            let breaker_open = state
+                .breakers
+                .get(name)
+                .is_some_and(|b| !b.allows(now) || b.is_half_open(now));
+            let mut fields = vec![
+                ("alive".to_string(), Value::U64(alive as u64)),
+                ("breaker_open".to_string(), Value::U64(breaker_open as u64)),
+                (
+                    "latency_p50_ms".to_string(),
+                    Value::U64(t.latency.quantile_ms(0.50)),
+                ),
+                (
+                    "latency_p95_ms".to_string(),
+                    Value::U64(t.latency.quantile_ms(0.95)),
+                ),
+                ("latency_jobs".to_string(), Value::U64(t.latency.total)),
+            ];
+            if let Some(report) = &t.report {
+                hits += report.eval_cache_hits;
+                misses += report.eval_cache_misses;
+                fields.push((
+                    "jobs_completed".to_string(),
+                    Value::U64(report.jobs_completed),
+                ));
+                fields.push(("jobs_failed".to_string(), Value::U64(report.jobs_failed)));
+                fields.push((
+                    "eval_cache_hits".to_string(),
+                    Value::U64(report.eval_cache_hits),
+                ));
+                fields.push((
+                    "eval_cache_misses".to_string(),
+                    Value::U64(report.eval_cache_misses),
+                ));
+                let phases: Vec<(String, Value)> = report
+                    .phase_profile
+                    .0
+                    .iter()
+                    .map(|s| (sanitize_metric_segment(&s.name), Value::U64(s.count)))
+                    .collect();
+                if !phases.is_empty() {
+                    fields.push(("phases".to_string(), Value::Object(phases)));
+                }
+            }
+            workers.push((sanitize_metric_segment(name), Value::Object(fields)));
+        }
+        let rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        Value::Object(vec![
+            (
+                "workers_alive".to_string(),
+                Value::U64(state.workers.iter().filter(|w| w.alive).count() as u64),
+            ),
+            (
+                "eval".to_string(),
+                Value::Object(vec![
+                    ("cache_hit".to_string(), Value::F64(rate)),
+                    ("hits".to_string(), Value::U64(hits)),
+                    ("misses".to_string(), Value::U64(misses)),
+                ]),
+            ),
+            ("worker".to_string(), Value::Object(workers)),
+        ])
     }
 
     /// Blocks until at least `n` workers are alive or `timeout` elapses;
@@ -422,6 +612,7 @@ impl Coordinator {
                 attempts: vec![0; hot_len],
                 inflight: HashMap::new(),
                 completed,
+                trace_chunks: Vec::new(),
                 next_job_id: 1,
                 counters: RunCounters::default(),
             });
@@ -433,7 +624,13 @@ impl Coordinator {
         // entries for journaling; journal appends and local fallback
         // exploration happen with the lock released.
         let mut journaled: Vec<usize> = Vec::new();
-        let (entries, counters, worker_totals, workers_alive, last_fresh) = loop {
+        // Blocks currently out on a worker, by dispatch time: the source
+        // of the coordinator-side `JobStart`/`JobFinish` events that give
+        // `/v1/jobs/{id}/events` pollers progress on remote work (engine
+        // events themselves never cross the wire). Local-fallback blocks
+        // are absent — `explore_block_entry` emits its own engine events.
+        let mut remote_started: HashMap<usize, Instant> = HashMap::new();
+        let (entries, counters, worker_totals, workers_alive, last_fresh, trace_chunks) = loop {
             if cancel.is_cancelled() {
                 // Deadline: finish with what the cluster has. Completed
                 // entries merge as-is, everything still pending or in
@@ -444,6 +641,7 @@ impl Coordinator {
                 let run_state = run.as_mut().expect("run installed above");
                 let completed = std::mem::take(&mut run_state.completed);
                 let counters = std::mem::take(&mut run_state.counters);
+                let chunks = std::mem::take(&mut run_state.trace_chunks);
                 let totals: Vec<(String, u64)> = workers
                     .iter()
                     .filter(|w| w.jobs_done > 0)
@@ -457,18 +655,20 @@ impl Coordinator {
                 *run = None;
                 drop(state);
                 let entries = fill_missing_degraded(completed, &hot_names, &key);
-                break (entries, counters, totals, alive, Vec::new());
+                break (entries, counters, totals, alive, Vec::new(), chunks);
             }
             let mut fresh: Vec<CheckpointEntry> = Vec::new();
             let mut local_block: Option<usize> = None;
+            let dispatched: Vec<usize>;
             {
                 let mut state = lock_unpoisoned(&self.shared.state);
                 self.expire_silent_workers(&mut state);
-                self.dispatch(&mut state);
+                dispatched = self.dispatch(&mut state, &cfg.tracer);
                 let ClusterState {
                     workers,
                     run,
                     breakers,
+                    ..
                 } = &mut *state;
                 let run_state = run.as_mut().expect("run installed above");
                 for (&block, entry) in &run_state.completed {
@@ -481,6 +681,7 @@ impl Coordinator {
                     let entries: Vec<CheckpointEntry> =
                         run_state.completed.values().cloned().collect();
                     let counters = std::mem::take(&mut run_state.counters);
+                    let chunks = std::mem::take(&mut run_state.trace_chunks);
                     let totals: Vec<(String, u64)> = workers
                         .iter()
                         .filter(|w| w.jobs_done > 0)
@@ -494,7 +695,14 @@ impl Coordinator {
                     *run = None;
                     // Entries drained *this* pass haven't been journaled
                     // yet — hand them out with the break.
-                    break (entries, counters, totals, alive, std::mem::take(&mut fresh));
+                    break (
+                        entries,
+                        counters,
+                        totals,
+                        alive,
+                        std::mem::take(&mut fresh),
+                        chunks,
+                    );
                 }
                 let now = Instant::now();
                 if !run_state.pending.is_empty()
@@ -505,6 +713,19 @@ impl Coordinator {
                     let block = run_state.pending.pop_front().expect("non-empty");
                     run_state.attempts[block] += 1;
                     local_block = Some(block);
+                }
+            }
+
+            // Announce this pass's remote dispatches and completions with
+            // the lock released (a sink may block on IO). A re-dispatched
+            // block announces again — truthfully: it started again.
+            for &block in &dispatched {
+                remote_started.insert(block, Instant::now());
+                sink.emit(remote_start_event(&hot_names[block], block, request.seed));
+            }
+            for entry in &fresh {
+                if let Some(t0) = remote_started.remove(&entry.block_index) {
+                    sink.emit(remote_finish_event(entry, ms_since(t0), request.seed));
                 }
             }
 
@@ -557,6 +778,11 @@ impl Coordinator {
             }
         };
         self.shared.wake.notify_all();
+        for entry in &last_fresh {
+            if let Some(t0) = remote_started.remove(&entry.block_index) {
+                sink.emit(remote_finish_event(entry, ms_since(t0), request.seed));
+            }
+        }
         if let Some(file) = &mut journal {
             for entry in last_fresh.iter().filter(|e| !e.degraded) {
                 if let Err(e) = append_entry(file, entry) {
@@ -564,6 +790,19 @@ impl Coordinator {
                     break;
                 }
             }
+        }
+
+        // Merge the workers' span batches into the request's tracer so the
+        // run exports as ONE multi-process Chrome trace. Strictly an
+        // observation: the report below is computed from `entries` alone.
+        for chunk in trace_chunks {
+            cfg.tracer.inject_remote(
+                &chunk.process,
+                chunk.parent,
+                chunk.offset_ns,
+                &chunk.spans,
+                &chunk.threads,
+            );
         }
 
         Ok(self.finish(
@@ -606,18 +845,12 @@ impl Coordinator {
         // value) so it flows through existing RunMetrics consumers — the
         // Prometheus exposition included — without a schema change that
         // would orphan pre-cluster records.
-        let mut stats = vec![
-            stat("cluster.workers_alive", workers_alive as u64),
-            stat("cluster.jobs_redispatched", counters.redispatched),
-            stat("cluster.heartbeats_missed", counters.heartbeats_missed),
-            stat("cluster.jobs_local", counters.local),
-            stat("cluster.breaker_trips", counters.breaker_trips),
-        ];
-        for (name, jobs) in worker_totals {
-            stats.push(stat(&format!("cluster.worker.{name}.jobs"), jobs));
-        }
-        metrics.phase_profile.0.extend(stats);
-        metrics.phase_profile.0.sort_by(|a, b| a.name.cmp(&b.name));
+        fold_cluster_stats(
+            &mut metrics.phase_profile,
+            &counters,
+            &worker_totals,
+            workers_alive,
+        );
         (report, metrics)
     }
 
@@ -631,6 +864,7 @@ impl Coordinator {
             workers,
             run,
             breakers,
+            ..
         } = state;
         for worker in workers.iter_mut() {
             if worker.alive && now.duration_since(worker.last_beat) > limit {
@@ -657,14 +891,19 @@ impl Coordinator {
     /// deadline, each assignment is stamped with the budget remaining *at
     /// dispatch time* minus wire overhead — so a re-dispatched block asks
     /// its new worker only for what the run can still afford.
-    fn dispatch(&self, state: &mut ClusterState) {
+    ///
+    /// Returns the block indices actually shipped this pass, so the run
+    /// loop can announce them on its event sink outside the lock.
+    fn dispatch(&self, state: &mut ClusterState, tracer: &Tracer) -> Vec<usize> {
+        let mut sent = Vec::new();
         let ClusterState {
             workers,
             run,
             breakers,
+            ..
         } = state;
         let Some(run_state) = run.as_mut() else {
-            return;
+            return sent;
         };
         while let Some(&block) = run_state.pending.front() {
             let now = Instant::now();
@@ -677,7 +916,7 @@ impl Coordinator {
                 .min_by_key(|(i, w)| (w.inflight.len(), *i))
                 .map(|(i, _)| i)
             else {
-                return;
+                return sent;
             };
             run_state.pending.pop_front();
             let attempt = run_state.attempts[block];
@@ -715,6 +954,23 @@ impl Coordinator {
                 let remaining = d.saturating_duration_since(now).as_millis() as u64;
                 remaining.saturating_sub(DISPATCH_OVERHEAD_MS).max(1)
             });
+            // On traced runs against an obs-capable worker, the dispatch
+            // gets its own span and the worker is asked to ship its spans
+            // back, re-parented under this id — the cross-process link in
+            // the merged trace.
+            let collect = workers[slot].obs && tracer.is_enabled();
+            let span = collect.then(|| {
+                let worker_name = workers[slot].name.clone();
+                let job_id = run_state.next_job_id;
+                tracer.span_with("job.dispatch", move || {
+                    vec![
+                        ("job_id", job_id.to_string()),
+                        ("block", block.to_string()),
+                        ("worker", worker_name),
+                    ]
+                })
+            });
+            let span_id = span.as_ref().and_then(|s| s.id());
             let assign = Message::Job(JobAssign {
                 job_id: run_state.next_job_id,
                 request: run_state.request_json.clone(),
@@ -726,6 +982,8 @@ impl Coordinator {
                 attempt,
                 trace_id: run_state.trace_id.clone(),
                 budget_ms,
+                collect_spans: collect.then_some(true),
+                parent_span: span_id,
             });
             let worker = &mut workers[slot];
             if write_frame(&mut worker.stream, &assign.encode()).is_err() {
@@ -747,12 +1005,21 @@ impl Coordinator {
                 }
                 continue;
             }
-            run_state
-                .inflight
-                .insert(run_state.next_job_id, (block, worker.id));
+            run_state.inflight.insert(
+                run_state.next_job_id,
+                InflightJob {
+                    block,
+                    worker_id: worker.id,
+                    span_id,
+                    dispatched_at: now,
+                    dispatch_ns: tracer.elapsed_ns(),
+                },
+            );
             worker.inflight.push(run_state.next_job_id);
             run_state.next_job_id += 1;
+            sent.push(block);
         }
+        sent
     }
 
     /// Clears the active run (cancellation path).
@@ -843,15 +1110,110 @@ fn stat(name: &str, count: u64) -> PhaseStat {
     }
 }
 
+fn ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// The coordinator-side `JobStart` for a block shipped to a worker. The
+/// seq is `0` here — the receiving sink stamps emission order — and the
+/// trace id is stamped by the server's tagging sink; `repeat` is `0`
+/// because a cluster job covers a whole block entry, every repeat.
+fn remote_start_event(block: &str, block_index: usize, seed: u64) -> isex_engine::RunEvent {
+    isex_engine::RunEvent::JobStart {
+        block: block.to_string(),
+        block_index,
+        repeat: 0,
+        seed,
+        seq: isex_engine::Seq(0),
+        trace: None,
+    }
+}
+
+/// The coordinator-side terminal event for a remotely-completed block
+/// entry: `JobFinish` with the entry's own spread and counters (elapsed
+/// is dispatch-to-merge wall time as the coordinator observed it), or
+/// `JobFailed` when every repeat of the block panicked on the worker.
+fn remote_finish_event(
+    entry: &CheckpointEntry,
+    elapsed_ms: f64,
+    seed: u64,
+) -> isex_engine::RunEvent {
+    if entry.spread.is_none() {
+        if let Some(error) = &entry.error {
+            return isex_engine::RunEvent::JobFailed {
+                block: entry.block.clone(),
+                block_index: entry.block_index,
+                repeat: 0,
+                seed,
+                error: error.clone(),
+                seq: isex_engine::Seq(0),
+                trace: None,
+            };
+        }
+    }
+    isex_engine::RunEvent::JobFinish {
+        block: entry.block.clone(),
+        block_index: entry.block_index,
+        repeat: 0,
+        baseline_cycles: entry.spread.as_ref().map_or(0, |s| s.baseline_cycles),
+        cycles: entry.spread.as_ref().map_or(0, |s| s.best_cycles),
+        iterations: entry.iterations,
+        candidates: entry.patterns.len(),
+        elapsed_ms,
+        seq: isex_engine::Seq(0),
+        trace: None,
+    }
+}
+
+/// Folds the run's `cluster.*` counters into the profile via
+/// [`PhaseProfile::absorb`]: a stat whose name the profile already holds
+/// (a resumed run's journaled counters, or a worker's federated
+/// `cluster.*` entries arriving through `finish_from_entries`) is *summed
+/// into* the existing entry instead of appended as a duplicate, and the
+/// profile stays name-sorted.
+fn fold_cluster_stats(
+    profile: &mut PhaseProfile,
+    counters: &RunCounters,
+    worker_totals: &[(String, u64)],
+    workers_alive: usize,
+) {
+    let mut stats = vec![
+        stat("cluster.workers_alive", workers_alive as u64),
+        stat("cluster.jobs_redispatched", counters.redispatched),
+        stat("cluster.heartbeats_missed", counters.heartbeats_missed),
+        stat("cluster.jobs_local", counters.local),
+        stat("cluster.breaker_trips", counters.breaker_trips),
+    ];
+    for (name, jobs) in worker_totals {
+        stats.push(stat(&format!("cluster.worker.{name}.jobs"), *jobs));
+    }
+    profile.absorb(stats);
+}
+
 /// Returns a dead worker's in-flight blocks to the pending queue.
 fn requeue_worker_inflight(run: &mut RunState, worker: &mut Worker) {
     for job_id in worker.inflight.drain(..) {
-        if let Some((block, _)) = run.inflight.remove(&job_id) {
-            if !run.completed.contains_key(&block) && !run.pending.contains(&block) {
+        if let Some(job) = run.inflight.remove(&job_id) {
+            if !run.completed.contains_key(&job.block) && !run.pending.contains(&job.block) {
                 run.counters.redispatched += 1;
-                run.pending.push_back(block);
+                run.pending.push_back(job.block);
             }
         }
+    }
+}
+
+/// Maps an externally-supplied name (worker names arrive off the wire,
+/// phase names contain dots) onto a legal metric-name segment:
+/// `[a-zA-Z0-9_]+`, never empty.
+fn sanitize_metric_segment(name: &str) -> String {
+    let out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.is_empty() {
+        "_".to_string()
+    } else {
+        out
     }
 }
 
@@ -919,9 +1281,14 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         return;
     };
     let _ = write_half.set_write_timeout(Some(Duration::from_secs(10)));
+    // The obs capability is echoed back only when the worker advertised
+    // it — the `TraceChunk` / `MetricsReport` opcodes never flow on a
+    // session where either side stayed silent about them.
+    let obs = hello.obs == Some(true);
     let ack = Message::HelloAck(HelloAck {
         version: PROTOCOL_VERSION,
         heartbeat_ms: shared.config.heartbeat_ms,
+        obs: obs.then_some(true),
     });
     if write_frame(&mut write_half, &ack.encode()).is_err() {
         return;
@@ -939,6 +1306,7 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             last_beat: Instant::now(),
             inflight: Vec::new(),
             jobs_done: 0,
+            obs,
         });
     }
     shared.wake.notify_all();
@@ -953,6 +1321,7 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             workers,
             run,
             breakers,
+            telemetry,
         } = &mut *state;
         let Some(worker) = workers.iter_mut().find(|w| w.id == worker_id) else {
             break;
@@ -963,13 +1332,27 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             Message::Result(result) => {
                 worker.inflight.retain(|&id| id != result.job_id);
                 if let Some(run_state) = run.as_mut() {
-                    if let Some((block, _)) = run_state.inflight.remove(&result.job_id) {
-                        // Guard the merge: the entry must be the installed
-                        // run's (matching key) and for the block assigned.
-                        // A *degraded* entry is a legitimate answer — the
-                        // worker self-cancelled at its stamped budget and
-                        // shipped its best-so-far.
-                        if result.entry.run_key == run_state.key
+                    if let Some(job) = run_state.inflight.remove(&result.job_id) {
+                        let block = job.block;
+                        // Dispatch→result latency, by worker name.
+                        telemetry
+                            .entry(worker.name.clone())
+                            .or_default()
+                            .latency
+                            .observe(
+                                job.dispatched_at
+                                    .elapsed()
+                                    .as_millis()
+                                    .min(u64::MAX as u128) as u64,
+                            );
+                        // Guard the merge: the entry must come from the
+                        // connection the job was assigned to, be the
+                        // installed run's (matching key), and be for the
+                        // block assigned. A *degraded* entry is a
+                        // legitimate answer — the worker self-cancelled at
+                        // its stamped budget and shipped its best-so-far.
+                        if job.worker_id == worker.id
+                            && result.entry.run_key == run_state.key
                             && result.entry.block_index == block
                         {
                             worker.jobs_done += 1;
@@ -987,6 +1370,38 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                         }
                     }
                 }
+            }
+            Message::TraceChunk(chunk) => {
+                if !worker.obs {
+                    // The opcode was never negotiated on this session.
+                    drop(state);
+                    break;
+                }
+                if let Some(run_state) = run.as_mut() {
+                    // Accept only spans for the active traced run, keyed
+                    // through a live job assignment — late chunks for a
+                    // requeued or finished job are dropped, exactly like
+                    // late results.
+                    if chunk.trace_id == run_state.trace_id {
+                        if let Some(job) = run_state.inflight.get(&chunk.job_id) {
+                            run_state.trace_chunks.push(PendingTrace {
+                                process: format!("isex worker {}", chunk.worker),
+                                parent: job.span_id,
+                                offset_ns: job.dispatch_ns,
+                                spans: chunk.spans,
+                                threads: chunk.threads,
+                            });
+                        }
+                    }
+                }
+            }
+            Message::MetricsReport(report) => {
+                if !worker.obs {
+                    drop(state);
+                    break;
+                }
+                let name = report.worker.clone();
+                telemetry.entry(name).or_default().report = Some(report);
             }
             Message::Goodbye => {
                 clean_exit = true;
@@ -1011,6 +1426,7 @@ fn serve_worker_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         workers,
         run,
         breakers,
+        ..
     } = &mut *state;
     if let Some(worker) = workers.iter_mut().find(|w| w.id == worker_id) {
         let was_alive = worker.alive;
@@ -1089,6 +1505,79 @@ mod tests {
         assert!(breaker.record_failure(3, COOLOFF, probe_time));
         assert!(!breaker.allows(probe_time));
         assert!(breaker.allows(probe_time + COOLOFF));
+    }
+
+    #[test]
+    fn cluster_stats_fold_into_existing_entries_without_duplicates() {
+        // A profile that already carries a `cluster.jobs_local` entry —
+        // the shape `finish_from_entries` hands back when worker entries
+        // themselves contributed cluster counters. The old flat
+        // `extend(...)` appended a duplicate name; `fold_cluster_stats`
+        // must sum into it instead.
+        let mut profile = PhaseProfile(vec![
+            PhaseStat {
+                name: "cluster.jobs_local".to_string(),
+                count: 2,
+                total_ms: 0.0,
+                max_ms: 0.0,
+            },
+            PhaseStat {
+                name: "eval.cache_hit".to_string(),
+                count: 7,
+                total_ms: 1.5,
+                max_ms: 0.5,
+            },
+        ]);
+        let counters = RunCounters {
+            redispatched: 1,
+            heartbeats_missed: 0,
+            local: 3,
+            breaker_trips: 0,
+        };
+        fold_cluster_stats(&mut profile, &counters, &[("w0".to_string(), 4)], 2);
+
+        let names: Vec<&str> = profile.0.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names.iter().filter(|n| **n == "cluster.jobs_local").count(),
+            1,
+            "same-named entries merged, not duplicated: {names:?}"
+        );
+        let local = profile
+            .0
+            .iter()
+            .find(|s| s.name == "cluster.jobs_local")
+            .unwrap();
+        assert_eq!(local.count, 5, "2 pre-existing + 3 from this run");
+        let worker = profile
+            .0
+            .iter()
+            .find(|s| s.name == "cluster.worker.w0.jobs")
+            .unwrap();
+        assert_eq!(worker.count, 4);
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "profile stays name-sorted");
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_bucket_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ms(0.5), 0, "empty histogram reads 0");
+        for ms in [1, 1, 3, 8, 40, 90, 20_000] {
+            h.observe(ms);
+        }
+        assert_eq!(h.total, 7);
+        assert_eq!(h.quantile_ms(0.5), 10, "4th of 7 lands in the ≤10 bucket");
+        assert_eq!(h.quantile_ms(0.95), 10_000, "overflow reports last bound");
+        assert_eq!(h.quantile_ms(0.0), 1);
+    }
+
+    #[test]
+    fn metric_segments_are_sanitized() {
+        assert_eq!(sanitize_metric_segment("w0"), "w0");
+        assert_eq!(sanitize_metric_segment("node-3.local"), "node_3_local");
+        assert_eq!(sanitize_metric_segment("flow.explore"), "flow_explore");
+        assert_eq!(sanitize_metric_segment(""), "_");
     }
 
     #[test]

@@ -108,6 +108,14 @@ impl ExploreRunner for ClusterRunner {
     fn ready(&self) -> bool {
         self.coordinator.workers_alive() > 0
     }
+
+    /// The federated cluster rollup: `workers_alive`, the cluster-wide
+    /// eval-cache hit rate, and per-worker liveness, breaker state, job
+    /// latency quantiles and heartbeat-reported counters — one `cluster`
+    /// section in `GET /metrics`, JSON and Prometheus alike.
+    fn metrics_sections(&self) -> Vec<(String, serde::Value)> {
+        vec![("cluster".to_string(), self.coordinator.metrics_value())]
+    }
 }
 
 fn need(args: &[String], i: usize, flag: &str) -> Result<String, String> {

@@ -9,6 +9,7 @@
 //! is bit-for-bit the entry a local run would have produced.
 
 use isex_flow::CheckpointEntry;
+use isex_trace::{OwnedSpan, PhaseProfile};
 use serde::{Deserialize, Serialize};
 
 use crate::wire::{Frame, OpCode, WireError};
@@ -27,6 +28,13 @@ pub struct Hello {
     pub name: String,
     /// Blocks the worker will hold in flight at once (≥ 1).
     pub capacity: usize,
+    /// Observability capability: `Some(true)` advertises that this worker
+    /// can ship [`OpCode::TraceChunk`] / [`OpCode::MetricsReport`] frames.
+    /// Absent on the wire when unset, so version-1 peers interoperate
+    /// unchanged — the new opcodes only ever flow on sessions where BOTH
+    /// [`Hello::obs`] and [`HelloAck::obs`] were `true`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub obs: Option<bool>,
 }
 
 /// Coordinator → worker: accepts the [`Hello`].
@@ -36,6 +44,11 @@ pub struct HelloAck {
     pub version: u32,
     /// Interval at which the worker must send [`OpCode::Heartbeat`].
     pub heartbeat_ms: u64,
+    /// Echoed observability capability: `Some(true)` only when the worker
+    /// advertised [`Hello::obs`] and this coordinator accepts the new
+    /// frames. Absent for version-1 workers (see [`Hello::obs`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub obs: Option<bool>,
 }
 
 /// Coordinator → worker: explore one block of one run.
@@ -70,6 +83,17 @@ pub struct JobAssign {
     /// when unset, so protocol version 1 peers interoperate unchanged.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub budget_ms: Option<u64>,
+    /// `Some(true)` asks the worker to collect spans for this job and ship
+    /// them back as [`TraceChunk`] frames. Only set on `obs`-negotiated
+    /// sessions when the originating request is traced; absent otherwise
+    /// (version-1 interop, same contract as `budget_ms`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub collect_spans: Option<bool>,
+    /// The coordinator-side `job.dispatch` span id — the *remote parent*
+    /// the worker's root span is re-attached under when its spans are
+    /// merged into the request's trace. Absent when the run is untraced.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent_span: Option<u64>,
 }
 
 /// Worker → coordinator: one finished block.
@@ -82,6 +106,54 @@ pub struct JobResult {
     /// The block's exploration result — the same entry a checkpointed
     /// local run would have journaled.
     pub entry: CheckpointEntry,
+}
+
+/// Upper bound on spans per [`TraceChunk`] frame. A span serializes to a
+/// few hundred bytes, so this keeps every chunk far under
+/// [`MAX_FRAME_BYTES`](crate::wire::MAX_FRAME_BYTES) while still shipping
+/// a whole job's profile in one or two frames.
+pub const TRACE_CHUNK_SPANS: usize = 2048;
+
+/// Worker → coordinator: a bounded batch of closed spans for one job,
+/// sent *before* the job's [`JobResult`] on the same connection so the
+/// coordinator holds the full span set by the time the run can complete.
+/// Only flows on `obs`-negotiated sessions (see [`Hello::obs`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceChunk {
+    /// The [`JobAssign::job_id`] these spans belong to.
+    pub job_id: u64,
+    /// The shipping worker's name (becomes the Chrome `process_name`).
+    pub worker: String,
+    /// The originating request's trace id ([`JobAssign::trace_id`]) —
+    /// chunks for a trace the coordinator is no longer running are
+    /// dropped, not merged.
+    pub trace_id: String,
+    /// At most [`TRACE_CHUNK_SPANS`] spans, ids local to the worker's
+    /// per-job tracer (the coordinator remaps them on merge).
+    pub spans: Vec<OwnedSpan>,
+    /// `(tid, thread name)` pairs for the shipped spans' threads.
+    pub threads: Vec<(u64, String)>,
+}
+
+/// Worker → coordinator: cumulative worker-process telemetry, sent on the
+/// heartbeat cadence over `obs`-negotiated sessions. All counters are
+/// monotonic totals since worker start — the coordinator keeps the latest
+/// report per worker, so a lost frame only delays freshness.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// The reporting worker's name.
+    pub worker: String,
+    /// Jobs the worker finished (including degraded partials).
+    pub jobs_completed: u64,
+    /// Jobs whose entry carried a failure.
+    pub jobs_failed: u64,
+    /// Evaluation-cache hits across all jobs so far.
+    pub eval_cache_hits: u64,
+    /// Evaluation-cache misses across all jobs so far.
+    pub eval_cache_misses: u64,
+    /// The worker's cumulative per-phase span aggregate (merged across
+    /// jobs with [`PhaseProfile::absorb`], so it never grows unboundedly).
+    pub phase_profile: PhaseProfile,
 }
 
 /// A decoded cluster message.
@@ -99,6 +171,10 @@ pub enum Message {
     Heartbeat,
     /// Orderly close.
     Goodbye,
+    /// See [`TraceChunk`].
+    TraceChunk(TraceChunk),
+    /// See [`MetricsReport`].
+    MetricsReport(MetricsReport),
 }
 
 fn json_frame<T: Serialize>(opcode: OpCode, value: &T) -> Frame {
@@ -126,6 +202,8 @@ impl Message {
             Message::Result(m) => json_frame(OpCode::Result, m),
             Message::Heartbeat => Frame::control(OpCode::Heartbeat),
             Message::Goodbye => Frame::control(OpCode::Goodbye),
+            Message::TraceChunk(m) => json_frame(OpCode::TraceChunk, m),
+            Message::MetricsReport(m) => json_frame(OpCode::MetricsReport, m),
         }
     }
 
@@ -140,6 +218,8 @@ impl Message {
             OpCode::Result => Message::Result(decode_json(frame)?),
             OpCode::Heartbeat => Message::Heartbeat,
             OpCode::Goodbye => Message::Goodbye,
+            OpCode::TraceChunk => Message::TraceChunk(decode_json(frame)?),
+            OpCode::MetricsReport => Message::MetricsReport(decode_json(frame)?),
         })
     }
 }
@@ -155,10 +235,12 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 name: "w0".to_string(),
                 capacity: 2,
+                obs: Some(true),
             }),
             Message::HelloAck(HelloAck {
                 version: PROTOCOL_VERSION,
                 heartbeat_ms: 250,
+                obs: Some(true),
             }),
             Message::Job(JobAssign {
                 job_id: 7,
@@ -168,6 +250,36 @@ mod tests {
                 attempt: 1,
                 trace_id: "tr-abc".to_string(),
                 budget_ms: Some(1_500),
+                collect_spans: Some(true),
+                parent_span: Some(42),
+            }),
+            Message::TraceChunk(TraceChunk {
+                job_id: 7,
+                worker: "w0".to_string(),
+                trace_id: "tr-abc".to_string(),
+                spans: vec![isex_trace::OwnedSpan {
+                    id: 1,
+                    parent: None,
+                    name: "worker.block".to_string(),
+                    start_ns: 10,
+                    dur_ns: 90,
+                    tid: 1,
+                    args: vec![("block".to_string(), "crc32_loop".to_string())],
+                }],
+                threads: vec![(1, "session".to_string())],
+            }),
+            Message::MetricsReport(MetricsReport {
+                worker: "w0".to_string(),
+                jobs_completed: 3,
+                jobs_failed: 1,
+                eval_cache_hits: 120,
+                eval_cache_misses: 40,
+                phase_profile: PhaseProfile(vec![isex_trace::PhaseStat {
+                    name: "aco.construct".to_string(),
+                    count: 9,
+                    total_ms: 4.5,
+                    max_ms: 1.25,
+                }]),
             }),
             Message::Heartbeat,
             Message::Goodbye,
@@ -231,10 +343,73 @@ mod tests {
             attempt: 0,
             trace_id: "t".to_string(),
             budget_ms: None,
+            collect_spans: None,
+            parent_span: None,
         };
         let frame = Message::Job(assign).encode();
         let text = std::str::from_utf8(&frame.payload).unwrap();
-        assert!(!text.contains("budget_ms"), "unexpected field: {text}");
+        for field in ["budget_ms", "collect_spans", "parent_span"] {
+            assert!(!text.contains(field), "unexpected field `{field}`: {text}");
+        }
+    }
+
+    #[test]
+    fn obs_capability_is_wire_compatible_with_version_1_peers() {
+        // A version-1 Hello (no `obs` key) decodes with the capability off …
+        let legacy = Frame {
+            opcode: OpCode::Hello,
+            payload: br#"{"version":1,"name":"w0","capacity":1}"#.to_vec(),
+        };
+        match Message::decode(&legacy).unwrap() {
+            Message::Hello(hello) => assert_eq!(hello.obs, None),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        // … a version-1 HelloAck likewise …
+        let legacy_ack = Frame {
+            opcode: OpCode::HelloAck,
+            payload: br#"{"version":1,"heartbeat_ms":250}"#.to_vec(),
+        };
+        match Message::decode(&legacy_ack).unwrap() {
+            Message::HelloAck(ack) => assert_eq!(ack.obs, None),
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+        // … and a capability-less ack we encode never emits the key, so the
+        // handshake a version-1 worker sees is byte-for-byte the old one.
+        let ack = HelloAck {
+            version: PROTOCOL_VERSION,
+            heartbeat_ms: 250,
+            obs: None,
+        };
+        let frame = Message::HelloAck(ack).encode();
+        let text = std::str::from_utf8(&frame.payload).unwrap();
+        assert!(!text.contains("obs"), "unexpected field: {text}");
+    }
+
+    #[test]
+    fn trace_chunk_spans_survive_the_wire() {
+        let span = isex_trace::OwnedSpan {
+            id: 3,
+            parent: Some(1),
+            name: "engine.job".to_string(),
+            start_ns: 1_000,
+            dur_ns: 2_000,
+            tid: 4,
+            args: vec![("attempt".to_string(), "0".to_string())],
+        };
+        let m = Message::TraceChunk(TraceChunk {
+            job_id: 11,
+            worker: "w1".to_string(),
+            trace_id: "t-chunk".to_string(),
+            spans: vec![span.clone()],
+            threads: vec![(4, "job".to_string())],
+        });
+        match Message::decode(&m.encode()).unwrap() {
+            Message::TraceChunk(chunk) => {
+                assert_eq!(chunk.spans, vec![span]);
+                assert_eq!(chunk.threads, vec![(4, "job".to_string())]);
+            }
+            other => panic!("expected TraceChunk, got {other:?}"),
+        }
     }
 
     #[test]

@@ -42,6 +42,14 @@ pub enum OpCode {
     Heartbeat = 5,
     /// Either direction: orderly close (empty payload).
     Goodbye = 6,
+    /// Worker → coordinator: a bounded batch of the worker's closed spans
+    /// for one job (only sent on sessions that negotiated the `obs`
+    /// capability — see [`Hello::obs`](crate::messages::Hello::obs) — so
+    /// version-1 peers never see the opcode).
+    TraceChunk = 7,
+    /// Worker → coordinator: cumulative worker telemetry riding the
+    /// heartbeat cadence (same `obs` capability gate as `TraceChunk`).
+    MetricsReport = 8,
 }
 
 impl OpCode {
@@ -55,6 +63,8 @@ impl OpCode {
             4 => Some(OpCode::Result),
             5 => Some(OpCode::Heartbeat),
             6 => Some(OpCode::Goodbye),
+            7 => Some(OpCode::TraceChunk),
+            8 => Some(OpCode::MetricsReport),
             _ => None,
         }
     }

@@ -1,6 +1,7 @@
 //! The cluster worker: dial the coordinator, heartbeat, explore blocks.
 //!
-//! A worker is a thin shell around [`explore_block_entry`] — the same
+//! A worker is a thin shell around
+//! [`explore_block_entry`](isex_flow::explore_block_entry) — the same
 //! per-block unit the checkpoint path runs — so the entry it ships back
 //! is bitwise the entry a local run would have produced. Everything else
 //! here is plumbing: the [`Hello`] handshake, a heartbeat thread beating
@@ -19,10 +20,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use isex_engine::{CancelToken, Cancelled, FaultPlan, NullSink};
-use isex_flow::explore_block_entry;
+use isex_flow::explore_block_entry_with_stats;
 use isex_serve::ExploreRequest;
+use isex_trace::{OwnedSpan, PhaseProfile};
 
-use crate::messages::{Hello, JobAssign, JobResult, Message, PROTOCOL_VERSION};
+use crate::messages::{
+    Hello, JobAssign, JobResult, Message, MetricsReport, TraceChunk, PROTOCOL_VERSION,
+    TRACE_CHUNK_SPANS,
+};
 use crate::wire::{read_frame, write_frame};
 
 /// Tunables for one worker process.
@@ -75,14 +80,43 @@ enum Session {
     Died,
 }
 
+/// Cumulative worker-process telemetry, federated to the coordinator as
+/// [`MetricsReport`] frames on the heartbeat cadence. Counters are
+/// monotonic totals since worker start; the phase profile is merged per
+/// job with [`PhaseProfile::absorb`], so it stays one entry per span name
+/// no matter how many jobs the worker runs.
+#[derive(Default)]
+struct Telemetry {
+    jobs_completed: u64,
+    jobs_failed: u64,
+    eval_cache_hits: u64,
+    eval_cache_misses: u64,
+    phase_profile: PhaseProfile,
+}
+
+impl Telemetry {
+    fn report(&self, worker: &str) -> MetricsReport {
+        MetricsReport {
+            worker: worker.to_string(),
+            jobs_completed: self.jobs_completed,
+            jobs_failed: self.jobs_failed,
+            eval_cache_hits: self.eval_cache_hits,
+            eval_cache_misses: self.eval_cache_misses,
+            phase_profile: self.phase_profile.clone(),
+        }
+    }
+}
+
 /// Runs a worker until the coordinator closes the session (`Ok`), the
 /// connection is lost with reconnect disabled or exhausted, or the
 /// `die_after_jobs` drill fires (both `Err`).
 pub fn run_worker(config: &WorkerConfig) -> Result<(), String> {
     let mut jobs_received = 0usize;
+    // Telemetry survives reconnects: the counters describe the process.
+    let telemetry = Arc::new(Mutex::new(Telemetry::default()));
     loop {
         let stream = dial(config)?;
-        match serve_session(config, stream, &mut jobs_received)? {
+        match serve_session(config, stream, &mut jobs_received, &telemetry)? {
             Session::Closed => return Ok(()),
             Session::Died => {
                 return Err(format!(
@@ -120,18 +154,22 @@ fn serve_session(
     config: &WorkerConfig,
     mut stream: TcpStream,
     jobs_received: &mut usize,
+    telemetry: &Arc<Mutex<Telemetry>>,
 ) -> Result<Session, String> {
     let hello = Message::Hello(Hello {
         version: PROTOCOL_VERSION,
         name: config.name.clone(),
         capacity: config.capacity.max(1),
+        obs: Some(true),
     });
     if write_frame(&mut stream, &hello.encode()).is_err() {
         return Ok(Session::Lost);
     }
-    let heartbeat_ms = match read_frame(&mut stream) {
+    let (heartbeat_ms, obs) = match read_frame(&mut stream) {
         Ok(Some(frame)) => match Message::decode(&frame) {
-            Ok(Message::HelloAck(ack)) if ack.version == PROTOCOL_VERSION => ack.heartbeat_ms,
+            Ok(Message::HelloAck(ack)) if ack.version == PROTOCOL_VERSION => {
+                (ack.heartbeat_ms, ack.obs == Some(true))
+            }
             Ok(Message::HelloAck(ack)) => {
                 return Err(format!(
                     "coordinator speaks protocol {} but this worker speaks {}",
@@ -145,19 +183,34 @@ fn serve_session(
     };
 
     // Heartbeats go from their own thread through a shared write half, so
-    // a long-running block cannot starve the liveness signal.
+    // a long-running block cannot starve the liveness signal. On
+    // obs-negotiated sessions each beat also carries a MetricsReport —
+    // the federation payload rides the cadence that already exists.
     let write_half = Arc::new(Mutex::new(stream.try_clone().map_err(|e| e.to_string())?));
     let stop = Arc::new(AtomicBool::new(false));
     let beat_half = Arc::clone(&write_half);
     let beat_stop = Arc::clone(&stop);
+    let beat_telemetry = Arc::clone(telemetry);
+    let beat_name = config.name.clone();
     let beater = std::thread::Builder::new()
         .name(format!("isex-worker-{}-beat", config.name))
         .spawn(move || {
             while !beat_stop.load(Ordering::Acquire) {
                 std::thread::sleep(Duration::from_millis(heartbeat_ms.max(10)));
+                let report = obs.then(|| {
+                    beat_telemetry
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .report(&beat_name)
+                });
                 let mut half = beat_half.lock().unwrap_or_else(|e| e.into_inner());
                 if write_frame(&mut *half, &Message::Heartbeat.encode()).is_err() {
                     return;
+                }
+                if let Some(report) = report {
+                    if write_frame(&mut *half, &Message::MetricsReport(report).encode()).is_err() {
+                        return;
+                    }
                 }
             }
         })
@@ -179,7 +232,7 @@ fn serve_session(
                 if config.die_after_jobs.is_some_and(|n| *jobs_received >= n) {
                     break 'conn Session::Died;
                 }
-                let result = match run_job(config, &assign) {
+                let (result, trace) = match run_job(config, &assign, obs, telemetry) {
                     Ok(r) => r,
                     Err(e) => {
                         // A job this worker cannot even parse is a protocol
@@ -189,17 +242,37 @@ fn serve_session(
                         break 'conn Session::Lost;
                     }
                 };
-                let frame = Message::Result(result).encode();
                 let mut half = write_half.lock().unwrap_or_else(|e| e.into_inner());
+                // Span chunks go out before the result on the same
+                // connection: frames are ordered, so the coordinator holds
+                // the job's full span set by the time the result can
+                // complete the run.
+                if let Some((spans, threads)) = trace {
+                    for batch in spans.chunks(TRACE_CHUNK_SPANS.max(1)) {
+                        let chunk = Message::TraceChunk(TraceChunk {
+                            job_id: assign.job_id,
+                            worker: config.name.clone(),
+                            trace_id: assign.trace_id.clone(),
+                            spans: batch.to_vec(),
+                            threads: threads.clone(),
+                        });
+                        if write_frame(&mut *half, &chunk.encode()).is_err() {
+                            break 'conn Session::Lost;
+                        }
+                    }
+                }
+                let frame = Message::Result(result).encode();
                 if write_frame(&mut *half, &frame).is_err() {
                     break 'conn Session::Lost;
                 }
             }
             Message::Goodbye => break 'conn Session::Closed,
             Message::Heartbeat => {}
-            Message::Hello(_) | Message::HelloAck(_) | Message::Result(_) => {
-                break 'conn Session::Lost
-            }
+            Message::Hello(_)
+            | Message::HelloAck(_)
+            | Message::Result(_)
+            | Message::TraceChunk(_)
+            | Message::MetricsReport(_) => break 'conn Session::Lost,
         }
     };
     stop.store(true, Ordering::Release);
@@ -261,9 +334,19 @@ impl Drop for BudgetTimer {
     }
 }
 
+/// A job's shippable trace: the worker-local spans plus thread names.
+type JobTrace = (Vec<OwnedSpan>, Vec<(u64, String)>);
+
 /// Resolves one [`JobAssign`] to its [`JobResult`] by running the shared
-/// per-block exploration unit.
-fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, String> {
+/// per-block exploration unit. When the assignment asks for spans (and the
+/// session negotiated `obs`), the job's closed spans come back alongside
+/// the result for shipping as [`TraceChunk`] frames.
+fn run_job(
+    config: &WorkerConfig,
+    assign: &JobAssign,
+    obs: bool,
+    telemetry: &Arc<Mutex<Telemetry>>,
+) -> Result<(JobResult, Option<JobTrace>), String> {
     let parsed =
         serde_json::parse(&assign.request).map_err(|e| format!("bad request JSON: {e}"))?;
     let request = ExploreRequest::from_json(&parsed).map_err(|e| format!("bad request: {e}"))?;
@@ -271,9 +354,11 @@ fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, Strin
     if let Some(spec) = &assign.fault_plan {
         cfg.fault_plan = Some(FaultPlan::parse(spec).map_err(|e| format!("bad fault plan: {e}"))?);
     }
-    let tracer = match &config.trace_dir {
-        Some(_) => isex_trace::Tracer::with_trace_id(&assign.trace_id),
-        None => isex_trace::Tracer::disabled(),
+    let ship_spans = obs && assign.collect_spans == Some(true);
+    let tracer = if ship_spans || config.trace_dir.is_some() {
+        isex_trace::Tracer::with_trace_id(&assign.trace_id)
+    } else {
+        isex_trace::Tracer::disabled()
     };
     cfg.tracer = tracer.clone();
     let program = request.program();
@@ -286,7 +371,7 @@ fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, Strin
     let _budget = assign
         .budget_ms
         .and_then(|ms| BudgetTimer::arm(cancel.clone(), Duration::from_millis(ms.max(1))));
-    let entry = {
+    let (entry, stats) = {
         let _attach = tracer.attach();
         let _span = tracer.span_with("worker.block", || {
             vec![
@@ -296,7 +381,7 @@ fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, Strin
                 ("trace", assign.trace_id.clone()),
             ]
         });
-        explore_block_entry(
+        explore_block_entry_with_stats(
             &cfg,
             &program,
             request.seed,
@@ -307,6 +392,17 @@ fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, Strin
         .map_err(|Cancelled| "cancelled".to_string())?
     };
 
+    {
+        let mut t = telemetry.lock().unwrap_or_else(PoisonError::into_inner);
+        t.jobs_completed += 1;
+        if entry.error.is_some() {
+            t.jobs_failed += 1;
+        }
+        t.eval_cache_hits += stats.eval_cache_hits;
+        t.eval_cache_misses += stats.eval_cache_misses;
+        t.phase_profile.absorb(tracer.phase_profile().0);
+    }
+
     if let Some(dir) = &config.trace_dir {
         let _ = std::fs::create_dir_all(dir);
         let path = dir.join(format!(
@@ -316,9 +412,24 @@ fn run_job(config: &WorkerConfig, assign: &JobAssign) -> Result<JobResult, Strin
         let _ = std::fs::write(path, tracer.chrome_trace());
     }
 
-    Ok(JobResult {
-        job_id: assign.job_id,
-        worker: config.name.clone(),
-        entry,
-    })
+    let trace = ship_spans.then(|| {
+        let spans: Vec<OwnedSpan> = tracer.records().iter().map(OwnedSpan::from).collect();
+        let threads: Vec<(u64, String)> = spans
+            .iter()
+            .map(|s| s.tid)
+            .collect::<std::collections::BTreeSet<u64>>()
+            .into_iter()
+            .map(|tid| (tid, format!("{}-job", config.name)))
+            .collect();
+        (spans, threads)
+    });
+
+    Ok((
+        JobResult {
+            job_id: assign.job_id,
+            worker: config.name.clone(),
+            entry,
+        },
+        trace,
+    ))
 }

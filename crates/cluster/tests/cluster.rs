@@ -259,6 +259,7 @@ fn silent_worker_is_expired_by_the_heartbeat_sentinel() {
         version: PROTOCOL_VERSION,
         name: "zombie".to_string(),
         capacity: 1,
+        obs: None,
     });
     write_frame(&mut stream, &hello.encode()).expect("hello");
     let ack = read_frame(&mut stream).expect("ack frame").expect("ack");
@@ -446,6 +447,101 @@ fn flapping_worker_trips_its_breaker_and_the_run_falls_back_local() {
 }
 
 #[test]
+fn traced_cluster_run_merges_one_chrome_trace_without_changing_bytes() {
+    use serde::Value;
+
+    let coord = coordinator(200, None);
+    let w0 = spawn_worker(coord.addr(), "t0");
+    let w1 = spawn_worker(coord.addr(), "t1");
+    assert!(coord.wait_for_workers(2, Duration::from_secs(10)));
+
+    let request = small_request(101);
+    let mut cfg = request.flow_config();
+    cfg.tracer = isex_trace::Tracer::with_trace_id("trace-pin");
+    let program = request.program();
+    let (report, _) = coord
+        .run(
+            &request,
+            &cfg,
+            &program,
+            &NullSink,
+            &CancelToken::new(),
+            "trace-pin",
+            None,
+        )
+        .expect("traced cluster run completes");
+
+    // The acceptance pin: with tracing ON across all three processes, the
+    // merged report stays byte-identical to an *untraced single-node* run.
+    // Observability never perturbs the answer.
+    assert_eq!(
+        report_json(&report),
+        report_json(&single_node(&request, None)),
+        "tracing must not change a byte of the merged report"
+    );
+
+    // One Perfetto-loadable Chrome trace with a pid lane per process and
+    // cross-process parent links from worker spans back to the
+    // coordinator's `job.dispatch` spans.
+    let trace = cfg.tracer.chrome_trace();
+    let parsed = serde_json::parse(&trace).expect("chrome trace is valid JSON");
+    let events = parsed.as_array().expect("trace-event array");
+    let pids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .filter_map(|e| e.get("pid").and_then(Value::as_u64))
+        .collect();
+    assert!(
+        pids.len() >= 2,
+        "span events must come from the coordinator AND at least one worker: {pids:?}"
+    );
+    let process_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+        })
+        .collect();
+    assert!(
+        process_names.iter().any(|n| n.starts_with("isex worker t")),
+        "worker lanes carry process names: {process_names:?}"
+    );
+    let dispatch_ids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("job.dispatch"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("id"))
+                .and_then(Value::as_u64)
+        })
+        .collect();
+    assert!(
+        !dispatch_ids.is_empty(),
+        "coordinator dispatch spans present"
+    );
+    let linked = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .filter(|e| e.get("pid").and_then(Value::as_u64) != Some(1))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Value::as_u64)
+        })
+        .filter(|parent| dispatch_ids.contains(parent))
+        .count();
+    assert!(
+        linked >= 1,
+        "at least one worker span is parented under a coordinator dispatch span"
+    );
+
+    Arc::try_unwrap(coord).ok().expect("sole owner").shutdown();
+    let _ = (w0.join(), w1.join());
+}
+
+#[test]
 fn hostile_bytes_on_the_cluster_port_do_not_wedge_the_coordinator() {
     let coord = coordinator(100, None);
 
@@ -461,6 +557,7 @@ fn hostile_bytes_on_the_cluster_port_do_not_wedge_the_coordinator() {
         version: PROTOCOL_VERSION + 1,
         name: "future".to_string(),
         capacity: 1,
+        obs: None,
     });
     write_frame(&mut skewed, &hello.encode()).unwrap();
 

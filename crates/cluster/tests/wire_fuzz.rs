@@ -4,9 +4,12 @@
 //! panic the frame reader or the message decoder. Malformed input maps to
 //! a typed [`WireError`]; well-formed messages round-trip losslessly.
 
-use isex_cluster::messages::{Hello, HelloAck, JobAssign, JobResult, Message, PROTOCOL_VERSION};
+use isex_cluster::messages::{
+    Hello, HelloAck, JobAssign, JobResult, Message, MetricsReport, TraceChunk, PROTOCOL_VERSION,
+};
 use isex_cluster::wire::{read_frame, Frame, OpCode, WireError, MAX_FRAME_BYTES};
 use isex_flow::CheckpointEntry;
+use isex_trace::{OwnedSpan, PhaseProfile, PhaseStat};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -45,17 +48,21 @@ fn arb_entry() -> impl Strategy<Value = CheckpointEntry> {
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        ("[ -~]{0,32}", 1usize..8, any::<u32>()).prop_map(|(name, capacity, version)| {
-            Message::Hello(Hello {
-                version,
-                name,
-                capacity,
-            })
-        }),
-        (any::<u32>(), 1u64..10_000).prop_map(|(version, heartbeat_ms)| {
+        ("[ -~]{0,32}", 1usize..8, any::<u32>(), arb_obs()).prop_map(
+            |(name, capacity, version, obs)| {
+                Message::Hello(Hello {
+                    version,
+                    name,
+                    capacity,
+                    obs,
+                })
+            }
+        ),
+        (any::<u32>(), 1u64..10_000, arb_obs()).prop_map(|(version, heartbeat_ms, obs)| {
             Message::HelloAck(HelloAck {
                 version,
                 heartbeat_ms,
+                obs,
             })
         }),
         (
@@ -64,7 +71,14 @@ fn arb_message() -> impl Strategy<Value = Message> {
             (any::<bool>(), "[a-z:/@. 0-9]{0,24}"),
             0usize..64,
             0usize..16,
-            ("[a-z0-9-]{0,24}", any::<bool>(), 1u64..600_000),
+            (
+                "[a-z0-9-]{0,24}",
+                any::<bool>(),
+                1u64..600_000,
+                arb_obs(),
+                any::<bool>(),
+                any::<u64>(),
+            ),
         )
             .prop_map(
                 |(
@@ -73,7 +87,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     (with_plan, plan),
                     block_index,
                     attempt,
-                    (trace_id, with_budget, budget),
+                    (trace_id, with_budget, budget, collect_spans, with_parent, parent),
                 )| {
                     Message::Job(JobAssign {
                         job_id,
@@ -83,6 +97,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
                         attempt,
                         trace_id,
                         budget_ms: with_budget.then_some(budget),
+                        collect_spans,
+                        parent_span: with_parent.then_some(parent),
                     })
                 }
             ),
@@ -93,9 +109,75 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 entry,
             })
         }),
+        (
+            any::<u64>(),
+            "[a-z0-9]{1,12}",
+            "[a-z0-9-]{0,24}",
+            proptest::collection::vec(arb_span(), 0..4),
+            proptest::collection::vec((any::<u64>(), "[ -~]{0,12}"), 0..3),
+        )
+            .prop_map(|(job_id, worker, trace_id, spans, threads)| {
+                Message::TraceChunk(TraceChunk {
+                    job_id,
+                    worker,
+                    trace_id,
+                    spans,
+                    threads,
+                })
+            }),
+        (
+            "[a-z0-9]{1,12}",
+            (any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>()),
+            proptest::collection::vec(("[a-z.]{1,16}", any::<u64>(), 0u32..1000, 0u32..1000), 0..4),
+        )
+            .prop_map(
+                |(worker, (jobs_completed, jobs_failed), (hits, misses), phases)| {
+                    Message::MetricsReport(MetricsReport {
+                        worker,
+                        jobs_completed,
+                        jobs_failed,
+                        eval_cache_hits: hits,
+                        eval_cache_misses: misses,
+                        phase_profile: PhaseProfile(
+                            phases
+                                .into_iter()
+                                .map(|(name, count, total, max)| PhaseStat {
+                                    name,
+                                    count,
+                                    total_ms: total as f64,
+                                    max_ms: max as f64,
+                                })
+                                .collect(),
+                        ),
+                    })
+                },
+            ),
         Just(Message::Heartbeat),
         Just(Message::Goodbye),
     ]
+}
+
+/// Spans as they cross the wire in a [`TraceChunk`]. Timestamps stay
+/// integral (they are `u64` nanoseconds) so the bitwise round-trip
+/// property holds without float-formatting caveats.
+fn arb_span() -> impl Strategy<Value = OwnedSpan> {
+    (
+        ((any::<u64>(), any::<bool>(), any::<u64>()), "[a-z.]{1,16}"),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        proptest::collection::vec(("[a-z_]{1,8}", "[ -~]{0,16}"), 0..3),
+    )
+        .prop_map(
+            |(((id, with_parent, parent), name), (start_ns, dur_ns, tid), args)| OwnedSpan {
+                id,
+                parent: with_parent.then_some(parent),
+                name,
+                start_ns,
+                dur_ns,
+                tid,
+                args,
+            },
+        )
 }
 
 /// A reader that hands out at most `chunk` bytes per call — a peer whose
@@ -242,11 +324,13 @@ fn every_known_opcode_round_trips_and_unknowns_do_not() {
         OpCode::Result,
         OpCode::Heartbeat,
         OpCode::Goodbye,
+        OpCode::TraceChunk,
+        OpCode::MetricsReport,
     ] {
         assert_eq!(OpCode::from_u8(op as u8), Some(op));
     }
     assert_eq!(OpCode::from_u8(0), None);
-    assert_eq!(OpCode::from_u8(7), None);
+    assert_eq!(OpCode::from_u8(9), None);
     assert_eq!(OpCode::from_u8(255), None);
 }
 
@@ -258,6 +342,7 @@ fn back_to_back_frames_parse_in_order() {
             version: PROTOCOL_VERSION,
             name: "w0".to_string(),
             capacity: 1,
+            obs: None,
         })
         .encode()
         .encode(),
@@ -277,4 +362,10 @@ fn back_to_back_frames_parse_in_order() {
         Message::Goodbye
     );
     assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+}
+
+/// `Option<bool>` built from two bools (the vendored proptest has no
+/// `Arbitrary for Option`).
+fn arb_obs() -> impl Strategy<Value = Option<bool>> {
+    (any::<bool>(), any::<bool>()).prop_map(|(set, v)| set.then_some(v))
 }

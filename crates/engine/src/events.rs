@@ -299,6 +299,15 @@ impl JsonlSink {
     pub fn flush(&self) -> io::Result<()> {
         crate::pool::lock_unpoisoned(&self.out).flush()
     }
+
+    /// Writes one pre-serialized event line verbatim, bypassing this sink's
+    /// own `seq` stamping — for callers that number events elsewhere and
+    /// tee the identical line into the file (the serving tier's per-job
+    /// ring does this so file and ring share one numbering).
+    pub fn emit_line(&self, line: &str) {
+        let mut out = crate::pool::lock_unpoisoned(&self.out);
+        let _ = writeln!(out, "{line}");
+    }
 }
 
 impl EventSink for JsonlSink {

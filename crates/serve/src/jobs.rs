@@ -145,6 +145,9 @@ pub struct JobTableStats {
     pub tracked: u64,
     /// Records still queued or running.
     pub active: u64,
+    /// Synchronous waiters currently blocked on active records — the live
+    /// audience that coalescing is multiplexing one engine run across.
+    pub waiters: u64,
 }
 
 struct TableInner {
@@ -303,6 +306,11 @@ impl JobTable {
             coalesced: inner.coalesced,
             tracked: inner.by_id.len() as u64,
             active: inner.active_by_key.len() as u64,
+            waiters: inner
+                .active_by_key
+                .values()
+                .map(|r| r.waiters() as u64)
+                .sum(),
         }
     }
 
@@ -421,11 +429,13 @@ mod tests {
             let _w1 = table.begin_wait(&record);
             {
                 let _w2 = table.begin_wait(&record);
+                assert_eq!(table.stats().waiters, 2, "both waiters counted");
             }
             assert!(
                 !record.job.cancel.is_cancelled(),
                 "one waiter leaving must not cancel while another remains"
             );
+            assert_eq!(table.stats().waiters, 1);
         }
         assert!(record.job.cancel.is_cancelled(), "last waiter out cancels");
     }

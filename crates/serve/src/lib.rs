@@ -10,6 +10,10 @@
 //! * `POST /v1/jobs` — submit the same exploration asynchronously: `202`
 //!   `{job_id}` immediately, with `GET /v1/jobs/{id}` for status/result
 //!   and `GET /v1/jobs/{id}/wait?timeout_ms=` to long-poll ([`jobs`]);
+//! * `GET /v1/jobs/{id}/events?from_seq=N&timeout_ms=T` — page the job's
+//!   live run-event stream from a bounded per-job ring ([`events`]):
+//!   contiguous `seq`s, evictions reported as a `dropped` count, and
+//!   `closed: true` once the job reaches any terminal state;
 //! * `GET /healthz` — liveness (the process is up: always `200`);
 //! * `GET /readyz` — readiness (`503` while shutting down, while the
 //!   queue is saturated, or while the runner has no workers to execute
@@ -64,6 +68,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod events;
 pub mod http;
 pub mod jobs;
 pub mod metrics;

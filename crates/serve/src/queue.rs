@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use isex_engine::CancelToken;
 
 use crate::cache::CachedResult;
+use crate::events::EventRing;
 use crate::protocol::ExploreRequest;
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
@@ -51,6 +52,9 @@ pub struct Job {
     pub trace_id: String,
     /// Trips when the waiter gives up; workers check it between engine jobs.
     pub cancel: CancelToken,
+    /// The job's bounded live event stream (`GET /v1/jobs/{id}/events`).
+    /// Fed by the worker running the job; closed at completion.
+    pub events: EventRing,
     /// When the job entered the queue (for queue-wait telemetry).
     pub enqueued_at: Instant,
     /// Set once a worker has dequeued the job (queued vs running, for the
@@ -72,6 +76,7 @@ impl Job {
             key,
             trace_id,
             cancel: CancelToken::new(),
+            events: EventRing::default(),
             enqueued_at: Instant::now(),
             started: AtomicBool::new(false),
             deadline: Mutex::new(None),
@@ -107,12 +112,18 @@ impl Job {
     }
 
     /// Delivers the outcome and wakes the waiter. First delivery wins.
+    /// Also closes the job's event stream: however the job ended —
+    /// completed, cancelled, failed, or rejected at shutdown — a live
+    /// `/events` poller is woken with `closed: true` instead of timing
+    /// out against a run that will never emit again.
     pub fn complete(&self, outcome: JobOutcome) {
         let mut slot = lock_unpoisoned(&self.outcome);
         if slot.is_none() {
             *slot = Some(outcome);
         }
         self.ready.notify_all();
+        drop(slot);
+        self.events.close();
     }
 
     /// A copy of the outcome, if delivered. Unlike

@@ -24,7 +24,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use isex_engine::{Cancelled, EventSink, NullSink, RunMetrics};
+use isex_engine::{Cancelled, EventSink, RunMetrics};
 use isex_flow::{run_flow_cancellable, FlowConfig, FlowReport};
 use isex_workloads::Program;
 use serde::Value;
@@ -65,6 +65,15 @@ pub trait ExploreRunner: Send + Sync {
     /// (`/healthz`) is unaffected.
     fn ready(&self) -> bool {
         true
+    }
+
+    /// Extra root sections the runner contributes to `GET /metrics` — a
+    /// cluster front-end reports its federated per-worker rollups here.
+    /// Each `(name, value)` lands in the JSON document verbatim and in the
+    /// Prometheus rendering through the generic walk. The local runner has
+    /// nothing beyond what the server already exports.
+    fn metrics_sections(&self) -> Vec<(String, Value)> {
+        Vec::new()
     }
 }
 
@@ -528,42 +537,48 @@ fn run_one(state: &Arc<ServerState>, job: &Arc<Job>) {
     cfg.tracer = tracer.clone();
     let program = job.request.program();
 
-    let run;
+    // Every run streams seq-stamped, trace-tagged events into the job's
+    // bounded ring (the live `GET /v1/jobs/{id}/events` feed); a traced
+    // run additionally tees the identical lines into a JSONL file, so ring
+    // and file share one gapless numbering. Both are observational. The
+    // whole run sits under one `request.explore` span (a no-op untraced;
+    // the flow re-attaches the same tracer internally, which keeps this
+    // span the parent of every flow/engine/ACO span).
+    let events_path = state
+        .config
+        .trace_dir
+        .as_ref()
+        .map(|dir| dir.join(format!("{}.events.jsonl", job.trace_id)));
+    let file = events_path
+        .as_ref()
+        .and_then(|path| isex_engine::JsonlSink::create(path).ok());
+    let sink = isex_engine::TaggedSink::new(
+        crate::events::RingSink::new(&job.events, file),
+        job.trace_id.clone(),
+    );
+    let run = {
+        let _attach = tracer.attach();
+        let _span = tracer.span_with("request.explore", || {
+            vec![
+                ("key", job.key.clone()),
+                ("seed", job.request.seed.to_string()),
+                ("trace", job.trace_id.clone()),
+            ]
+        });
+        state.runner.run_explore(job, &cfg, &program, &sink)
+    };
     if let Some(dir) = &state.config.trace_dir {
-        // Traced request: stream seq-stamped, trace-tagged events to a
-        // JSONL file and wrap the whole run in one `request.explore` span
-        // (the flow re-attaches the same tracer internally — a no-op that
-        // keeps this span the parent of every flow/engine/ACO span).
-        let events_path = dir.join(format!("{}.events.jsonl", job.trace_id));
-        let sink = isex_engine::JsonlSink::create(&events_path)
-            .ok()
-            .map(|s| isex_engine::TaggedSink::new(s, job.trace_id.clone()));
-        run = {
-            let _attach = tracer.attach();
-            let _span = tracer.span_with("request.explore", || {
-                vec![
-                    ("key", job.key.clone()),
-                    ("seed", job.request.seed.to_string()),
-                    ("trace", job.trace_id.clone()),
-                ]
-            });
-            match &sink {
-                Some(s) => state.runner.run_explore(job, &cfg, &program, s),
-                None => state.runner.run_explore(job, &cfg, &program, &NullSink),
-            }
-        };
         let mut written = Vec::new();
-        if let Some(s) = sink {
-            let _ = s.into_inner().flush();
-            written.push(events_path);
+        if sink.into_inner().finish() {
+            if let Some(path) = events_path {
+                written.push(path);
+            }
         }
         let trace_path = dir.join(format!("{}.trace.json", job.trace_id));
         if std::fs::write(&trace_path, tracer.chrome_trace()).is_ok() {
             written.push(trace_path);
         }
         state.trace_ring.push(written);
-    } else {
-        run = state.runner.run_explore(job, &cfg, &program, &NullSink);
     }
 
     match run {
@@ -738,10 +753,23 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             }
             let body = serde_json::value_to_string(&Value::Object(fields));
             let status = if reason.is_none() { 200 } else { 503 };
-            respond_control(state, &mut stream, status, &body, &echo);
+            // `no-store`: a readiness verdict is only honest at the instant
+            // it was computed — an intermediary replaying a cached 200
+            // would hide saturation, a cached 503 would hide recovery.
+            let headers = [
+                (crate::trace::TRACE_HEADER, trace_id.clone()),
+                ("cache-control", "no-store".to_string()),
+            ];
+            respond_control(state, &mut stream, status, &body, &headers);
         }
         ("GET", "/metrics") => {
             let extra = metrics_extra(state);
+            // `no-store` for the same reason as `/readyz`: a scrape must
+            // see live counters, never an intermediary's stale copy.
+            let headers = [
+                (crate::trace::TRACE_HEADER, trace_id.clone()),
+                ("cache-control", "no-store".to_string()),
+            ];
             if request.query_param("format") == Some("prometheus") {
                 let body = state
                     .metrics
@@ -752,7 +780,7 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
                     200,
                     "text/plain; version=0.0.4",
                     &body,
-                    &echo,
+                    &headers,
                 );
             } else {
                 let body = serde_json::value_to_string(&state.metrics.snapshot(
@@ -760,7 +788,7 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
                     &state.cache,
                     &extra,
                 ));
-                respond_control(state, &mut stream, 200, &body, &echo);
+                respond_control(state, &mut stream, 200, &body, &headers);
             }
         }
         // Known path, wrong method: 405 with an `Allow` header naming what
@@ -832,8 +860,16 @@ fn metrics_extra(state: &Arc<ServerState>) -> Vec<(String, Value)> {
             ("coalesced".into(), Value::U64(j.coalesced)),
             ("tracked".into(), Value::U64(j.tracked)),
             ("active".into(), Value::U64(j.active)),
+            (
+                "inflight".into(),
+                Value::U64(state.queue.in_flight() as u64),
+            ),
+            ("coalesced_waiters".into(), Value::U64(j.waiters)),
         ]),
     ));
+    // The runner's own sections last — a cluster front-end appends its
+    // federated per-worker rollups here.
+    extra.extend(state.runner.metrics_sections());
     extra
 }
 
@@ -1130,11 +1166,24 @@ fn handle_job_submit(
     }
 }
 
-/// `GET /v1/jobs/{id}` and `GET /v1/jobs/{id}/wait?timeout_ms=N`: the
-/// job's lifecycle status; terminal jobs embed their result or error. The
-/// `/wait` form long-polls — it blocks until the job finishes or the
-/// timeout lapses, then reports whatever state the job is in (a poll that
-/// expires never cancels the run; polls are observers, not waiters).
+/// Which view of a job a `GET /v1/jobs/...` path names.
+enum JobView {
+    /// `/v1/jobs/{id}` — lifecycle status, non-blocking.
+    Status,
+    /// `/v1/jobs/{id}/wait` — long-poll for the terminal status.
+    Wait,
+    /// `/v1/jobs/{id}/events` — an incremental page of the run's live
+    /// event stream.
+    Events,
+}
+
+/// `GET /v1/jobs/{id}`, `GET /v1/jobs/{id}/wait?timeout_ms=N` and
+/// `GET /v1/jobs/{id}/events?from_seq=N&timeout_ms=M`: the job's lifecycle
+/// status (terminal jobs embed their result or error), a long-poll on it,
+/// or a page of the run's event stream. The `/wait` form blocks until the
+/// job finishes or the timeout lapses, then reports whatever state the job
+/// is in (a poll that expires never cancels the run; polls are observers,
+/// not waiters).
 fn handle_job_status(
     state: &Arc<ServerState>,
     stream: &mut TcpStream,
@@ -1148,15 +1197,20 @@ fn handle_job_status(
     };
 
     let rest = request.path.strip_prefix("/v1/jobs/").unwrap_or("");
-    let (id, wait) = match rest.strip_suffix("/wait") {
-        Some(id) => (id, true),
-        None => (rest, false),
+    let (id, view) = if let Some(id) = rest.strip_suffix("/wait") {
+        (id, JobView::Wait)
+    } else if let Some(id) = rest.strip_suffix("/events") {
+        (id, JobView::Events)
+    } else {
+        (rest, JobView::Status)
     };
     if id.is_empty() || id.contains('/') {
         respond(
             stream,
             404,
-            &protocol::error_json("expected /v1/jobs/{id} or /v1/jobs/{id}/wait"),
+            &protocol::error_json(
+                "expected /v1/jobs/{id}, /v1/jobs/{id}/wait or /v1/jobs/{id}/events",
+            ),
         );
         return;
     }
@@ -1172,7 +1226,48 @@ fn handle_job_status(
         return;
     };
 
-    let outcome = if wait {
+    if matches!(view, JobView::Events) {
+        // Incremental page of the run's live event stream. `from_seq`
+        // resumes where the previous page's `next_seq` left off (gapless by
+        // construction: ring seqs are contiguous and eviction is reported
+        // in `dropped`); `timeout_ms > 0` long-polls for fresh events.
+        // Polling is observation only — it never cancels or extends the
+        // run, and it works the same for degraded and cancelled runs.
+        let from_seq = request
+            .query_param("from_seq")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let timeout_ms = request
+            .query_param("timeout_ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+            .min(protocol::limits::MAX_TIMEOUT_MS);
+        let page = record
+            .job
+            .events
+            .read_from(from_seq, Duration::from_millis(timeout_ms));
+        let events: Vec<Value> = page
+            .events
+            .iter()
+            .map(|(_, line)| serde_json::parse(line).unwrap_or(Value::Null))
+            .collect();
+        let body = serde_json::value_to_string(&Value::Object(vec![
+            ("job_id".into(), Value::String(record.id.clone())),
+            (
+                "status".into(),
+                Value::String(record.status().as_str().to_string()),
+            ),
+            ("from_seq".into(), Value::U64(from_seq)),
+            ("next_seq".into(), Value::U64(page.next_seq)),
+            ("dropped".into(), Value::U64(page.dropped)),
+            ("closed".into(), Value::Bool(page.closed)),
+            ("events".into(), Value::Array(events)),
+        ]));
+        respond(stream, 200, &body);
+        return;
+    }
+
+    let outcome = if matches!(view, JobView::Wait) {
         let timeout_ms = request
             .query_param("timeout_ms")
             .and_then(|v| v.parse::<u64>().ok())

@@ -205,8 +205,20 @@ fn metrics_render_as_prometheus_text() {
         "{headers:?}"
     );
     assert!(header(&headers, TRACE_HEADER).is_some());
+    assert_eq!(
+        header(&headers, "cache-control"),
+        Some("no-store"),
+        "a scrape must never be served from an intermediary cache"
+    );
     let mut lines = 0;
     for line in body.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "{line}"
+            );
+            continue;
+        }
         let (name, value) = line.rsplit_once(' ').expect(line);
         assert!(!name.is_empty(), "{line}");
         assert!(value.parse::<f64>().is_ok(), "{line}");
@@ -218,6 +230,12 @@ fn metrics_render_as_prometheus_text() {
         "isexd_engine_runs 1",
         "isexd_latency_explore_ms_count 1",
         "isexd_requests_total{status=\"200\"} 1",
+        "# HELP isexd_uptime_ms ",
+        "# TYPE isexd_uptime_ms gauge",
+        "# TYPE isexd_requests_total counter",
+        "# TYPE isexd_latency_explore_ms histogram",
+        "isexd_jobs_inflight ",
+        "isexd_jobs_coalesced_waiters ",
     ] {
         assert!(body.contains(needle), "missing `{needle}`:\n{body}");
     }
@@ -227,4 +245,226 @@ fn metrics_render_as_prometheus_text() {
     assert!(json.body.starts_with('{'), "{}", json.body);
 
     handle.shutdown();
+}
+
+#[test]
+fn readyz_and_metrics_responses_are_uncacheable() {
+    let handle = start(config()).expect("start server");
+    let addr = handle.addr().to_string();
+    for path in ["/readyz", "/metrics", "/metrics?format=prometheus"] {
+        let (status, headers, _) = raw_request(&addr, "GET", path, &[], None);
+        assert_eq!(status, 200, "{path}");
+        assert_eq!(
+            header(&headers, "cache-control"),
+            Some("no-store"),
+            "`{path}` must forbid intermediary caching"
+        );
+    }
+    handle.shutdown();
+}
+
+/// The seq stamped inside a serialized `RunEvent` object
+/// (`{"JobStart": {..., "seq": N}}`).
+fn event_seq(event: &serde::Value) -> u64 {
+    let serde::Value::Object(variants) = event else {
+        panic!("event is not an object: {event:?}");
+    };
+    variants[0].1.get("seq").and_then(|v| v.as_u64()).unwrap()
+}
+
+/// The trace id stamped inside a serialized `RunEvent` object.
+fn event_trace(event: &serde::Value) -> Option<String> {
+    let serde::Value::Object(variants) = event else {
+        return None;
+    };
+    match variants[0].1.get("trace") {
+        Some(serde::Value::String(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn events_page(addr: &str, job_id: &str, from_seq: u64) -> serde::Value {
+    let (status, _, body) = raw_request(
+        addr,
+        "GET",
+        &format!("/v1/jobs/{job_id}/events?from_seq={from_seq}"),
+        &[],
+        None,
+    );
+    assert_eq!(status, 200, "{body}");
+    serde_json::parse(&body).expect("events page is JSON")
+}
+
+#[test]
+fn job_events_stream_replays_gapless_and_closes_on_completion() {
+    // No --trace-dir: the live event ring works on an untraced server.
+    let handle = start(config()).expect("start server");
+    let addr = handle.addr().to_string();
+
+    let (status, headers, body) = raw_request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        &[
+            (TRACE_HEADER, "t-events"),
+            ("content-type", "application/json"),
+        ],
+        Some(&quick(0xE1).to_json()),
+    );
+    assert_eq!(status, 202, "{body}");
+    assert_eq!(header(&headers, TRACE_HEADER), Some("t-events"));
+    let submitted = serde_json::parse(&body).expect("202 body");
+    let Some(serde::Value::String(job_id)) = submitted.get("job_id").cloned() else {
+        panic!("202 body without job_id: {body}");
+    };
+
+    let done = client::wait_job(&addr, &job_id, 120_000).expect("wait");
+    assert_eq!(done.status, "done", "error: {:?}", done.error);
+
+    // Replay from the beginning: a contiguous seq range starting at 0,
+    // every event tagged with the submitter's trace id, stream closed.
+    let page = events_page(&addr, &job_id, 0);
+    assert_eq!(page.get("closed"), Some(&serde::Value::Bool(true)));
+    assert_eq!(page.get("dropped").and_then(|v| v.as_u64()), Some(0));
+    let Some(serde::Value::Array(events)) = page.get("events") else {
+        panic!("page without events: {page:?}");
+    };
+    assert!(
+        !events.is_empty(),
+        "a completed run must have emitted events"
+    );
+    for (i, event) in events.iter().enumerate() {
+        assert_eq!(event_seq(event), i as u64, "gapless from seq 0");
+        assert_eq!(event_trace(event).as_deref(), Some("t-events"));
+    }
+    let next_seq = page.get("next_seq").and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(next_seq, events.len() as u64);
+
+    // An incremental continuation from next_seq is empty, still closed,
+    // still gapless — the paging contract for a finished run.
+    let tail = events_page(&addr, &job_id, next_seq);
+    assert_eq!(tail.get("closed"), Some(&serde::Value::Bool(true)));
+    assert_eq!(tail.get("dropped").and_then(|v| v.as_u64()), Some(0));
+    assert!(
+        matches!(tail.get("events"), Some(serde::Value::Array(a)) if a.is_empty()),
+        "{tail:?}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn trace_id_propagates_through_the_async_job_tier() {
+    // One worker, a slow exploration: the async submitter's trace id is
+    // the *run's* id; a coalescing synchronous waiter and the
+    // store-persisted result observe that one run, not a second one.
+    let dir = temp_dir("prop");
+    let traces = dir.join("traces");
+    let cfg = ServerConfig {
+        engine_workers: 1,
+        store_dir: Some(dir.clone()),
+        trace_dir: Some(traces.clone()),
+        ..config()
+    };
+    let handle = start(cfg).expect("start server");
+    let addr = handle.addr().to_string();
+    let req = ExploreRequest {
+        seed: 0xC0DA,
+        effort: if cfg!(debug_assertions) { 300 } else { 2_000 },
+        repeats: 4,
+        ..ExploreRequest::default()
+    };
+
+    let (status, headers, body) = raw_request(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        &[
+            (TRACE_HEADER, "t-prop"),
+            ("content-type", "application/json"),
+        ],
+        Some(&req.to_json()),
+    );
+    assert_eq!(status, 202, "{body}");
+    assert_eq!(header(&headers, TRACE_HEADER), Some("t-prop"));
+    let submitted = serde_json::parse(&body).expect("202 body");
+    let Some(serde::Value::String(job_id)) = submitted.get("job_id").cloned() else {
+        panic!("202 body without job_id: {body}");
+    };
+
+    // A synchronous waiter with its own trace id coalesces onto the run.
+    let waiter = {
+        let addr = addr.clone();
+        let payload = req.to_json();
+        std::thread::spawn(move || {
+            raw_request(
+                &addr,
+                "POST",
+                "/v1/explore",
+                &[
+                    (TRACE_HEADER, "t-other"),
+                    ("content-type", "application/json"),
+                ],
+                Some(&payload),
+            )
+        })
+    };
+
+    let done = client::wait_job(&addr, &job_id, 240_000).expect("wait");
+    assert_eq!(done.status, "done", "error: {:?}", done.error);
+    let (wstatus, wheaders, wbody) = waiter.join().unwrap();
+    assert_eq!(wstatus, 200, "{wbody}");
+    // Each response echoes its caller's own id...
+    assert_eq!(header(&wheaders, TRACE_HEADER), Some("t-other"));
+
+    // ...but there was exactly ONE engine run, traced under the
+    // submitter's id: the live stream and the trace files both say
+    // `t-prop`, and no `t-other` run ever existed.
+    let page = events_page(&addr, &job_id, 0);
+    let Some(serde::Value::Array(events)) = page.get("events") else {
+        panic!("page without events: {page:?}");
+    };
+    assert!(!events.is_empty());
+    for event in events {
+        assert_eq!(event_trace(event).as_deref(), Some("t-prop"));
+    }
+    let events_file =
+        std::fs::read_to_string(traces.join("t-prop.events.jsonl")).expect("traced run file");
+    assert!(events_file.lines().count() > 0);
+    assert!(
+        !traces.join("t-other.events.jsonl").exists(),
+        "the coalesced waiter must not have started a second traced run"
+    );
+
+    let metrics = serde_json::parse(&client::get(&addr, "/metrics").unwrap().body).unwrap();
+    let metric = |path: &[&str]| {
+        let mut v = &metrics;
+        for p in path {
+            v = v.get(p).unwrap_or(&serde::Value::Null);
+        }
+        v.as_u64().unwrap_or(0)
+    };
+    assert_eq!(metric(&["queue", "jobs_completed"]), 1, "one engine run");
+    assert!(metric(&["jobs", "coalesced"]) >= 1, "the waiter coalesced");
+    assert_eq!(metric(&["store", "inserts"]), 1, "the run persisted once");
+
+    // The store-persisted result answers a later request without a new
+    // run — served under the *new* caller's echo, with no new trace file.
+    let (lstatus, lheaders, lbody) = raw_request(
+        &addr,
+        "POST",
+        "/v1/explore",
+        &[
+            (TRACE_HEADER, "t-late"),
+            ("content-type", "application/json"),
+        ],
+        Some(&req.to_json()),
+    );
+    assert_eq!(lstatus, 200, "{lbody}");
+    assert_eq!(header(&lheaders, TRACE_HEADER), Some("t-late"));
+    assert!(lbody.contains("\"source\":\"memory\"") || lbody.contains("\"source\":\"store\""));
+    assert!(!traces.join("t-late.events.jsonl").exists());
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

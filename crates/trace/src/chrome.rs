@@ -8,10 +8,25 @@
 
 use serde::Value;
 
-use crate::SpanRecord;
+use crate::{OwnedSpan, SpanRecord};
 
 /// The single process id stamped on every event (one trace = one run).
+/// Multi-process exports keep this pid for the local process and number
+/// remote processes from `TRACE_PID + 1`.
 pub const TRACE_PID: u64 = 1;
+
+/// One process's contribution to a multi-process trace: its display name,
+/// its closed spans (already remapped into one shared id space) and its
+/// thread names.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessSpans {
+    /// Chrome `process_name` for this lane, e.g. `"isex worker w0"`.
+    pub name: String,
+    /// The process's closed spans.
+    pub spans: Vec<OwnedSpan>,
+    /// `(tid, thread name)` pairs, tids local to this process.
+    pub threads: Vec<(u64, String)>,
+}
 
 /// Renders span records as a Chrome trace-event JSON array.
 pub fn chrome_trace_json(
@@ -54,16 +69,65 @@ pub fn chrome_trace_json(
 }
 
 fn metadata_event(kind: &str, tid: u64, name: &str) -> Value {
+    metadata_event_pid(kind, TRACE_PID, tid, name)
+}
+
+fn metadata_event_pid(kind: &str, pid: u64, tid: u64, name: &str) -> Value {
     Value::Object(vec![
         ("name".into(), Value::String(kind.to_string())),
         ("ph".into(), Value::String("M".into())),
-        ("pid".into(), Value::U64(TRACE_PID)),
+        ("pid".into(), Value::U64(pid)),
         ("tid".into(), Value::U64(tid)),
         (
             "args".into(),
             Value::Object(vec![("name".into(), Value::String(name.to_string()))]),
         ),
     ])
+}
+
+/// Renders several processes' spans as ONE Chrome trace-event JSON array:
+/// the first entry keeps `TRACE_PID`, every further process gets the
+/// next pid, and each lane carries its own `process_name`/`thread_name`
+/// metadata. Span ids are emitted as args verbatim — callers remap them
+/// into one shared id space first (see `Tracer::inject_remote`), so a
+/// `parent` arg on one lane can point at a span on another: the
+/// cross-process parent link.
+pub fn chrome_trace_multi_json(
+    local: &ProcessSpans,
+    remote: &[ProcessSpans],
+    trace_id: Option<&str>,
+) -> String {
+    let mut events = Vec::new();
+    for (index, process) in std::iter::once(local).chain(remote.iter()).enumerate() {
+        let pid = TRACE_PID + index as u64;
+        events.push(metadata_event_pid("process_name", pid, 0, &process.name));
+        for (tid, name) in &process.threads {
+            events.push(metadata_event_pid("thread_name", pid, *tid, name));
+        }
+        for span in &process.spans {
+            let mut args: Vec<(String, Value)> = vec![("id".into(), Value::U64(span.id))];
+            if let Some(parent) = span.parent {
+                args.push(("parent".into(), Value::U64(parent)));
+            }
+            if let Some(id) = trace_id {
+                args.push(("trace".into(), Value::String(id.to_string())));
+            }
+            for (k, v) in &span.args {
+                args.push((k.clone(), Value::String(v.clone())));
+            }
+            events.push(Value::Object(vec![
+                ("name".into(), Value::String(span.name.clone())),
+                ("cat".into(), Value::String("isex".into())),
+                ("ph".into(), Value::String("X".into())),
+                ("ts".into(), Value::F64(span.start_ns as f64 / 1e3)),
+                ("dur".into(), Value::F64(span.dur_ns as f64 / 1e3)),
+                ("pid".into(), Value::U64(pid)),
+                ("tid".into(), Value::U64(span.tid)),
+                ("args".into(), Value::Object(args)),
+            ]));
+        }
+    }
+    serde_json::value_to_string(&Value::Array(events))
 }
 
 #[cfg(test)]
@@ -105,5 +169,73 @@ mod tests {
                 .and_then(Value::as_str),
             Some("t-1")
         );
+    }
+
+    #[test]
+    fn multi_process_export_gives_each_process_its_own_pid_lane() {
+        let local = ProcessSpans {
+            name: "isex run t-2".to_string(),
+            spans: vec![OwnedSpan {
+                id: 1,
+                parent: None,
+                name: "job.dispatch".to_string(),
+                start_ns: 1_000,
+                dur_ns: 9_000,
+                tid: 1,
+                args: Vec::new(),
+            }],
+            threads: vec![(1, "coord".to_string())],
+        };
+        let remote = vec![ProcessSpans {
+            name: "isex worker w0".to_string(),
+            spans: vec![OwnedSpan {
+                id: 2,
+                parent: Some(1), // cross-process parent: the dispatch span
+                name: "worker.block".to_string(),
+                start_ns: 2_000,
+                dur_ns: 5_000,
+                tid: 1,
+                args: vec![("worker".to_string(), "w0".to_string())],
+            }],
+            threads: vec![(1, "session".to_string())],
+        }];
+        let text = chrome_trace_multi_json(&local, &remote, Some("t-2"));
+        let parsed = serde_json::parse(&text).expect("valid JSON");
+        let events = parsed.as_array().expect("trace-event array");
+        // 2 process_name + 2 thread_name + 2 spans.
+        assert_eq!(events.len(), 6);
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Value::as_u64))
+            .collect();
+        assert_eq!(pids.len(), 2, "one pid lane per process");
+        let worker_span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("worker.block"))
+            .expect("worker span present");
+        assert_ne!(
+            worker_span.get("pid").and_then(Value::as_u64),
+            Some(TRACE_PID),
+            "remote spans must not share the local pid"
+        );
+        assert_eq!(
+            worker_span
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Value::as_u64),
+            Some(1),
+            "cross-process parent link preserved"
+        );
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+            })
+            .collect();
+        assert_eq!(names, vec!["isex run t-2", "isex worker w0"]);
     }
 }

@@ -32,9 +32,10 @@
 mod chrome;
 mod profile;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_multi_json, ProcessSpans};
 pub use profile::{PhaseProfile, PhaseStat};
 
+use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -71,6 +72,58 @@ pub struct SpanRecord {
     pub args: Vec<(&'static str, String)>,
 }
 
+/// An owned, serde-capable counterpart of [`SpanRecord`].
+///
+/// [`SpanRecord::name`] is `&'static str` — right for in-process
+/// collection, useless on a wire. This is the form spans take when they
+/// cross a process boundary (cluster workers shipping span batches back
+/// to their coordinator) and when foreign spans are injected into a
+/// tracer via [`Tracer::inject_remote`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OwnedSpan {
+    /// Span id, unique within its *originating* tracer (remapped on
+    /// injection — see [`Tracer::inject_remote`]).
+    pub id: u64,
+    /// Enclosing span's id in the same id space, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent: Option<u64>,
+    /// Span name, e.g. `"worker.block"`.
+    pub name: String,
+    /// Start, nanoseconds since the originating tracer's epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Thread ordinal within the originating process.
+    pub tid: u64,
+    /// Key/value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+impl From<&SpanRecord> for OwnedSpan {
+    fn from(r: &SpanRecord) -> OwnedSpan {
+        OwnedSpan {
+            id: r.id,
+            parent: r.parent,
+            name: r.name.to_string(),
+            start_ns: r.start_ns,
+            dur_ns: r.dur_ns,
+            tid: r.tid,
+            args: r
+                .args
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Spans contributed by another process, kept per process name.
+struct RemoteProcess {
+    name: String,
+    spans: Vec<OwnedSpan>,
+    threads: Vec<(u64, String)>,
+}
+
 struct Inner {
     epoch: Instant,
     next_id: AtomicU64,
@@ -79,6 +132,7 @@ struct Inner {
     trace_id: Option<String>,
     spans: Mutex<Vec<SpanRecord>>,
     threads: Mutex<Vec<(u64, String)>>,
+    remote: Mutex<Vec<RemoteProcess>>,
 }
 
 impl Inner {
@@ -158,6 +212,7 @@ impl Tracer {
                 trace_id,
                 spans: Mutex::new(Vec::new()),
                 threads: Mutex::new(Vec::new()),
+                remote: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -175,6 +230,95 @@ impl Tracer {
     /// The trace id this tracer is stamped with, if any.
     pub fn trace_id(&self) -> Option<&str> {
         self.inner.as_ref()?.trace_id.as_deref()
+    }
+
+    /// Nanoseconds elapsed since this tracer's epoch (0 when disabled).
+    /// Pairs with [`Tracer::inject_remote`]'s `offset_ns`: capture this at
+    /// dispatch time and remote spans land where the dispatch happened.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.inner.as_ref().map(|i| i.now_ns()).unwrap_or(0)
+    }
+
+    /// Merges spans collected in another process into this tracer's
+    /// export, under the process name `process` (one Chrome `pid` per
+    /// distinct name — see [`Tracer::chrome_trace`]).
+    ///
+    /// Span ids are remapped into this tracer's id space (a fresh block is
+    /// allocated, internal parent links are rewritten), so foreign ids can
+    /// never collide with local ones. Spans that were roots in the remote
+    /// process are re-parented onto `parent` — the local span that caused
+    /// the remote work (the cluster's `job.dispatch` → `worker.block`
+    /// cross-process link). `offset_ns` shifts the remote timestamps,
+    /// which are relative to the *remote* tracer's epoch, onto this
+    /// tracer's timeline. No-op when disabled.
+    pub fn inject_remote(
+        &self,
+        process: &str,
+        parent: Option<u64>,
+        offset_ns: u64,
+        spans: &[OwnedSpan],
+        threads: &[(u64, String)],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        if spans.is_empty() && threads.is_empty() {
+            return;
+        }
+        let base = inner
+            .next_id
+            .fetch_add(spans.len() as u64, Ordering::Relaxed);
+        let remap: std::collections::HashMap<u64, u64> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, base + i as u64))
+            .collect();
+        let remapped: Vec<OwnedSpan> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| OwnedSpan {
+                id: base + i as u64,
+                parent: match s.parent {
+                    Some(p) => remap.get(&p).copied().or(parent),
+                    None => parent,
+                },
+                name: s.name.clone(),
+                start_ns: s.start_ns.saturating_add(offset_ns),
+                dur_ns: s.dur_ns,
+                tid: s.tid,
+                args: s.args.clone(),
+            })
+            .collect();
+        let mut remote = lock_unpoisoned(&inner.remote);
+        match remote.iter_mut().find(|p| p.name == process) {
+            Some(existing) => {
+                existing.spans.extend(remapped);
+                for (tid, name) in threads {
+                    if !existing.threads.iter().any(|(t, _)| t == tid) {
+                        existing.threads.push((*tid, name.clone()));
+                    }
+                }
+            }
+            None => remote.push(RemoteProcess {
+                name: process.to_string(),
+                spans: remapped,
+                threads: threads.to_vec(),
+            }),
+        }
+    }
+
+    /// Spans injected from other processes, grouped by process name
+    /// (tests and custom exporters).
+    pub fn remote_processes(&self) -> Vec<ProcessSpans> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        lock_unpoisoned(&inner.remote)
+            .iter()
+            .map(|p| ProcessSpans {
+                name: p.name.clone(),
+                spans: p.spans.clone(),
+                threads: p.threads.clone(),
+            })
+            .collect()
     }
 
     /// Records drained because the central buffer was full.
@@ -262,6 +406,12 @@ impl Tracer {
 
     /// Renders the collected spans as a Chrome trace-event JSON array
     /// (Perfetto / `chrome://tracing` loadable). Empty array when disabled.
+    ///
+    /// When spans from other processes were merged in via
+    /// [`Tracer::inject_remote`], the export becomes multi-process: local
+    /// spans keep `pid` 1 and each remote process gets its own `pid` and
+    /// `process_name` metadata, so a cluster run renders as one trace with
+    /// a lane per node.
     pub fn chrome_trace(&self) -> String {
         let Some(inner) = &self.inner else {
             return "[]".to_string();
@@ -269,7 +419,20 @@ impl Tracer {
         self.flush_current();
         let spans = lock_unpoisoned(&inner.spans).clone();
         let threads = lock_unpoisoned(&inner.threads).clone();
-        chrome::chrome_trace_json(&spans, &threads, inner.trace_id.as_deref())
+        let remote = self.remote_processes();
+        if remote.is_empty() {
+            chrome::chrome_trace_json(&spans, &threads, inner.trace_id.as_deref())
+        } else {
+            let local = ProcessSpans {
+                name: match inner.trace_id.as_deref() {
+                    Some(id) => format!("isex run {id}"),
+                    None => "isex run".to_string(),
+                },
+                spans: spans.iter().map(OwnedSpan::from).collect(),
+                threads,
+            };
+            chrome::chrome_trace_multi_json(&local, &remote, inner.trace_id.as_deref())
+        }
     }
 
     /// Drains the calling thread's buffer (if it belongs to this tracer)
@@ -397,6 +560,13 @@ impl SpanGuard {
         if let Some(act) = self.active.as_mut() {
             act.args.push((key, value.to_string()));
         }
+    }
+
+    /// The live span's tracer-unique id (`None` when tracing is disabled).
+    /// This is what crosses the wire as a *remote parent*: a span opened
+    /// in another process can be re-parented under this one on merge.
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|act| act.id)
     }
 }
 
@@ -608,6 +778,89 @@ mod tests {
         let records = t.records();
         assert_eq!(records.len(), 2);
         assert_ne!(records[0].tid, records[1].tid);
+    }
+
+    #[test]
+    fn span_guard_exposes_its_id_when_enabled() {
+        assert_eq!(span("no tracer").id(), None);
+        let t = Tracer::new();
+        let _at = t.attach();
+        let s = span("parent-to-be");
+        let id = s.id().expect("enabled span has an id");
+        drop(s);
+        assert_eq!(t.records()[0].id, id);
+    }
+
+    #[test]
+    fn inject_remote_remaps_ids_and_reparents_roots() {
+        let t = Tracer::new();
+        let dispatch = t.span("job.dispatch");
+        let dispatch_id = dispatch.id().unwrap();
+        drop(dispatch);
+        // A "remote" batch whose ids collide with local ones on purpose.
+        let remote = vec![
+            OwnedSpan {
+                id: 1,
+                parent: None,
+                name: "worker.block".to_string(),
+                start_ns: 100,
+                dur_ns: 900,
+                tid: 1,
+                args: Vec::new(),
+            },
+            OwnedSpan {
+                id: 2,
+                parent: Some(1),
+                name: "engine.job".to_string(),
+                start_ns: 200,
+                dur_ns: 500,
+                tid: 1,
+                args: Vec::new(),
+            },
+        ];
+        let threads = vec![(1u64, "session".to_string())];
+        t.inject_remote(
+            "isex worker w0",
+            Some(dispatch_id),
+            1_000,
+            &remote,
+            &threads,
+        );
+        let processes = t.remote_processes();
+        assert_eq!(processes.len(), 1);
+        let spans = &processes[0].spans;
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.name == "worker.block").unwrap();
+        let child = spans.iter().find(|s| s.name == "engine.job").unwrap();
+        // Fresh ids, disjoint from the local span's.
+        assert_ne!(root.id, dispatch_id);
+        assert_ne!(child.id, dispatch_id);
+        // The remote root now parents onto the local dispatch span; the
+        // internal link is rewritten consistently.
+        assert_eq!(root.parent, Some(dispatch_id));
+        assert_eq!(child.parent, Some(root.id));
+        // Timestamps shifted onto the local timeline.
+        assert_eq!(root.start_ns, 1_100);
+        // The Chrome export switches to multi-process form.
+        let text = t.chrome_trace();
+        let parsed: serde::Value = serde_json::parse(&text).unwrap();
+        let pids: std::collections::BTreeSet<u64> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(serde::Value::as_u64))
+            .collect();
+        assert_eq!(pids.len(), 2, "local + one remote process: {text}");
+        // A second batch from the same worker merges into the same lane.
+        t.inject_remote(
+            "isex worker w0",
+            Some(dispatch_id),
+            0,
+            &remote[..1],
+            &threads,
+        );
+        assert_eq!(t.remote_processes().len(), 1);
+        assert_eq!(t.remote_processes()[0].spans.len(), 3);
     }
 
     #[test]

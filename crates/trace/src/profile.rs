@@ -39,6 +39,25 @@ impl PhaseProfile {
             .map(|s| s.total_ms)
             .sum()
     }
+
+    /// Folds `stats` into the profile, *merging* same-named entries
+    /// (counts and totals sum, maxes max) instead of appending duplicates,
+    /// and keeps the result name-sorted. This is the only correct way to
+    /// combine profiles from different sources — a flat `extend` grows the
+    /// profile by one duplicate entry per source per fold.
+    pub fn absorb<I: IntoIterator<Item = PhaseStat>>(&mut self, stats: I) {
+        for stat in stats {
+            match self.0.iter_mut().find(|s| s.name == stat.name) {
+                Some(existing) => {
+                    existing.count += stat.count;
+                    existing.total_ms += stat.total_ms;
+                    existing.max_ms = existing.max_ms.max(stat.max_ms);
+                }
+                None => self.0.push(stat),
+            }
+        }
+        self.0.sort_by(|a, b| a.name.cmp(&b.name));
+    }
 }
 
 impl Serialize for PhaseProfile {
@@ -110,6 +129,38 @@ mod tests {
         assert!((b.max_ms - 4.0).abs() < 1e-9);
         assert!((p.total_ms(&["a", "b"]) - 7.0).abs() < 1e-9);
         assert_eq!(p.total_ms(&["absent"]), 0.0);
+    }
+
+    #[test]
+    fn absorb_merges_same_named_entries_instead_of_appending() {
+        let mut p = aggregate(&[rec("a", 1_000_000), rec("b", 2_000_000)]);
+        p.absorb(vec![
+            PhaseStat {
+                name: "b".to_string(),
+                count: 3,
+                total_ms: 5.0,
+                max_ms: 4.0,
+            },
+            PhaseStat {
+                name: "c".to_string(),
+                count: 1,
+                total_ms: 1.0,
+                max_ms: 1.0,
+            },
+        ]);
+        assert_eq!(p.0.len(), 3, "no duplicate entries: {:?}", p.0);
+        let b = p.get("b").unwrap();
+        assert_eq!(b.count, 4);
+        assert!((b.total_ms - 7.0).abs() < 1e-9);
+        assert!((b.max_ms - 4.0).abs() < 1e-9);
+        // Absorbing again must not grow the profile.
+        let again: Vec<PhaseStat> = p.0.clone();
+        p.absorb(again);
+        assert_eq!(p.0.len(), 3);
+        assert_eq!(p.get("b").unwrap().count, 8);
+        // Still name-sorted.
+        let names: Vec<&str> = p.0.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! isex store <ls|stats|gc|clear> [options]    # inspect/maintain a result store
 //! isex coordinator [options]                  # isexd fronting a worker cluster
 //! isex worker --connect HOST:PORT [options]   # cluster exploration worker
+//! isex top --server HOST:PORT [options]       # live one-screen run inspector
 //!
 //! options:
 //!   --opt O0|O3            workload fidelity            (default O3)
@@ -54,6 +55,11 @@
 //! worker options:
 //!   --connect HOST:PORT  --name NAME  --capacity N  --trace-dir DIR
 //!   --die-after-jobs N  --no-reconnect  --retry-ms N  --dial-attempts N
+//!
+//! top options:
+//!   --server HOST:PORT     the isexd (or coordinator) to watch (required)
+//!   --interval-ms N        refresh period                    (default 2000)
+//!   --once                 print one snapshot and exit (no screen clearing)
 //! ```
 
 use std::process::ExitCode;
@@ -510,6 +516,184 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `isex top --server HOST:PORT [--interval-ms N] [--once]`: a live,
+/// refreshing one-screen view of a running `isexd` (plain server or
+/// cluster coordinator), rendered from the same `GET /metrics` JSON
+/// document a Prometheus scrape sees. Strictly read-only.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let mut server: Option<String> = None;
+    let mut interval_ms: u64 = 2_000;
+    let mut once = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--server" => {
+                server = Some(args.get(i + 1).cloned().ok_or("--server needs a value")?);
+                i += 1;
+            }
+            "--interval-ms" => {
+                interval_ms = args
+                    .get(i + 1)
+                    .ok_or("--interval-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --interval-ms")?;
+                i += 1;
+            }
+            "--once" => once = true,
+            other => return Err(format!("unknown top flag `{other}`")),
+        }
+        i += 1;
+    }
+    let addr = server.ok_or("top needs --server HOST:PORT")?;
+    loop {
+        let raw =
+            isex::serve::client::get(&addr, "/metrics").map_err(|e| format!("{addr}: {e}"))?;
+        if raw.status != 200 {
+            return Err(format!("{addr}: /metrics answered {}", raw.status));
+        }
+        let doc =
+            serde_json::parse(&raw.body).map_err(|e| format!("{addr}: bad metrics JSON: {e}"))?;
+        if !once {
+            // Home the cursor and repaint over the previous frame.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&addr, &doc, interval_ms, once));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+    }
+}
+
+fn top_walk<'v>(doc: &'v serde::Value, path: &[&str]) -> Option<&'v serde::Value> {
+    let mut v = doc;
+    for p in path {
+        v = v.get(p)?;
+    }
+    Some(v)
+}
+
+fn top_num(doc: &serde::Value, path: &[&str]) -> f64 {
+    match top_walk(doc, path) {
+        Some(serde::Value::U64(x)) => *x as f64,
+        Some(serde::Value::I64(x)) => *x as f64,
+        Some(serde::Value::F64(x)) => *x,
+        _ => 0.0,
+    }
+}
+
+/// One frame of `isex top`. Every field is optional-tolerant: a plain
+/// `isexd` has no `cluster` section, an idle one has empty latency, and
+/// the screen must survive both.
+fn render_top(addr: &str, doc: &serde::Value, interval_ms: u64, once: bool) -> String {
+    use std::fmt::Write as _;
+    let n = |path: &[&str]| top_num(doc, path);
+    let mut out = String::new();
+    let refresh = if once {
+        String::new()
+    } else {
+        format!(
+            "   (refresh {:.1}s, Ctrl-C to quit)",
+            interval_ms as f64 / 1000.0
+        )
+    };
+    let _ = writeln!(
+        out,
+        "isexd {addr} — up {:.0}s{refresh}",
+        n(&["uptime_ms"]) / 1000.0
+    );
+    let _ = writeln!(
+        out,
+        "\nqueue    depth {:.0}/{:.0}   in-flight {:.0}   completed {:.0}   failed {:.0}   cancelled {:.0}",
+        n(&["queue", "depth"]),
+        n(&["queue", "capacity"]),
+        n(&["queue", "in_flight"]),
+        n(&["queue", "jobs_completed"]),
+        n(&["queue", "jobs_failed"]),
+        n(&["queue", "jobs_cancelled"]),
+    );
+    let _ = writeln!(
+        out,
+        "jobs     submitted {:.0}   active {:.0}   coalesced {:.0}   waiters {:.0}",
+        n(&["jobs", "submitted"]),
+        n(&["jobs", "active"]),
+        n(&["jobs", "coalesced"]),
+        n(&["jobs", "coalesced_waiters"]),
+    );
+    let _ = writeln!(
+        out,
+        "cache    hits {:.0}   misses {:.0}   hit-rate {:.1}%",
+        n(&["cache", "hits"]),
+        n(&["cache", "misses"]),
+        100.0 * n(&["cache", "hit_rate"]),
+    );
+    if top_walk(doc, &["store"]).is_some() {
+        let _ = writeln!(
+            out,
+            "store    entries {:.0}   bytes {:.0}   inserts {:.0}   evictions {:.0}",
+            n(&["store", "entries"]),
+            n(&["store", "bytes"]),
+            n(&["store", "inserts"]),
+            n(&["store", "evictions"]),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "latency  explore p50 {:.1}ms  p95 {:.1}ms  ({:.0} requests)",
+        n(&["latency", "explore", "p50_ms"]),
+        n(&["latency", "explore", "p95_ms"]),
+        n(&["latency", "explore", "count"]),
+    );
+    if let Some(cluster) = top_walk(doc, &["cluster"]) {
+        let hits = top_num(cluster, &["eval", "hits"]);
+        let misses = top_num(cluster, &["eval", "misses"]);
+        let rate = if hits + misses > 0.0 {
+            100.0 * hits / (hits + misses)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "\ncluster  {:.0} worker(s) alive   eval-cache hit {rate:.1}% ({hits:.0}/{:.0})",
+            top_num(cluster, &["workers_alive"]),
+            hits + misses,
+        );
+        if let Some(serde::Value::Object(workers)) = cluster.get("worker") {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:<6} {:<8} {:>9} {:>9} {:>6} {:>7} {:>9}",
+                "worker", "alive", "breaker", "p50 ms", "p95 ms", "jobs", "failed", "cache-hit"
+            );
+            for (name, w) in workers {
+                let alive = top_num(w, &["alive"]) > 0.0;
+                let open = top_num(w, &["breaker_open"]) > 0.0;
+                let whits = top_num(w, &["eval_cache_hits"]);
+                let wmiss = top_num(w, &["eval_cache_misses"]);
+                let wrate = if whits + wmiss > 0.0 {
+                    format!("{:.1}%", 100.0 * whits / (whits + wmiss))
+                } else {
+                    "-".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:<6} {:<8} {:>9.1} {:>9.1} {:>6.0} {:>7.0} {:>9}",
+                    name,
+                    if alive { "yes" } else { "DEAD" },
+                    if open { "OPEN" } else { "closed" },
+                    top_num(w, &["latency_p50_ms"]),
+                    top_num(w, &["latency_p95_ms"]),
+                    top_num(w, &["jobs_completed"]),
+                    top_num(w, &["jobs_failed"]),
+                    wrate,
+                );
+            }
+        }
+    }
+    out
+}
+
 fn cmd_asm(opts: &Options, positional: &[String]) -> Result<(), String> {
     let path = positional.first().ok_or("asm needs a file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -556,7 +740,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: isex <list|explore|asm|serve|store|coordinator|worker> [options]  \
+            "usage: isex <list|explore|asm|serve|store|coordinator|worker|top> [options]  \
              (see src/main.rs header)"
         );
         return ExitCode::FAILURE;
@@ -573,6 +757,7 @@ fn main() -> ExitCode {
         "store" => cmd_store(rest),
         "coordinator" => isex::cluster::coordinator_main(rest),
         "worker" => isex::cluster::worker_main(rest),
+        "top" => cmd_top(rest),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
