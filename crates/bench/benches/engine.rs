@@ -14,11 +14,14 @@
 //!   The disabled path is the one every untraced run pays and must stay
 //!   within noise of a build without the instrumentation (≤2% is the
 //!   budget); the enabled ratio prices `--trace`.
-//! * `hot_path` — the same flow at one worker with the round-scoped
-//!   evaluation cache on (the default) vs off (legacy re-lowering paths).
-//!   One worker isolates per-evaluation cost from pool overlap; the two
-//!   modes are first pinned to serialize to byte-identical reports, so the
-//!   ratio prices a pure wall-clock optimisation.
+//! * `hot_path` — the same flow at one worker across the three evaluation
+//!   modes: legacy (no cache), eval-cache with full timing passes, and the
+//!   default eval-cache + incremental-timing/SoA fast path. One worker
+//!   isolates per-evaluation cost from pool overlap; all three modes are
+//!   first pinned to serialize to byte-identical reports, so the ratios
+//!   price pure wall-clock optimisations. `hot_path` records the cache
+//!   alone (uncached/cached); `hot_path_v2` records the cumulative
+//!   uncached/v2 ratio, the PR-over-PR view of the same baseline.
 //!
 //! Results land in `BENCH_engine.json` at the workspace root (committed so
 //! the numbers travel with the code; absolute times are machine-dependent,
@@ -26,10 +29,10 @@
 //!
 //! Run with: `cargo bench -p isex-bench --bench engine`
 //!
-//! With `ISEX_BENCH_SMOKE=1` only the `hot_path` section runs (few
-//! samples), the cached/uncached ratio is asserted ≥ 1.0, and no result
-//! file is written — the CI regression gate against the cache becoming a
-//! pessimisation.
+//! With `ISEX_BENCH_SMOKE=1` only the `hot_path` sections run (few
+//! samples), the cumulative uncached/v2 ratio is asserted ≥ 1.41 (the
+//! floor the eval cache alone already demonstrated), and no result file is
+//! written — the CI regression gate against the hot path losing ground.
 
 use std::time::{Duration, Instant};
 
@@ -151,29 +154,36 @@ fn trace_overhead_section(program: &isex_workloads::Program) -> (f64, f64, f64) 
     (disabled_ms, enabled_ms, ratio)
 }
 
+/// Medians for the three evaluation modes: `(uncached_ms, cached_ms, v2_ms)`.
 fn hot_path_section(program: &isex_workloads::Program, samples: usize) -> (f64, f64, f64) {
-    let run = |eval_cache: bool| {
+    let run = |eval_cache: bool, incremental: bool| {
         let mut cfg = flow_cfg(1);
         cfg.eval_cache = eval_cache;
+        cfg.incremental = incremental;
         run_flow(&cfg, program, 0xE46)
     };
-    // Warm-up both modes, pinning the layer's core contract along the way:
-    // cached and legacy evaluation serialize to byte-identical reports.
-    let cached_ref = serde_json::to_string(&run(true)).expect("report serializes");
-    let legacy_ref = serde_json::to_string(&run(false)).expect("report serializes");
+    // Warm-up every mode, pinning the layer's core contract along the way:
+    // all three evaluation paths serialize to byte-identical reports.
+    let legacy_ref = serde_json::to_string(&run(false, false)).expect("report serializes");
+    let cached_ref = serde_json::to_string(&run(true, false)).expect("report serializes");
+    let v2_ref = serde_json::to_string(&run(true, true)).expect("report serializes");
     assert_eq!(
         cached_ref, legacy_ref,
         "the eval cache must not change the flow report"
     );
-    let time = |eval_cache: bool| {
+    assert_eq!(
+        v2_ref, legacy_ref,
+        "incremental timing must not change the flow report"
+    );
+    let time = |eval_cache: bool, incremental: bool| {
         let mut s: Vec<f64> = (0..samples)
             .map(|_| {
                 let start = Instant::now();
-                let report = run(eval_cache);
+                let report = run(eval_cache, incremental);
                 let ms = start.elapsed().as_secs_f64() * 1e3;
                 assert_eq!(
                     serde_json::to_string(&report).expect("report serializes"),
-                    cached_ref,
+                    legacy_ref,
                     "every run must reproduce the pinned report"
                 );
                 ms
@@ -181,12 +191,19 @@ fn hot_path_section(program: &isex_workloads::Program, samples: usize) -> (f64, 
             .collect();
         median(&mut s)
     };
-    let cached_ms = time(true);
-    let uncached_ms = time(false);
-    let ratio = uncached_ms / cached_ms;
-    println!("hot_path cached:   median {cached_ms:8.1} ms");
-    println!("hot_path uncached: median {uncached_ms:8.1} ms  speedup {ratio:4.2}x");
-    (cached_ms, uncached_ms, ratio)
+    let uncached_ms = time(false, false);
+    let cached_ms = time(true, false);
+    let v2_ms = time(true, true);
+    println!("hot_path uncached: median {uncached_ms:8.1} ms");
+    println!(
+        "hot_path cached:   median {cached_ms:8.1} ms  speedup {:4.2}x",
+        uncached_ms / cached_ms
+    );
+    println!(
+        "hot_path v2:       median {v2_ms:8.1} ms  speedup {:4.2}x",
+        uncached_ms / v2_ms
+    );
+    (uncached_ms, cached_ms, v2_ms)
 }
 
 fn main() {
@@ -197,25 +214,29 @@ fn main() {
         .unwrap_or(1);
 
     if std::env::var_os("ISEX_BENCH_SMOKE").is_some() {
-        let (_, _, ratio) = hot_path_section(&program, 3);
+        let (uncached_ms, _, v2_ms) = hot_path_section(&program, 3);
+        let ratio = uncached_ms / v2_ms;
         assert!(
-            ratio >= 1.0,
-            "eval cache regressed into a pessimisation: {ratio:.3}x"
+            ratio >= 1.41,
+            "hot path lost ground: cumulative uncached/v2 ratio {ratio:.3}x < 1.41x"
         );
-        println!("smoke ok: hot_path speedup {ratio:.2}x (no result file written)");
+        println!("smoke ok: hot_path cumulative speedup {ratio:.2}x (no result file written)");
         return;
     }
 
     let flow_rows = flow_section(&program);
     let pool_rows = pool_overlap_section();
     let (disabled_ms, enabled_ms, ratio) = trace_overhead_section(&program);
-    let (hot_cached_ms, hot_uncached_ms, hot_ratio) = hot_path_section(&program, SAMPLES);
+    let (hot_uncached_ms, hot_cached_ms, hot_v2_ms) = hot_path_section(&program, SAMPLES);
+    let hot_ratio = hot_uncached_ms / hot_cached_ms;
+    let v2_ratio = hot_uncached_ms / hot_v2_ms;
 
     let json = format!(
-        "{{\n  \"benchmark\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"samples\": {SAMPLES},\n  \"repeats\": 5,\n  \"max_iterations\": 150,\n  \"flow\": [\n{}\n  ],\n  \"pool_overlap\": [\n{}\n  ],\n  \"trace_overhead\": {{\"disabled_ms\": {disabled_ms:.2}, \"enabled_ms\": {enabled_ms:.2}, \"ratio\": {ratio:.3}}},\n  \"hot_path\": {{\"cached_ms\": {hot_cached_ms:.2}, \"uncached_ms\": {hot_uncached_ms:.2}, \"ratio\": {hot_ratio:.3}}}\n}}\n",
+        "{{\n  \"benchmark\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"samples\": {SAMPLES},\n  \"repeats\": 5,\n  \"max_iterations\": 150,\n  \"flow\": [\n{}\n  ],\n  \"pool_overlap\": [\n{}\n  ],\n  \"trace_overhead\": {{\"disabled_ms\": {disabled_ms:.2}, \"enabled_ms\": {enabled_ms:.2}, \"ratio\": {ratio:.3}}},\n  \"hot_path\": {{\"cached_ms\": {hot_cached_ms:.2}, \"uncached_ms\": {hot_uncached_ms:.2}, \"ratio\": {hot_ratio:.3}}},\n  \"hot_path_v2\": {{\"v2_ms\": {hot_v2_ms:.2}, \"uncached_ms\": {hot_uncached_ms:.2}, \"ratio\": {v2_ratio:.3}, \"ratio_vs_cached\": {:.3}}}\n}}\n",
         bench.name(),
         rows_json(&flow_rows),
-        rows_json(&pool_rows)
+        rows_json(&pool_rows),
+        hot_cached_ms / hot_v2_ms
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &json).expect("write BENCH_engine.json");

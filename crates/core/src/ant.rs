@@ -9,7 +9,7 @@
 //! they can pack with an already-scheduled parent in the same time slot.
 
 use isex_aco::{roulette, ImplChoice, PheromoneStore};
-use isex_dfg::{analysis, ports, NodeId, NodeSet};
+use isex_dfg::{analysis, ports, CsrAdjacency, NodeId, NodeSet};
 use isex_isa::MachineConfig;
 use isex_sched::resources::ResourceTable;
 use isex_sched::{SchedOp, UnitClass};
@@ -135,6 +135,7 @@ pub(crate) struct AntScratch {
     entries: Vec<(NodeId, ImplChoice)>,
     weights: Vec<f64>,
     scheduled: Vec<bool>,
+    pending: Vec<u32>,
     resources: Option<ResourceTable>,
 }
 
@@ -147,6 +148,11 @@ pub(crate) struct Ant<'a> {
     pub lambda: f64,
     /// Normalised scheduling priority per node (e.g. child count).
     pub sp: Vec<f64>,
+    /// Frozen CSR adjacency of `g` for the hot loops (readiness counters,
+    /// allocation-free pred scans). `None` falls back to the `Dfg`
+    /// iterators; the walks are identical either way — the CSR carries the
+    /// same deduplicated neighbour sequences.
+    adj: Option<&'a CsrAdjacency>,
 }
 
 impl<'a> Ant<'a> {
@@ -176,6 +182,7 @@ impl<'a> Ant<'a> {
             constraints,
             lambda,
             sp: sp_function.values(g),
+            adj: None,
         }
     }
 
@@ -188,6 +195,7 @@ impl<'a> Ant<'a> {
         lambda: f64,
         sp_function: SpFunction,
         sched: &isex_sched::SchedDfg,
+        adj: Option<&'a CsrAdjacency>,
     ) -> Self {
         Ant {
             g,
@@ -195,6 +203,7 @@ impl<'a> Ant<'a> {
             constraints,
             lambda,
             sp: sp_function.values_on(g, sched),
+            adj,
         }
     }
 
@@ -226,10 +235,14 @@ impl<'a> Ant<'a> {
             entries,
             weights,
             scheduled,
+            pending,
             resources,
         } = scratch;
         scheduled.clear();
         scheduled.resize(k, false);
+        if let Some(csr) = self.adj {
+            csr.pred_counts_into(pending);
+        }
         let rt = resources.get_or_insert_with(|| ResourceTable::new(*self.machine));
         rt.reset(*self.machine);
         let mut remaining = k;
@@ -238,16 +251,38 @@ impl<'a> Ant<'a> {
             // Ready-Matrix: (operation, option) entries for ready ops.
             entries.clear();
             weights.clear();
-            for n in self.g.node_ids() {
-                if scheduled[n.index()] {
-                    continue;
+            match self.adj {
+                // Counter-maintained readiness: pending[n] == 0 exactly
+                // when every predecessor is scheduled, and the ascending
+                // index scan yields the entries in the same order as the
+                // iterator path — the roulette sees an identical matrix.
+                Some(_) => {
+                    for i in 0..k {
+                        if scheduled[i] || pending[i] != 0 {
+                            continue;
+                        }
+                        let n = NodeId::new(i as u32);
+                        for c in store.choice_iter(i) {
+                            entries.push((n, c));
+                            weights.push(store.attraction(i, c) + self.lambda * self.sp[i]);
+                        }
+                    }
                 }
-                if !self.g.preds(n).all(|p| scheduled[p.index()]) {
-                    continue;
-                }
-                for c in store.choice_iter(n.index()) {
-                    entries.push((n, c));
-                    weights.push(store.attraction(n.index(), c) + self.lambda * self.sp[n.index()]);
+                None => {
+                    for n in self.g.node_ids() {
+                        if scheduled[n.index()] {
+                            continue;
+                        }
+                        if !self.g.preds(n).all(|p| scheduled[p.index()]) {
+                            continue;
+                        }
+                        for c in store.choice_iter(n.index()) {
+                            entries.push((n, c));
+                            weights.push(
+                                store.attraction(n.index(), c) + self.lambda * self.sp[n.index()],
+                            );
+                        }
+                    }
                 }
             }
             debug_assert!(!entries.is_empty(), "DAG always has a ready node");
@@ -259,6 +294,11 @@ impl<'a> Ant<'a> {
                 ImplChoice::Hw(j) => self.schedule_hw(&mut walk, rt, n, j),
             }
             scheduled[n.index()] = true;
+            if let Some(csr) = self.adj {
+                for &sc in csr.succs(n.index()) {
+                    pending[sc.index()] -= 1;
+                }
+            }
             remaining -= 1;
         }
 
@@ -272,22 +312,35 @@ impl<'a> Ant<'a> {
     }
 
     fn earliest_start(&self, walk: &Walk, n: NodeId) -> u32 {
-        self.g
-            .preds(n)
-            .map(|p| walk.finish(self.g, p))
-            .max()
-            .unwrap_or(0)
+        match self.adj {
+            Some(csr) => csr
+                .preds(n.index())
+                .iter()
+                .map(|&p| walk.finish(self.g, p))
+                .max()
+                .unwrap_or(0),
+            None => self
+                .g
+                .preds(n)
+                .map(|p| walk.finish(self.g, p))
+                .max()
+                .unwrap_or(0),
+        }
     }
 
     /// Closes every open group that `n` consumed from (its finish time is
     /// now observed and must not change).
     fn close_pred_groups(&self, walk: &mut Walk, n: NodeId, except: Option<usize>) {
-        for p in self.g.preds(n) {
+        let mut close = |p: NodeId| {
             if let Some(gp) = walk.group_of[p.index()] {
                 if Some(gp) != except {
                     walk.groups[gp].open = false;
                 }
             }
+        };
+        match self.adj {
+            Some(csr) => csr.preds(n.index()).iter().copied().for_each(&mut close),
+            None => self.g.preds(n).for_each(&mut close),
         }
     }
 
@@ -309,12 +362,20 @@ impl<'a> Ant<'a> {
     fn schedule_hw(&self, walk: &mut Walk, rt: &mut ResourceTable, n: NodeId, j: usize) {
         // Candidate groups: open groups containing a parent, latest issue
         // first (the paper packs at `LTS_i`, the latest parent's slot).
-        let mut cands: Vec<usize> = self
-            .g
-            .preds(n)
-            .filter_map(|p| walk.group_of[p.index()])
-            .filter(|&gi| walk.groups[gi].open)
-            .collect();
+        let mut cands: Vec<usize> = match self.adj {
+            Some(csr) => csr
+                .preds(n.index())
+                .iter()
+                .filter_map(|p| walk.group_of[p.index()])
+                .filter(|&gi| walk.groups[gi].open)
+                .collect(),
+            None => self
+                .g
+                .preds(n)
+                .filter_map(|p| walk.group_of[p.index()])
+                .filter(|&gi| walk.groups[gi].open)
+                .collect(),
+        };
         cands.sort_unstable();
         cands.dedup();
         cands.sort_by_key(|&gi| std::cmp::Reverse(walk.groups[gi].issue));
@@ -389,13 +450,20 @@ impl<'a> Ant<'a> {
         let latency = self.machine.cycles_for_delay_ns(delay);
 
         // Earliest slot at which every external input of the union is ready.
-        let t_needed = union
-            .iter()
-            .flat_map(|m| self.g.preds(m))
-            .filter(|p| !union.contains(*p))
-            .map(|p| walk.finish(self.g, p))
-            .max()
-            .unwrap_or(0);
+        let t_needed = match self.adj {
+            Some(csr) => {
+                let mut t = 0;
+                csr.for_external_preds(&union, |p| t = t.max(walk.finish(self.g, p)));
+                t
+            }
+            None => union
+                .iter()
+                .flat_map(|m| self.g.preds(m))
+                .filter(|p| !union.contains(*p))
+                .map(|p| walk.finish(self.g, p))
+                .max()
+                .unwrap_or(0),
+        };
         let issue = walk.groups[gi].issue;
 
         // Re-place the grown group: release the old footprint, find the

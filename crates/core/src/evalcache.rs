@@ -32,6 +32,11 @@ use isex_aco::{AcoParams, ImplChoice};
 use isex_dfg::{NodeSet, Reachability};
 use isex_isa::MachineConfig;
 use isex_sched::collapse::collapse_groups;
+use isex_sched::soa::{
+    alap_incremental_into, asap_incremental_into, collapse_soa, height_incremental_into,
+    length_from_asap, schedule_len_counters, BaseTiming, CounterSchedScratch, IncrStats, Quotient,
+    QuotientScratch, SoaGraph,
+};
 use isex_sched::{list_schedule_len, ListScratch, Priority, SchedDfg, SchedOp, UnitClass};
 
 use crate::ant::Walk;
@@ -98,6 +103,9 @@ type FxBuild = BuildHasherDefault<FxHasher>;
 pub struct EvalStats {
     hits: AtomicU64,
     misses: AtomicU64,
+    asap_saved: AtomicU64,
+    incr_copied: AtomicU64,
+    incr_recomputed: AtomicU64,
 }
 
 impl EvalStats {
@@ -111,10 +119,36 @@ impl EvalStats {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Full ASAP passes avoided by deriving ALAP from a shared or shifted
+    /// ASAP instead of re-running the forward pass.
+    pub fn asap_saved(&self) -> u64 {
+        self.asap_saved.load(Ordering::Relaxed)
+    }
+
+    /// Quotient vertices whose timing was copied from the persistent
+    /// per-round baseline (incremental path only).
+    pub fn incr_copied(&self) -> u64 {
+        self.incr_copied.load(Ordering::Relaxed)
+    }
+
+    /// Quotient vertices whose timing was recomputed inside a dirty cone
+    /// (incremental path only).
+    pub fn incr_recomputed(&self) -> u64 {
+        self.incr_recomputed.load(Ordering::Relaxed)
+    }
+
     /// Adds a batch of counts (one exploration's worth).
     pub fn add(&self, hits: u64, misses: u64) {
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Adds one exploration's worth of timing-layer counters.
+    pub fn add_timing(&self, asap_saved: u64, copied: u64, recomputed: u64) {
+        self.asap_saved.fetch_add(asap_saved, Ordering::Relaxed);
+        self.incr_copied.fetch_add(copied, Ordering::Relaxed);
+        self.incr_recomputed
+            .fetch_add(recomputed, Ordering::Relaxed);
     }
 }
 
@@ -172,6 +206,9 @@ pub(crate) struct RoundEval<'a> {
     /// Per-walk analysis template: same edges as `sched`, payloads
     /// overwritten for each distinct walk.
     template: SchedDfg,
+    /// Incremental/SoA evaluation state; `None` runs the `Dfg`-walking
+    /// quotient path on every miss.
+    soa: Option<SoaRound>,
     merit_memo: HashMap<Vec<u64>, Rc<Vec<MeritOp>>, FxBuild>,
     cand_memo: HashMap<Vec<u64>, u32, FxBuild>,
     scratch: ListScratch,
@@ -179,12 +216,73 @@ pub(crate) struct RoundEval<'a> {
     pub hits: u64,
     /// Memo misses this round.
     pub misses: u64,
+    /// Full ASAP passes avoided this round (shared-ASAP ALAP derivation).
+    pub asap_saved: u64,
+    /// Incremental-timing vertices copied from the baseline this round.
+    pub incr_copied: u64,
+    /// Incremental-timing vertices recomputed this round.
+    pub incr_recomputed: u64,
+}
+
+/// Persistent per-round SoA state of the incremental path: the base graph
+/// in struct-of-arrays form, its timing baseline, and every scratch buffer
+/// a miss needs — steady-state evaluation allocates nothing.
+struct SoaRound {
+    /// The round's base graph (every node on implementation option 0),
+    /// array form of `RoundEval::sched` — same indices, same adjacency.
+    base: SoaGraph,
+    /// ASAP/ALAP/height/length baseline of `base`, computed once per round.
+    bt: BaseTiming,
+    /// Per-walk latency-patched copy of `base` (only `lat` ever differs:
+    /// software options change latency, never ports or unit class).
+    patched: SoaGraph,
+    qscratch: QuotientScratch,
+    quotient: Quotient,
+    asap: Vec<u32>,
+    alap: Vec<u32>,
+    height: Vec<i64>,
+    needs: Vec<bool>,
+    groups: Vec<(NodeSet, SchedOp)>,
+    critical: NodeSet,
+    sched_scratch: CounterSchedScratch,
+    fast: merit::FastMeritScratch,
+}
+
+impl SoaRound {
+    fn of(sched: &SchedDfg, universe: usize) -> Self {
+        let base = SoaGraph::from_sched(sched);
+        let bt = BaseTiming::of(&base);
+        let patched = base.clone();
+        SoaRound {
+            base,
+            bt,
+            patched,
+            qscratch: QuotientScratch::default(),
+            quotient: Quotient::default(),
+            asap: Vec::new(),
+            alap: Vec::new(),
+            height: Vec::new(),
+            needs: Vec::new(),
+            groups: Vec::new(),
+            critical: NodeSet::new(universe),
+            sched_scratch: CounterSchedScratch::default(),
+            fast: merit::FastMeritScratch::default(),
+        }
+    }
 }
 
 impl<'a> RoundEval<'a> {
     /// Lowers `g` once and measures (or, when the caller already knows it
     /// from the previous round's commit, adopts) the base schedule length.
-    pub fn new(g: &ExGraph, machine: &'a MachineConfig, known_len: Option<u32>) -> Self {
+    /// With `incremental` the round additionally keeps persistent SoA
+    /// timing state and serves every memo miss from the incremental
+    /// kernels instead of the `Dfg`-walking quotient path.
+    pub fn new(
+        g: &ExGraph,
+        machine: &'a MachineConfig,
+        known_len: Option<u32>,
+        incremental: bool,
+    ) -> Self {
         let _span = isex_trace::span_with("eval.lower", || vec![("ops", g.len().to_string())]);
         let sched = exgraph::to_sched(g);
         let mut scratch = ListScratch::new();
@@ -200,16 +298,21 @@ impl<'a> RoundEval<'a> {
             None => list_schedule_len(&sched, machine, Priority::Height, &mut scratch),
         };
         let template = sched.clone();
+        let soa = incremental.then(|| SoaRound::of(&sched, g.len()));
         RoundEval {
             machine,
             sched,
             base_len,
             template,
+            soa,
             merit_memo: HashMap::default(),
             cand_memo: HashMap::default(),
             scratch,
             hits: 0,
             misses: 0,
+            asap_saved: 0,
+            incr_copied: 0,
+            incr_recomputed: 0,
         }
     }
 
@@ -232,22 +335,118 @@ impl<'a> RoundEval<'a> {
             return Rc::clone(ops);
         }
         self.misses += 1;
-        let analysis_ = merit::analyze_with(&mut self.template, g, walk);
-        // One timing analysis of the collapsed graph serves every
-        // per-operation Max_AEC query of this walk.
-        let shared = merit::CollapsedTiming::of(&analysis_);
-        let ops = Rc::new(merit::compute_merit_ops(
+        // Deriving ALAP from a shared (or shift-translated) ASAP avoids two
+        // full forward passes per miss on either branch below.
+        self.asap_saved += 2;
+        let ops = if self.soa.is_some() {
+            Rc::new(self.merit_ops_soa(g, walk, constraints, params, reach))
+        } else {
+            let analysis_ = merit::analyze_with(&mut self.template, g, walk);
+            // One timing analysis of the collapsed graph serves every
+            // per-operation Max_AEC query of this walk.
+            let shared = merit::CollapsedTiming::of(&analysis_);
+            Rc::new(merit::compute_merit_ops(
+                g,
+                walk,
+                &analysis_,
+                constraints,
+                self.machine,
+                params,
+                reach,
+                Some(&shared),
+            ))
+        };
+        self.merit_memo.insert(key, Rc::clone(&ops));
+        ops
+    }
+
+    /// The incremental/SoA merit miss path. Produces the same op sequence
+    /// as the `Dfg` path bit for bit: the quotient numbering is replayed
+    /// exactly by `collapse_soa`, the incremental ASAP/ALAP equal full
+    /// passes, the deadline translation is the exact uniform shift of the
+    /// integer ALAP recurrence, and every f64 factor is then computed by
+    /// the shared [`merit::compute_merit_ops_core`] from identical integer
+    /// inputs.
+    fn merit_ops_soa(
+        &mut self,
+        g: &ExGraph,
+        walk: &Walk,
+        constraints: &Constraints,
+        params: &AcoParams,
+        reach: &Reachability,
+    ) -> Vec<MeritOp> {
+        let soa = self.soa.as_mut().expect("incremental state present");
+        // Patch per-walk software latencies onto the base arrays (hardware
+        // members keep the option-0 placeholder, exactly like `analyze`).
+        soa.patched.lat.copy_from_slice(&soa.base.lat);
+        for (i, c) in walk.choice.iter().enumerate() {
+            if let ImplChoice::Sw(j) = *c {
+                soa.patched.lat[i] = g
+                    .node(isex_dfg::NodeId::new(i as u32))
+                    .payload()
+                    .sched_op(j)
+                    .latency;
+            }
+        }
+        soa.groups.clear();
+        soa.groups.extend(walk.groups.iter().map(|gr| {
+            (
+                gr.members.clone(),
+                SchedOp::new(gr.latency, gr.reads, gr.writes, UnitClass::Asfu),
+            )
+        }));
+        collapse_soa(
+            &soa.patched,
+            &soa.groups,
+            &mut soa.qscratch,
+            &mut soa.quotient,
+        );
+        let q = &soa.quotient;
+        let st_a = asap_incremental_into(q, &soa.bt, &soa.base.lat, &mut soa.asap, &mut soa.needs);
+        let len = length_from_asap(&q.graph, &soa.asap);
+        let st_l = alap_incremental_into(
+            q,
+            &soa.bt,
+            &soa.base.lat,
+            len,
+            &mut soa.alap,
+            &mut soa.needs,
+        );
+        let mut st = IncrStats::default();
+        st.absorb(st_a);
+        st.absorb(st_l);
+        self.incr_copied += st.copied;
+        self.incr_recomputed += st.recomputed;
+        soa.critical.clear();
+        for n in g.node_ids() {
+            let qv = q.node_map[n.index()] as usize;
+            if soa.alap[qv] == soa.asap[qv] {
+                soa.critical.insert(n);
+            }
+        }
+        let deadline = walk.tet.max(len);
+        soa.fast.prepare(&soa.base, walk);
+        // `alap` holds ALAP at deadline `len`; the walk's deadline only
+        // shifts every slot by the same amount, folded into the query.
+        let mut prims = merit::FastPrims {
+            scratch: &mut soa.fast,
+            base: &soa.base,
+            node_map: &soa.quotient.node_map,
+            qlat: &soa.quotient.graph.lat,
+            asap: &soa.asap,
+            alap: &soa.alap,
+            extra: deadline - len,
+        };
+        merit::compute_merit_ops_core(
             g,
             walk,
-            &analysis_,
+            &soa.critical,
             constraints,
             self.machine,
             params,
             reach,
-            Some(&shared),
-        ));
-        self.merit_memo.insert(key, Rc::clone(&ops));
-        ops
+            &mut prims,
+        )
     }
 
     /// Schedule length of the round's graph with `members` frozen into one
@@ -263,13 +462,41 @@ impl<'a> RoundEval<'a> {
             return len;
         }
         self.misses += 1;
-        let collapsed = collapse_groups(&self.sched, &[(members.clone(), footprint)]);
-        let len = list_schedule_len(
-            &collapsed.dfg,
-            self.machine,
-            Priority::Height,
-            &mut self.scratch,
-        );
+        let len = match self.soa.as_mut() {
+            Some(soa) => {
+                // Same quotient numbering as `collapse_groups`, heights
+                // recomputed only inside the group's fan-in cone, and a
+                // counter-driven scheduler whose decisions replay the
+                // rescan scheduler exactly.
+                soa.groups.clear();
+                soa.groups.push((members.clone(), footprint));
+                collapse_soa(&soa.base, &soa.groups, &mut soa.qscratch, &mut soa.quotient);
+                let st = height_incremental_into(
+                    &soa.quotient,
+                    &soa.bt,
+                    &soa.base.lat,
+                    &mut soa.height,
+                    &mut soa.needs,
+                );
+                self.incr_copied += st.copied;
+                self.incr_recomputed += st.recomputed;
+                schedule_len_counters(
+                    &soa.quotient.graph,
+                    self.machine,
+                    &soa.height,
+                    &mut soa.sched_scratch,
+                )
+            }
+            None => {
+                let collapsed = collapse_groups(&self.sched, &[(members.clone(), footprint)]);
+                list_schedule_len(
+                    &collapsed.dfg,
+                    self.machine,
+                    Priority::Height,
+                    &mut self.scratch,
+                )
+            }
+        };
         self.cand_memo.insert(key, len);
         len
     }
@@ -319,7 +546,7 @@ mod tests {
     fn candidate_len_matches_freeze_path_and_hits_on_repeat() {
         let g = chain();
         let m = MachineConfig::preset_2issue_4r2w();
-        let mut eval = RoundEval::new(&g, &m, None);
+        let mut eval = RoundEval::new(&g, &m, None, false);
         assert_eq!(eval.base_len, exgraph::schedule_len(&g, &m));
         let mut members = NodeSet::new(g.len());
         members.insert(NodeId::new(0));
@@ -335,6 +562,84 @@ mod tests {
         let slow = SchedOp::new(3, 2, 1, UnitClass::Asfu);
         assert!(eval.candidate_len(&members, slow) >= cached);
         assert_eq!((eval.hits, eval.misses), (1, 2));
+    }
+
+    #[test]
+    fn incremental_candidate_len_matches_legacy() {
+        let g = chain();
+        let m = MachineConfig::preset_2issue_4r2w();
+        let mut legacy = RoundEval::new(&g, &m, None, false);
+        let mut incr = RoundEval::new(&g, &m, None, true);
+        assert_eq!(legacy.base_len, incr.base_len);
+        for (members, fp) in [
+            (
+                {
+                    let mut s = NodeSet::new(g.len());
+                    s.insert(NodeId::new(0));
+                    s.insert(NodeId::new(1));
+                    s
+                },
+                SchedOp::new(1, 2, 1, UnitClass::Asfu),
+            ),
+            (
+                {
+                    let mut s = NodeSet::new(g.len());
+                    s.insert(NodeId::new(1));
+                    s.insert(NodeId::new(2));
+                    s
+                },
+                SchedOp::new(3, 2, 1, UnitClass::Asfu),
+            ),
+        ] {
+            assert_eq!(
+                incr.candidate_len(&members, fp),
+                legacy.candidate_len(&members, fp),
+                "incremental path must replay the legacy length"
+            );
+        }
+        assert!(incr.incr_copied + incr.incr_recomputed > 0);
+    }
+
+    #[test]
+    fn incremental_merit_ops_are_bit_identical_to_legacy() {
+        use crate::ant::Ant;
+        use crate::candidate::Constraints;
+        use isex_aco::PheromoneStore;
+        use isex_dfg::Reachability;
+        use rand::SeedableRng;
+
+        let g = chain();
+        let m = MachineConfig::preset_2issue_4r2w();
+        let cons = Constraints::from_machine(&m);
+        let params = AcoParams::default();
+        let reach = Reachability::compute(&g);
+        let shape: Vec<(usize, usize)> = g
+            .iter()
+            .map(|(_, n)| (n.payload().sw_delays.len(), n.payload().hw.len()))
+            .collect();
+        let store = PheromoneStore::new(&shape, &params);
+        let mut legacy = RoundEval::new(&g, &m, None, false);
+        let mut incr = RoundEval::new(&g, &m, None, true);
+        let ant = Ant::new(&g, &m, &cons, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let walk = ant.run(&store, &mut rng);
+            let a = legacy.merit_ops(&g, &walk, &cons, &params, &reach);
+            let b = incr.merit_ops(&g, &walk, &cons, &params, &reach);
+            assert_eq!(a.len(), b.len(), "op count");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1, y.1);
+                assert_eq!(
+                    x.2.to_bits(),
+                    y.2.to_bits(),
+                    "factor must be bit-identical: {} vs {}",
+                    x.2,
+                    y.2
+                );
+            }
+        }
+        assert_eq!(legacy.asap_saved, incr.asap_saved);
     }
 
     #[test]

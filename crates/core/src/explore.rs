@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use isex_aco::{AcoParams, ImplChoice, PheromoneStore};
-use isex_dfg::{analysis, convex, ports, NodeId, NodeSet, Reachability};
+use isex_dfg::{analysis, convex, ports, CsrAdjacency, NodeId, NodeSet, Reachability};
 use isex_isa::{MachineConfig, ProgramDfg};
 use isex_sched::collapse::collapse_groups;
 use isex_sched::{list_schedule_len, ListScratch, Priority, SchedDfg, SchedOp, UnitClass};
@@ -130,6 +130,14 @@ pub struct MultiIssueExplorer {
     /// are bitwise identical either way — the switch exists for A/B
     /// benchmarking and the equivalence regression tests.
     pub eval_cache: bool,
+    /// Whether the eval-cache miss path runs on the incremental/SoA
+    /// timing kernels (persistent per-round ASAP/ALAP/height baselines,
+    /// arena quotients, counter-driven scheduling) instead of the
+    /// `Dfg`-walking quotient machinery. Only meaningful with
+    /// [`MultiIssueExplorer::eval_cache`] on; results are bitwise
+    /// identical either way — the switch exists for A/B benchmarking and
+    /// the equivalence regression tests.
+    pub incremental: bool,
     /// Optional shared hit/miss counters for the evaluation cache (the
     /// engine threads one [`EvalStats`] through all its explorers and
     /// exports the totals via `RunMetrics.phase_profile`).
@@ -151,6 +159,7 @@ impl MultiIssueExplorer {
             params: AcoParams::default(),
             sp_function: crate::ant::SpFunction::default(),
             eval_cache: true,
+            incremental: true,
             eval_stats: None,
             stop: None,
         }
@@ -173,6 +182,7 @@ impl MultiIssueExplorer {
             params,
             sp_function: crate::ant::SpFunction::default(),
             eval_cache: true,
+            incremental: true,
             eval_stats: None,
             stop: None,
         }
@@ -223,6 +233,9 @@ impl MultiIssueExplorer {
         let mut known_len = baseline;
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
+        let mut asap_saved = 0u64;
+        let mut incr_copied = 0u64;
+        let mut incr_recomputed = 0u64;
 
         let round_cap = match self.params.max_rounds {
             0 => MAX_ROUNDS,
@@ -258,6 +271,9 @@ impl MultiIssueExplorer {
             );
             cache_hits += out.cache_hits;
             cache_misses += out.cache_misses;
+            asap_saved += out.asap_saved;
+            incr_copied += out.incr_copied;
+            incr_recomputed += out.incr_recomputed;
             let base_len = out.base_len;
             known_len = base_len;
             // A candidate with zero *immediate* saving may still be half of
@@ -354,6 +370,7 @@ impl MultiIssueExplorer {
         }
         if let Some(stats) = &self.eval_stats {
             stats.add(cache_hits, cache_misses);
+            stats.add_timing(asap_saved, incr_copied, incr_recomputed);
         }
         Exploration {
             candidates: commits,
@@ -398,7 +415,11 @@ impl MultiIssueExplorer {
         let mut store = PheromoneStore::new(&shape, &self.params);
         let mut eval = self
             .eval_cache
-            .then(|| RoundEval::new(g, &self.machine, known_len));
+            .then(|| RoundEval::new(g, &self.machine, known_len, self.incremental));
+        // Frozen adjacency for the ant's hot loops, active only on the
+        // incremental path (the legacy paths keep their historical cost
+        // model for A/B benchmarking).
+        let csr = (self.eval_cache && self.incremental).then(|| CsrAdjacency::from_dfg(g));
         let ant = match &eval {
             Some(ev) => Ant::with_sp_on(
                 g,
@@ -407,6 +428,7 @@ impl MultiIssueExplorer {
                 self.params.lambda,
                 self.sp_function,
                 &ev.sched,
+                csr.as_ref(),
             ),
             None => Ant::with_sp(
                 g,
@@ -554,12 +576,19 @@ impl MultiIssueExplorer {
             .as_ref()
             .map(|ev| (ev.hits, ev.misses))
             .unwrap_or((0, 0));
+        let (asap_saved, incr_copied, incr_recomputed) = eval
+            .as_ref()
+            .map(|ev| (ev.asap_saved, ev.incr_copied, ev.incr_recomputed))
+            .unwrap_or((0, 0, 0));
         RoundOutcome {
             ranked,
             best_tet,
             base_len,
             cache_hits,
             cache_misses,
+            asap_saved,
+            incr_copied,
+            incr_recomputed,
         }
     }
 }
@@ -577,6 +606,12 @@ struct RoundOutcome {
     cache_hits: u64,
     /// Evaluation-cache misses this round (0 when the cache is disabled).
     cache_misses: u64,
+    /// Full ASAP passes avoided this round by shared-ASAP ALAP derivation.
+    asap_saved: u64,
+    /// Incremental-timing vertices copied from the round baseline.
+    incr_copied: u64,
+    /// Incremental-timing vertices recomputed inside dirty cones.
+    incr_recomputed: u64,
 }
 
 /// Total ASFU silicon area implied by a walk's hardware choices.

@@ -14,9 +14,10 @@
 //!   performance/area scoring with the `Max_AEC` slack window.
 
 use isex_aco::{ImplChoice, PheromoneStore};
-use isex_dfg::{analysis, convex, ports, NodeId, NodeSet, Reachability};
+use isex_dfg::{analysis, convex, ports, NodeId, NodeSet, Operand, Reachability};
 use isex_isa::MachineConfig;
 use isex_sched::collapse::{collapse_groups, CollapsedGraph};
+use isex_sched::soa::SoaGraph;
 use isex_sched::{timing, SchedDfg, SchedOp, UnitClass};
 
 use crate::ant::Walk;
@@ -64,7 +65,7 @@ pub(crate) fn analyze_with(base: &mut SchedDfg, g: &ExGraph, walk: &Walk) -> Ite
     let CollapsedGraph { dfg, node_map, .. } = collapse_groups(base, &walk_groups(walk));
     let a = timing::asap(&dfg);
     let len = timing::length_from_asap(&dfg, &a);
-    let l = timing::alap(&dfg, len);
+    let l = timing::alap_from_asap(&dfg, &a, len);
     let mut critical = NodeSet::new(g.len());
     for n in g.node_ids() {
         let q = node_map[n.index()].index();
@@ -199,10 +200,9 @@ pub(crate) struct CollapsedTiming {
 
 impl CollapsedTiming {
     pub(crate) fn of(analysis_: &IterationAnalysis) -> Self {
-        CollapsedTiming {
-            asap: timing::asap(&analysis_.collapsed),
-            alap: timing::alap(&analysis_.collapsed, analysis_.deadline),
-        }
+        let asap = timing::asap(&analysis_.collapsed);
+        let alap = timing::alap_from_asap(&analysis_.collapsed, &asap, analysis_.deadline);
+        CollapsedTiming { asap, alap }
     }
 }
 
@@ -267,7 +267,123 @@ pub(crate) fn compute_merit_ops(
     reach: &Reachability,
     shared: Option<&CollapsedTiming>,
 ) -> Vec<MeritOp> {
+    let mut prims = LegacyPrims {
+        analysis_,
+        shared,
+        q: NodeSet::new(analysis_.collapsed.len()),
+    };
+    compute_merit_ops_core(
+        g,
+        walk,
+        &analysis_.critical,
+        constraints,
+        machine,
+        params,
+        reach,
+        &mut prims,
+    )
+}
+
+/// The graph-walking primitives of the merit computation, abstracted so the
+/// factor expressions live in exactly one place
+/// ([`compute_merit_ops_core`]). [`LegacyPrims`] answers with the historical
+/// free functions (fresh allocations, whole-graph scans, per-query timing);
+/// [`FastPrims`] answers from per-round scratch over the SoA arrays. Every
+/// primitive returns identical values (sets, integer counts, and f64s built
+/// by order-insensitive max/ascending-order sums), so the resulting op
+/// stream is bit-equal across providers.
+pub(crate) trait MeritPrims {
+    /// Fills `out` with the virtual subgraph of `x` (Fig. 4.3.6).
+    fn virtual_subgraph_into(&mut self, g: &ExGraph, walk: &Walk, x: NodeId, out: &mut NodeSet);
+    /// `IN/OUT` port demand of `vs`.
+    fn demand(&mut self, g: &ExGraph, vs: &NodeSet) -> ports::PortDemand;
+    /// Convexity of `vs`.
+    fn is_convex(&mut self, vs: &NodeSet, reach: &Reachability) -> bool;
+    /// `ET(vS_x,HW-j)` and area of option `j` of `x` within `vs`.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_option(
+        &mut self,
+        g: &ExGraph,
+        walk: &Walk,
+        vs: &NodeSet,
+        x: NodeId,
+        j: usize,
+        machine: &MachineConfig,
+    ) -> VsEval;
+    /// Software execution cycles of `vs` on the core.
+    fn software_cycles(&mut self, g: &ExGraph, vs: &NodeSet) -> u32;
+    /// The `Max_AEC` slack window of `vs` (members in base node space).
+    fn max_aec(&mut self, vs: &NodeSet) -> u32;
+}
+
+/// [`MeritPrims`] over the historical free functions: the cost model the
+/// legacy and plain eval-cache paths have always paid (per-call allocation,
+/// whole-graph longest-path scans, and — without `shared` — a full
+/// ASAP/ALAP per `Max_AEC` query).
+pub(crate) struct LegacyPrims<'a> {
+    analysis_: &'a IterationAnalysis,
+    shared: Option<&'a CollapsedTiming>,
+    q: NodeSet,
+}
+
+impl MeritPrims for LegacyPrims<'_> {
+    fn virtual_subgraph_into(&mut self, g: &ExGraph, walk: &Walk, x: NodeId, out: &mut NodeSet) {
+        *out = virtual_subgraph(g, walk, x);
+    }
+
+    fn demand(&mut self, g: &ExGraph, vs: &NodeSet) -> ports::PortDemand {
+        ports::demand(g, vs)
+    }
+
+    fn is_convex(&mut self, vs: &NodeSet, reach: &Reachability) -> bool {
+        convex::is_convex(vs, reach)
+    }
+
+    fn evaluate_option(
+        &mut self,
+        g: &ExGraph,
+        walk: &Walk,
+        vs: &NodeSet,
+        x: NodeId,
+        j: usize,
+        machine: &MachineConfig,
+    ) -> VsEval {
+        evaluate_option(g, walk, vs, x, j, machine)
+    }
+
+    fn software_cycles(&mut self, g: &ExGraph, vs: &NodeSet) -> u32 {
+        software_cycles(g, vs)
+    }
+
+    fn max_aec(&mut self, vs: &NodeSet) -> u32 {
+        self.q.clear();
+        for y in vs {
+            self.q.insert(self.analysis_.node_map[y.index()]);
+        }
+        match self.shared {
+            Some(t) => timing::max_aec_from(&self.analysis_.collapsed, &t.asap, &t.alap, &self.q),
+            None => timing::max_aec(&self.analysis_.collapsed, &self.q, self.analysis_.deadline),
+        }
+    }
+}
+
+/// [`compute_merit_ops`] with every graph-walking primitive behind
+/// [`MeritPrims`]. Every factor is computed here from identical integer
+/// inputs in an identical expression sequence, so the resulting f64 stream
+/// is bit-equal across providers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_merit_ops_core(
+    g: &ExGraph,
+    walk: &Walk,
+    critical: &NodeSet,
+    constraints: &Constraints,
+    machine: &MachineConfig,
+    params: &isex_aco::AcoParams,
+    reach: &Reachability,
+    prims: &mut impl MeritPrims,
+) -> Vec<MeritOp> {
     let mut ops: Vec<MeritOp> = Vec::new();
+    let mut vs_buf = NodeSet::new(g.len());
     for x in g.node_ids() {
         let xi = x.index() as u32;
         let op = g.node(x).payload();
@@ -280,16 +396,16 @@ pub(crate) fn compute_merit_ops(
         }
 
         // Case 1: critical-path boost.
-        if analysis_.critical.contains(x) {
+        if critical.contains(x) {
             for j in 0..op.hw.len() {
                 ops.push((xi, ImplChoice::Hw(j), 1.0 / params.beta_cp));
             }
         }
 
-        let vs = virtual_subgraph(g, walk, x);
+        prims.virtual_subgraph_into(g, walk, x, &mut vs_buf);
 
         // Case 2: nothing to fuse with.
-        if vs.len() == 1 {
+        if vs_buf.len() == 1 {
             for j in 0..op.hw.len() {
                 ops.push((xi, ImplChoice::Hw(j), params.beta_size));
             }
@@ -302,10 +418,11 @@ pub(crate) fn compute_merit_ops(
         // sub-blob around `x` — otherwise on dense blocks every hardware
         // merit collapses and the search starves (the paper's penalties
         // assume the violating state is transient).
-        let demand = ports::demand(g, &vs);
+        let demand = prims.demand(g, &vs_buf);
         let io_ok = demand.fits(constraints.n_in, constraints.n_out);
-        let convex_ok = convex::is_convex(&vs, reach);
-        let vs = if !io_ok || !convex_ok {
+        let convex_ok = prims.is_convex(&vs_buf, reach);
+        let legal_store;
+        let vs: &NodeSet = if !io_ok || !convex_ok {
             for j in 0..op.hw.len() {
                 if !io_ok {
                     ops.push((xi, ImplChoice::Hw(j), params.beta_io));
@@ -314,33 +431,24 @@ pub(crate) fn compute_merit_ops(
                     ops.push((xi, ImplChoice::Hw(j), params.beta_convex));
                 }
             }
-            let legal = crate::explore::grow_legal_from(g, x, &vs, constraints, reach);
-            if legal.len() < 2 {
+            legal_store = crate::explore::grow_legal_from(g, x, &vs_buf, constraints, reach);
+            if legal_store.len() < 2 {
                 continue;
             }
-            legal
+            &legal_store
         } else {
-            vs
+            &vs_buf
         };
 
         // Case 4: performance and area scoring.
         let evals: Vec<VsEval> = (0..op.hw.len())
-            .map(|j| evaluate_option(g, walk, &vs, x, j, machine))
+            .map(|j| prims.evaluate_option(g, walk, vs, x, j, machine))
             .collect();
         let et_max_reduction = evals.iter().map(|e| e.et_cycles).min().unwrap_or(1);
         let area_max = evals.iter().map(|e| e.area).fold(0.0f64, f64::max).max(1.0);
-        let sw_cycles = software_cycles(g, &vs);
-        let vs_critical = vs.iter().any(|y| analysis_.critical.contains(y));
-        let max_aec = {
-            let mut q = NodeSet::new(analysis_.collapsed.len());
-            for y in &vs {
-                q.insert(analysis_.node_map[y.index()]);
-            }
-            match shared {
-                Some(t) => timing::max_aec_from(&analysis_.collapsed, &t.asap, &t.alap, &q),
-                None => timing::max_aec(&analysis_.collapsed, &q, analysis_.deadline),
-            }
-        };
+        let sw_cycles = prims.software_cycles(g, vs);
+        let vs_critical = vs.iter().any(|y| critical.contains(y));
+        let max_aec = prims.max_aec(vs);
         for (j, ev) in evals.iter().enumerate() {
             let saving = sw_cycles as i64 - ev.et_cycles as i64;
             // Criterion (1): positive savings scale merit up proportionally;
@@ -363,6 +471,268 @@ pub(crate) fn compute_merit_ops(
         }
     }
     ops
+}
+
+/// Per-round scratch of the fast merit primitives: hardware-choice
+/// connected components (recomputed once per walk), the longest-path finish
+/// buffer, and the demand/convexity sets. Steady state allocates nothing.
+pub(crate) struct FastMeritScratch {
+    /// Component id per node for the current walk; `u32::MAX` when the node
+    /// did not choose hardware.
+    comp_id: Vec<u32>,
+    /// Component member sets, pooled across walks.
+    comps: Vec<NodeSet>,
+    n_comps: usize,
+    /// Longest-path finish times. Stale entries are never read: members are
+    /// visited in ascending index order and every predecessor of a member
+    /// inside the set has a smaller index (the topological-order invariant
+    /// of [`isex_dfg::Dfg`]), so it was written earlier in the same call.
+    finish: Vec<f64>,
+    /// External-producer set of the demand query.
+    ext: NodeSet,
+    live_ins: Vec<u32>,
+    stack: Vec<u32>,
+    /// Descendants/ancestors unions of the convexity test.
+    desc: NodeSet,
+    anc: NodeSet,
+}
+
+impl Default for FastMeritScratch {
+    fn default() -> Self {
+        FastMeritScratch {
+            comp_id: Vec::new(),
+            comps: Vec::new(),
+            n_comps: 0,
+            finish: Vec::new(),
+            ext: NodeSet::new(0),
+            live_ins: Vec::new(),
+            stack: Vec::new(),
+            desc: NodeSet::new(0),
+            anc: NodeSet::new(0),
+        }
+    }
+}
+
+impl FastMeritScratch {
+    /// Recomputes the walk-dependent state: the connected components of the
+    /// hardware-chosen nodes (connectivity through hardware nodes only,
+    /// edges taken as undirected). The virtual subgraph of any `x` is then
+    /// `{x} ∪ ⋃ comp(v)` over the hardware-chosen neighbours `v` of `x` —
+    /// exactly the set the per-node DFS of [`virtual_subgraph`] discovers.
+    pub(crate) fn prepare(&mut self, base: &SoaGraph, walk: &Walk) {
+        let n = base.len();
+        self.comp_id.clear();
+        self.comp_id.resize(n, u32::MAX);
+        self.n_comps = 0;
+        if self.finish.len() != n {
+            self.finish = vec![0.0; n];
+            self.ext = NodeSet::new(n);
+            self.desc = NodeSet::new(n);
+            self.anc = NodeSet::new(n);
+        }
+        for v in 0..n {
+            if !walk.choice[v].is_hardware() || self.comp_id[v] != u32::MAX {
+                continue;
+            }
+            let k = self.n_comps;
+            if k == self.comps.len() {
+                self.comps.push(NodeSet::new(n));
+            } else {
+                self.comps[k].clear();
+            }
+            self.n_comps += 1;
+            self.comp_id[v] = k as u32;
+            self.comps[k].insert(NodeId::new(v as u32));
+            self.stack.clear();
+            self.stack.push(v as u32);
+            while let Some(u) = self.stack.pop() {
+                for &w in base
+                    .preds(u as usize)
+                    .iter()
+                    .chain(base.succs(u as usize).iter())
+                {
+                    let wi = w as usize;
+                    if self.comp_id[wi] == u32::MAX && walk.choice[wi].is_hardware() {
+                        self.comp_id[wi] = k as u32;
+                        self.comps[k].insert(NodeId::new(w));
+                        self.stack.push(w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`MeritPrims`] over the round's SoA arrays and [`FastMeritScratch`]:
+/// virtual subgraphs by word-level component union, longest paths and port
+/// demand scanning members only, and `Max_AEC` answered directly from the
+/// persistent quotient timing vectors (`alap` holds slots at deadline
+/// `len`; the walk's deadline shifts every slot uniformly, folded in as
+/// `extra`).
+pub(crate) struct FastPrims<'a> {
+    pub scratch: &'a mut FastMeritScratch,
+    pub base: &'a SoaGraph,
+    /// Original-node → quotient-node map of this walk's quotient.
+    pub node_map: &'a [u32],
+    /// Quotient latencies, ASAP and ALAP-at-`len`.
+    pub qlat: &'a [u32],
+    pub asap: &'a [u32],
+    pub alap: &'a [u32],
+    /// `walk deadline − len`, the uniform ALAP shift.
+    pub extra: u32,
+}
+
+impl MeritPrims for FastPrims<'_> {
+    fn virtual_subgraph_into(&mut self, _g: &ExGraph, walk: &Walk, x: NodeId, out: &mut NodeSet) {
+        out.clear();
+        out.insert(x);
+        let xi = x.index() as u32;
+        let s = &mut *self.scratch;
+        let mut last = u32::MAX;
+        for &v in self
+            .base
+            .preds(xi as usize)
+            .iter()
+            .chain(self.base.succs(xi as usize).iter())
+        {
+            if walk.choice[v as usize].is_hardware() {
+                let k = s.comp_id[v as usize];
+                if k != last {
+                    out.union_with(&s.comps[k as usize]);
+                    last = k;
+                }
+            }
+        }
+    }
+
+    fn demand(&mut self, g: &ExGraph, vs: &NodeSet) -> ports::PortDemand {
+        let s = &mut *self.scratch;
+        s.ext.clear();
+        s.live_ins.clear();
+        for n in vs {
+            for op in g.node(n).operands() {
+                match *op {
+                    Operand::Node(p) => {
+                        if !vs.contains(p) {
+                            s.ext.insert(p);
+                        }
+                    }
+                    Operand::LiveIn(v) => {
+                        let raw = v.index() as u32;
+                        if !s.live_ins.contains(&raw) {
+                            s.live_ins.push(raw);
+                        }
+                    }
+                    Operand::Const(_) => {}
+                }
+            }
+        }
+        let mut outputs = 0usize;
+        for n in vs {
+            let escapes = g.node(n).is_live_out()
+                || self
+                    .base
+                    .succs(n.index())
+                    .iter()
+                    .any(|&sc| !vs.contains(NodeId::new(sc)));
+            if escapes {
+                outputs += 1;
+            }
+        }
+        ports::PortDemand {
+            inputs: s.ext.len() + s.live_ins.len(),
+            outputs,
+        }
+    }
+
+    fn is_convex(&mut self, vs: &NodeSet, reach: &Reachability) -> bool {
+        let s = &mut *self.scratch;
+        s.desc.clear();
+        s.anc.clear();
+        for n in vs {
+            s.desc.union_with(reach.descendants(n));
+            s.anc.union_with(reach.ancestors(n));
+        }
+        // Convex iff no node outside `vs` is both a descendant and an
+        // ancestor of members — word-wise: desc ∧ anc ∧ ¬vs is empty.
+        s.desc
+            .as_words()
+            .iter()
+            .zip(s.anc.as_words())
+            .zip(vs.as_words())
+            .all(|((d, a), v)| d & a & !v == 0)
+    }
+
+    fn evaluate_option(
+        &mut self,
+        g: &ExGraph,
+        walk: &Walk,
+        vs: &NodeSet,
+        x: NodeId,
+        j: usize,
+        machine: &MachineConfig,
+    ) -> VsEval {
+        let finish = &mut self.scratch.finish;
+        let mut best = 0.0f64;
+        let mut area = 0.0f64;
+        for y in vs {
+            let op = g.node(y).payload();
+            let (d, a) = if y == x {
+                (op.hw[j].delay_ns, op.hw[j].area_um2)
+            } else {
+                match walk.choice[y.index()] {
+                    ImplChoice::Hw(h) => (op.hw[h].delay_ns, op.hw[h].area_um2),
+                    ImplChoice::Sw(_) => (op.hw[0].delay_ns, op.hw[0].area_um2),
+                }
+            };
+            let mut start = 0.0f64;
+            for &p in self.base.preds(y.index()) {
+                if vs.contains(NodeId::new(p)) {
+                    start = start.max(finish[p as usize]);
+                }
+            }
+            let f = start + d;
+            finish[y.index()] = f;
+            best = best.max(f);
+            area += a;
+        }
+        VsEval {
+            et_cycles: machine.cycles_for_delay_ns(best),
+            area,
+        }
+    }
+
+    fn software_cycles(&mut self, g: &ExGraph, vs: &NodeSet) -> u32 {
+        let finish = &mut self.scratch.finish;
+        let mut best = 0.0f64;
+        for y in vs {
+            let d = g.node(y).payload().sw_delays[0] as f64;
+            let mut start = 0.0f64;
+            for &p in self.base.preds(y.index()) {
+                if vs.contains(NodeId::new(p)) {
+                    start = start.max(finish[p as usize]);
+                }
+            }
+            let f = start + d;
+            finish[y.index()] = f;
+            best = best.max(f);
+        }
+        best.round() as u32
+    }
+
+    fn max_aec(&mut self, vs: &NodeSet) -> u32 {
+        if vs.is_empty() {
+            return 0;
+        }
+        let mut earliest = u32::MAX;
+        let mut latest = 0u32;
+        for y in vs {
+            let qv = self.node_map[y.index()] as usize;
+            earliest = earliest.min(self.asap[qv]);
+            latest = latest.max(self.alap[qv] + self.extra + self.qlat[qv]);
+        }
+        latest.saturating_sub(earliest)
+    }
 }
 
 #[cfg(test)]

@@ -233,7 +233,9 @@ impl<'de> serde::Deserialize<'de> for NodeSet {
                     "member {m} outside universe {universe}"
                 )));
             }
-            set.insert(NodeId::new(m));
+            if !set.insert(NodeId::new(m)) {
+                return Err(serde::de::Error::custom(format!("duplicate member {m}")));
+            }
         }
         Ok(set)
     }

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod bitset;
 mod graph;
 
@@ -45,5 +46,6 @@ pub mod dot;
 pub mod ports;
 
 pub use analysis::Reachability;
+pub use arena::CsrAdjacency;
 pub use bitset::NodeSet;
 pub use graph::{Dfg, DfgNode, NodeId, Operand, ValueId};

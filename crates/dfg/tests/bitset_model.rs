@@ -95,6 +95,56 @@ proptest! {
         let back = serde_json_parse(&json);
         prop_assert_eq!(back, set);
     }
+
+    /// Real serde round-trip: Serialize → JSON → Deserialize is identity.
+    #[test]
+    fn serde_json_roundtrip_matches(ops in arb_ops()) {
+        let (set, _) = apply(&ops);
+        let json = serde_json::to_string(&set).unwrap();
+        let back: NodeSet = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    /// A member index at or beyond the declared universe must be rejected
+    /// as a deserialization error, never panic or set out-of-range bits.
+    #[test]
+    fn deserialize_rejects_out_of_range_members(
+        universe in 0u64..130,
+        excess in 0u32..64,
+        ops in arb_ops(),
+    ) {
+        let (set, _) = apply(&ops);
+        let mut members: Vec<u32> = set
+            .iter()
+            .map(|n| n.index() as u32)
+            .filter(|&m| (m as u64) < universe)
+            .collect();
+        members.push(universe as u32 + excess);
+        let json = serde_json::to_string(&(universe, members)).unwrap();
+        let err = serde_json::from_str::<NodeSet>(&json).unwrap_err();
+        prop_assert!(
+            err.to_string().contains("outside universe"),
+            "unexpected error: {}", err
+        );
+    }
+
+    /// A repeated member index is rejected: the canonical wire form lists
+    /// each member exactly once, so a duplicate marks a corrupt or
+    /// hand-forged payload rather than something to silently dedup.
+    #[test]
+    fn deserialize_rejects_duplicate_members(ops in arb_ops(), dup_pick in any::<prop::sample::Index>()) {
+        let (set, _) = apply(&ops);
+        prop_assume!(!set.is_empty());
+        let mut members: Vec<u32> = set.iter().map(|n| n.index() as u32).collect();
+        let dup = members[dup_pick.index(members.len())];
+        members.push(dup);
+        let json = serde_json::to_string(&(set.universe() as u64, members)).unwrap();
+        let err = serde_json::from_str::<NodeSet>(&json).unwrap_err();
+        prop_assert!(
+            err.to_string().contains("duplicate member"),
+            "unexpected error: {}", err
+        );
+    }
 }
 
 // Minimal serde harness without pulling serde_json into this crate: use

@@ -58,6 +58,11 @@ pub struct ExploreSpec {
     /// way — only wall time changes; `false` forces the legacy
     /// re-lowering paths (benchmarks and regression pins).
     pub eval_cache: bool,
+    /// Incremental/SoA hot-loop evaluation (persistent per-round timing
+    /// baselines, arena quotients, counter-driven scheduling) on the
+    /// eval-cache miss path. Results are bitwise identical either way;
+    /// only meaningful when [`ExploreSpec::eval_cache`] is on.
+    pub incremental: bool,
     /// Deterministic fault injection (tests and resilience drills only).
     /// `None` in production; see [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
@@ -128,6 +133,13 @@ pub struct EngineOutcome {
     pub eval_cache_hits: u64,
     /// Hot-path evaluation-cache misses summed over all jobs.
     pub eval_cache_misses: u64,
+    /// Full ASAP passes avoided by shared-ASAP ALAP derivation, summed
+    /// over all jobs (the timing-layer bugfix made visible).
+    pub asap_saved: u64,
+    /// Incremental-timing quotient vertices copied from a round baseline.
+    pub incr_copied: u64,
+    /// Incremental-timing quotient vertices recomputed in dirty cones.
+    pub incr_recomputed: u64,
 }
 
 /// Runs exploration jobs deterministically in parallel.
@@ -347,6 +359,9 @@ impl Engine {
             explore_ms: start.elapsed().as_secs_f64() * 1e3,
             eval_cache_hits: eval_stats.hits(),
             eval_cache_misses: eval_stats.misses(),
+            asap_saved: eval_stats.asap_saved(),
+            incr_copied: eval_stats.incr_copied(),
+            incr_recomputed: eval_stats.incr_recomputed(),
         }
     }
 
@@ -391,6 +406,7 @@ impl Engine {
                     self.spec.params,
                 );
                 explorer.eval_cache = self.spec.eval_cache;
+                explorer.incremental = self.spec.incremental;
                 explorer.eval_stats = Some(Arc::clone(eval_stats));
                 // The anytime hook: a token tripping mid-job stops the
                 // round loop at the next boundary, and the job returns its

@@ -51,6 +51,14 @@ pub struct FlowConfig {
     /// reports are bitwise identical either way — `false` forces the
     /// legacy re-lowering paths for benchmarks and regression pins.
     pub eval_cache: bool,
+    /// Incremental timing + SoA hot loop inside the eval cache: persistent
+    /// per-round ASAP/ALAP baselines updated only along the patched fan-in
+    /// and fan-out cones, arena CSR adjacency and the counter-driven list
+    /// scheduler. On by default; reports are bitwise identical either way —
+    /// `false` is the A/B switch that keeps the eval cache but forces the
+    /// full-pass timing code for benchmarks and regression pins. Has no
+    /// effect when `eval_cache` is off.
+    pub incremental: bool,
     /// Deterministic fault injection passed through to the engine.
     /// `None` (the default) in production; see [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
@@ -75,6 +83,7 @@ impl FlowConfig {
             sharing: SharingModel::default(),
             hot_block_coverage: 0.95,
             eval_cache: true,
+            incremental: true,
             fault_plan: None,
             tracer: Tracer::disabled(),
         }
@@ -309,6 +318,24 @@ pub(crate) fn explore_program_anytime(
             });
         }
     }
+    // Timing-layer savings: full ALAP passes avoided by deriving ALAP from
+    // the ASAP numbers already in hand, and the copied/recomputed vertex
+    // split of the incremental cone updates. Same `PhaseStat` channel, so a
+    // regression in either shows up on the metrics endpoint directly.
+    for (name, count) in [
+        ("timing.asap_saved", outcome.asap_saved),
+        ("timing.incr_copied", outcome.incr_copied),
+        ("timing.incr_recomputed", outcome.incr_recomputed),
+    ] {
+        if count > 0 {
+            metrics.phase_profile.0.push(isex_engine::PhaseStat {
+                name: name.to_string(),
+                count,
+                total_ms: 0.0,
+                max_ms: 0.0,
+            });
+        }
+    }
     (patterns, hot.len(), iterations, metrics, provenance)
 }
 
@@ -346,6 +373,7 @@ pub(crate) fn explore_spec(cfg: &FlowConfig) -> ExploreSpec {
         repeats: cfg.repeats,
         jobs: cfg.jobs,
         eval_cache: cfg.eval_cache,
+        incremental: cfg.incremental,
         fault_plan: cfg.fault_plan.clone(),
         tracer: cfg.tracer.clone(),
     }

@@ -43,6 +43,7 @@ pub mod collapse;
 pub mod display;
 pub mod list;
 pub mod resources;
+pub mod soa;
 pub mod timing;
 pub mod unit;
 

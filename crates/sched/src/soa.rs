@@ -1,0 +1,956 @@
+//! Struct-of-arrays hot-loop kernels: arena graph, exact quotient
+//! collapse, incremental (cone-limited) timing and a counter-driven list
+//! scheduler.
+//!
+//! The exploration loop evaluates thousands of ISE patches per round, and
+//! each evaluation used to rebuild a pointer-rich [`SchedDfg`] quotient and
+//! re-run full ASAP/ALAP/height passes over it. This module provides the
+//! data-oriented replacements:
+//!
+//! * [`SoaGraph`] — latency/read/write/class vectors plus flat CSR
+//!   adjacency arenas, no per-node allocations;
+//! * [`collapse_soa`] — the quotient construction of
+//!   [`collapse_groups`](crate::collapse::collapse_groups) replayed on the
+//!   arrays, producing *bit-identical vertex numbering* (same Kahn order,
+//!   same edge dedup) without emitting a `Dfg`;
+//! * [`BaseTiming`] + the `*_incremental_into` kernels — persistent
+//!   per-round ASAP/ALAP/height state updated only along the fan-in/out
+//!   cones a patch actually dirties, with copy/recompute counters;
+//! * [`schedule_len_counters`] — the list scheduler driven by ready
+//!   counters and a completion heap instead of a per-cycle all-nodes
+//!   rescan, decision-identical to [`list_schedule`](crate::list_schedule).
+//!
+//! # Determinism
+//!
+//! Every kernel here is documented (and tested) to reproduce its
+//! `Dfg`-walking counterpart *exactly*: quotient vertex ids, schedule
+//! lengths and all timing vectors are equal value for value, so a caller
+//! may switch representations per evaluation without perturbing a single
+//! downstream f64.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use isex_dfg::NodeSet;
+use isex_isa::MachineConfig;
+
+use crate::resources::ResourceTable;
+use crate::unit::{SchedDfg, SchedOp, UnitClass};
+
+/// A schedulable graph in struct-of-arrays form: per-node footprint
+/// vectors plus compressed-sparse-row predecessor/successor arenas
+/// (distinct neighbours, first-occurrence order — the same sequences
+/// [`isex_dfg::Dfg::preds`]/[`succs`](isex_dfg::Dfg::succs) yield).
+///
+/// Node indices follow the source [`SchedDfg`] (or, for a quotient built
+/// by [`collapse_soa`], the emission order of
+/// [`collapse_groups`](crate::collapse::collapse_groups)); the index order
+/// is topological.
+#[derive(Clone, Debug, Default)]
+pub struct SoaGraph {
+    /// Latency in cycles per node.
+    pub lat: Vec<u32>,
+    /// Register read ports per node.
+    pub reads: Vec<u32>,
+    /// Register write ports per node.
+    pub writes: Vec<u32>,
+    /// Function-unit class per node.
+    pub class: Vec<UnitClass>,
+    pred_off: Vec<u32>,
+    pred: Vec<u32>,
+    succ_off: Vec<u32>,
+    succ: Vec<u32>,
+}
+
+impl SoaGraph {
+    /// Lowers `dfg` into arrays.
+    pub fn from_sched(dfg: &SchedDfg) -> Self {
+        let mut g = SoaGraph::default();
+        g.rebuild(dfg);
+        g
+    }
+
+    /// Rebuilds in place from `dfg`, reusing every buffer.
+    pub fn rebuild(&mut self, dfg: &SchedDfg) {
+        self.clear();
+        for (_, n) in dfg.iter() {
+            let op = n.payload();
+            self.lat.push(op.latency);
+            self.reads.push(op.reads as u32);
+            self.writes.push(op.writes as u32);
+            self.class.push(op.class);
+        }
+        self.pred_off.push(0);
+        for id in dfg.node_ids() {
+            self.pred.extend(dfg.preds(id).map(|p| p.index() as u32));
+            self.pred_off.push(self.pred.len() as u32);
+        }
+        self.succ_off.push(0);
+        for id in dfg.node_ids() {
+            self.succ.extend(dfg.succs(id).map(|s| s.index() as u32));
+            self.succ_off.push(self.succ.len() as u32);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.lat.clear();
+        self.reads.clear();
+        self.writes.clear();
+        self.class.clear();
+        self.pred_off.clear();
+        self.pred.clear();
+        self.succ_off.clear();
+        self.succ.clear();
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.lat.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.lat.is_empty()
+    }
+
+    /// Distinct predecessors of node `v`.
+    pub fn preds(&self, v: usize) -> &[u32] {
+        &self.pred[self.pred_off[v] as usize..self.pred_off[v + 1] as usize]
+    }
+
+    /// Distinct successors of node `v`.
+    pub fn succs(&self, v: usize) -> &[u32] {
+        &self.succ[self.succ_off[v] as usize..self.succ_off[v + 1] as usize]
+    }
+}
+
+/// Earliest start of every node (resources ignored), written into `out`.
+/// Equal to [`timing::asap`](crate::timing::asap) on the source graph.
+pub fn asap_into(g: &SoaGraph, out: &mut Vec<u32>) {
+    out.clear();
+    out.resize(g.len(), 0);
+    for v in 0..g.len() {
+        let s = g
+            .preds(v)
+            .iter()
+            .map(|&p| out[p as usize] + g.lat[p as usize])
+            .max()
+            .unwrap_or(0);
+        out[v] = s;
+    }
+}
+
+/// Schedule length implied by an ASAP vector of `g`.
+pub fn length_from_asap(g: &SoaGraph, asap: &[u32]) -> u32 {
+    (0..g.len()).map(|v| asap[v] + g.lat[v]).max().unwrap_or(0)
+}
+
+/// Latest start of every node such that everything finishes by `deadline`,
+/// written into `out`. Equal to
+/// [`timing::alap`](crate::timing::alap) on the source graph.
+pub fn alap_into(g: &SoaGraph, deadline: u32, out: &mut Vec<u32>) {
+    out.clear();
+    out.resize(g.len(), 0);
+    for v in (0..g.len()).rev() {
+        let lat = g.lat[v];
+        let s = g
+            .succs(v)
+            .iter()
+            .map(|&s| out[s as usize])
+            .min()
+            .map(|earliest_succ| earliest_succ - lat)
+            .unwrap_or(deadline - lat);
+        out[v] = s;
+    }
+}
+
+/// Latency-weighted height of every node (the
+/// [`Priority::Height`](crate::Priority::Height) values), written into
+/// `out`.
+pub fn height_into(g: &SoaGraph, out: &mut Vec<i64>) {
+    out.clear();
+    out.resize(g.len(), 0);
+    for v in (0..g.len()).rev() {
+        out[v] = g.lat[v] as i64
+            + g.succs(v)
+                .iter()
+                .map(|&s| out[s as usize])
+                .max()
+                .unwrap_or(0);
+    }
+}
+
+/// Persistent per-round timing state of a base [`SoaGraph`]: ASAP, ALAP at
+/// the dependence-only length, heights and the length itself. The
+/// incremental kernels update quotient timing against this baseline,
+/// touching only the cones an ISE patch dirties.
+#[derive(Clone, Debug, Default)]
+pub struct BaseTiming {
+    /// ASAP start per base node.
+    pub asap: Vec<u32>,
+    /// ALAP start per base node at deadline [`BaseTiming::dep_len`].
+    pub alap: Vec<u32>,
+    /// Latency-weighted height per base node.
+    pub height: Vec<i64>,
+    /// Dependence-only schedule length of the base graph.
+    pub dep_len: u32,
+}
+
+impl BaseTiming {
+    /// Runs the three full passes once over `g`.
+    pub fn of(g: &SoaGraph) -> Self {
+        let mut t = BaseTiming::default();
+        asap_into(g, &mut t.asap);
+        t.dep_len = length_from_asap(g, &t.asap);
+        alap_into(g, t.dep_len, &mut t.alap);
+        height_into(g, &mut t.height);
+        t
+    }
+}
+
+/// Copy/recompute counters of the incremental timing kernels: `copied`
+/// vertices took their value straight from the [`BaseTiming`] baseline,
+/// `recomputed` vertices were inside a dirty cone. Their sum per pass is
+/// the quotient size; the copied share is the work the incremental layer
+/// removed relative to a full pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrStats {
+    /// Vertices whose timing was copied from the baseline.
+    pub copied: u64,
+    /// Vertices whose timing was recomputed from neighbours.
+    pub recomputed: u64,
+}
+
+impl IncrStats {
+    /// Accumulates another pass' counters.
+    pub fn absorb(&mut self, other: IncrStats) {
+        self.copied += other.copied;
+        self.recomputed += other.recomputed;
+    }
+}
+
+/// The quotient graph produced by [`collapse_soa`]: arrays plus the
+/// base→quotient mapping and each quotient vertex's origin.
+#[derive(Clone, Debug, Default)]
+pub struct Quotient {
+    /// The quotient in SoA form; vertex ids match the emission order of
+    /// [`collapse_groups`](crate::collapse::collapse_groups) exactly.
+    pub graph: SoaGraph,
+    /// For every base node, its quotient vertex.
+    pub node_map: Vec<u32>,
+    /// For every group (by input index), its quotient vertex.
+    pub group_node: Vec<u32>,
+    /// Origin of every quotient vertex: `base node index` for an
+    /// un-collapsed single, or `-(1 + group index)` for a group vertex.
+    pub orig: Vec<i64>,
+}
+
+impl Quotient {
+    /// Returns `true` if quotient vertex `v` is a collapsed group.
+    #[inline]
+    pub fn is_group(&self, v: usize) -> bool {
+        self.orig[v] < 0
+    }
+}
+
+/// Reusable working memory for [`collapse_soa`].
+#[derive(Clone, Debug, Default)]
+pub struct QuotientScratch {
+    group_of: Vec<i32>,
+    vx: Vec<u32>,
+    singles: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    indeg: Vec<u32>,
+    osucc_off: Vec<u32>,
+    queue: Vec<u32>,
+    topo: Vec<u32>,
+    new_id: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+/// Collapses each `(members, footprint)` group of `base` into a single
+/// vertex, writing the quotient into `out`.
+///
+/// This is [`collapse_groups`](crate::collapse::collapse_groups) replayed
+/// on arrays: the same vertex keys (groups first, then singles in index
+/// order), the same deduplicated edge set, and the same vec-stack Kahn
+/// walk (initial zero-indegree queue ascending, pop from the back), so the
+/// emitted vertex numbering — which downstream scheduler tie-breaks depend
+/// on — is identical. No `Dfg` is built and, at steady state, nothing is
+/// allocated.
+///
+/// # Panics
+///
+/// Panics if group sets overlap or if some set is not convex, matching the
+/// `Dfg` path.
+pub fn collapse_soa(
+    base: &SoaGraph,
+    groups: &[(NodeSet, SchedOp)],
+    s: &mut QuotientScratch,
+    out: &mut Quotient,
+) {
+    let k = base.len();
+    let gn = groups.len();
+
+    s.group_of.clear();
+    s.group_of.resize(k, -1);
+    for (i, (set, _)) in groups.iter().enumerate() {
+        for n in set {
+            assert!(
+                s.group_of[n.index()] < 0,
+                "node {n:?} belongs to two ISE instances"
+            );
+            s.group_of[n.index()] = i as i32;
+        }
+    }
+
+    // Vertex key per base node: groups take ids 0..gn, singles follow in
+    // base-index order (the prefix-rank replacement for the O(n) scan the
+    // Dfg path does per lookup).
+    s.vx.clear();
+    s.vx.reserve(k);
+    s.singles.clear();
+    for n in 0..k {
+        if s.group_of[n] >= 0 {
+            s.vx.push(s.group_of[n] as u32);
+        } else {
+            s.vx.push((gn + s.singles.len()) as u32);
+            s.singles.push(n as u32);
+        }
+    }
+    let vcount = gn + s.singles.len();
+
+    // Deduplicated quotient edges, sorted — the same set, iterated in the
+    // same (src, dst) order, as the Dfg path's BTreeSet.
+    s.edges.clear();
+    for n in 0..k {
+        let dst = s.vx[n];
+        for &p in base.preds(n) {
+            let src = s.vx[p as usize];
+            if src != dst {
+                s.edges.push((src, dst));
+            }
+        }
+    }
+    s.edges.sort_unstable();
+    s.edges.dedup();
+
+    // Kahn topological sort, replicating the Dfg path exactly: vec-stack
+    // queue seeded with zero-indegree vertices ascending, popped from the
+    // back, successors scanned in dst-ascending order.
+    s.indeg.clear();
+    s.indeg.resize(vcount, 0);
+    for &(_, d) in &s.edges {
+        s.indeg[d as usize] += 1;
+    }
+    s.osucc_off.clear();
+    s.osucc_off.resize(vcount + 1, 0);
+    for &(src, _) in &s.edges {
+        s.osucc_off[src as usize + 1] += 1;
+    }
+    for v in 0..vcount {
+        s.osucc_off[v + 1] += s.osucc_off[v];
+    }
+    s.queue.clear();
+    s.queue
+        .extend((0..vcount as u32).filter(|&v| s.indeg[v as usize] == 0));
+    s.topo.clear();
+    while let Some(v) = s.queue.pop() {
+        s.topo.push(v);
+        let (lo, hi) = (s.osucc_off[v as usize], s.osucc_off[v as usize + 1]);
+        for &(_, d) in &s.edges[lo as usize..hi as usize] {
+            s.indeg[d as usize] -= 1;
+            if s.indeg[d as usize] == 0 {
+                s.queue.push(d);
+            }
+        }
+    }
+    assert_eq!(
+        s.topo.len(),
+        vcount,
+        "quotient graph is cyclic: some ISE set is not convex"
+    );
+    s.new_id.clear();
+    s.new_id.resize(vcount, 0);
+    for (pos, &v) in s.topo.iter().enumerate() {
+        s.new_id[v as usize] = pos as u32;
+    }
+
+    // Emit payload arrays in quotient-topological order.
+    let q = &mut out.graph;
+    q.clear();
+    out.orig.clear();
+    for &v in &s.topo {
+        if (v as usize) < gn {
+            let fp = &groups[v as usize].1;
+            q.lat.push(fp.latency);
+            q.reads.push(fp.reads as u32);
+            q.writes.push(fp.writes as u32);
+            q.class.push(fp.class);
+            out.orig.push(-(1 + v as i64));
+        } else {
+            let n = s.singles[v as usize - gn] as usize;
+            q.lat.push(base.lat[n]);
+            q.reads.push(base.reads[n]);
+            q.writes.push(base.writes[n]);
+            q.class.push(base.class[n]);
+            out.orig.push(n as i64);
+        }
+    }
+
+    // Quotient adjacency in new-id space (CSR by counting; list order is
+    // irrelevant — every consumer takes an order-free min/max/sum).
+    s.counts.clear();
+    s.counts.resize(vcount, 0);
+    for &(_, d) in &s.edges {
+        s.counts[s.new_id[d as usize] as usize] += 1;
+    }
+    q.pred_off.clear();
+    q.pred_off.resize(vcount + 1, 0);
+    for v in 0..vcount {
+        q.pred_off[v + 1] = q.pred_off[v] + s.counts[v];
+    }
+    q.pred.clear();
+    q.pred.resize(s.edges.len(), 0);
+    s.counts.clear();
+    s.counts.resize(vcount, 0);
+    for &(src, d) in &s.edges {
+        let nd = s.new_id[d as usize] as usize;
+        let slot = q.pred_off[nd] + s.counts[nd];
+        q.pred[slot as usize] = s.new_id[src as usize];
+        s.counts[nd] += 1;
+    }
+    s.counts.clear();
+    s.counts.resize(vcount, 0);
+    for &(src, _) in &s.edges {
+        s.counts[s.new_id[src as usize] as usize] += 1;
+    }
+    q.succ_off.clear();
+    q.succ_off.resize(vcount + 1, 0);
+    for v in 0..vcount {
+        q.succ_off[v + 1] = q.succ_off[v] + s.counts[v];
+    }
+    q.succ.clear();
+    q.succ.resize(s.edges.len(), 0);
+    s.counts.clear();
+    s.counts.resize(vcount, 0);
+    for &(src, d) in &s.edges {
+        let ns = s.new_id[src as usize] as usize;
+        let slot = q.succ_off[ns] + s.counts[ns];
+        q.succ[slot as usize] = s.new_id[d as usize];
+        s.counts[ns] += 1;
+    }
+
+    out.node_map.clear();
+    out.node_map
+        .extend((0..k).map(|n| s.new_id[s.vx[n] as usize]));
+    out.group_node.clear();
+    out.group_node.extend((0..gn).map(|i| s.new_id[i]));
+}
+
+/// Quotient ASAP with cone-limited recomputation: vertices outside the
+/// fan-out cones of patched nodes (group members and latency changes) copy
+/// their baseline value; everything inside is recomputed. The result
+/// equals a full [`asap_into`] pass over the quotient, value for value.
+///
+/// `base_lat` is the base graph's latency vector (to detect per-walk
+/// latency patches on singles).
+pub fn asap_incremental_into(
+    q: &Quotient,
+    base: &BaseTiming,
+    base_lat: &[u32],
+    out: &mut Vec<u32>,
+    needs: &mut Vec<bool>,
+) -> IncrStats {
+    let g = &q.graph;
+    let n = g.len();
+    out.clear();
+    out.resize(n, 0);
+    needs.clear();
+    needs.resize(n, false);
+    let mut stats = IncrStats::default();
+    for v in 0..n {
+        let orig = q.orig[v];
+        let dirty_self = orig < 0 || g.lat[v] != base_lat[orig as usize];
+        if dirty_self || needs[v] {
+            let start = g
+                .preds(v)
+                .iter()
+                .map(|&p| out[p as usize] + g.lat[p as usize])
+                .max()
+                .unwrap_or(0);
+            out[v] = start;
+            stats.recomputed += 1;
+            // The finish time is what successors observe; only a changed
+            // finish (or a group vertex, which has no baseline) dirties
+            // the fan-out.
+            let finish_changed =
+                orig < 0 || start + g.lat[v] != base.asap[orig as usize] + base_lat[orig as usize];
+            if finish_changed {
+                for &sc in g.succs(v) {
+                    needs[sc as usize] = true;
+                }
+            }
+        } else {
+            out[v] = base.asap[orig as usize];
+            stats.copied += 1;
+        }
+    }
+    stats
+}
+
+/// Quotient ALAP at deadline `deadline` with cone-limited recomputation
+/// against the baseline ALAP (taken at the base dependence length and
+/// shifted uniformly — exact for the integer min/minus recurrence). The
+/// result equals a full [`alap_into`] pass at `deadline`.
+pub fn alap_incremental_into(
+    q: &Quotient,
+    base: &BaseTiming,
+    base_lat: &[u32],
+    deadline: u32,
+    out: &mut Vec<u32>,
+    needs: &mut Vec<bool>,
+) -> IncrStats {
+    let g = &q.graph;
+    let n = g.len();
+    let shift = deadline as i64 - base.dep_len as i64;
+    out.clear();
+    out.resize(n, 0);
+    needs.clear();
+    needs.resize(n, false);
+    let mut stats = IncrStats::default();
+    for v in (0..n).rev() {
+        let orig = q.orig[v];
+        let dirty_self = orig < 0 || g.lat[v] != base_lat[orig as usize];
+        if dirty_self || needs[v] {
+            let lat = g.lat[v];
+            let a = g
+                .succs(v)
+                .iter()
+                .map(|&sc| out[sc as usize])
+                .min()
+                .map(|earliest_succ| earliest_succ - lat)
+                .unwrap_or(deadline - lat);
+            out[v] = a;
+            stats.recomputed += 1;
+            // Predecessors observe this vertex's start; a shifted-baseline
+            // match means their min is undisturbed.
+            let start_changed = orig < 0 || a as i64 != base.alap[orig as usize] as i64 + shift;
+            if start_changed {
+                for &p in g.preds(v) {
+                    needs[p as usize] = true;
+                }
+            }
+        } else {
+            out[v] = (base.alap[orig as usize] as i64 + shift) as u32;
+            stats.copied += 1;
+        }
+    }
+    stats
+}
+
+/// Quotient heights with cone-limited recomputation (only the fan-in cone
+/// of a group or latency patch is revisited). The result equals a full
+/// [`height_into`] pass over the quotient.
+pub fn height_incremental_into(
+    q: &Quotient,
+    base: &BaseTiming,
+    base_lat: &[u32],
+    out: &mut Vec<i64>,
+    needs: &mut Vec<bool>,
+) -> IncrStats {
+    let g = &q.graph;
+    let n = g.len();
+    out.clear();
+    out.resize(n, 0);
+    needs.clear();
+    needs.resize(n, false);
+    let mut stats = IncrStats::default();
+    for v in (0..n).rev() {
+        let orig = q.orig[v];
+        let dirty_self = orig < 0 || g.lat[v] != base_lat[orig as usize];
+        if dirty_self || needs[v] {
+            let h = g.lat[v] as i64
+                + g.succs(v)
+                    .iter()
+                    .map(|&sc| out[sc as usize])
+                    .max()
+                    .unwrap_or(0);
+            out[v] = h;
+            stats.recomputed += 1;
+            if orig < 0 || h != base.height[orig as usize] {
+                for &p in g.preds(v) {
+                    needs[p as usize] = true;
+                }
+            }
+        } else {
+            out[v] = base.height[orig as usize];
+            stats.copied += 1;
+        }
+    }
+    stats
+}
+
+/// Reusable buffers for [`schedule_len_counters`].
+#[derive(Debug, Default)]
+pub struct CounterSchedScratch {
+    start: Vec<u32>,
+    pending: Vec<u32>,
+    ready: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    resources: Option<ResourceTable>,
+}
+
+/// List-schedules `g` on `machine` with the given priority values,
+/// returning the makespan.
+///
+/// Decision-identical to
+/// [`list_schedule_len`](crate::list_schedule_len): per cycle the
+/// data-ready set, its `(-priority, index)` order and the greedy resource
+/// admissions are exactly those of the per-cycle rescan — but readiness is
+/// maintained by predecessor counters plus a completion heap, so a cycle
+/// costs O(ready) instead of O(nodes × edges), and cycles in which nothing
+/// can start are skipped outright (the rescan path idles through them
+/// issuing nothing, which cannot change any decision).
+///
+/// # Panics
+///
+/// Panics if some operation's port demand exceeds the machine even in an
+/// empty cycle, like the rescan path.
+pub fn schedule_len_counters(
+    g: &SoaGraph,
+    machine: &MachineConfig,
+    prio: &[i64],
+    s: &mut CounterSchedScratch,
+) -> u32 {
+    let k = g.len();
+    for v in 0..k {
+        assert!(
+            g.reads[v] as usize <= machine.read_ports
+                && g.writes[v] as usize <= machine.write_ports,
+            "operation {v} demands {}R/{}W, machine has {}R/{}W",
+            g.reads[v],
+            g.writes[v],
+            machine.read_ports,
+            machine.write_ports
+        );
+    }
+    s.start.clear();
+    s.start.resize(k, 0);
+    s.pending.clear();
+    s.pending
+        .extend((0..k).map(|v| g.pred_off[v + 1] - g.pred_off[v]));
+    s.ready.clear();
+    s.ready
+        .extend((0..k as u32).filter(|&v| s.pending[v as usize] == 0));
+    s.heap.clear();
+    let rt = s
+        .resources
+        .get_or_insert_with(|| ResourceTable::new(*machine));
+    rt.reset(*machine);
+    let mut remaining = k;
+    let mut cycle: u32 = 0;
+
+    while remaining > 0 {
+        while let Some(&Reverse((finish, node))) = s.heap.peek() {
+            if finish > cycle {
+                break;
+            }
+            s.heap.pop();
+            for &sc in g.succs(node as usize) {
+                s.pending[sc as usize] -= 1;
+                if s.pending[sc as usize] == 0 {
+                    s.ready.push(sc);
+                }
+            }
+        }
+        if s.ready.is_empty() {
+            // Nothing can become ready before the next completion; the
+            // rescan path burns these cycles issuing nothing.
+            let &Reverse((finish, _)) = s.heap.peek().expect("in-flight work exists");
+            cycle = finish;
+            continue;
+        }
+        s.ready.sort_unstable_by_key(|&v| (-prio[v as usize], v));
+        let mut keep = 0;
+        for i in 0..s.ready.len() {
+            let v = s.ready[i] as usize;
+            let op = SchedOp {
+                latency: g.lat[v],
+                reads: g.reads[v] as usize,
+                writes: g.writes[v] as usize,
+                class: g.class[v],
+            };
+            if rt.can_issue(cycle, &op) {
+                rt.commit(cycle, &op);
+                s.start[v] = cycle;
+                s.heap.push(Reverse((cycle + g.lat[v], v as u32)));
+                remaining -= 1;
+            } else {
+                s.ready[keep] = v as u32;
+                keep += 1;
+            }
+        }
+        s.ready.truncate(keep);
+        cycle += 1;
+    }
+
+    (0..k).map(|v| s.start[v] + g.lat[v]).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collapse::collapse_groups;
+    use crate::list::{list_schedule_len, ListScratch, Priority};
+    use crate::timing;
+    use isex_dfg::{NodeId, Operand};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn alu(lat: u32) -> SchedOp {
+        SchedOp::new(lat, 1, 1, UnitClass::Alu)
+    }
+
+    /// Random DAG with varied latencies/classes, operands drawn from
+    /// earlier nodes (so index order is topological by construction).
+    fn random_dfg(rng: &mut StdRng, k: usize) -> SchedDfg {
+        let mut g = SchedDfg::new();
+        let x = g.live_in();
+        for i in 0..k {
+            let mut operands = Vec::new();
+            if i > 0 {
+                for _ in 0..rng.gen_range(0..=3usize.min(i)) {
+                    operands.push(Operand::Node(NodeId::new(rng.gen_range(0..i) as u32)));
+                }
+            }
+            if operands.is_empty() {
+                operands.push(Operand::LiveIn(x));
+            }
+            let class = match rng.gen_range(0..4u32) {
+                0 => UnitClass::Mult,
+                1 => UnitClass::Mem,
+                _ => UnitClass::Alu,
+            };
+            let id = g.add_node(
+                SchedOp::new(rng.gen_range(1..4), operands.len().min(2), 1, class),
+                operands,
+            );
+            if rng.gen_bool(0.3) {
+                g.set_live_out(id, true);
+            }
+        }
+        g
+    }
+
+    /// A random family of disjoint convex groups of `dfg` (contiguous
+    /// index ranges are always convex).
+    fn random_groups(rng: &mut StdRng, k: usize) -> Vec<(NodeSet, SchedOp)> {
+        let mut groups = Vec::new();
+        let mut next = 0usize;
+        while next + 1 < k && groups.len() < 3 {
+            let lo = rng.gen_range(next..k - 1);
+            let hi = rng.gen_range(lo + 1..(lo + 4).min(k));
+            let mut set = NodeSet::new(k);
+            for n in lo..=hi {
+                set.insert(NodeId::new(n as u32));
+            }
+            groups.push((
+                set,
+                SchedOp::new(rng.gen_range(1..3), 2, 1, UnitClass::Asfu),
+            ));
+            next = hi + 1;
+        }
+        groups
+    }
+
+    #[test]
+    fn soa_timing_matches_dfg_timing() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let k = rng.gen_range(1..40);
+            let dfg = random_dfg(&mut rng, k);
+            let g = SoaGraph::from_sched(&dfg);
+            let mut asap = Vec::new();
+            asap_into(&g, &mut asap);
+            assert_eq!(asap, timing::asap(&dfg));
+            let len = length_from_asap(&g, &asap);
+            assert_eq!(len, timing::dep_length(&dfg));
+            let mut alap = Vec::new();
+            alap_into(&g, len + 3, &mut alap);
+            assert_eq!(alap, timing::alap(&dfg, len + 3));
+            let mut h = Vec::new();
+            height_into(&g, &mut h);
+            assert_eq!(h, Priority::Height.values(&dfg));
+        }
+    }
+
+    #[test]
+    fn collapse_soa_replicates_dfg_quotient() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut scratch = QuotientScratch::default();
+        let mut q = Quotient::default();
+        for _ in 0..40 {
+            let k = rng.gen_range(4..40);
+            let dfg = random_dfg(&mut rng, k);
+            let groups = random_groups(&mut rng, dfg.len());
+            let reference = collapse_groups(&dfg, &groups);
+            let base = SoaGraph::from_sched(&dfg);
+            collapse_soa(&base, &groups, &mut scratch, &mut q);
+            assert_eq!(q.graph.len(), reference.dfg.len(), "vertex count");
+            assert_eq!(
+                q.node_map,
+                reference
+                    .node_map
+                    .iter()
+                    .map(|n| n.index() as u32)
+                    .collect::<Vec<_>>(),
+                "node_map must match vertex numbering exactly"
+            );
+            assert_eq!(
+                q.group_node,
+                reference
+                    .group_nodes
+                    .iter()
+                    .map(|n| n.index() as u32)
+                    .collect::<Vec<_>>()
+            );
+            for v in 0..q.graph.len() {
+                let vid = NodeId::new(v as u32);
+                let op = reference.dfg.node(vid).payload();
+                assert_eq!(q.graph.lat[v], op.latency);
+                assert_eq!(q.graph.reads[v] as usize, op.reads);
+                assert_eq!(q.graph.writes[v] as usize, op.writes);
+                assert_eq!(q.graph.class[v], op.class);
+                let mut soa_preds: Vec<u32> = q.graph.preds(v).to_vec();
+                soa_preds.sort_unstable();
+                let mut dfg_preds: Vec<u32> =
+                    reference.dfg.preds(vid).map(|p| p.index() as u32).collect();
+                dfg_preds.sort_unstable();
+                assert_eq!(soa_preds, dfg_preds, "pred set of vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn counter_scheduler_matches_rescan_scheduler() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut list_scratch = ListScratch::new();
+        let mut soa_scratch = CounterSchedScratch::default();
+        let machines = [
+            MachineConfig::preset_2issue_4r2w(),
+            MachineConfig::preset_4issue_10r5w(),
+            MachineConfig::new(1, 4, 2),
+        ];
+        for i in 0..40 {
+            let k = rng.gen_range(1..50);
+            let dfg = random_dfg(&mut rng, k);
+            let g = SoaGraph::from_sched(&dfg);
+            let mut prio = Vec::new();
+            height_into(&g, &mut prio);
+            let m = machines[i % machines.len()];
+            let expect = list_schedule_len(&dfg, &m, Priority::Height, &mut list_scratch);
+            let got = schedule_len_counters(&g, &m, &prio, &mut soa_scratch);
+            assert_eq!(got, expect, "graph {i}");
+        }
+    }
+
+    #[test]
+    fn counter_scheduler_handles_blocking_asfu() {
+        let mut g = SchedDfg::new();
+        let ise = SchedOp::new(3, 2, 1, UnitClass::Asfu);
+        g.add_node(ise, vec![]);
+        g.add_node(ise, vec![]);
+        let mut blocking = MachineConfig::preset_4issue_10r5w();
+        blocking.asfu_pipelined = false;
+        let soa = SoaGraph::from_sched(&g);
+        let mut prio = Vec::new();
+        height_into(&soa, &mut prio);
+        let mut scratch = CounterSchedScratch::default();
+        assert_eq!(
+            schedule_len_counters(&soa, &blocking, &prio, &mut scratch),
+            6
+        );
+    }
+
+    #[test]
+    fn incremental_timing_matches_full_passes() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut scratch = QuotientScratch::default();
+        let mut q = Quotient::default();
+        let (mut asap, mut alap, mut needs) = (Vec::new(), Vec::new(), Vec::new());
+        let mut height = Vec::new();
+        for _ in 0..40 {
+            let k = rng.gen_range(4..40);
+            let dfg = random_dfg(&mut rng, k);
+            let base = SoaGraph::from_sched(&dfg);
+            let bt = BaseTiming::of(&base);
+            let groups = random_groups(&mut rng, dfg.len());
+            // Patch a few latencies, as a walk's software choices would.
+            let mut patched = base.clone();
+            for _ in 0..rng.gen_range(0..4) {
+                let n = rng.gen_range(0..patched.len());
+                patched.lat[n] = rng.gen_range(1..4);
+            }
+            collapse_soa(&patched, &groups, &mut scratch, &mut q);
+            let st = asap_incremental_into(&q, &bt, &base.lat, &mut asap, &mut needs);
+            let mut full = Vec::new();
+            asap_into(&q.graph, &mut full);
+            assert_eq!(asap, full, "incremental ASAP diverged");
+            assert_eq!(st.copied + st.recomputed, q.graph.len() as u64);
+            let len = length_from_asap(&q.graph, &asap);
+            alap_incremental_into(&q, &bt, &base.lat, len + 2, &mut alap, &mut needs);
+            let mut full_alap = Vec::new();
+            alap_into(&q.graph, len + 2, &mut full_alap);
+            assert_eq!(alap, full_alap, "incremental ALAP diverged");
+            height_incremental_into(&q, &bt, &base.lat, &mut height, &mut needs);
+            let mut full_h = Vec::new();
+            height_into(&q.graph, &mut full_h);
+            assert_eq!(height, full_h, "incremental height diverged");
+        }
+    }
+
+    #[test]
+    fn incremental_copy_dominates_far_from_the_patch() {
+        // Long chain, group at the very end: everything before the group's
+        // fan-in cone must be copied, not recomputed.
+        let mut g = SchedDfg::new();
+        let mut prev = g.add_node(alu(1), vec![]);
+        for _ in 0..30 {
+            prev = g.add_node(alu(1), vec![Operand::Node(prev)]);
+        }
+        let k = g.len();
+        let mut set = NodeSet::new(k);
+        set.insert(NodeId::new(k as u32 - 2));
+        set.insert(NodeId::new(k as u32 - 1));
+        let base = SoaGraph::from_sched(&g);
+        let bt = BaseTiming::of(&base);
+        let mut scratch = QuotientScratch::default();
+        let mut q = Quotient::default();
+        collapse_soa(
+            &base,
+            &[(set, SchedOp::new(1, 2, 1, UnitClass::Asfu))],
+            &mut scratch,
+            &mut q,
+        );
+        let (mut asap, mut needs) = (Vec::new(), Vec::new());
+        let st = asap_incremental_into(&q, &bt, &base.lat, &mut asap, &mut needs);
+        assert!(
+            st.copied >= 28,
+            "ASAP outside the tail cone must be copied: {st:?}"
+        );
+        let mut height = Vec::new();
+        let sh = height_incremental_into(&q, &bt, &base.lat, &mut height, &mut needs);
+        // Heights flow sink-to-source: the patched tail dirties the whole
+        // fan-in cone here (a chain), so nearly everything recomputes.
+        assert_eq!(sh.copied + sh.recomputed, q.graph.len() as u64);
+    }
+
+    #[test]
+    fn empty_graph_schedules_to_zero() {
+        let g = SoaGraph::default();
+        let m = MachineConfig::default();
+        let mut scratch = CounterSchedScratch::default();
+        assert_eq!(schedule_len_counters(&g, &m, &[], &mut scratch), 0);
+    }
+}

@@ -5,6 +5,17 @@
 //! and latencies; they answer "which operations determine the execution
 //! time" (§4.0 step 1) and "how much may a non-critical subgraph slip
 //! without hurting the schedule" (§4.3 criterion (3)).
+//!
+//! # Topological-order invariant
+//!
+//! Every pass in this module visits nodes in index order (forward for ASAP,
+//! reverse for ALAP) and assumes that order is topological: every operand
+//! of a node has a smaller index than the node itself. [`SchedDfg`] graphs
+//! built through [`isex_dfg::Dfg::add_node`] satisfy this by construction,
+//! but a graph deserialized from an external payload may not — the passes
+//! would then read a predecessor's start time before it is written and
+//! return wrong (not panicking) timings. Debug builds assert the invariant
+//! on every edge; release builds trust the constructor.
 
 use isex_dfg::{NodeId, NodeSet};
 
@@ -16,7 +27,15 @@ pub fn asap(dfg: &SchedDfg) -> Vec<u32> {
     for (id, _) in dfg.iter() {
         let s = dfg
             .preds(id)
-            .map(|p| start[p.index()] + dfg.node(p).payload().latency)
+            .map(|p| {
+                debug_assert!(
+                    p.index() < id.index(),
+                    "asap: node {} reads node {} — index order is not topological",
+                    id.index(),
+                    p.index()
+                );
+                start[p.index()] + dfg.node(p).payload().latency
+            })
             .max()
             .unwrap_or(0);
         start[id.index()] = s;
@@ -38,7 +57,19 @@ pub fn dep_length(dfg: &SchedDfg) -> u32 {
 /// Panics if `deadline` is smaller than the dependence-only length — no
 /// valid ALAP exists then.
 pub fn alap(dfg: &SchedDfg, deadline: u32) -> Vec<u32> {
-    let len = length_from_asap(dfg, &asap(dfg));
+    alap_from_asap(dfg, &asap(dfg), deadline)
+}
+
+/// [`alap`] against a precomputed [`asap`] vector, so callers that already
+/// ran the forward pass (every mobility or shared-timing computation)
+/// validate the deadline without paying for a second ASAP sweep.
+///
+/// # Panics
+///
+/// Panics if `deadline` is smaller than the dependence-only length implied
+/// by `asap` — no valid ALAP exists then.
+pub fn alap_from_asap(dfg: &SchedDfg, asap: &[u32], deadline: u32) -> Vec<u32> {
+    let len = length_from_asap(dfg, asap);
     assert!(
         deadline >= len,
         "deadline {deadline} below dependence-only length {len}"
@@ -49,7 +80,14 @@ pub fn alap(dfg: &SchedDfg, deadline: u32) -> Vec<u32> {
         let lat = dfg.node(uid).payload().latency;
         let s = dfg
             .succs(uid)
-            .map(|s| start[s.index()])
+            .map(|s| {
+                debug_assert!(
+                    s.index() > u,
+                    "alap: node {u} feeds node {} — index order is not topological",
+                    s.index()
+                );
+                start[s.index()]
+            })
             .min()
             .map(|earliest_succ| earliest_succ - lat)
             .unwrap_or(deadline - lat);
@@ -71,7 +109,7 @@ pub fn length_from_asap(dfg: &SchedDfg, asap: &[u32]) -> u32 {
 pub fn mobility(dfg: &SchedDfg) -> Vec<u32> {
     let a = asap(dfg);
     let len = length_from_asap(dfg, &a);
-    let l = alap(dfg, len);
+    let l = alap_from_asap(dfg, &a, len);
     a.iter().zip(&l).map(|(a, l)| l - a).collect()
 }
 
@@ -117,7 +155,9 @@ pub fn max_aec(dfg: &SchedDfg, set: &NodeSet, deadline: u32) -> u32 {
     if set.is_empty() {
         return 0;
     }
-    max_aec_from(dfg, &asap(dfg), &alap(dfg, deadline), set)
+    let a = asap(dfg);
+    let l = alap_from_asap(dfg, &a, deadline);
+    max_aec_from(dfg, &a, &l, set)
 }
 
 /// [`max_aec`] against precomputed [`asap`]/[`alap`] vectors of `dfg`, so
@@ -202,6 +242,48 @@ mod tests {
     fn alap_below_length_panics() {
         let (g, _) = sample();
         alap(&g, 3);
+    }
+
+    #[test]
+    fn alap_from_asap_matches_alap() {
+        let (g, _) = sample();
+        let a = asap(&g);
+        assert_eq!(alap_from_asap(&g, &a, 4), alap(&g, 4));
+        assert_eq!(alap_from_asap(&g, &a, 7), alap(&g, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn alap_from_asap_validates_deadline() {
+        let (g, _) = sample();
+        let a = asap(&g);
+        alap_from_asap(&g, &a, 3);
+    }
+
+    /// Regression: `asap`/`alap` assume index order is topological.
+    /// `Dfg::add_node` guarantees it, but serde deserialization bypasses
+    /// the constructor — a payload with a forward reference used to yield
+    /// silently wrong timings. Debug builds now assert on the bad edge.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn non_topological_order_is_caught_in_debug() {
+        // Node 0 reads node 1: a forward reference no `add_node` call can
+        // produce, but a stale/hostile serialized graph can.
+        let json = r#"{
+            "nodes": [
+                {"payload": {"latency": 1, "reads": 1, "writes": 1, "class": "Alu"},
+                 "operands": [{"Node": 1}], "live_out": false},
+                {"payload": {"latency": 1, "reads": 1, "writes": 1, "class": "Alu"},
+                 "operands": [], "live_out": true}
+            ],
+            "succs": [[], [0]],
+            "live_ins": 0
+        }"#;
+        let g: SchedDfg = serde_json::from_str(json).expect("payload parses");
+        let fwd = std::panic::catch_unwind(|| asap(&g));
+        assert!(fwd.is_err(), "asap must reject a non-topological order");
+        let bwd = std::panic::catch_unwind(|| alap_from_asap(&g, &[0, 0], 2));
+        assert!(bwd.is_err(), "alap must reject a non-topological order");
     }
 
     #[test]

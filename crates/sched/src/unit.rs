@@ -63,6 +63,16 @@ impl SchedOp {
 }
 
 /// A DFG in schedulable form.
+///
+/// # Topological-order invariant
+///
+/// Every timing and scheduling pass over a `SchedDfg` visits nodes in
+/// index order and requires that order to be topological: each operand of
+/// a node must have a smaller index than the node itself. Graphs built via
+/// [`isex_dfg::Dfg::add_node`] satisfy this by construction; graphs
+/// obtained any other way (deserialization, hand assembly) must be
+/// validated before analysis — debug builds assert the invariant edge by
+/// edge inside [`crate::timing`], release builds trust it.
 pub type SchedDfg = Dfg<SchedOp>;
 
 /// Lowers an ISA-level DFG to schedulable form with every operation on its

@@ -47,6 +47,7 @@ fn main() {
         repeats: 1,
         jobs: 1,
         eval_cache: true,
+        incremental: true,
         fault_plan: None,
         tracer: Default::default(),
     });

@@ -1,7 +1,8 @@
-//! Hot-path evaluation-layer regression tests: the round-scoped cache and
-//! one-shot lowering must be a pure wall-clock optimisation — cached and
-//! cache-disabled runs produce bitwise-identical reports at every seed and
-//! worker count — while actually earning hits on converging workloads.
+//! Hot-path evaluation-layer regression tests: the round-scoped cache,
+//! one-shot lowering and the incremental-timing/SoA fast path must be pure
+//! wall-clock optimisations — legacy, cached, and incremental runs produce
+//! bitwise-identical reports at every seed and worker count — while actually
+//! earning hits (and skipped timing passes) on converging workloads.
 
 use std::sync::Arc;
 
@@ -9,27 +10,38 @@ use isex::core::EvalStats;
 use isex::prelude::*;
 use rand::SeedableRng;
 
-fn quick_cfg(eval_cache: bool, jobs: usize) -> FlowConfig {
+fn quick_cfg(eval_cache: bool, incremental: bool, jobs: usize) -> FlowConfig {
     let mut cfg =
         FlowConfig::for_machine(Algorithm::MultiIssue, MachineConfig::preset_2issue_4r2w());
     cfg.repeats = 2;
     cfg.jobs = jobs;
     cfg.params.max_iterations = 40;
     cfg.eval_cache = eval_cache;
+    cfg.incremental = incremental;
     cfg
 }
 
+/// The three evaluation paths — legacy (no cache), eval-cache with full
+/// timing passes, and eval-cache with incremental timing over the SoA
+/// quotient — must agree byte-for-byte on the serialized report.
 #[test]
-fn cached_and_uncached_reports_are_bitwise_identical() {
+fn all_three_eval_paths_are_bitwise_identical() {
     let program = Benchmark::Bitcount.program(OptLevel::O3);
     for seed in [3u64, 11, 29] {
         for jobs in [1usize, 4] {
-            let cached = run_flow(&quick_cfg(true, jobs), &program, seed);
-            let legacy = run_flow(&quick_cfg(false, jobs), &program, seed);
+            let legacy = run_flow(&quick_cfg(false, false, jobs), &program, seed);
+            let cached = run_flow(&quick_cfg(true, false, jobs), &program, seed);
+            let incremental = run_flow(&quick_cfg(true, true, jobs), &program, seed);
+            let legacy = serde_json::to_string(&legacy).unwrap();
+            let cached = serde_json::to_string(&cached).unwrap();
+            let incremental = serde_json::to_string(&incremental).unwrap();
             assert_eq!(
-                serde_json::to_string(&cached).unwrap(),
-                serde_json::to_string(&legacy).unwrap(),
+                cached, legacy,
                 "seed {seed} jobs {jobs}: the eval cache changed the result"
+            );
+            assert_eq!(
+                incremental, legacy,
+                "seed {seed} jobs {jobs}: incremental timing changed the result"
             );
         }
     }
@@ -38,7 +50,7 @@ fn cached_and_uncached_reports_are_bitwise_identical() {
 #[test]
 fn cache_counters_surface_in_phase_profile() {
     let program = Benchmark::Crc32.program(OptLevel::O3);
-    let (_, metrics) = run_flow_observed(&quick_cfg(true, 1), &program, 7, &NullSink);
+    let (_, metrics) = run_flow_observed(&quick_cfg(true, true, 1), &program, 7, &NullSink);
     let hit = metrics
         .phase_profile
         .get("eval.cache_hit")
@@ -54,12 +66,47 @@ fn cache_counters_surface_in_phase_profile() {
         hit.count,
         miss.count
     );
+    let saved = metrics
+        .phase_profile
+        .get("timing.asap_saved")
+        .expect("cached run must report skipped ASAP passes");
+    // Every walk-evaluation miss derives ALAP (and the walk deadline) from
+    // the ASAP numbers in hand — two skipped passes each. `eval.cache_miss`
+    // also counts candidate-length misses, so `<=` rather than equality.
+    assert!(
+        saved.count > 0 && saved.count % 2 == 0 && saved.count <= 2 * miss.count,
+        "{} skipped passes vs {} misses",
+        saved.count,
+        miss.count
+    );
+    let copied = metrics
+        .phase_profile
+        .get("timing.incr_copied")
+        .expect("incremental run must report copied vertices");
+    let recomputed = metrics
+        .phase_profile
+        .get("timing.incr_recomputed")
+        .expect("incremental run must report recomputed vertices");
+    assert!(
+        copied.count > 0 && recomputed.count > 0,
+        "cone updates must both copy and recompute: {} copied / {} recomputed",
+        copied.count,
+        recomputed.count
+    );
 
-    let (_, metrics) = run_flow_observed(&quick_cfg(false, 1), &program, 7, &NullSink);
+    let (_, metrics) = run_flow_observed(&quick_cfg(false, false, 1), &program, 7, &NullSink);
     assert!(
         metrics.phase_profile.get("eval.cache_hit").is_none()
             && metrics.phase_profile.get("eval.cache_miss").is_none(),
         "a cache-disabled run must not report cache counters"
+    );
+    assert!(
+        metrics.phase_profile.get("timing.incr_copied").is_none()
+            && metrics
+                .phase_profile
+                .get("timing.incr_recomputed")
+                .is_none(),
+        "a cache-disabled run must not report incremental counters"
     );
 }
 

@@ -2,13 +2,16 @@
 //!
 //! Keeps the strategy-combinator surface this workspace's property tests
 //! use — `Strategy`/`prop_map`, `Just`, `any`, ranges, tuples,
-//! `prop::collection::vec`, `prop_oneof!`, regex-literal string strategies —
+//! `prop::collection::vec`, `prop::option::of`, `prop::sample::Index`,
+//! `prop_oneof!`, `prop_assume!`, regex-literal string strategies —
 //! and runs each test over a fixed number of deterministically generated
 //! cases. No shrinking: a failing case reports its inputs' formatted
 //! assertion message only.
 
 pub mod collection;
+pub mod option;
 pub mod pattern;
+pub mod sample;
 pub mod strategy;
 pub mod test_runner;
 
@@ -17,7 +20,7 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 }
 
 /// Declares property tests: each `#[test] fn name(arg in strategy, ..)`
@@ -99,6 +102,18 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+}
+
+/// Skips the current case (counts as passed) unless `cond` holds. This
+/// runner has no rejection bookkeeping, so an assumption that filters out
+/// every case silently vacuously passes — keep assumptions rarely false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
 }
 
 /// Uniform choice between strategies with a common value type.

@@ -1,0 +1,29 @@
+//! `prop::option` — strategies over `Option<T>`.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::Gen;
+
+/// `Option<T>` values: `None` about a quarter of the time (the upstream
+/// default weighting), otherwise `Some` of the inner strategy.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, g: &mut Gen) -> Option<S::Value> {
+        if g.rng.gen_range(0..4u32) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(g))
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! `prop::sample` — collection-relative sampling helpers.
+
+use std::fmt;
+
+use crate::strategy::Arbitrary;
+use crate::test_runner::Gen;
+
+/// A length-agnostic position: generated once, projected onto any
+/// collection with [`Index::index`]. Mirrors `proptest::sample::Index`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects the raw position onto a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero (there is no valid position to return).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(g: &mut Gen) -> Self {
+        Index(usize::arbitrary(g))
+    }
+}
+
+impl fmt::Debug for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Index({})", self.0)
+    }
+}
